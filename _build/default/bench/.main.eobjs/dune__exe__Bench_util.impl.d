@@ -1,0 +1,1 @@
+bench/bench_util.ml: Core Crypto Datasets Printf Relation Unix

@@ -1,0 +1,1 @@
+bench/exp_fig4.ml: Attrset Bench_util Core Datasets List Printf Protocol Relation

@@ -1,0 +1,1 @@
+bench/exp_fig5.ml: Attrset Bench_util Codec Core Crypto Datasets List Printf Protocol Relation Servsim

@@ -1,0 +1,1 @@
+bench/exp_fig6.ml: Array Attrset Bench_util Core Datasets Domain Enc_db Enclave List Osort Printf Protocol Relation Servsim Session Sort_method

@@ -1,0 +1,1 @@
+bench/exp_fig7.ml: Array Attrset Bench_util Core Crypto Ex_oram_method List Printf Relation Session Value

@@ -1,0 +1,1 @@
+bench/exp_table2.ml: Array Attrset Bench_util Codec Core Crypto Datasets Gc Int64 List Printf Protocol Relation Schema Servsim Stats Table

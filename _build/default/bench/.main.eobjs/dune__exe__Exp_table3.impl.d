@@ -1,0 +1,1 @@
+bench/exp_table3.ml: Bench_util Core Crypto Datasets List Oram Printf Protocol Relation Servsim String

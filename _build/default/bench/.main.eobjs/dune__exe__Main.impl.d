@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_util Exp_ablation Exp_fig4 Exp_fig5 Exp_fig6 Exp_fig7 Exp_micro Exp_table1 Exp_table2 Exp_table3 List Printf Sys Unix

@@ -1,0 +1,114 @@
+(* Fig. 6: practicality of Sort.
+   (a) multi-threaded execution of the comparator network (OCaml domains
+       stand in for the paper's threads);
+   (b) deployment in a secure enclave: plaintext array in secure memory,
+       no transfer and no re-encryption. *)
+
+open Core
+open Relation
+
+let sort_single_threaded ?(domains = 1) ~network n =
+  let table = Datasets.Rnd.generate ~seed:60 ~rows:n ~cols:1 () in
+  let session = Session.create ~n ~m:1 () in
+  let db = Enc_db.outsource session table in
+  (* Tracing off: the single-threaded recorder must not be shared. *)
+  Servsim.Trace.set_enabled (Session.trace session) false;
+  Bench_util.time_unit (fun () -> ignore (Sort_method.single ~network ~domains db 0))
+
+(* Modeled multi-core runtime: the comparator network's critical path.
+   Within a stage all comparators are independent, so k workers need
+   ceil(c_s / k) sequential comparator slots per stage; the per-comparator
+   cost is calibrated from the measured single-thread run.  This is the
+   substitute for real hardware parallelism when the host exposes a
+   single core (see DESIGN.md §5) — with >= 16 real cores the measured
+   column converges to this model (the worker-domain driver is real and
+   tested for correctness). *)
+let modeled_parallel ~network ~per_comparator n domains =
+  let net =
+    match network with
+    | Sort_method.Bitonic -> Osort.Network.bitonic (Osort.Network.ceil_pow2 n)
+    | Sort_method.Odd_even_merge -> Osort.Network.odd_even_merge (Osort.Network.ceil_pow2 n)
+  in
+  let slots =
+    Array.fold_left
+      (fun acc stage -> acc + ((Array.length stage + domains - 1) / domains))
+      0 net.Osort.Network.stages
+  in
+  (* Two network executions (by key, by id) plus the linear pass. *)
+  float_of_int (2 * slots) *. per_comparator
+  +. (float_of_int n *. per_comparator /. 2.0)
+
+let run_fig6a (opts : Bench_util.opts) =
+  let n = Bench_util.pow2 (if opts.Bench_util.full then 12 else 10) in
+  let cores = Domain.recommended_domain_count () in
+  Bench_util.header
+    (Printf.sprintf
+       "Fig. 6(a): Sort with multiple threads (n = %d, bitonic network; host has %d core%s)" n
+       cores (if cores = 1 then "" else "s"));
+  ignore (sort_single_threaded ~domains:1 ~network:Sort_method.Bitonic (n / 4)) (* warmup *);
+  let measured =
+    List.map
+      (fun domains -> (domains, sort_single_threaded ~domains ~network:Sort_method.Bitonic n))
+      [ 1; 2; 4; 8; 16 ]
+  in
+  let t1 = List.assoc 1 measured in
+  let net = Osort.Network.bitonic (Osort.Network.ceil_pow2 n) in
+  let per_comparator =
+    t1 /. float_of_int ((2 * Osort.Network.comparator_count net) + (n / 2))
+  in
+  Printf.printf "%10s %14s %16s %10s\n" "threads" "measured" "modeled(16core)" "speedup";
+  List.iter
+    (fun (domains, t) ->
+      let m = modeled_parallel ~network:Sort_method.Bitonic ~per_comparator n domains in
+      Printf.printf "%10d %14s %16s %9.2fx\n%!" domains (Bench_util.pretty_time t)
+        (Bench_util.pretty_time m) (t1 /. m))
+    measured;
+  if cores = 1 then
+    Printf.printf
+      "(single-core host: the measured column cannot speed up; the modeled column\n\
+       is the stage-critical-path time the worker-domain driver achieves on real\n\
+       cores — substitution documented in DESIGN.md)\n";
+  Bench_util.subheader "network ablation (1 thread, bitonic vs odd-even merge)";
+  let tb = sort_single_threaded ~domains:1 ~network:Sort_method.Bitonic n in
+  let to_ = sort_single_threaded ~domains:1 ~network:Sort_method.Odd_even_merge n in
+  Printf.printf "  bitonic:        %s\n  odd-even merge: %s (%.2fx fewer comparators)\n%!"
+    (Bench_util.pretty_time tb) (Bench_util.pretty_time to_) (tb /. to_);
+  Printf.printf
+    "\nExpected shape (paper Fig. 6a): near-2x from 1 -> 2 threads, diminishing\nreturns by 8 \
+     -> 16.\n%!"
+
+let enclave_time ~case n =
+  let table = Datasets.Rnd.generate ~seed:61 ~rows:n ~cols:2 () in
+  let x = match case with `Single -> Attrset.singleton 0 | `Multi -> Attrset.of_list [ 0; 1 ] in
+  snd (Enclave.partition_cardinality table x)
+
+let encrypted_time ~case n =
+  let table = Datasets.Rnd.generate ~seed:61 ~rows:n ~cols:2 () in
+  let x = match case with `Single -> Attrset.singleton 0 | `Multi -> Attrset.of_list [ 0; 1 ] in
+  let _, r = Protocol.partition_cardinality Protocol.Sort table x in
+  r.Protocol.elapsed_s
+
+let run_fig6b (opts : Bench_util.opts) =
+  let ks = if opts.Bench_util.full then [ 6; 8; 10; 12 ] else [ 6; 8; 10 ] in
+  Bench_util.header "Fig. 6(b): Sort inside a secure enclave (SGX simulation)";
+  Printf.printf "%8s %16s %16s %16s %10s\n" "n" "outside (|X|=1)" "SGX (|X|=1)" "SGX (|X|>=2)"
+    "speedup";
+  List.iter
+    (fun k ->
+      let n = Bench_util.pow2 k in
+      let outside = encrypted_time ~case:`Single n in
+      let e1 = enclave_time ~case:`Single n in
+      let e2 = enclave_time ~case:`Multi n in
+      Printf.printf "%8d %16s %16s %16s %9.0fx\n%!" n (Bench_util.pretty_time outside)
+        (Bench_util.pretty_time e1) (Bench_util.pretty_time e2) (outside /. e1))
+    ks;
+  Printf.printf
+    "\n\
+     Expected shape (paper Fig. 6b): enclave runtimes for |X| = 1 and |X| >= 2\n\
+     nearly identical (curves overlap); speedup vs the outside deployment is\n\
+     orders of magnitude (paper: 22,000x at n = 2^15 — all transfer and\n\
+     re-encryption eliminated).\n%!"
+
+let run opts =
+  run_fig6a opts;
+  run_fig6b opts

@@ -1,0 +1,120 @@
+(* Bechamel micro-benchmarks: one Test.make per table/figure family,
+   measuring the primitive that dominates that experiment. *)
+
+open Bechamel
+open Toolkit
+
+let cell_cipher = Crypto.Cell_cipher.create (String.make 16 'K')
+
+let cipher_of_fixture = Crypto.Cell_cipher.create (String.make 16 'M')
+
+let oram_fixture =
+  lazy
+    (let server = Servsim.Server.create () in
+     let rng = Crypto.Rng.create 3 in
+     Oram.Path_oram.setup ~name:"micro"
+       { capacity = 256; key_len = 8; payload_len = 8 }
+       server cipher_of_fixture (Crypto.Rng.int rng))
+
+let sort_fixture =
+  lazy
+    (let session = Core.Session.create ~n:256 ~m:1 () in
+     Servsim.Trace.set_enabled (Core.Session.trace session) false;
+     let b = Core.Sort_backend.encrypted session ~n:256 in
+     for i = 0 to 255 do
+       b.Core.Sort_backend.write i { Core.Sort_backend.key = Core.Sort_backend.L i; id = i }
+     done;
+     b)
+
+let partition_fixture =
+  lazy
+    (let t = Datasets.Rnd.generate_with_domain ~seed:1 ~rows:1024 ~cols:2 ~domain:64 () in
+     ( Fdbase.Partition.of_column (Relation.Table.column t 0),
+       Fdbase.Partition.of_column (Relation.Table.column t 1) ))
+
+let tests =
+  [
+    (* Table I is static; its cost driver is dataset generation. *)
+    Test.make ~name:"table1/dataset-row-gen"
+      (Staged.stage (fun () -> Datasets.Adult_like.generate ~rows:32 ()));
+    (* Table II / semantic security: one cell encrypt+decrypt. *)
+    Test.make ~name:"table2/cell-encrypt-decrypt"
+      (Staged.stage (fun () ->
+           Crypto.Cell_cipher.decrypt cell_cipher
+             (Crypto.Cell_cipher.encrypt cell_cipher "0123456789abcdef01234567")));
+    (* Table III / Fig. 4 ORAM curve: one PathORAM access at n = 256. *)
+    Test.make ~name:"table3-fig4/path-oram-access"
+      (Staged.stage (fun () ->
+           let o = Lazy.force oram_fixture in
+           Oram.Path_oram.write o ~key:(Relation.Codec.encode_int 7)
+             (Relation.Codec.encode_int 7)));
+    (* Fig. 4/6 Sort curve: one encrypted compare-exchange. *)
+    Test.make ~name:"fig4-fig6/sort-compare-exchange"
+      (Staged.stage (fun () ->
+           let b = Lazy.force sort_fixture in
+           let a = b.Core.Sort_backend.read 3 and c = b.Core.Sort_backend.read 200 in
+           let lo, hi = if Core.Sort_backend.compare_by_key a c <= 0 then (a, c) else (c, a) in
+           b.Core.Sort_backend.write 3 lo;
+           b.Core.Sort_backend.write 200 hi));
+    (* Fig. 5 storage accounting driver: partition product (plaintext). *)
+    Test.make ~name:"fig5/partition-product"
+      (Staged.stage (fun () ->
+           let p1, p2 = Lazy.force partition_fixture in
+           Fdbase.Partition.product p1 p2));
+    (* Fig. 6(b): enclave-side comparator network execution, n = 256. *)
+    Test.make ~name:"fig6b/enclave-sort-n256"
+      (Staged.stage
+         (let net = Osort.Network.bitonic 256 in
+          fun () ->
+            let b = Core.Sort_backend.enclave ~n:256 in
+            for i = 0 to 255 do
+              b.Core.Sort_backend.write i
+                { Core.Sort_backend.key = Core.Sort_backend.L (255 - i); id = i }
+            done;
+            Osort.Driver.run net ~exchange:(fun ~up i j ->
+                let x = b.Core.Sort_backend.read i and y = b.Core.Sort_backend.read j in
+                let lo, hi =
+                  if Core.Sort_backend.compare_by_key x y <= 0 then (x, y) else (y, x)
+                in
+                if up then begin
+                  b.Core.Sort_backend.write i lo;
+                  b.Core.Sort_backend.write j hi
+                end
+                else begin
+                  b.Core.Sort_backend.write i hi;
+                  b.Core.Sort_backend.write j lo
+                end)));
+    (* Fig. 7: one Ex-ORAM insert+delete pair. *)
+    Test.make ~name:"fig7/ex-oram-insert-delete"
+      (Staged.stage
+         (let session = Core.Session.create ~n:256 ~m:1 () in
+          let h =
+            Core.Ex_oram_method.create session (Relation.Attrset.singleton 0) ~capacity:256
+          in
+          let i = ref 0 in
+          fun () ->
+            let id = !i mod 200 in
+            incr i;
+            Core.Ex_oram_method.insert_value h ~row:id (Relation.Value.Int id);
+            Core.Ex_oram_method.delete h ~row:id));
+  ]
+
+let run (_ : Bench_util.opts) =
+  Bench_util.header "Bechamel micro-benchmarks (ns per run, OLS fit)";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let instances = Instance.[ monotonic_clock ] in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"sfdd" tests) in
+  let ols =
+    Analyze.all
+      (Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |])
+      Instance.monotonic_clock raw
+  in
+  let rows = Hashtbl.fold (fun name o acc -> (name, o) :: acc) ols [] in
+  List.iter
+    (fun (name, o) ->
+      let est =
+        match Analyze.OLS.estimates o with Some [ e ] -> e | Some (e :: _) -> e | _ -> nan
+      in
+      Printf.printf "  %-42s %14s\n" name (Bench_util.pretty_time (est /. 1e9)))
+    (List.sort compare rows);
+  Printf.printf "%!"

@@ -1,0 +1,49 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§VII).
+
+     dune exec bench/main.exe                 # all experiments, scaled sizes
+     dune exec bench/main.exe -- fig4 fig7    # a subset
+     dune exec bench/main.exe -- --full       # larger sweeps (slower)
+     dune exec bench/main.exe -- micro        # Bechamel micro-benchmarks *)
+
+let experiments =
+  [
+    ("table1", "dataset summary", Exp_table1.run);
+    ("table2", "obliviousness KS tests + storage", Exp_table2.run);
+    ("table3", "complexity summary + ORAM ablation", Exp_table3.run);
+    ("fig4", "runtime scalability", Exp_fig4.run);
+    ("fig5", "storage and client memory scalability", Exp_fig5.run);
+    ("fig6a", "Sort parallelism", Exp_fig6.run_fig6a);
+    ("fig6b", "Sort in a secure enclave", Exp_fig6.run_fig6b);
+    ("fig7", "Ex-ORAM insertion/deletion", Exp_fig7.run);
+    ("ablation", "baseline frontier, recursive ORAM, compression", Exp_ablation.run);
+    ("micro", "Bechamel micro-benchmarks", Exp_micro.run);
+  ]
+
+let default_set =
+  [ "table1"; "table2"; "table3"; "fig4"; "fig5"; "fig6a"; "fig6b"; "fig7"; "ablation"; "micro" ]
+
+let usage () =
+  prerr_endline "usage: main.exe [--full] [experiment ...]";
+  prerr_endline "experiments:";
+  List.iter (fun (n, d, _) -> Printf.eprintf "  %-8s %s\n" n d) experiments;
+  exit 2
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let full = List.mem "--full" args in
+  let names = List.filter (fun a -> a <> "--full") args in
+  let names = if names = [] then default_set else names in
+  List.iter
+    (fun a ->
+      if a = "--help" || a = "-h" || not (List.mem_assoc a (List.map (fun (n, d, f) -> (n, (d, f))) experiments))
+      then usage ())
+    names;
+  let opts = { Bench_util.full } in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      let _, _, f = List.find (fun (n, _, _) -> n = name) experiments in
+      f opts)
+    names;
+  Printf.printf "\nTotal bench time: %.1f s\n%!" (Unix.gettimeofday () -. t0)

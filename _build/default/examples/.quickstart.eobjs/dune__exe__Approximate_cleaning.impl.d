@@ -1,0 +1,1 @@
+examples/approximate_cleaning.ml: Array Attrset Core Fdbase Format List Relation Schema Table Value

@@ -1,0 +1,1 @@
+examples/baseline_leakage.ml: Array Baseline Codec Crypto Datasets Format List Relation Schema String Table

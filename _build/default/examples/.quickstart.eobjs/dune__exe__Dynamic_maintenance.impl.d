@@ -1,0 +1,1 @@
+examples/dynamic_maintenance.ml: Core Dynamic Fdbase Format List Relation Schema Servsim Session Table Value

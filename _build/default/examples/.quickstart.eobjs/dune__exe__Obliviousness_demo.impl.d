@@ -1,0 +1,1 @@
+examples/obliviousness_demo.ml: Array Attrset Core Format Hashtbl Int64 List Protocol Relation Schema Table Value

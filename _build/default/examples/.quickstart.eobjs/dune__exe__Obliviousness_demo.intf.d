@@ -1,0 +1,1 @@
+examples/obliviousness_demo.mli:

@@ -1,0 +1,1 @@
+examples/query_optimization.ml: Attrset Core Datasets Fdbase Format List Protocol Relation Schema Table

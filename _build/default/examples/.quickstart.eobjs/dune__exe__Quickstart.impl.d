@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Datasets Fdbase Format List Protocol Relation Table

@@ -1,0 +1,51 @@
+(* Approximate FDs for data cleaning over an encrypted database: a
+   Zipcode -> City rule that a few dirty rows violate is invisible to
+   exact discovery but surfaces at a small ε — computed with the same
+   oblivious machinery and no extra leakage beyond the verdicts.
+
+     dune exec examples/approximate_cleaning.exe *)
+
+open Relation
+
+let () =
+  let v x = Value.Int x in
+  let schema = Schema.make [| "Zipcode"; "City"; "Street" |] in
+  let clean zip city i = [| v zip; v city; v (1000 + i) |] in
+  let rows =
+    Array.init 50 (fun i ->
+        let zip = 10000 + (i mod 5) in
+        clean zip (zip mod 97) i)
+  in
+  (* Two dirty rows: same zipcode, inconsistent city. *)
+  rows.(13) <- [| v 10003; v 9999; v 1013 |];
+  rows.(27) <- [| v 10001; v 8888; v 1027 |];
+  let table = Table.make schema rows in
+
+  Format.printf "50 rows; Zipcode -> City violated by 2 dirty rows.@.";
+  let exact = Core.Protocol.discover Core.Protocol.Sort table in
+  let has fds lhs rhs =
+    List.exists (fun fd -> Fdbase.Fd.equal fd { Fdbase.Fd.lhs = Attrset.of_list lhs; rhs }) fds
+  in
+  Format.printf "exact secure discovery: Zipcode -> City %s@."
+    (if has exact.Core.Protocol.fds [ 0 ] 1 then "HOLDS" else "does not hold");
+
+  let e = Fdbase.Approx.split_error table ~lhs:(Attrset.singleton 0) ~rhs:1 in
+  Format.printf "split error of Zipcode -> City: %.3f (2 extra classes / 50 rows)@." e;
+
+  List.iter
+    (fun epsilon ->
+      let r = Core.Protocol.discover_approx ~epsilon ~max_lhs:1 Core.Protocol.Sort table in
+      Format.printf "eps = %.2f: Zipcode -> City %s  (%d approximate FDs total)@." epsilon
+        (if has r.Fdbase.Approx.fds [ 0 ] 1 then "ACCEPTED" else "rejected")
+        (List.length r.Fdbase.Approx.fds))
+    [ 0.0; 0.02; 0.05; 0.10 ];
+
+  Format.printf
+    "@.A cleaning pipeline would now fetch the violating classes and repair the\n\
+     2 rows — after which exact discovery confirms the rule:@.";
+  rows.(13) <- clean 10003 (10003 mod 97) 13;
+  rows.(27) <- clean 10001 (10001 mod 97) 27;
+  let repaired = Table.make schema rows in
+  let exact = Core.Protocol.discover Core.Protocol.Sort repaired in
+  Format.printf "after repair: Zipcode -> City %s@."
+    (if has exact.Core.Protocol.fds [ 0 ] 1 then "HOLDS" else "does not hold")

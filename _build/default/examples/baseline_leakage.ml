@@ -1,0 +1,65 @@
+(* Why minimal leakage matters: the prior-art baseline (deterministic
+   encryption, frequency-revealing — Dong & Wang, ICDE'17 / §VIII of the
+   paper) discovers FDs fast, but its leaked histograms let a
+   frequency-analysis attacker (Naveed et al., CCS'15) decrypt low-entropy
+   columns outright.  The paper's oblivious methods leak nothing of the
+   kind.
+
+     dune exec examples/baseline_leakage.exe *)
+
+open Relation
+
+let () =
+  let rows = 4000 in
+  let table = Datasets.Adult_like.generate ~seed:1 ~rows () in
+  let schema = Table.schema table in
+  let key = String.make 16 'D' in
+
+  (* 1. Baseline discovery: server-side, fast, leaky. *)
+  let r = Baseline.Freq_fd.discover ~max_lhs:1 key table in
+  Format.printf "Baseline (deterministic encryption) discovery: %d FDs in %.3fs@."
+    (List.length r.Baseline.Freq_fd.fds) r.Baseline.Freq_fd.elapsed_s;
+
+  (* 2. What the server now knows: per-column frequency histograms. *)
+  let col = Schema.index schema "sex" in
+  Format.printf "@.Leaked histogram of column %S: %s@." "sex"
+    (String.concat ", "
+       (List.map string_of_int r.Baseline.Freq_fd.view.Baseline.Freq_fd.column_histograms.(col)));
+
+  (* 3. The attack: auxiliary knowledge = a disjoint sample of the same
+     population (a public census table, say). *)
+  let aux_table = Datasets.Adult_like.generate ~seed:2 ~rows () in
+  let det = Baseline.Det_encryption.create key in
+  let attack name col =
+    let truth = Table.column table col in
+    let ciphertexts =
+      Array.map (fun v -> Baseline.Det_encryption.encrypt det (Codec.encode_value v)) truth
+    in
+    let res =
+      Baseline.Leakage_attack.frequency_attack ~ciphertexts
+        ~auxiliary:(Table.column aux_table col) ~truth
+    in
+    Format.printf "  %-16s %5.1f%% of cells recovered@." name
+      (100.0 *. Baseline.Leakage_attack.recovery_rate res)
+  in
+  Format.printf "@.Frequency-analysis attack against the baseline's ciphertexts:@.";
+  List.iter
+    (fun name -> attack name (Schema.index schema name))
+    [ "sex"; "race"; "education"; "workclass"; "relationship" ];
+
+  (* 4. The same attack against this paper's encryption fails. *)
+  let cipher = Crypto.Cell_cipher.create key in
+  let col = Schema.index schema "sex" in
+  let truth = Table.column table col in
+  let ciphertexts =
+    Array.map (fun v -> Crypto.Cell_cipher.encrypt cipher (Codec.encode_value v)) truth
+  in
+  let res =
+    Baseline.Leakage_attack.frequency_attack ~ciphertexts
+      ~auxiliary:(Table.column aux_table col) ~truth
+  in
+  Format.printf
+    "@.Same attack against the paper's semantically secure cells (column %S):@.  %5.1f%% \
+     recovered — no better than guessing the majority value.@."
+    "sex"
+    (100.0 *. Baseline.Leakage_attack.recovery_rate res)

@@ -1,0 +1,42 @@
+(* The paper's §I motivating scenario: an employee table where the FD
+   Position → Department lets the query planner of an encrypted database
+   replace two encrypted equality tests by one.
+
+     dune exec examples/query_optimization.exe *)
+
+open Relation
+open Core
+
+let () =
+  let table = Datasets.Examples.employee () in
+  let schema = Table.schema table in
+  Format.printf "@[<v>Employee table:@,%a@]@." Table.pp table;
+
+  let report = Protocol.discover Protocol.Sort table in
+  Format.printf "Discovered %d minimal FDs with the oblivious Sort method:@."
+    (List.length report.Protocol.fds);
+  List.iter
+    (fun fd -> Format.printf "  %a@." (Fdbase.Fd.pp_named schema) fd)
+    report.Protocol.fds;
+
+  let pos = Schema.index schema "Position" and dep = Schema.index schema "Department" in
+  let fd = { Fdbase.Fd.lhs = Attrset.singleton pos; rhs = dep } in
+  assert (List.exists (Fdbase.Fd.equal fd) report.Protocol.fds);
+
+  (* What the FD buys: a conjunctive selection
+       Position = p AND Department = d
+     needs only the Position test whenever the pair is consistent with the
+     FD; in an encrypted database each avoided equality test saves one
+     oblivious comparison per record (the paper cites Arx, where this
+     halves the cost). *)
+  Format.printf
+    "@.Position -> Department holds, so the predicate@.  Position = 'Engineer' AND \
+     Department = 'R&D'@.can be answered with %d encrypted equality tests per record \
+     instead of %d.@."
+    1 2;
+
+  (* Count what a naive scan would have decrypted vs the FD-aware one. *)
+  let rows = Table.rows table in
+  Format.printf "On this table: %d comparisons instead of %d (%.0f%% saved).@." rows
+    (2 * rows)
+    (100.0 *. (1.0 -. (float_of_int rows /. float_of_int (2 * rows))))

@@ -1,0 +1,1 @@
+lib/baseline/det_encryption.ml: Bytes Char Crypto String

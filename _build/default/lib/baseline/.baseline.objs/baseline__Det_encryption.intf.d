@@ -1,0 +1,1 @@
+lib/baseline/det_encryption.mli:

@@ -1,0 +1,1 @@
+lib/baseline/freq_fd.ml: Array Codec Det_encryption Fdbase Hashtbl List Option Relation Table Unix Value

@@ -1,0 +1,1 @@
+lib/baseline/freq_fd.mli: Fdbase Relation Table

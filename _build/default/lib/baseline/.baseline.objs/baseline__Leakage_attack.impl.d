@@ -1,0 +1,1 @@
+lib/baseline/leakage_attack.ml: Array Hashtbl List Option Relation String Value

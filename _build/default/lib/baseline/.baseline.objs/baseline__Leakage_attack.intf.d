@@ -1,0 +1,1 @@
+lib/baseline/leakage_attack.mli: Relation Value

@@ -1,0 +1,45 @@
+type t = { enc_key : Crypto.Aes128.key; mac_key : Crypto.Aes128.key }
+
+let derive raw tag =
+  (* Domain-separate the two subkeys with one AES call on a tag block. *)
+  let k = Crypto.Aes128.expand raw in
+  let src = Bytes.make 16 tag in
+  let dst = Bytes.create 16 in
+  Crypto.Aes128.encrypt_block k ~src ~src_off:0 ~dst ~dst_off:0;
+  Bytes.to_string dst
+
+let create raw_key =
+  {
+    enc_key = Crypto.Aes128.expand (derive raw_key '\001');
+    mac_key = Crypto.Aes128.expand (derive raw_key '\002');
+  }
+
+(* CBC-MAC over the zero-padded plaintext (fixed-width inputs only, which
+   is what the cell codec produces, so length-extension is not a
+   concern). *)
+let cbc_mac key plaintext =
+  let n = String.length plaintext in
+  let padded_len = (n + 15) / 16 * 16 in
+  let buf = Bytes.make (max 16 padded_len) '\000' in
+  Bytes.blit_string plaintext 0 buf 0 n;
+  let acc = Bytes.make 16 '\000' in
+  let off = ref 0 in
+  while !off < Bytes.length buf do
+    for i = 0 to 15 do
+      Bytes.set acc i
+        (Char.chr (Char.code (Bytes.get acc i) lxor Char.code (Bytes.get buf (!off + i))))
+    done;
+    Crypto.Aes128.encrypt_block key ~src:acc ~src_off:0 ~dst:acc ~dst_off:0;
+    off := !off + 16
+  done;
+  Bytes.to_string acc
+
+let encrypt t plaintext =
+  let iv = cbc_mac t.mac_key plaintext in
+  iv ^ Crypto.Cbc.encrypt t.enc_key ~iv plaintext
+
+let decrypt t ciphertext =
+  if String.length ciphertext < 32 then invalid_arg "Det_encryption.decrypt: too short";
+  let iv = String.sub ciphertext 0 16 in
+  let body = String.sub ciphertext 16 (String.length ciphertext - 16) in
+  Crypto.Cbc.decrypt t.enc_key ~iv body

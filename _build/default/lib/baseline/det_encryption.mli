@@ -1,0 +1,24 @@
+(** Deterministic (frequency-revealing) cell encryption.
+
+    The prior art the paper improves on (Dong & Wang, ICDE 2017 — §VIII)
+    performs FD discovery over {e deterministically} encrypted cells:
+    equal plaintexts produce equal ciphertexts, so the server can group
+    and count by itself.  That makes discovery fast and non-interactive —
+    and leaks the full frequency histogram of every column, which
+    frequency-analysis attacks exploit (Naveed et al., CCS 2015).
+
+    We implement it as AES-128 in a synthetic-IV mode: the IV is a PRF of
+    the plaintext (CBC-MAC under a second key), so encryption is a
+    deterministic permutation-like map, secure up to equality leakage. *)
+
+type t
+
+val create : string -> t
+(** [create raw_key] derives the encryption and PRF keys from one 16-byte
+    master key. *)
+
+val encrypt : t -> string -> string
+(** Deterministic: equal plaintexts yield equal ciphertexts. *)
+
+val decrypt : t -> string -> string
+(** @raise Invalid_argument on malformed input. *)

@@ -1,0 +1,51 @@
+open Relation
+
+type server_view = { column_histograms : int list array }
+
+type report = {
+  fds : Fdbase.Fd.t list;
+  elapsed_s : float;
+  view : server_view;
+}
+
+let discover ?max_lhs raw_key table =
+  let det = Det_encryption.create raw_key in
+  let n = Table.rows table and m = Table.cols table in
+  (* Upload: deterministic ciphertext per cell. *)
+  let enc =
+    Array.init n (fun r ->
+        Array.init m (fun c ->
+            Det_encryption.encrypt det (Codec.encode_value (Table.cell table ~row:r ~col:c))))
+  in
+  (* Everything below runs purely server-side on ciphertexts. *)
+  let t0 = Unix.gettimeofday () in
+  let column c = Array.init n (fun r -> Value.Str enc.(r).(c)) in
+  let oracle =
+    {
+      Fdbase.Lattice.single =
+        (fun c ->
+          let p = Fdbase.Partition.of_column (column c) in
+          (p, Fdbase.Partition.cardinality p));
+      combine =
+        (fun _x h1 h2 ->
+          let p = Fdbase.Partition.product h1 h2 in
+          (p, Fdbase.Partition.cardinality p));
+      release = (fun _ -> ());
+    }
+  in
+  let result = Fdbase.Lattice.discover ~m ~n ?max_lhs oracle in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  let histogram c =
+    let counts = Hashtbl.create 64 in
+    Array.iter
+      (fun row ->
+        let ct = row.(c) in
+        Hashtbl.replace counts ct (1 + Option.value ~default:0 (Hashtbl.find_opt counts ct)))
+      enc;
+    Hashtbl.fold (fun _ k acc -> k :: acc) counts [] |> List.sort (fun a b -> compare b a)
+  in
+  {
+    fds = result.Fdbase.Lattice.fds;
+    elapsed_s;
+    view = { column_histograms = Array.init m histogram };
+  }

@@ -1,0 +1,26 @@
+(** Frequency-revealing FD discovery — the insecure-but-fast baseline.
+
+    With deterministic cell encryption the server can compute partitions
+    by itself (grouping equal ciphertexts), so FD discovery needs no
+    client interaction beyond the upload.  This is the performance target
+    the paper's oblivious methods are compared against, and the security
+    anti-example: {!Leakage_attack} shows what the leaked histograms give
+    away. *)
+
+open Relation
+
+type server_view = {
+  column_histograms : int list array;
+      (** per column: the multiset of ciphertext frequencies, sorted
+          descending — everything S learns beyond sizes *)
+}
+
+type report = {
+  fds : Fdbase.Fd.t list;
+  elapsed_s : float;
+  view : server_view;
+}
+
+val discover : ?max_lhs:int -> string (* key *) -> Table.t -> report
+(** Encrypt the table deterministically, then let the (simulated) server
+    run partition-based discovery directly on ciphertexts. *)

@@ -1,0 +1,56 @@
+open Relation
+
+type result = {
+  assignment : (string * Value.t) list;
+  recovered_cells : int;
+  total_cells : int;
+}
+
+(* Distinct items of [arr], most frequent first (ties broken by [cmp] for
+   determinism). *)
+let rank (type a) (module H : Hashtbl.HashedType with type t = a) cmp (arr : a array) =
+  let module T = Hashtbl.Make (H) in
+  let counts = T.create 64 in
+  Array.iter (fun x -> T.replace counts x (1 + Option.value ~default:0 (T.find_opt counts x))) arr;
+  T.fold (fun x c acc -> (x, c) :: acc) counts []
+  |> List.sort (fun (x1, c1) (x2, c2) -> match compare c2 c1 with 0 -> cmp x1 x2 | d -> d)
+  |> List.map fst
+
+module Str_h = struct
+  type t = string
+
+  let equal = String.equal
+  let hash = Hashtbl.hash
+end
+
+module Val_h = struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end
+
+let frequency_attack ~ciphertexts ~auxiliary ~truth =
+  if Array.length ciphertexts <> Array.length truth then
+    invalid_arg "Leakage_attack.frequency_attack: ciphertexts/truth length mismatch";
+  let ct_ranked = rank (module Str_h) String.compare ciphertexts in
+  let aux_ranked = rank (module Val_h) Value.compare auxiliary in
+  let rec zip a b =
+    match (a, b) with
+    | x :: a', y :: b' -> (x, y) :: zip a' b'
+    | _, [] | [], _ -> []
+  in
+  let assignment = zip ct_ranked aux_ranked in
+  let guess = Hashtbl.create 64 in
+  List.iter (fun (ct, v) -> Hashtbl.replace guess ct v) assignment;
+  let recovered = ref 0 in
+  Array.iteri
+    (fun i ct ->
+      match Hashtbl.find_opt guess ct with
+      | Some v when Value.equal v truth.(i) -> incr recovered
+      | Some _ | None -> ())
+    ciphertexts;
+  { assignment; recovered_cells = !recovered; total_cells = Array.length ciphertexts }
+
+let recovery_rate r =
+  if r.total_cells = 0 then 0.0 else float_of_int r.recovered_cells /. float_of_int r.total_cells

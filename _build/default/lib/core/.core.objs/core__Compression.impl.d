@@ -1,0 +1,1 @@
+lib/core/compression.ml: Codec Relation

@@ -1,0 +1,1 @@
+lib/core/compression.mli: Relation Value

@@ -1,0 +1,1 @@
+lib/core/dynamic.ml: Array Attrset Enc_db Ex_oram_method Fdbase Format Hashtbl List Log Option Relation Session Set_level Table

@@ -1,0 +1,1 @@
+lib/core/dynamic.mli: Attrset Fdbase Relation Session Table Value

@@ -1,0 +1,1 @@
+lib/core/enc_db.ml: Codec Crypto Relation Servsim Session Table

@@ -1,0 +1,1 @@
+lib/core/enc_db.mli: Relation Session Table Value

@@ -1,0 +1,1 @@
+lib/core/enclave.ml: Attrset Compression Enc_db Fdbase Protocol Relation Servsim Session Sort_backend Sort_method Table Unix

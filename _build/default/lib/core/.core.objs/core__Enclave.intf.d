@@ -1,0 +1,1 @@
+lib/core/enclave.mli: Attrset Enc_db Fdbase Protocol Relation Session Sort_method Table

@@ -1,0 +1,1 @@
+lib/core/ex_oram_method.ml: Attrset Codec Compression Enc_db Fdbase Option Oram Relation Session String

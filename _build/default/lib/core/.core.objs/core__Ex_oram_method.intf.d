@@ -1,0 +1,1 @@
+lib/core/ex_oram_method.mli: Attrset Enc_db Fdbase Relation Session Value

@@ -1,0 +1,1 @@
+lib/core/lm_oram_method.ml: Attrset Codec Compression Enc_db Fdbase Oram Relation Session

@@ -1,0 +1,1 @@
+lib/core/lm_oram_method.mli: Attrset Enc_db Fdbase Relation Session

@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Attrset Enc_db Ex_oram_method Fdbase Format List Log Or_oram_method Relation Servsim Session Set_level Sort_method Table Unix

@@ -1,0 +1,1 @@
+lib/core/protocol.mli: Attrset Fdbase Format Relation Schema Servsim Table

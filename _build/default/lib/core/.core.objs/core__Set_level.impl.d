@@ -1,0 +1,1 @@
+lib/core/set_level.ml: Crypto Servsim Session

@@ -1,0 +1,1 @@
+lib/core/set_level.mli: Session

@@ -1,0 +1,1 @@
+lib/core/sort_backend.ml: Array Bytes Codec Crypto Int Osort Relation Servsim Session String Value

@@ -1,0 +1,1 @@
+lib/core/sort_backend.mli: Relation Session Value

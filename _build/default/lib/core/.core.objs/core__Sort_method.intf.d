@@ -1,0 +1,1 @@
+lib/core/sort_method.mli: Attrset Enc_db Fdbase Relation Session Sort_backend

@@ -1,0 +1,16 @@
+open Relation
+
+let key_of_value v = Codec.encode_value v
+
+let combined_key_int ~n l1 l2 =
+  if l1 < 0 || l1 >= n || l2 < 0 || l2 >= n then
+    invalid_arg "Compression.combined_key_int: label out of [0, n)";
+  (l1 * n) + l2
+
+let key_of_labels ~n l1 l2 = Codec.encode_int (combined_key_int ~n l1 l2)
+
+let single_key_len = Codec.value_width
+let multi_key_len = 8
+
+let label_of_payload s = Codec.decode_int s
+let payload_of_label l = Codec.encode_int l

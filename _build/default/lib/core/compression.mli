@@ -1,0 +1,35 @@
+(** Attribute compression (§IV-B of the paper).
+
+    Each record's value under an attribute set X is compressed to a pair
+    (key_X, label_X):
+
+    - for |X| = 1, key_X is the (fixed-width encoded) cell value itself;
+    - for |X| ≥ 2, key_X = label_X1 · n + label_X2 ∈ [n² + n], where
+      (X1, X2) are the two generators of Property 1;
+    - label_X ∈ [n] is the unique integer assigned to key_X by the
+      incremental card_X counter.
+
+    This keeps the partition computation for any multi-attribute set
+    constant-cost regardless of |X| — the key width never exceeds
+    2⌈log n⌉+1 bits (we store it in a fixed 8-byte field). *)
+
+open Relation
+
+val key_of_value : Value.t -> string
+(** ORAM key for a single-attribute set: the fixed-width value encoding
+    ({!Codec.value_width} bytes). *)
+
+val key_of_labels : n:int -> int -> int -> string
+(** [key_of_labels ~n l1 l2] = encoding of [l1 * n + l2] (8 bytes).
+    @raise Invalid_argument if a label is outside [0, n). *)
+
+val combined_key_int : n:int -> int -> int -> int
+(** The integer [l1 * n + l2] itself. *)
+
+val single_key_len : int
+val multi_key_len : int
+
+val label_of_payload : string -> int
+(** Decode a label payload (first 8 bytes). *)
+
+val payload_of_label : int -> string

@@ -1,0 +1,130 @@
+open Relation
+
+type t = {
+  session : Session.t;
+  m : int;
+  capacity : int;
+  handles : (Attrset.t, Ex_oram_method.handle) Hashtbl.t;
+  order : Attrset.t list; (* lattice plan order: generators before supersets *)
+  fds : Fdbase.Fd.t list;
+  live_ids : (int, unit) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let session t = t.session
+let fds t = t.fds
+let live_records t = Hashtbl.length t.live_ids
+
+let start ?seed ?capacity ?max_lhs table =
+  let n = Table.rows table and m = Table.cols table in
+  let capacity = max 16 (Option.value ~default:(4 * n) capacity) in
+  let session = Session.create ?seed ~n ~m () in
+  let db = Enc_db.outsource session table in
+  let handles = Hashtbl.create 64 in
+  let register h =
+    Hashtbl.replace handles (Ex_oram_method.attrs h) h;
+    (h, Ex_oram_method.cardinality h)
+  in
+  let oracle =
+    {
+      Fdbase.Lattice.single = (fun col -> register (Ex_oram_method.single db ~capacity col));
+      combine = (fun x h1 h2 -> register (Ex_oram_method.combine session ~capacity x h1 h2));
+      release = (fun _ -> ()); (* structures are retained for maintenance *)
+    }
+  in
+  let result =
+    Fdbase.Lattice.discover ~m ~n ?max_lhs ~check:(Set_level.check session) oracle
+  in
+  let live_ids = Hashtbl.create (2 * n) in
+  for id = 0 to n - 1 do
+    Hashtbl.replace live_ids id ()
+  done;
+  {
+    session;
+    m;
+    capacity;
+    handles;
+    order = result.Fdbase.Lattice.plan;
+    fds = result.Fdbase.Lattice.fds;
+    live_ids;
+    next_id = n;
+  }
+
+let cardinality t x =
+  if Attrset.is_empty x then Some (min 1 (live_records t))
+  else Option.map Ex_oram_method.cardinality (Hashtbl.find_opt t.handles x)
+
+let generator_handles t x =
+  let x1, x2 = Attrset.choose_two_generators x in
+  match (Hashtbl.find_opt t.handles x1, Hashtbl.find_opt t.handles x2) with
+  | Some h1, Some h2 -> (h1, h2)
+  | _ ->
+      invalid_arg
+        (Format.asprintf "Dynamic: generators of %a not materialised" Attrset.pp x)
+
+let insert t values =
+  if Array.length values <> t.m then invalid_arg "Dynamic.insert: arity mismatch";
+  if live_records t >= t.capacity then invalid_arg "Dynamic.insert: capacity exceeded";
+  let id = t.next_id in
+  Log.debug (fun f -> f "dynamic insert: id=%d (%d sets to update)" id (List.length t.order));
+  t.next_id <- id + 1;
+  List.iter
+    (fun x ->
+      let h = Hashtbl.find t.handles x in
+      match Attrset.elements x with
+      | [ col ] -> Ex_oram_method.insert_value h ~row:id values.(col)
+      | _ ->
+          let gen1, gen2 = generator_handles t x in
+          Ex_oram_method.insert_combined h ~gen1 ~gen2 ~row:id)
+    t.order;
+  Hashtbl.replace t.live_ids id ();
+  id
+
+let delete t ~id =
+  Log.debug (fun f -> f "dynamic delete: id=%d" id);
+  (* Deletions for distinct attribute sets are independent (§V-C); we run
+     them sequentially in plan order. *)
+  List.iter (fun x -> Ex_oram_method.delete (Hashtbl.find t.handles x) ~row:id) t.order;
+  Hashtbl.remove t.live_ids id
+
+(* Materialise π_X for a set outside the retained lattice (needed when a
+   key-pruned FD must be re-checked after its LHS stopped being a key). *)
+let rec ensure t x =
+  match Hashtbl.find_opt t.handles x with
+  | Some h -> h
+  | None ->
+      if Attrset.cardinal x < 2 then
+        invalid_arg "Dynamic.ensure: single attributes are always materialised";
+      let x1, x2 = Attrset.choose_two_generators x in
+      let gen1 = ensure t x1 and gen2 = ensure t x2 in
+      let h = Ex_oram_method.create t.session x ~capacity:t.capacity in
+      Hashtbl.iter
+        (fun id () -> Ex_oram_method.insert_combined h ~gen1 ~gen2 ~row:id)
+        t.live_ids;
+      Hashtbl.replace t.handles x h;
+      h
+
+let revalidate t =
+  List.map
+    (fun fd ->
+      let { Fdbase.Fd.lhs; rhs } = fd in
+      let x = Attrset.add lhs rhs in
+      let lhs_card =
+        match cardinality t lhs with
+        | Some c -> c
+        | None -> Ex_oram_method.cardinality (ensure t lhs)
+      in
+      (* Superkey LHS still determines everything: skip materialising X. *)
+      if lhs_card = live_records t && lhs_card > 0 then (fd, true)
+      else
+        let x_card =
+          match cardinality t x with
+          | Some c -> c
+          | None -> Ex_oram_method.cardinality (ensure t x)
+        in
+        (fd, Set_level.check t.session lhs_card x_card))
+    t.fds
+
+let release t =
+  Hashtbl.iter (fun _ h -> Ex_oram_method.release h) t.handles;
+  Hashtbl.reset t.handles

@@ -1,0 +1,37 @@
+open Relation
+
+type t = {
+  session : Session.t;
+  store : Servsim.Block_store.t;
+  name : string;
+  n : int;
+  m : int;
+}
+
+let outsource (session : Session.t) table =
+  let n = Table.rows table and m = Table.cols table in
+  if n <> session.Session.n || m <> session.Session.m then
+    invalid_arg "Enc_db.outsource: table dimensions disagree with session";
+  let name = Session.fresh_name session "db" in
+  let store = Servsim.Server.create_store session.Session.server name in
+  Servsim.Block_store.ensure store (n * m);
+  for row = 0 to n - 1 do
+    for col = 0 to m - 1 do
+      let pt = Codec.encode_value (Table.cell table ~row ~col) in
+      Servsim.Block_store.write store ((row * m) + col)
+        (Crypto.Cell_cipher.encrypt session.Session.cipher pt)
+    done
+  done;
+  Servsim.Cost.round_trip (Session.cost session);
+  { session; store; name; n; m }
+
+let read_cell t ~row ~col =
+  if row < 0 || row >= t.n || col < 0 || col >= t.m then
+    invalid_arg "Enc_db.read_cell: out of bounds";
+  let c = Servsim.Block_store.read t.store ((row * t.m) + col) in
+  Codec.decode_value (Crypto.Cell_cipher.decrypt t.session.Session.cipher c)
+
+let n t = t.n
+let m t = t.m
+let store_name t = t.name
+let session t = t.session

@@ -1,0 +1,24 @@
+(** The outsourced encrypted database DB̂.
+
+    Cell-level semantically secure encryption (§II-A): every attribute
+    value of every record is individually encrypted (fixed-width encoding,
+    so all cell ciphertexts have one public length) and stored in a server
+    block store.  Only the client can decrypt; reads are traced as part of
+    the adversary's view. *)
+
+open Relation
+
+type t
+
+val outsource : Session.t -> Table.t -> t
+(** Encrypt the client's table cell by cell and upload it.
+    @raise Invalid_argument if the table's dimensions disagree with the
+    session's public (n, m). *)
+
+val read_cell : t -> row:int -> col:int -> Value.t
+(** Client-side: fetch the ciphertext of one cell from S and decrypt. *)
+
+val n : t -> int
+val m : t -> int
+val store_name : t -> string
+val session : t -> Session.t

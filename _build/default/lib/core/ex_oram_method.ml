@@ -1,0 +1,147 @@
+open Relation
+
+type handle = {
+  attrs : Attrset.t;
+  klf : Oram.Path_oram.t; (* key_X -> (label_X, fre_X) *)
+  ikl : Oram.Path_oram.t; (* r[ID]  -> (key_X, label_X) *)
+  mutable card : int;
+  mutable live : int;
+  key_len : int;
+  base : int; (* public multiplier for combined keys: the ORAM capacity *)
+  session : Session.t;
+}
+
+let attrs h = h.attrs
+let cardinality h = h.card
+let live_records h = h.live
+
+(* Payload codecs. *)
+let klf_payload ~label ~fre = Codec.encode_int label ^ Codec.encode_int fre
+
+let klf_decode p = (Codec.decode_int (String.sub p 0 8), Codec.decode_int (String.sub p 8 8))
+
+let ikl_payload ~key ~label = key ^ Codec.encode_int label
+
+let ikl_decode ~key_len p =
+  (String.sub p 0 key_len, Codec.decode_int (String.sub p key_len 8))
+
+let create session x ~capacity =
+  let key_len =
+    if Attrset.cardinal x <= 1 then Compression.single_key_len else Compression.multi_key_len
+  in
+  let klf =
+    Oram.Path_oram.setup
+      ~name:(Session.fresh_name session "ex-klf")
+      { capacity; key_len; payload_len = 16 }
+      session.Session.server session.Session.cipher (Session.rand_int session)
+  in
+  let ikl =
+    Oram.Path_oram.setup
+      ~name:(Session.fresh_name session "ex-ikl")
+      { capacity; key_len = 8; payload_len = key_len + 8 }
+      session.Session.server session.Session.cipher (Session.rand_int session)
+  in
+  { attrs = x; klf; ikl; card = 0; live = 0; key_len; base = capacity; session }
+
+(* Algorithm 4 inner step: one O^KLF read, one O^IKL write, one O^KLF
+   write — unconditional, as in the paper's branch-free formulation. *)
+let process_key h ~row key =
+  let prev = Oram.Path_oram.read h.klf ~key in
+  let fresh = prev = None in
+  let label, fre =
+    match prev with Some p -> klf_decode p | None -> (h.card, 0)
+  in
+  let fre = fre + 1 in
+  Oram.Path_oram.write h.ikl ~key:(Codec.encode_int row) (ikl_payload ~key ~label);
+  Oram.Path_oram.write h.klf ~key (klf_payload ~label ~fre);
+  if fresh then h.card <- h.card + 1;
+  h.live <- h.live + 1
+
+let insert_value h ~row v =
+  if Attrset.cardinal h.attrs <> 1 then
+    invalid_arg "Ex_oram_method.insert_value: handle is not single-attribute";
+  process_key h ~row (Compression.key_of_value v)
+
+let insert_single h db ~row =
+  let v = Enc_db.read_cell db ~row ~col:(Attrset.min_elt h.attrs) in
+  insert_value h ~row v
+
+let label_of_row h ~row =
+  match Oram.Path_oram.read h.ikl ~key:(Codec.encode_int row) with
+  | Some p -> Some (snd (ikl_decode ~key_len:h.key_len p))
+  | None -> None
+
+let insert_combined h ~gen1 ~gen2 ~row =
+  let l1 =
+    match label_of_row gen1 ~row with
+    | Some l -> l
+    | None -> invalid_arg "Ex_oram_method.insert_combined: record missing in generator 1"
+  in
+  let l2 =
+    match label_of_row gen2 ~row with
+    | Some l -> l
+    | None -> invalid_arg "Ex_oram_method.insert_combined: record missing in generator 2"
+  in
+  process_key h ~row (Compression.key_of_labels ~n:h.base l1 l2)
+
+let single db ?capacity col =
+  let session = Enc_db.session db in
+  let capacity = Option.value ~default:session.Session.n capacity in
+  let h = create session (Attrset.singleton col) ~capacity in
+  for row = 0 to session.Session.n - 1 do
+    insert_single h db ~row
+  done;
+  h
+
+let combine session ?capacity x h1 h2 =
+  let capacity = Option.value ~default:session.Session.n capacity in
+  let h = create session x ~capacity in
+  for row = 0 to session.Session.n - 1 do
+    insert_combined h ~gen1:h1 ~gen2:h2 ~row
+  done;
+  h
+
+(* Algorithm 5: two reads then two writes; the fre = 1 / fre > 1 branch
+   only changes the plaintext written, never the access pattern. *)
+let delete h ~row =
+  let id_key = Codec.encode_int row in
+  match Oram.Path_oram.read h.ikl ~key:id_key with
+  | None ->
+      (* Record absent: keep the physical pattern identical anyway. *)
+      Oram.Path_oram.dummy_access h.klf;
+      Oram.Path_oram.dummy_access h.klf;
+      Oram.Path_oram.dummy_access h.ikl
+  | Some p ->
+      let key, _label = ikl_decode ~key_len:h.key_len p in
+      let fre =
+        match Oram.Path_oram.read h.klf ~key with
+        | Some q -> snd (klf_decode q)
+        | None -> invalid_arg "Ex_oram_method.delete: KLF entry missing (corrupt state)"
+      in
+      ignore
+        (Oram.Path_oram.access h.klf ~key (fun prev ->
+             match prev with
+             | None -> None
+             | Some q ->
+                 let label, fre = klf_decode q in
+                 if fre > 1 then Some (klf_payload ~label ~fre:(fre - 1)) else None));
+      ignore (Oram.Path_oram.access h.ikl ~key:id_key (fun _ -> None));
+      if fre = 1 then h.card <- h.card - 1;
+      h.live <- h.live - 1
+
+let release h =
+  Oram.Path_oram.destroy h.klf;
+  Oram.Path_oram.destroy h.ikl
+
+let oracle session db =
+  {
+    Fdbase.Lattice.single =
+      (fun col ->
+        let h = single db col in
+        (h, h.card));
+    combine =
+      (fun x h1 h2 ->
+        let h = combine session x h1 h2 in
+        (h, h.card));
+    release;
+  }

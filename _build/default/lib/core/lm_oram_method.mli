@@ -1,0 +1,31 @@
+(** Lm-ORAM: a low-client-memory variant of the Or-ORAM method.
+
+    The paper's ORAM methods keep O(n) client memory — a position map per
+    PathORAM (Fig. 5) — and remark (§VII-C) that more advanced ORAMs
+    trade that memory for runtime.  This method realises the trade
+    end-to-end:
+
+    - the Key-Label structure becomes an {!Oram.Omap} (AVL over a
+      recursive PathORAM), since its keys are attribute values;
+    - the ID-Label structure becomes a {!Oram.Recursive_path_oram}
+      (record IDs are integers).
+
+    The client is left with O(polylog n) state: top-level position maps
+    and stashes.  Access counts per record are fixed (Omap budgets), so
+    the method is oblivious exactly like Or-ORAM.  Runtime grows by the
+    recursion depth — measured in the ablation bench. *)
+
+open Relation
+
+type handle
+
+val attrs : handle -> Attrset.t
+val cardinality : handle -> int
+
+val single : Enc_db.t -> int -> handle
+val combine : Session.t -> Attrset.t -> handle -> handle -> handle
+val label_of_row : handle -> row:int -> int
+val client_state_bytes : handle -> int
+val release : handle -> unit
+
+val oracle : Session.t -> Enc_db.t -> handle Fdbase.Lattice.oracle

@@ -1,0 +1,11 @@
+(* Log source for the secure-FD core; enable with
+   Logs.Src.set_level Core.Log.src (Some Logs.Debug) or via the CLI's
+   --debug flag. *)
+
+let src = Logs.Src.create "sfdd.core" ~doc:"Secure FD discovery protocols"
+
+module L = (val Logs.src_log src : Logs.LOG)
+
+let debug f = L.debug f
+let info f = L.info f
+let warn f = L.warn f

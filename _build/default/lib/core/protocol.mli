@@ -1,0 +1,57 @@
+(** End-to-end secure FD discovery (the protocol Π of §VI): encrypt and
+    outsource the client's table, then run the database-level lattice
+    search with one of the three oblivious attribute-level methods.
+
+    The result carries the discovered FDs — which must equal the
+    plaintext TANE output exactly — together with the cost snapshot for
+    the paper's three metrics and the server's trace digests for
+    obliviousness checks. *)
+
+open Relation
+
+type method_ =
+  | Or_oram  (** Algorithms 1–2 (§IV-C) *)
+  | Ex_oram  (** extended dynamic method (§V) *)
+  | Sort  (** Algorithm 3 (§IV-D) *)
+
+val method_name : method_ -> string
+
+type report = {
+  fds : Fdbase.Fd.t list;
+  sets_checked : int;
+  plan : Attrset.t list;
+  cost : Servsim.Cost.snapshot;
+  elapsed_s : float;
+  trace_full : int64;
+  trace_shape : int64;
+  trace_count : int;
+  step_round_trips : int;
+      (** round trips of the measured unit alone (the final partition
+          computation in {!partition_cardinality}; whole run otherwise) *)
+  step_bytes : int;  (** bytes moved (both directions) by the measured unit *)
+}
+
+val modeled_network_seconds : ?rtt_s:float -> ?gbps:float -> report -> float
+(** [modeled_network_seconds r] is the wall-clock the measured unit would
+    add on a network link: [step_round_trips · rtt + step_bytes / rate].
+    Defaults model the paper's testbed: 1 Gbps LAN, 0.2 ms RTT.  Add it to
+    [elapsed_s] (pure computation) to compare deployments — the paper's
+    client-server runtimes are dominated by this term for Sort. *)
+
+val discover :
+  ?seed:int -> ?max_lhs:int -> ?keep_events:bool -> method_ -> Table.t -> report
+(** Run the whole protocol on a fresh session. *)
+
+val partition_cardinality :
+  ?seed:int -> method_ -> Table.t -> Attrset.t -> int * report
+(** Attribute-level only: obliviously compute |π_X| for one attribute set
+    (computing generator partitions first per Property 1).  This is the
+    unit the paper benchmarks in §VII. *)
+
+val discover_approx :
+  ?seed:int -> ?max_lhs:int -> epsilon:float -> method_ -> Table.t -> Fdbase.Approx.result
+(** ε-approximate FD discovery (see {!Fdbase.Approx}) over the same
+    oblivious attribute-level oracles.  The leakage grows accordingly: the
+    adversary learns the ε-approximate FDs instead of the exact ones. *)
+
+val pp_report : Schema.t -> Format.formatter -> report -> unit

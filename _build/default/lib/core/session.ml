@@ -1,0 +1,38 @@
+type t = {
+  server : Servsim.Server.t;
+  raw_key : string;
+  cipher : Crypto.Cell_cipher.t;
+  rng : Crypto.Rng.t;
+  n : int;
+  m : int;
+  mutable counter : int;
+}
+
+let create ?(seed = 0x5EC5E55) ?keep_events ?remote ~n ~m () =
+  let key_rng = Crypto.Rng.create seed in
+  let raw_key = Bytes.to_string (Crypto.Rng.bytes key_rng 16) in
+  let iv_rng = Crypto.Rng.split key_rng in
+  let cipher =
+    Crypto.Cell_cipher.create ~iv_rng:(fun b -> Crypto.Rng.fill_bytes iv_rng b) raw_key
+  in
+  {
+    server = Servsim.Server.create ?keep_events ?remote ();
+    raw_key;
+    cipher;
+    rng = Crypto.Rng.split key_rng;
+    n;
+    m;
+    counter = 0;
+  }
+
+let clone_cipher t ~seed =
+  let iv_rng = Crypto.Rng.create seed in
+  Crypto.Cell_cipher.create ~iv_rng:(fun b -> Crypto.Rng.fill_bytes iv_rng b) t.raw_key
+
+let fresh_name t prefix =
+  t.counter <- t.counter + 1;
+  Printf.sprintf "%s-%d" prefix t.counter
+
+let rand_int t bound = Crypto.Rng.int t.rng bound
+let cost t = Servsim.Server.cost t.server
+let trace t = Servsim.Server.trace t.server

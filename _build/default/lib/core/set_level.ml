@@ -1,0 +1,8 @@
+let cardinality_ct_len = Crypto.Cell_cipher.ciphertext_len ~plaintext_len:8
+
+let check session c1 c2 =
+  let cost = Session.cost session in
+  Servsim.Cost.sent_to_client cost (2 * cardinality_ct_len);
+  Servsim.Cost.sent_to_server cost 1;
+  Servsim.Cost.round_trip cost;
+  c1 = c2

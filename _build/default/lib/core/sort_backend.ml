@@ -1,0 +1,113 @@
+open Relation
+
+type skey =
+  | V of Value.t
+  | L of int
+  | Pad
+
+type elt = { key : skey; id : int }
+
+let compare_skey a b =
+  match (a, b) with
+  | Pad, Pad -> 0
+  | Pad, _ -> 1
+  | _, Pad -> -1
+  | V x, V y -> Value.compare x y
+  | L x, L y -> Int.compare x y
+  | L _, V _ -> -1
+  | V _, L _ -> 1
+
+let compare_by_key a b =
+  match compare_skey a.key b.key with 0 -> Int.compare a.id b.id | c -> c
+
+let compare_by_id a b = Int.compare a.id b.id
+
+let pad_elt = { key = Pad; id = max_int }
+
+(* Layout: tag byte | key field (value_width bytes) | id (8 bytes). *)
+let elt_width = 1 + Codec.value_width + 8
+
+let encode_elt e =
+  let b = Bytes.make elt_width '\000' in
+  (match e.key with
+  | Pad -> Bytes.set b 0 '\000'
+  | V v ->
+      Bytes.set b 0 '\001';
+      Bytes.blit_string (Codec.encode_value v) 0 b 1 Codec.value_width
+  | L l ->
+      Bytes.set b 0 '\002';
+      Bytes.blit_string (Codec.encode_int l) 0 b 1 8);
+  Bytes.blit_string (Codec.encode_int e.id) 0 b (1 + Codec.value_width) 8;
+  Bytes.to_string b
+
+let decode_elt s =
+  if String.length s <> elt_width then invalid_arg "Sort_backend.decode_elt: bad width";
+  let id = Codec.decode_int (String.sub s (1 + Codec.value_width) 8) in
+  let key =
+    match s.[0] with
+    | '\000' -> Pad
+    | '\001' -> V (Codec.decode_value (String.sub s 1 Codec.value_width))
+    | '\002' -> L (Codec.decode_int (String.sub s 1 8))
+    | _ -> invalid_arg "Sort_backend.decode_elt: bad tag"
+  in
+  { key; id }
+
+type t = {
+  length : int;
+  n : int;
+  read : int -> elt;
+  write : int -> elt -> unit;
+  make_worker : int -> (int -> elt) * (int -> elt -> unit);
+  round_trip : unit -> unit;
+  client_bytes : int;
+  destroy : unit -> unit;
+}
+
+let encrypted (session : Session.t) ~n =
+  let length = Osort.Network.ceil_pow2 n in
+  let name = Session.fresh_name session "sort" in
+  let store = Servsim.Server.create_store session.Session.server name in
+  Servsim.Block_store.ensure store length;
+  let write_with cipher i e =
+    Servsim.Block_store.write store i (Crypto.Cell_cipher.encrypt cipher (encode_elt e))
+  in
+  let read_with cipher i =
+    decode_elt (Crypto.Cell_cipher.decrypt cipher (Servsim.Block_store.read store i))
+  in
+  for i = 0 to length - 1 do
+    write_with session.Session.cipher i pad_elt
+  done;
+  (* Constant client memory: two decrypted elements plus the key — the
+     paper's O(1)-client-memory claim for Sort (§IV-D(c)). *)
+  let client_bytes = (2 * elt_width) + 16 in
+  Servsim.Cost.client_set (Session.cost session) ~tag:name client_bytes;
+  {
+    length;
+    n;
+    read = read_with session.Session.cipher;
+    write = write_with session.Session.cipher;
+    make_worker =
+      (fun w ->
+        let cipher = Session.clone_cipher session ~seed:(0x50D0 + w) in
+        (read_with cipher, write_with cipher));
+    round_trip = (fun () -> Servsim.Cost.round_trip (Session.cost session));
+    client_bytes;
+    destroy =
+      (fun () ->
+        Servsim.Server.drop_store session.Session.server name;
+        Servsim.Cost.client_set (Session.cost session) ~tag:name 0);
+  }
+
+let enclave ~n =
+  let length = Osort.Network.ceil_pow2 n in
+  let arr = Array.make length pad_elt in
+  {
+    length;
+    n;
+    read = (fun i -> arr.(i));
+    write = (fun i e -> arr.(i) <- e);
+    make_worker = (fun _ -> ((fun i -> arr.(i)), fun i e -> arr.(i) <- e));
+    round_trip = (fun () -> ());
+    client_bytes = length * elt_width;
+    destroy = (fun () -> ());
+  }

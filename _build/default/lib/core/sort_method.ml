@@ -1,0 +1,117 @@
+open Relation
+open Sort_backend
+
+type network =
+  | Bitonic
+  | Odd_even_merge
+
+type handle = {
+  attrs : Attrset.t;
+  backend : Sort_backend.t;
+  card : int;
+}
+
+let attrs h = h.attrs
+let cardinality h = h.card
+
+let network_for kind n =
+  match kind with
+  | Bitonic -> Osort.Network.bitonic n
+  | Odd_even_merge -> Osort.Network.odd_even_merge n
+
+(* One compare-exchange through a (read, write) pair; both slots are
+   always rewritten so the server cannot tell whether a swap happened. *)
+let exchange_with ~compare ~tick read write ~up i j =
+  let a = read i and b = read j in
+  let lo, hi = if compare a b <= 0 then (a, b) else (b, a) in
+  if up then begin
+    write i lo;
+    write j hi
+  end
+  else begin
+    write i hi;
+    write j lo
+  end;
+  tick ()
+
+let oblivious_sort ?(domains = 1) net backend ~compare =
+  if domains <= 1 then
+    Osort.Driver.run net
+      ~exchange:(exchange_with ~compare ~tick:backend.round_trip backend.read backend.write)
+  else begin
+    let counter = ref 0 in
+    Osort.Driver.run_parallel net ~domains ~make_exchange:(fun () ->
+        let w = !counter in
+        incr counter;
+        let read, write = backend.make_worker w in
+        exchange_with ~compare ~tick:ignore read write)
+  end
+
+(* Algorithm 3. *)
+let compute ?(network = Bitonic) ?domains backend x =
+  let net = network_for network backend.length in
+  (* 1. Sort by key_X: equal keys become consecutive. *)
+  oblivious_sort ?domains net backend ~compare:compare_by_key;
+  (* 2. Linear pass: replace key_X by its run index (the label). *)
+  let tmp = ref Pad in
+  let card = ref 0 in
+  for i = 0 to backend.n - 1 do
+    let e = backend.read i in
+    let flag = i > 0 && compare_skey e.key !tmp <> 0 in
+    tmp := e.key;
+    if flag then incr card;
+    backend.write i { key = L !card; id = e.id };
+    backend.round_trip ()
+  done;
+  (* 3. Sort back by r[ID]. *)
+  oblivious_sort ?domains net backend ~compare:compare_by_id;
+  { attrs = x; backend; card = !card + 1 }
+
+let fill_pads backend ~from =
+  for i = from to backend.length - 1 do
+    backend.write i pad_elt
+  done
+
+let single ?network ?domains ?backend db col =
+  let session = Enc_db.session db in
+  let n = session.Session.n in
+  let make = Option.value ~default:(fun ~n -> Sort_backend.encrypted session ~n) backend in
+  let b = make ~n in
+  for row = 0 to n - 1 do
+    b.write row { key = V (Enc_db.read_cell db ~row ~col); id = row }
+  done;
+  fill_pads b ~from:n;
+  compute ?network ?domains b (Attrset.singleton col)
+
+let label_of_row h ~row =
+  match (h.backend.read row).key with
+  | L l -> l
+  | V _ | Pad -> invalid_arg "Sort_method.label_of_row: array does not hold labels"
+
+let labels h = Array.init h.backend.n (fun row -> label_of_row h ~row)
+
+let combine ?network ?domains ?backend session x h1 h2 =
+  let n = session.Session.n in
+  let make = Option.value ~default:(fun ~n -> Sort_backend.encrypted session ~n) backend in
+  let b = make ~n in
+  for row = 0 to n - 1 do
+    let l1 = label_of_row h1 ~row and l2 = label_of_row h2 ~row in
+    b.write row { key = L (Compression.combined_key_int ~n l1 l2); id = row }
+  done;
+  fill_pads b ~from:n;
+  compute ?network ?domains b x
+
+let release h = h.backend.destroy ()
+
+let oracle ?network ?domains ?backend session db =
+  {
+    Fdbase.Lattice.single =
+      (fun col ->
+        let h = single ?network ?domains ?backend db col in
+        (h, h.card));
+    combine =
+      (fun x h1 h2 ->
+        let h = combine ?network ?domains ?backend session x h1 h2 in
+        (h, h.card));
+    release;
+  }

@@ -1,0 +1,55 @@
+(** Sort: the oblivious-sorting-based partition computation (Algorithm 3,
+    §IV-D).
+
+    For an attribute set X the method (1) bitonic-sorts the array of
+    (key_X, r[ID]) pairs by key, (2) makes one linear pass replacing each
+    key by its run index — the compressed label_X — and (3) bitonic-sorts
+    back by r[ID].  The final array B preserves π_X ordered by record ID;
+    [card + 1] is |π_X|.
+
+    Every step is a fixed comparator network or a fixed scan, so the
+    server's view is bit-identical for any two databases of the same size
+    (the strongest form of Definition 2; tested via full trace digests).
+
+    [domains] > 1 exercises the paper's parallel mode (Fig. 6a): network
+    stages are executed by that many OCaml domains (tracing must be off —
+    see {!Servsim.Trace.set_enabled}). *)
+
+open Relation
+
+type network =
+  | Bitonic
+  | Odd_even_merge  (** ablation alternative *)
+
+type handle
+
+val attrs : handle -> Attrset.t
+val cardinality : handle -> int
+
+val compute : ?network:network -> ?domains:int -> Sort_backend.t -> Attrset.t -> handle
+(** Run Algorithm 3 over a backend already filled with (key, id) pairs. *)
+
+val single :
+  ?network:network -> ?domains:int -> ?backend:(n:int -> Sort_backend.t) ->
+  Enc_db.t -> int -> handle
+(** Build the pair array from an encrypted column, then {!compute}.
+    [backend] defaults to {!Sort_backend.encrypted} on the database's
+    session; pass [fun ~n -> Sort_backend.enclave ~n] for the SGX mode. *)
+
+val combine :
+  ?network:network -> ?domains:int -> ?backend:(n:int -> Sort_backend.t) ->
+  Session.t -> Attrset.t -> handle -> handle -> handle
+(** Pairs keyed by label_X1 · n + label_X2 read off the generators'
+    result arrays (both ordered by r[ID]), then {!compute}. *)
+
+val label_of_row : handle -> row:int -> int
+(** label_X of record [row] (one array read). *)
+
+val labels : handle -> int array
+(** All labels ordered by record ID (n array reads). *)
+
+val release : handle -> unit
+
+val oracle :
+  ?network:network -> ?domains:int -> ?backend:(n:int -> Sort_backend.t) ->
+  Session.t -> Enc_db.t -> handle Fdbase.Lattice.oracle

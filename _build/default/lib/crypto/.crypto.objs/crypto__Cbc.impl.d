@@ -1,0 +1,1 @@
+lib/crypto/cbc.ml: Aes128 Bytes Char String

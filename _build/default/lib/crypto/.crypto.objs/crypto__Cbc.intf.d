@@ -1,0 +1,1 @@
+lib/crypto/cbc.mli: Aes128

@@ -1,0 +1,1 @@
+lib/crypto/cell_cipher.ml: Aes128 Bytes Cbc Char Rng String

@@ -1,0 +1,1 @@
+lib/crypto/cell_cipher.mli: Bytes

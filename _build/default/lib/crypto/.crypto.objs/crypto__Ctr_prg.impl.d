@@ -1,0 +1,1 @@
+lib/crypto/ctr_prg.ml: Aes128 Bytes Char Int64

@@ -1,0 +1,1 @@
+lib/crypto/ctr_prg.mli: Bytes

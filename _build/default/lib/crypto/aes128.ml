@@ -1,0 +1,178 @@
+(* AES-128 (FIPS-197), implemented from scratch.
+
+   The state is kept as a flat 16-byte buffer in FIPS column-major order:
+   state.(r + 4*c) is row r, column c.  All table lookups go through int
+   arrays built once at module initialisation. *)
+
+let block_size = 16
+
+(* ---- GF(2^8) arithmetic with the Rijndael polynomial x^8+x^4+x^3+x+1 ---- *)
+
+let xtime a =
+  let a2 = a lsl 1 in
+  if a land 0x80 <> 0 then (a2 lxor 0x1b) land 0xff else a2 land 0xff
+
+let gmul a b =
+  (* Russian-peasant multiplication in GF(2^8). *)
+  let rec loop a b acc =
+    if b = 0 then acc
+    else
+      let acc = if b land 1 <> 0 then acc lxor a else acc in
+      loop (xtime a) (b lsr 1) acc
+  in
+  loop a b 0
+
+(* ---- S-box construction ---- *)
+
+let sbox, inv_sbox =
+  let sb = Array.make 256 0 and inv = Array.make 256 0 in
+  (* Multiplicative inverses: inv_tbl.(x) * x = 1 for x <> 0. *)
+  let inv_tbl = Array.make 256 0 in
+  for x = 1 to 255 do
+    for y = 1 to 255 do
+      if gmul x y = 1 then inv_tbl.(x) <- y
+    done
+  done;
+  let rotl8 b k = ((b lsl k) lor (b lsr (8 - k))) land 0xff in
+  for x = 0 to 255 do
+    let b = inv_tbl.(x) in
+    let s = b lxor rotl8 b 1 lxor rotl8 b 2 lxor rotl8 b 3 lxor rotl8 b 4 lxor 0x63 in
+    sb.(x) <- s
+  done;
+  Array.iteri (fun x s -> inv.(s) <- x) sb;
+  (sb, inv)
+
+(* ---- Key schedule ---- *)
+
+type key = { enc : int array (* 176 bytes: 11 round keys *) }
+
+let expand raw =
+  if String.length raw <> 16 then invalid_arg "Aes128.expand: key must be 16 bytes";
+  let w = Array.make 176 0 in
+  for i = 0 to 15 do
+    w.(i) <- Char.code raw.[i]
+  done;
+  let rcon = ref 1 in
+  for i = 4 to 43 do
+    let base = i * 4 and prev = (i - 1) * 4 and back = (i - 4) * 4 in
+    let t0, t1, t2, t3 =
+      if i mod 4 = 0 then begin
+        (* RotWord + SubWord + Rcon *)
+        let a = sbox.(w.(prev + 1)) lxor !rcon
+        and b = sbox.(w.(prev + 2))
+        and c = sbox.(w.(prev + 3))
+        and d = sbox.(w.(prev)) in
+        rcon := xtime !rcon;
+        (a, b, c, d)
+      end
+      else (w.(prev), w.(prev + 1), w.(prev + 2), w.(prev + 3))
+    in
+    w.(base) <- w.(back) lxor t0;
+    w.(base + 1) <- w.(back + 1) lxor t1;
+    w.(base + 2) <- w.(back + 2) lxor t2;
+    w.(base + 3) <- w.(back + 3) lxor t3
+  done;
+  { enc = w }
+
+(* ---- Round transformations on a 16-int state array ---- *)
+
+let add_round_key st w round =
+  let off = round * 16 in
+  for i = 0 to 15 do
+    st.(i) <- st.(i) lxor w.(off + i)
+  done
+
+let sub_bytes st =
+  for i = 0 to 15 do
+    st.(i) <- sbox.(st.(i))
+  done
+
+let inv_sub_bytes st =
+  for i = 0 to 15 do
+    st.(i) <- inv_sbox.(st.(i))
+  done
+
+(* ShiftRows: row r rotates left by r.  Bytes are laid out column-major, so
+   row r of column c lives at index r + 4*c. *)
+let shift_rows st =
+  let t = st.(1) in
+  st.(1) <- st.(5); st.(5) <- st.(9); st.(9) <- st.(13); st.(13) <- t;
+  let t = st.(2) and u = st.(6) in
+  st.(2) <- st.(10); st.(6) <- st.(14); st.(10) <- t; st.(14) <- u;
+  let t = st.(15) in
+  st.(15) <- st.(11); st.(11) <- st.(7); st.(7) <- st.(3); st.(3) <- t
+
+let inv_shift_rows st =
+  let t = st.(13) in
+  st.(13) <- st.(9); st.(9) <- st.(5); st.(5) <- st.(1); st.(1) <- t;
+  let t = st.(2) and u = st.(6) in
+  st.(2) <- st.(10); st.(6) <- st.(14); st.(10) <- t; st.(14) <- u;
+  let t = st.(3) in
+  st.(3) <- st.(7); st.(7) <- st.(11); st.(11) <- st.(15); st.(15) <- t
+
+let mix_columns st =
+  for c = 0 to 3 do
+    let i = 4 * c in
+    let a0 = st.(i) and a1 = st.(i + 1) and a2 = st.(i + 2) and a3 = st.(i + 3) in
+    st.(i) <- xtime a0 lxor (xtime a1 lxor a1) lxor a2 lxor a3;
+    st.(i + 1) <- a0 lxor xtime a1 lxor (xtime a2 lxor a2) lxor a3;
+    st.(i + 2) <- a0 lxor a1 lxor xtime a2 lxor (xtime a3 lxor a3);
+    st.(i + 3) <- (xtime a0 lxor a0) lxor a1 lxor a2 lxor xtime a3
+  done
+
+(* Lookup tables for the InvMixColumns multipliers — gmul per byte is the
+   hot path of decryption otherwise. *)
+let mul9 = Array.init 256 (fun x -> gmul x 9)
+let mul11 = Array.init 256 (fun x -> gmul x 11)
+let mul13 = Array.init 256 (fun x -> gmul x 13)
+let mul14 = Array.init 256 (fun x -> gmul x 14)
+
+let inv_mix_columns st =
+  for c = 0 to 3 do
+    let i = 4 * c in
+    let a0 = st.(i) and a1 = st.(i + 1) and a2 = st.(i + 2) and a3 = st.(i + 3) in
+    st.(i) <- mul14.(a0) lxor mul11.(a1) lxor mul13.(a2) lxor mul9.(a3);
+    st.(i + 1) <- mul9.(a0) lxor mul14.(a1) lxor mul11.(a2) lxor mul13.(a3);
+    st.(i + 2) <- mul13.(a0) lxor mul9.(a1) lxor mul14.(a2) lxor mul11.(a3);
+    st.(i + 3) <- mul11.(a0) lxor mul13.(a1) lxor mul9.(a2) lxor mul14.(a3)
+  done
+
+let load st src off =
+  for i = 0 to 15 do
+    st.(i) <- Char.code (Bytes.get src (off + i))
+  done
+
+let store st dst off =
+  for i = 0 to 15 do
+    Bytes.set dst (off + i) (Char.chr st.(i))
+  done
+
+let encrypt_block { enc = w } ~src ~src_off ~dst ~dst_off =
+  let st = Array.make 16 0 in
+  load st src src_off;
+  add_round_key st w 0;
+  for round = 1 to 9 do
+    sub_bytes st;
+    shift_rows st;
+    mix_columns st;
+    add_round_key st w round
+  done;
+  sub_bytes st;
+  shift_rows st;
+  add_round_key st w 10;
+  store st dst dst_off
+
+let decrypt_block { enc = w } ~src ~src_off ~dst ~dst_off =
+  let st = Array.make 16 0 in
+  load st src src_off;
+  add_round_key st w 10;
+  for round = 9 downto 1 do
+    inv_shift_rows st;
+    inv_sub_bytes st;
+    add_round_key st w round;
+    inv_mix_columns st
+  done;
+  inv_shift_rows st;
+  inv_sub_bytes st;
+  add_round_key st w 0;
+  store st dst dst_off

@@ -1,0 +1,24 @@
+(** From-scratch AES-128 block cipher (FIPS-197).
+
+    The S-box and its inverse are derived programmatically from the GF(2^8)
+    multiplicative inverse and the Rijndael affine transform, so there is no
+    hand-typed 256-entry table to get wrong.  Verified against the FIPS-197
+    appendix-B vector and the NIST AESAVS known-answer vectors in the test
+    suite. *)
+
+type key
+(** An expanded AES-128 key schedule (11 round keys). *)
+
+val block_size : int
+(** Size of an AES block in bytes (16). *)
+
+val expand : string -> key
+(** [expand raw] expands a 16-byte raw key into a key schedule.
+    @raise Invalid_argument if [raw] is not exactly 16 bytes. *)
+
+val encrypt_block : key -> src:Bytes.t -> src_off:int -> dst:Bytes.t -> dst_off:int -> unit
+(** Encrypt one 16-byte block of [src] at [src_off] into [dst] at [dst_off].
+    [src] and [dst] may be the same buffer at the same offset. *)
+
+val decrypt_block : key -> src:Bytes.t -> src_off:int -> dst:Bytes.t -> dst_off:int -> unit
+(** Inverse of {!encrypt_block}. *)

@@ -1,0 +1,53 @@
+let pad plaintext =
+  let n = String.length plaintext in
+  let k = 16 - (n mod 16) in
+  let out = Bytes.create (n + k) in
+  Bytes.blit_string plaintext 0 out 0 n;
+  Bytes.fill out n k (Char.chr k);
+  out
+
+let unpad buf =
+  let n = Bytes.length buf in
+  if n = 0 then invalid_arg "Cbc.decrypt: empty input";
+  let k = Char.code (Bytes.get buf (n - 1)) in
+  if k = 0 || k > 16 || k > n then invalid_arg "Cbc.decrypt: bad padding";
+  for i = n - k to n - 1 do
+    if Char.code (Bytes.get buf i) <> k then invalid_arg "Cbc.decrypt: bad padding"
+  done;
+  Bytes.sub_string buf 0 (n - k)
+
+let xor_into dst off block =
+  for i = 0 to 15 do
+    Bytes.set dst (off + i)
+      (Char.chr (Char.code (Bytes.get dst (off + i)) lxor Char.code (Bytes.get block i)))
+  done
+
+let encrypt key ~iv plaintext =
+  if String.length iv <> 16 then invalid_arg "Cbc.encrypt: iv must be 16 bytes";
+  let buf = pad plaintext in
+  let prev = Bytes.of_string iv in
+  let n = Bytes.length buf in
+  let off = ref 0 in
+  while !off < n do
+    xor_into buf !off prev;
+    Aes128.encrypt_block key ~src:buf ~src_off:!off ~dst:buf ~dst_off:!off;
+    Bytes.blit buf !off prev 0 16;
+    off := !off + 16
+  done;
+  Bytes.to_string buf
+
+let decrypt key ~iv ciphertext =
+  let n = String.length ciphertext in
+  if n = 0 || n mod 16 <> 0 then invalid_arg "Cbc.decrypt: length must be a positive multiple of 16";
+  if String.length iv <> 16 then invalid_arg "Cbc.decrypt: iv must be 16 bytes";
+  let src = Bytes.of_string ciphertext in
+  let out = Bytes.create n in
+  let prev = Bytes.of_string iv in
+  let off = ref 0 in
+  while !off < n do
+    Aes128.decrypt_block key ~src ~src_off:!off ~dst:out ~dst_off:!off;
+    xor_into out !off prev;
+    Bytes.blit src !off prev 0 16;
+    off := !off + 16
+  done;
+  unpad out

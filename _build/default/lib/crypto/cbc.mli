@@ -1,0 +1,13 @@
+(** AES-128-CBC with PKCS#7 padding.
+
+    The IV is supplied by the caller; {!Cell_cipher} layers fresh random IVs
+    on top to obtain CBC$ (semantic security under chosen-plaintext attack). *)
+
+val encrypt : Aes128.key -> iv:string -> string -> string
+(** [encrypt key ~iv plaintext] CBC-encrypts [plaintext] (any length) with
+    PKCS#7 padding.  The result length is the padded length; the IV is not
+    included.  @raise Invalid_argument if [iv] is not 16 bytes. *)
+
+val decrypt : Aes128.key -> iv:string -> string -> string
+(** Inverse of {!encrypt}.  @raise Invalid_argument on malformed input or
+    padding. *)

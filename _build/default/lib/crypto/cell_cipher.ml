@@ -1,0 +1,29 @@
+type t = { key : Aes128.key; iv_rng : Bytes.t -> unit }
+
+let create ?iv_rng raw_key =
+  let key = Aes128.expand raw_key in
+  let iv_rng =
+    match iv_rng with
+    | Some f -> f
+    | None ->
+        (* Default: deterministic-per-instance splitmix stream seeded from
+           the key bytes, good enough for the simulation. *)
+        let seed = String.fold_left (fun acc c -> (acc * 257) + Char.code c) 0 raw_key in
+        let rng = Rng.create seed in
+        fun b -> Rng.fill_bytes rng b
+  in
+  { key; iv_rng }
+
+let encrypt t plaintext =
+  let iv = Bytes.create 16 in
+  t.iv_rng iv;
+  let iv = Bytes.to_string iv in
+  iv ^ Cbc.encrypt t.key ~iv plaintext
+
+let decrypt t ciphertext =
+  if String.length ciphertext < 32 then invalid_arg "Cell_cipher.decrypt: too short";
+  let iv = String.sub ciphertext 0 16 in
+  let body = String.sub ciphertext 16 (String.length ciphertext - 16) in
+  Cbc.decrypt t.key ~iv body
+
+let ciphertext_len ~plaintext_len = 16 + (plaintext_len / 16 * 16) + 16

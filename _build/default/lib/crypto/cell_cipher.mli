@@ -1,0 +1,25 @@
+(** Semantically secure cell encryption (CBC$): AES-128-CBC under a secret
+    key with a fresh random IV prepended to every ciphertext.
+
+    This is the cell-level encryption the paper assumes for the outsourced
+    database (§II-A): every attribute value of every record is encrypted
+    individually, and the client re-encrypts on every write so the server
+    never sees a repeated ciphertext. *)
+
+type t
+
+val create : ?iv_rng:(Bytes.t -> unit) -> string -> t
+(** [create raw_key] builds a cipher from a 16-byte key.  [iv_rng] supplies
+    IV randomness (defaults to a splitmix64 generator seeded from the key);
+    pass an AES-CTR source for cryptographic-strength IVs. *)
+
+val encrypt : t -> string -> string
+(** [encrypt t plaintext] is [iv || cbc_encrypt plaintext] under a fresh IV.
+    Repeated calls on equal plaintexts yield distinct ciphertexts. *)
+
+val decrypt : t -> string -> string
+(** Inverse of {!encrypt}.  @raise Invalid_argument on malformed input. *)
+
+val ciphertext_len : plaintext_len:int -> int
+(** Length of the ciphertext produced for a plaintext of the given length
+    (IV + PKCS#7-padded body).  Needed for fixed-width server storage. *)

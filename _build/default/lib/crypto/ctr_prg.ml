@@ -1,0 +1,62 @@
+type t = {
+  key : Aes128.key;
+  block : Bytes.t; (* current keystream block *)
+  ctr : Bytes.t; (* 16-byte big-endian counter *)
+  mutable used : int; (* bytes of [block] already consumed *)
+}
+
+let create seed_key =
+  {
+    key = Aes128.expand seed_key;
+    block = Bytes.create 16;
+    ctr = Bytes.make 16 '\000';
+    used = 16;
+  }
+
+let bump_counter ctr =
+  let rec go i =
+    if i >= 0 then begin
+      let v = (Char.code (Bytes.get ctr i) + 1) land 0xff in
+      Bytes.set ctr i (Char.chr v);
+      if v = 0 then go (i - 1)
+    end
+  in
+  go 15
+
+let refill t =
+  bump_counter t.ctr;
+  Aes128.encrypt_block t.key ~src:t.ctr ~src_off:0 ~dst:t.block ~dst_off:0;
+  t.used <- 0
+
+let next_byte t =
+  if t.used >= 16 then refill t;
+  let b = Char.code (Bytes.get t.block t.used) in
+  t.used <- t.used + 1;
+  b
+
+let next64 t =
+  let v = ref 0L in
+  for _ = 1 to 8 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (next_byte t))
+  done;
+  !v
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Ctr_prg.int: bound must be positive";
+  let max62 = 0x3FFFFFFFFFFFFFFF in
+  let limit = max62 / bound * bound in
+  let rec go () =
+    let v = Int64.to_int (Int64.logand (next64 t) 0x3FFFFFFFFFFFFFFFL) in
+    if v >= limit then go () else v mod bound
+  in
+  go ()
+
+let fill_bytes t b =
+  for i = 0 to Bytes.length b - 1 do
+    Bytes.set b i (Char.chr (next_byte t))
+  done
+
+let bytes t n =
+  let b = Bytes.create n in
+  fill_bytes t b;
+  b

@@ -1,0 +1,17 @@
+(** AES-128-CTR pseudo-random generator.
+
+    A cryptographically defensible PRG for the simulation: the keystream of
+    AES-128 in counter mode under a secret key.  Provides the same sampling
+    surface as {!Rng} so obliviousness-critical randomness (ORAM leaves,
+    encryption IVs) can be driven by it. *)
+
+type t
+
+val create : string -> t
+(** [create seed_key] builds a generator keyed by the 16-byte [seed_key].
+    @raise Invalid_argument if the key is not 16 bytes. *)
+
+val next64 : t -> int64
+val int : t -> int -> int
+val fill_bytes : t -> Bytes.t -> unit
+val bytes : t -> int -> Bytes.t

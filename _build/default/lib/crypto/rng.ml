@@ -1,0 +1,54 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let next64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = next64 t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* 62-bit draw (fits OCaml's native int), rejection-sampled to avoid
+     modulo bias. *)
+  let max62 = 0x3FFFFFFFFFFFFFFF in
+  let limit = max62 / bound * bound in
+  let rec go () =
+    let v = Int64.to_int (Int64.logand (next64 t) 0x3FFFFFFFFFFFFFFFL) in
+    if v >= limit then go () else v mod bound
+  in
+  go ()
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+let fill_bytes t b =
+  let n = Bytes.length b in
+  let i = ref 0 in
+  while !i < n do
+    let v = ref (next64 t) in
+    let k = min 8 (n - !i) in
+    for j = 0 to k - 1 do
+      Bytes.set b (!i + j) (Char.chr (Int64.to_int (Int64.logand !v 0xffL)));
+      v := Int64.shift_right_logical !v 8
+    done;
+    i := !i + k
+  done
+
+let bytes t n =
+  let b = Bytes.create n in
+  fill_bytes t b;
+  b
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

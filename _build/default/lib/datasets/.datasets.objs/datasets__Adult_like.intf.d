@@ -1,0 +1,1 @@
+lib/datasets/adult_like.mli: Relation Table

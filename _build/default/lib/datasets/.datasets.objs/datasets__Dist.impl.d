@@ -1,0 +1,1 @@
+lib/datasets/dist.ml: Array Crypto Float Printf Relation Stdlib Value

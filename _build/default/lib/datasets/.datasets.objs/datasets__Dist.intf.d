@@ -1,0 +1,1 @@
+lib/datasets/dist.mli: Crypto Relation Value

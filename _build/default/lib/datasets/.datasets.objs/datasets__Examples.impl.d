@@ -1,0 +1,1 @@
+lib/datasets/examples.ml: Relation Schema Table Value

@@ -1,0 +1,1 @@
+lib/datasets/examples.mli: Relation Table

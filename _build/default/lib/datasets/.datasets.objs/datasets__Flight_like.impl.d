@@ -1,0 +1,1 @@
+lib/datasets/flight_like.ml: Array Crypto Printf Relation Schema Table Value

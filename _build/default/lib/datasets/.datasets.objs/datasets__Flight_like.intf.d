@@ -1,0 +1,1 @@
+lib/datasets/flight_like.mli: Relation Table

@@ -1,0 +1,1 @@
+lib/datasets/letter_like.ml: Array Crypto Dist Relation Schema Table Value

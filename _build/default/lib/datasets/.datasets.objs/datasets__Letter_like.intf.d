@@ -1,0 +1,1 @@
+lib/datasets/letter_like.mli: Relation Table

@@ -1,0 +1,1 @@
+lib/datasets/rnd.ml: Array Crypto Printf Relation Schema Table Value

@@ -1,0 +1,1 @@
+lib/datasets/rnd.mli: Relation Table

@@ -1,0 +1,50 @@
+open Relation
+
+let default_rows = 48_842
+
+let schema =
+  Schema.make
+    [|
+      "age"; "workclass"; "fnlwgt"; "education"; "education_num"; "marital_status";
+      "occupation"; "relationship"; "race"; "sex"; "capital_gain"; "capital_loss";
+      "hours_per_week"; "native_country";
+    |]
+
+let educations =
+  [| "Bachelors"; "HSgrad"; "11th"; "Masters"; "9th"; "SomeCollege"; "AssocAcdm";
+     "AssocVoc"; "7th8th"; "Doctorate"; "ProfSchool"; "5th6th"; "10th"; "1st4th";
+     "Preschool"; "12th" |]
+
+let generate ?(seed = 0xAD2317) ~rows () =
+  let rng = Crypto.Rng.create seed in
+  let workclass = Dist.zipf_strings ~prefix:"work" 8 in
+  let marital = Dist.zipf_strings ~prefix:"marital" 7 in
+  let occupation = Dist.zipf_strings ~prefix:"occ" 14 in
+  let relationship = Dist.zipf_strings ~prefix:"rel" 6 in
+  let race = Dist.zipf_strings ~prefix:"race" 5 in
+  let country = Dist.zipf_strings ~prefix:"country" 41 in
+  let row _ =
+    let education_idx =
+      (* Skewed choice over the 16 education levels. *)
+      let w = Array.init 16 (fun i -> (Value.Int i, (16 - i) * 3 + 1)) in
+      match Dist.categorical rng w with Value.Int i -> i | _ -> 0
+    in
+    [|
+      Value.Int (Dist.gaussian_int rng ~mean:38.6 ~stddev:13.6 ~min:17 ~max:90);
+      Dist.categorical rng workclass;
+      Value.Int (10_000 + Crypto.Rng.int rng 1_400_000);
+      Value.Str educations.(education_idx);
+      (* Planted FD: education -> education_num, as in the real data. *)
+      Value.Int (education_idx + 1);
+      Dist.categorical rng marital;
+      Dist.categorical rng occupation;
+      Dist.categorical rng relationship;
+      Dist.categorical rng race;
+      Value.Str (if Crypto.Rng.int rng 3 = 0 then "Female" else "Male");
+      Value.Int (if Crypto.Rng.int rng 10 = 0 then Crypto.Rng.int rng 99_999 else 0);
+      Value.Int (if Crypto.Rng.int rng 20 = 0 then Crypto.Rng.int rng 4_356 else 0);
+      Value.Int (Dist.gaussian_int rng ~mean:40.4 ~stddev:12.3 ~min:1 ~max:99);
+      Dist.categorical rng country;
+    |]
+  in
+  Table.make schema (Array.init rows row)

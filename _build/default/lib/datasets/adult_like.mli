@@ -1,0 +1,16 @@
+(** Synthetic stand-in for the Adult census dataset (Table I of the paper:
+    14 columns, 48,842 rows).
+
+    We cannot ship the real file, so we generate a table with the same
+    column count, a similar categorical/numeric mix with skewed
+    distributions, and the real dataset's best-known FD planted:
+    [education -> education_num].  See DESIGN.md §5 for why this
+    substitution preserves the paper's experiments (Table II only needs
+    equal-size datasets with different distributions). *)
+
+open Relation
+
+val default_rows : int
+(** 48,842 — the real dataset's row count. *)
+
+val generate : ?seed:int -> rows:int -> unit -> Table.t

@@ -1,0 +1,20 @@
+open Relation
+
+let categorical rng weighted =
+  let total = Array.fold_left (fun acc (_, w) -> acc + w) 0 weighted in
+  let pick = Crypto.Rng.int rng total in
+  let rec go i acc =
+    let v, w = weighted.(i) in
+    if pick < acc + w then v else go (i + 1) (acc + w)
+  in
+  go 0 0
+
+let zipf_strings ~prefix k =
+  Array.init k (fun i -> (Value.Str (Printf.sprintf "%s%d" prefix i), k / (i + 1) * 10 + 1))
+
+let gaussian_int rng ~mean ~stddev ~min:lo ~max:hi =
+  let u1 = (float_of_int (Crypto.Rng.int rng 1_000_000) +. 1.0) /. 1_000_001.0 in
+  let u2 = float_of_int (Crypto.Rng.int rng 1_000_000) /. 1_000_000.0 in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  let v = int_of_float (Float.round (mean +. (stddev *. z))) in
+  Stdlib.min hi (Stdlib.max lo v)

@@ -1,0 +1,14 @@
+(** Small sampling helpers shared by the dataset generators. *)
+
+open Relation
+
+val categorical : Crypto.Rng.t -> (Value.t * int) array -> Value.t
+(** Weighted categorical draw. *)
+
+val zipf_strings : prefix:string -> int -> (Value.t * int) array
+(** [zipf_strings ~prefix k] — k categories ["<prefix>0" .. ] with
+    Zipf-like weights (w_i ∝ k/(i+1)), a crude model of the skew of
+    real-world categorical attributes. *)
+
+val gaussian_int : Crypto.Rng.t -> mean:float -> stddev:float -> min:int -> max:int -> int
+(** Clamped rounded normal draw (Box–Muller). *)

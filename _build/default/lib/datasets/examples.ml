@@ -1,0 +1,27 @@
+open Relation
+
+let s v = Value.Str v
+
+let fig1 () =
+  Table.make
+    (Schema.make [| "Name"; "City"; "Birth" |])
+    [|
+      [| s "Alice"; s "Boston"; s "Jan" |];
+      [| s "Bob"; s "Boston"; s "May" |];
+      [| s "Bob"; s "Boston"; s "Jan" |];
+      [| s "Carol"; s "New York"; s "Sep" |];
+    |]
+
+let employee () =
+  Table.make
+    (Schema.make [| "Name"; "Position"; "Department"; "Office" |])
+    [|
+      [| s "Ann"; s "Engineer"; s "R&D"; s "B1" |];
+      [| s "Ben"; s "Engineer"; s "R&D"; s "B2" |];
+      [| s "Cal"; s "Analyst"; s "Finance"; s "B1" |];
+      [| s "Dee"; s "Analyst"; s "Finance"; s "B3" |];
+      [| s "Eve"; s "Manager"; s "R&D"; s "B1" |];
+      [| s "Fay"; s "Recruiter"; s "HR"; s "B2" |];
+      [| s "Gil"; s "Engineer"; s "R&D"; s "B3" |];
+      [| s "Hal"; s "Manager"; s "R&D"; s "B2" |];
+    |]

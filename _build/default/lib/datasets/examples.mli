@@ -1,0 +1,11 @@
+(** Tiny literal tables from the paper, used in tests and examples. *)
+
+open Relation
+
+val fig1 : unit -> Table.t
+(** The paper's Fig. 1: Name/City/Birth with Name → City holding and
+    Name → Birth failing. *)
+
+val employee : unit -> Table.t
+(** The paper's §I example: an employee table where
+    Position → Department holds (the query-optimization motivation). *)

@@ -1,0 +1,73 @@
+open Relation
+
+let default_rows = 500_000
+
+let schema =
+  Schema.make
+    [|
+      "year"; "month"; "day"; "day_of_week"; "carrier"; "flight_num"; "tail_num";
+      "origin"; "origin_city"; "origin_state"; "dest"; "dest_city"; "dest_state";
+      "crs_dep_time"; "dep_time"; "crs_arr_time"; "arr_time"; "distance";
+      "taxi_out"; "taxi_in";
+    |]
+
+let n_airports = 80
+let n_carriers = 12
+let n_routes = 900
+
+let generate ?(seed = 0xF119) ~rows () =
+  let rng = Crypto.Rng.create seed in
+  (* Airport master data: code determines city and state. *)
+  let airports =
+    Array.init n_airports (fun i ->
+        ( Printf.sprintf "AP%02d" i,
+          Printf.sprintf "City%02d" i,
+          Printf.sprintf "ST%d" (i mod 30) ))
+  in
+  (* Route master data: (carrier, flight_num) determines the route and its
+     distance — planted composite FDs. *)
+  let routes =
+    Array.init n_routes (fun i ->
+        let carrier = Printf.sprintf "CA%d" (i mod n_carriers) in
+        let flight_num = 100 + (i / n_carriers) in
+        let o = Crypto.Rng.int rng n_airports in
+        let d = (o + 1 + Crypto.Rng.int rng (n_airports - 1)) mod n_airports in
+        let distance = 100 + ((o * 131 + d * 57) mod 2800) in
+        (carrier, flight_num, o, d, distance))
+  in
+  let row _ =
+    let carrier, flight_num, o, d, distance =
+      (* Zipf-ish: low route ids fly much more often. *)
+      let r = Crypto.Rng.int rng n_routes in
+      let r = min r (Crypto.Rng.int rng n_routes) in
+      routes.(r)
+    in
+    let ocode, ocity, ostate = airports.(o) in
+    let dcode, dcity, dstate = airports.(d) in
+    let dep = (5 * 60) + Crypto.Rng.int rng (18 * 60) in
+    let duration = 30 + (distance / 8) + Crypto.Rng.int rng 40 in
+    let arr = (dep + duration) mod (24 * 60) in
+    [|
+      Value.Int 2015;
+      Value.Int (1 + Crypto.Rng.int rng 12);
+      Value.Int (1 + Crypto.Rng.int rng 28);
+      Value.Int (1 + Crypto.Rng.int rng 7);
+      Value.Str carrier;
+      Value.Int flight_num;
+      Value.Str (Printf.sprintf "N%05d" (Crypto.Rng.int rng 4000));
+      Value.Str ocode;
+      Value.Str ocity;
+      Value.Str ostate;
+      Value.Str dcode;
+      Value.Str dcity;
+      Value.Str dstate;
+      Value.Int ((dep / 5 * 5) mod (24 * 60));
+      Value.Int dep;
+      Value.Int ((arr / 5 * 5) mod (24 * 60));
+      Value.Int arr;
+      Value.Int distance;
+      Value.Int (5 + Crypto.Rng.int rng 30);
+      Value.Int (2 + Crypto.Rng.int rng 15);
+    |]
+  in
+  Table.make schema (Array.init rows row)

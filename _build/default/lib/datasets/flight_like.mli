@@ -1,0 +1,11 @@
+(** Synthetic stand-in for the Flight route dataset (Table I: 20 columns,
+    500,000 rows): flight-leg records with the natural route FDs planted —
+    airport code determines its city and state, (carrier, flight number)
+    determines the route, distance is a function of the route. *)
+
+open Relation
+
+val default_rows : int
+(** 500,000 — the real dataset's row count. *)
+
+val generate : ?seed:int -> rows:int -> unit -> Table.t

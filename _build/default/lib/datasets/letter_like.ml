@@ -1,0 +1,21 @@
+open Relation
+
+let default_rows = 20_000
+
+let schema =
+  Schema.make
+    (Array.init 16 (fun i ->
+         [| "xbox"; "ybox"; "width"; "height"; "onpix"; "xbar"; "ybar"; "x2bar";
+            "y2bar"; "xybar"; "x2ybar"; "xy2bar"; "xedge"; "xedgey"; "yedge"; "yedgex" |].(i)))
+
+let generate ?(seed = 0x1E77E4) ~rows () =
+  let rng = Crypto.Rng.create seed in
+  let row _ =
+    (* Condition the 16 features on a hidden letter class, as in the real
+       data: each class shifts the feature means. *)
+    let letter = Crypto.Rng.int rng 26 in
+    Array.init 16 (fun f ->
+        let mean = 4.0 +. (float_of_int ((letter * (f + 3)) mod 11) /. 2.0) in
+        Value.Int (Dist.gaussian_int rng ~mean ~stddev:2.2 ~min:0 ~max:15))
+  in
+  Table.make schema (Array.init rows row)

@@ -1,0 +1,11 @@
+(** Synthetic stand-in for the Letter Recognition dataset (Table I:
+    16 columns, 20,000 rows): 16 integer features in [0, 15] with
+    letter-conditioned near-normal distributions, mirroring the original's
+    structure (feature moments vary by underlying letter). *)
+
+open Relation
+
+val default_rows : int
+(** 20,000 — the real dataset's row count. *)
+
+val generate : ?seed:int -> rows:int -> unit -> Table.t

@@ -1,0 +1,11 @@
+open Relation
+
+let generate_with_domain ?(seed = 0xC0FFEE) ~rows ~cols ~domain () =
+  let rng = Crypto.Rng.create seed in
+  let schema = Schema.make (Array.init cols (fun i -> Printf.sprintf "R%d" i)) in
+  Table.make schema
+    (Array.init rows (fun _ ->
+         Array.init cols (fun _ -> Value.Int (1 + Crypto.Rng.int rng domain))))
+
+let generate ?seed ~rows ~cols () =
+  generate_with_domain ?seed ~rows ~cols ~domain:(1 lsl 20) ()

@@ -1,0 +1,11 @@
+(** The paper's synthetic dataset RND (§VII-A): arbitrary rows and
+    columns, each cell drawn uniformly from [1, 2^20]. *)
+
+open Relation
+
+val generate : ?seed:int -> rows:int -> cols:int -> unit -> Table.t
+
+val generate_with_domain : ?seed:int -> rows:int -> cols:int -> domain:int -> unit -> Table.t
+(** Same, with a custom per-cell domain size (cells uniform in
+    [1, domain]); smaller domains create equivalence classes, exercising
+    the partition logic harder. *)

@@ -1,0 +1,1 @@
+lib/fdbase/approx.ml: Attrset Fd Float Hashtbl Lattice List Partition Relation Table Tane

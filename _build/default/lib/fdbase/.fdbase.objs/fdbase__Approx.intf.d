@@ -1,0 +1,1 @@
+lib/fdbase/approx.mli: Attrset Fd Lattice Relation Table

@@ -1,0 +1,1 @@
+lib/fdbase/fastfds.ml: Attrset Fd Hashtbl List Relation Table Value

@@ -1,0 +1,1 @@
+lib/fdbase/fastfds.mli: Attrset Fd Relation Table

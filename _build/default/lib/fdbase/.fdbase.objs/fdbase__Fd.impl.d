@@ -1,0 +1,1 @@
+lib/fdbase/fd.ml: Attrset Format Int List Relation Schema

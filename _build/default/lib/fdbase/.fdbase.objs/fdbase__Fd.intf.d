@@ -1,0 +1,1 @@
+lib/fdbase/fd.mli: Attrset Format Relation Schema

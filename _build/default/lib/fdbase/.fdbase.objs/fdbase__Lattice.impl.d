@@ -1,0 +1,1 @@
+lib/fdbase/lattice.ml: Array Attrset Fd Hashtbl Int List Option Relation

@@ -1,0 +1,1 @@
+lib/fdbase/lattice.mli: Attrset Fd Relation

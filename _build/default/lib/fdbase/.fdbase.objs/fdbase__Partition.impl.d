@@ -1,0 +1,1 @@
+lib/fdbase/partition.ml: Array Attrset Hashtbl List Option Relation Table

@@ -1,0 +1,1 @@
+lib/fdbase/partition.mli: Attrset Relation Table Value

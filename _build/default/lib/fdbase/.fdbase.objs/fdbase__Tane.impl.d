@@ -1,0 +1,1 @@
+lib/fdbase/tane.ml: Lattice Partition Relation Table

@@ -1,0 +1,1 @@
+lib/fdbase/tane.mli: Fd Lattice Partition Relation Table

@@ -1,0 +1,1 @@
+lib/fdbase/validator.ml: Attrset Fd Fun Hashtbl List Relation Table Value

@@ -1,0 +1,1 @@
+lib/fdbase/validator.mli: Attrset Fd Relation Table

@@ -1,0 +1,97 @@
+open Relation
+
+let split_error table ~lhs ~rhs =
+  let n = Table.rows table in
+  if n = 0 then 0.0
+  else
+    let c_lhs = Partition.cardinality (Partition.of_table table lhs) in
+    let c_all = Partition.cardinality (Partition.of_table table (Attrset.add lhs rhs)) in
+    float_of_int (c_all - c_lhs) /. float_of_int n
+
+type result = {
+  fds : Fd.t list;
+  sets_checked : int;
+}
+
+type 'h node = { attrs : Attrset.t; handle : 'h; card : int }
+
+let discover ~m ~n ~epsilon ?(max_lhs = 2) oracle =
+  if epsilon < 0.0 then invalid_arg "Approx.discover: epsilon must be >= 0";
+  let threshold = int_of_float (Float.floor (epsilon *. float_of_int n +. 1e-9)) in
+  let fds = ref [] in
+  let sets_checked = ref 0 in
+  let minimal lhs rhs =
+    not (List.exists (fun fd -> fd.Fd.rhs = rhs && Attrset.subset fd.Fd.lhs lhs) !fds)
+  in
+  let cards : (Attrset.t, int) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.replace cards Attrset.empty 1;
+  (* Level 1. *)
+  let level =
+    ref
+      (List.init m (fun a ->
+           let handle, card = oracle.Lattice.single a in
+           incr sets_checked;
+           { attrs = Attrset.singleton a; handle; card }))
+  in
+  let l = ref 1 in
+  while !level <> [] && !l <= max_lhs + 1 do
+    List.iter (fun node -> Hashtbl.replace cards node.attrs node.card) !level;
+    (* Emit minimal ε-approximate FDs X\{A} → A. *)
+    List.iter
+      (fun node ->
+        Attrset.iter
+          (fun a ->
+            let lhs = Attrset.remove node.attrs a in
+            match Hashtbl.find_opt cards lhs with
+            | Some lhs_card
+              when node.card - lhs_card <= threshold && minimal lhs a ->
+                fds := { Fd.lhs; rhs = a } :: !fds
+            | Some _ | None -> ())
+          node.attrs)
+      !level;
+    if !l >= max_lhs + 1 then begin
+      List.iter (fun node -> oracle.Lattice.release node.handle) !level;
+      level := []
+    end
+    else begin
+      (* Next level: all (l+1)-subsets whose immediate subsets are all at
+         this level (apriori-gen without validity pruning; sets whose
+         every RHS is already covered need not be expanded). *)
+      let here : (Attrset.t, 'h node) Hashtbl.t = Hashtbl.create 64 in
+      List.iter (fun node -> Hashtbl.replace here node.attrs node) !level;
+      let next = ref [] in
+      let seen = Hashtbl.create 64 in
+      List.iter
+        (fun node ->
+          for a = 0 to m - 1 do
+            if not (Attrset.mem node.attrs a) then begin
+              let y = Attrset.add node.attrs a in
+              if
+                (not (Hashtbl.mem seen y))
+                && Attrset.for_all (fun b -> Hashtbl.mem here (Attrset.remove y b)) y
+              then begin
+                Hashtbl.replace seen y ();
+                next := y :: !next
+              end
+            end
+          done)
+        !level;
+      let next_nodes =
+        List.map
+          (fun y ->
+            let x1, x2 = Attrset.choose_two_generators y in
+            let h1 = Hashtbl.find here x1 and h2 = Hashtbl.find here x2 in
+            let handle, card = oracle.Lattice.combine y h1.handle h2.handle in
+            incr sets_checked;
+            { attrs = y; handle; card })
+          (List.sort_uniq Attrset.compare !next)
+      in
+      List.iter (fun node -> oracle.Lattice.release node.handle) !level;
+      level := next_nodes;
+      incr l
+    end
+  done;
+  { fds = Fd.sort_canonical !fds; sets_checked = !sets_checked }
+
+let discover_plaintext ~epsilon ?max_lhs table =
+  discover ~m:(Table.cols table) ~n:(Table.rows table) ~epsilon ?max_lhs (Tane.oracle table)

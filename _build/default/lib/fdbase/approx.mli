@@ -1,0 +1,31 @@
+(** Approximate functional dependencies.
+
+    An FD X → A holds {e ε-approximately} under the split measure when
+
+      e_split(X → A) = (|π_{X∪A}| − |π_X|) / n ≤ ε
+
+    i.e. at most ε·n equivalence classes of X are split by adding A.
+    [e_split] is computable from partition {e cardinalities} alone, so the
+    secure attribute-level oracles support it with no new machinery and no
+    leakage beyond the approximate-FD verdicts themselves.  (It is a lower
+    bound of TANE's g3 error: removing one row repairs at most one
+    split.)
+
+    Discovery is a levelwise search like {!Lattice} but without the exact
+    C+/key pruning rules (which are unsound for approximate dependencies);
+    the lattice depth is capped by [max_lhs] instead (default 2). *)
+
+open Relation
+
+val split_error : Table.t -> lhs:Attrset.t -> rhs:int -> float
+(** Plaintext reference implementation of e_split (tests, baselines). *)
+
+type result = {
+  fds : Fd.t list;  (** minimal ε-approximate FDs *)
+  sets_checked : int;
+}
+
+val discover :
+  m:int -> n:int -> epsilon:float -> ?max_lhs:int -> 'h Lattice.oracle -> result
+
+val discover_plaintext : epsilon:float -> ?max_lhs:int -> Table.t -> result

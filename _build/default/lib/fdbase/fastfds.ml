@@ -1,0 +1,90 @@
+open Relation
+
+let difference_sets table =
+  let n = Table.rows table and m = Table.cols table in
+  let seen = Hashtbl.create 256 in
+  for r1 = 0 to n - 1 do
+    for r2 = r1 + 1 to n - 1 do
+      let d = ref Attrset.empty in
+      for c = 0 to m - 1 do
+        if not (Value.equal (Table.cell table ~row:r1 ~col:c) (Table.cell table ~row:r2 ~col:c))
+        then d := Attrset.add !d c
+      done;
+      if not (Attrset.is_empty !d) then Hashtbl.replace seen !d ()
+    done
+  done;
+  Hashtbl.fold (fun d () acc -> d :: acc) seen []
+
+let minimal_difference_sets sets =
+  List.filter
+    (fun d ->
+      not
+        (List.exists (fun d' -> (not (Attrset.equal d d')) && Attrset.subset d' d) sets))
+    sets
+
+(* All minimal covers of [sets] using attributes from [universe]: DFS in
+   a fixed attribute order; at each step branch on the attributes that
+   cover the first uncovered set.  Minimality is checked directly (every
+   chosen attribute must be necessary). *)
+let minimal_covers universe sets =
+  let covers = ref [] in
+  let is_cover chosen =
+    List.for_all (fun d -> not (Attrset.is_empty (Attrset.inter d chosen))) sets
+  in
+  let rec dfs chosen remaining =
+    match remaining with
+    | [] ->
+        (* chosen covers everything; record if minimal so far *)
+        if
+          not
+            (List.exists (fun c -> Attrset.subset c chosen) !covers)
+        then begin
+          (* prune previously found supersets *)
+          covers := chosen :: List.filter (fun c -> not (Attrset.subset chosen c)) !covers
+        end
+    | d :: rest ->
+        if not (Attrset.is_empty (Attrset.inter d chosen)) then dfs chosen rest
+        else
+          Attrset.iter
+            (fun a ->
+              let chosen' = Attrset.add chosen a in
+              (* prune: skip if a known cover is already inside *)
+              if not (List.exists (fun c -> Attrset.subset c chosen') !covers) then
+                dfs chosen' rest)
+            (Attrset.inter d universe)
+  in
+  dfs Attrset.empty sets;
+  (* Final minimality sweep: a DFS order can record a set before one of
+     its subsets is found. *)
+  let all = !covers in
+  List.filter
+    (fun c ->
+      is_cover c
+      && not (List.exists (fun c' -> (not (Attrset.equal c c')) && Attrset.subset c' c) all))
+    all
+
+let discover table =
+  let m = Table.cols table in
+  let diffs = difference_sets table in
+  let fds = ref [] in
+  for a = 0 to m - 1 do
+    let d_a =
+      List.filter_map
+        (fun d -> if Attrset.mem d a then Some (Attrset.remove d a) else None)
+        diffs
+    in
+    if d_a = [] then
+      (* No pair ever differs on A: the column is constant, ∅ → A. *)
+      fds := { Fd.lhs = Attrset.empty; rhs = a } :: !fds
+    else if List.exists Attrset.is_empty d_a then
+      (* Some pair differs only on A: no non-trivial FD determines A. *)
+      ()
+    else begin
+      let universe = Attrset.remove (Attrset.full ~m) a in
+      let d_a = minimal_difference_sets d_a in
+      List.iter
+        (fun lhs -> fds := { Fd.lhs; rhs = a } :: !fds)
+        (minimal_covers universe d_a)
+    end
+  done;
+  Fd.sort_canonical !fds

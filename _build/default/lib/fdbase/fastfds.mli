@@ -1,0 +1,21 @@
+(** FastFDs (Wyss, Giannella, Robertson, DaWaK 2001): FD discovery via
+    difference sets and minimal covers — the other classical algorithm
+    family the paper's related work cites ([59]) and notes is {e not}
+    known to be implementable obliviously.
+
+    We implement it as an independent plaintext oracle: it must produce
+    exactly the same minimal FDs as the partition-based TANE lattice, so
+    the two validate each other in the test suite. *)
+
+open Relation
+
+val difference_sets : Table.t -> Attrset.t list
+(** The distinct non-empty difference sets D(r1, r2) = attributes where
+    the two records disagree, over all record pairs.  O(n² m) — baseline
+    and test use. *)
+
+val minimal_difference_sets : Attrset.t list -> Attrset.t list
+(** Keep only the subset-minimal sets. *)
+
+val discover : Table.t -> Fd.t list
+(** All minimal non-trivial FDs (single-attribute RHS), canonical order. *)

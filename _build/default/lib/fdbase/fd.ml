@@ -1,0 +1,37 @@
+open Relation
+
+type t = { lhs : Attrset.t; rhs : int }
+
+let compare a b =
+  match Attrset.compare a.lhs b.lhs with
+  | 0 -> Int.compare a.rhs b.rhs
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let pp ppf { lhs; rhs } = Format.fprintf ppf "%a -> %d" Attrset.pp lhs rhs
+
+let pp_named schema ppf { lhs; rhs } =
+  Format.fprintf ppf "%a -> %s" (Schema.pp_attrset schema) lhs (Schema.name schema rhs)
+
+let sort_canonical fds = List.sort_uniq compare fds
+
+let closure ~m fds x =
+  ignore m;
+  let cur = ref x in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun { lhs; rhs } ->
+        if Attrset.subset lhs !cur && not (Attrset.mem !cur rhs) then begin
+          cur := Attrset.add !cur rhs;
+          changed := true
+        end)
+      fds
+  done;
+  !cur
+
+let implies ~m fds ~lhs ~rhs = Attrset.subset rhs (closure ~m fds lhs)
+
+let is_superkey ~m fds x = Attrset.equal (closure ~m fds x) (Attrset.full ~m)

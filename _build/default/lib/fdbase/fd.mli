@@ -1,0 +1,27 @@
+(** Functional dependencies.
+
+    Discovery outputs {e minimal, non-trivial} FDs with a single-attribute
+    right-hand side, the canonical form of the FD-discovery literature
+    (TANE et al.): every general FD [A -> B] follows from these by
+    Armstrong's axioms, so the set determines [FD(DB)] — the second
+    component of the paper's leakage function. *)
+
+open Relation
+
+type t = { lhs : Attrset.t; rhs : int }
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val pp_named : Schema.t -> Format.formatter -> t -> unit
+
+val sort_canonical : t list -> t list
+(** Sorted, deduplicated. *)
+
+val closure : m:int -> t list -> Attrset.t -> Attrset.t
+(** [closure ~m fds x] is the attribute closure x+ under [fds]. *)
+
+val implies : m:int -> t list -> lhs:Attrset.t -> rhs:Attrset.t -> bool
+(** Does [lhs -> rhs] follow from [fds] (Armstrong derivation)? *)
+
+val is_superkey : m:int -> t list -> Attrset.t -> bool

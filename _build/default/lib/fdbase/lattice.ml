@@ -1,0 +1,178 @@
+open Relation
+
+type 'h oracle = {
+  single : int -> 'h * int;
+  combine : Attrset.t -> 'h -> 'h -> 'h * int;
+  release : 'h -> unit;
+}
+
+type result = {
+  fds : Fd.t list;
+  sets_checked : int;
+  plan : Attrset.t list;
+}
+
+type 'h node = {
+  attrs : Attrset.t;
+  handle : 'h;
+  card : int;
+  mutable cplus : Attrset.t;
+  mutable alive : bool;
+}
+
+let discover ~m ~n ?max_lhs ?(check = Int.equal) oracle =
+  let r_full = Attrset.full ~m in
+  let fds = ref [] in
+  let plan = ref [] in
+  let sets_checked = ref 0 in
+  let emit lhs rhs = fds := { Fd.lhs; rhs } :: !fds in
+
+  (* Cardinalities of every set whose partition has been computed (π_∅ has
+     cardinality 1). *)
+  let cards_hist : (Attrset.t, int) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.replace cards_hist Attrset.empty 1;
+  (* C+ of every set seen so far (C+(∅) = R).  TANE's key-pruning rule
+     needs C+ of sets that were pruned away before being generated; those
+     are computed on demand by the defining recurrence
+     C+(Y) = ∩_{B∈Y} C+(Y\{B}), memoised here. *)
+  let cplus_hist : (Attrset.t, Attrset.t) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.replace cplus_hist Attrset.empty r_full;
+  let rec cplus_of y =
+    match Hashtbl.find_opt cplus_hist y with
+    | Some c -> c
+    | None ->
+        let c =
+          Attrset.fold (fun b acc -> Attrset.inter acc (cplus_of (Attrset.remove y b))) y r_full
+        in
+        Hashtbl.replace cplus_hist y c;
+        c
+  in
+
+  (* Level 1. *)
+  let level =
+    ref
+      (List.init m (fun a ->
+           let handle, card = oracle.single a in
+           incr sets_checked;
+           plan := Attrset.singleton a :: !plan;
+           { attrs = Attrset.singleton a; handle; card; cplus = r_full; alive = true }))
+  in
+  let l = ref 1 in
+  let continue_ = ref true in
+  while !continue_ && !level <> [] do
+    let nodes = !level in
+    (* compute_dependencies: C+(X) = ∩_{A∈X} C+(X \ {A}), then test
+       X\{A} → A for A ∈ X ∩ C+(X). *)
+    List.iter
+      (fun node ->
+        node.cplus <-
+          Attrset.fold
+            (fun a acc -> Attrset.inter acc (cplus_of (Attrset.remove node.attrs a)))
+            node.attrs r_full)
+      nodes;
+    List.iter
+      (fun node ->
+        let candidates = Attrset.inter node.attrs node.cplus in
+        Attrset.iter
+          (fun a ->
+            let lhs = Attrset.remove node.attrs a in
+            let lhs_card =
+              match Hashtbl.find_opt cards_hist lhs with
+              | Some c -> c
+              | None -> -1 (* subset pruned away: cannot be valid-minimal *)
+            in
+            if lhs_card >= 0 && check lhs_card node.card then begin
+              emit lhs a;
+              node.cplus <- Attrset.remove node.cplus a;
+              node.cplus <- Attrset.inter node.cplus node.attrs
+              (* remove all B ∈ R \ X, i.e. keep only attrs of X *)
+            end)
+          candidates;
+        Hashtbl.replace cplus_hist node.attrs node.cplus)
+      nodes;
+    (* prune *)
+    List.iter
+      (fun node ->
+        if Attrset.is_empty node.cplus then node.alive <- false
+        else if node.card = n then begin
+          (* X is a superkey: key pruning may output FDs X → A. *)
+          let extra = Attrset.diff node.cplus node.attrs in
+          Attrset.iter
+            (fun a ->
+              let all_contain =
+                Attrset.for_all
+                  (fun b ->
+                    let y = Attrset.remove (Attrset.add node.attrs a) b in
+                    Attrset.mem (cplus_of y) a)
+                  node.attrs
+              in
+              if all_contain then emit node.attrs a)
+            extra;
+          node.alive <- false
+        end)
+      nodes;
+    let alive = List.filter (fun nd -> nd.alive) nodes in
+    let reached_cap = match max_lhs with Some cap -> !l >= cap | None -> false in
+    if reached_cap then begin
+      List.iter (fun nd -> oracle.release nd.handle) nodes;
+      continue_ := false
+    end
+    else begin
+      (* generate_next_level: prefix-block join + all-subsets check. *)
+      let alive_set : (Attrset.t, 'h node) Hashtbl.t = Hashtbl.create 64 in
+      List.iter (fun nd -> Hashtbl.replace alive_set nd.attrs nd) alive;
+      let sorted =
+        List.sort (fun a b -> compare (Attrset.elements a.attrs) (Attrset.elements b.attrs)) alive
+      in
+      let prefix nd =
+        let els = Attrset.elements nd.attrs in
+        List.filteri (fun i _ -> i < !l - 1) els
+      in
+      (* Group alive nodes by their (l-1)-element prefix. *)
+      let blocks = Hashtbl.create 64 in
+      List.iter
+        (fun nd ->
+          let p = prefix nd in
+          let prev = Option.value ~default:[] (Hashtbl.find_opt blocks p) in
+          Hashtbl.replace blocks p (nd :: prev))
+        sorted;
+      let next = ref [] in
+      Hashtbl.iter
+        (fun _ block ->
+          let arr = Array.of_list (List.rev block) in
+          let k = Array.length arr in
+          for i = 0 to k - 1 do
+            for j = i + 1 to k - 1 do
+              let y = Attrset.union arr.(i).attrs arr.(j).attrs in
+              if Attrset.cardinal y = !l + 1 then begin
+                let all_subsets_alive =
+                  Attrset.for_all
+                    (fun a -> Hashtbl.mem alive_set (Attrset.remove y a))
+                    y
+                in
+                if all_subsets_alive then next := y :: !next
+              end
+            done
+          done)
+        blocks;
+      let next = List.sort_uniq Attrset.compare !next in
+      (* Compute partitions for the next level from two generators. *)
+      let next_nodes =
+        List.map
+          (fun y ->
+            let x1, x2 = Attrset.choose_two_generators y in
+            let n1 = Hashtbl.find alive_set x1 and n2 = Hashtbl.find alive_set x2 in
+            let handle, card = oracle.combine y n1.handle n2.handle in
+            incr sets_checked;
+            plan := y :: !plan;
+            { attrs = y; handle; card; cplus = r_full; alive = true })
+          next
+      in
+      (* The previous level's handles are no longer needed. *)
+      List.iter (fun nd -> oracle.release nd.handle) nodes;
+      List.iter (fun nd -> Hashtbl.replace cards_hist nd.attrs nd.card) nodes;
+      level := next_nodes;
+      incr l
+    end
+  done;
+  { fds = Fd.sort_canonical !fds; sets_checked = !sets_checked; plan = List.rev !plan }

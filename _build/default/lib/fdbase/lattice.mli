@@ -1,0 +1,44 @@
+(** The database-level task (§IV-A): the top-down levelwise lattice search
+    of TANE (Huhtala et al., 1999) with its dependency and key pruning
+    rules, parameterised by an {e attribute-level partition oracle}.
+
+    The oracle abstracts how partitions are computed; the plaintext
+    baseline ({!Tane}) plugs in stripped partitions, and the secure
+    protocols plug in their oblivious ORAM- or sorting-based oracles.
+    By Property 1 of the paper, [combine] is only ever called on two
+    strict subsets X1, X2 of X with X1 ∪ X2 = X whose partitions were
+    computed at the previous level.
+
+    The search visits attribute sets in an order that is a deterministic
+    function of (m, and the validity answers obtained so far) — i.e. of
+    the leakage function L(DB) = (size, FDs) — which is what makes the
+    database level leak nothing extra (§VI).  [plan] exposes the visited
+    sequence so tests can verify this replay property. *)
+
+open Relation
+
+type 'h oracle = {
+  single : int -> 'h * int;
+      (** [single col] computes π for one column, returning a handle and
+          |π|. *)
+  combine : Attrset.t -> 'h -> 'h -> 'h * int;
+      (** [combine x h1 h2] computes π_X from the partitions of its two
+          generators (Property 1). *)
+  release : 'h -> unit;
+      (** Called when a handle can no longer be used by the search. *)
+}
+
+type result = {
+  fds : Fd.t list;  (** minimal non-trivial FDs, canonical order *)
+  sets_checked : int;  (** lattice nodes whose partition was computed *)
+  plan : Attrset.t list;  (** the visited attribute sets, in order *)
+}
+
+val discover :
+  m:int -> n:int -> ?max_lhs:int -> ?check:(int -> int -> bool) -> 'h oracle -> result
+(** [discover ~m ~n oracle] runs the search over [m] attributes for a
+    relation with [n] rows.  [max_lhs] optionally caps the size of
+    left-hand sides explored (level cap).  [check c1 c2] decides the
+    set-level test |π_lhs| = |π_X| (default [Int.equal]); the secure
+    protocol routes it through {e Set_level} to model the
+    ciphertext-comparison exchange. *)

@@ -1,0 +1,114 @@
+open Relation
+
+type t = {
+  n : int;
+  card : int;
+  classes : int array array; (* stripped: only classes of size >= 2 *)
+}
+
+let n t = t.n
+let cardinality t = t.card
+let classes t = t.classes
+
+let strip n groups =
+  (* [groups]: list of row-index lists; singletons are dropped, the true
+     cardinality is reconstructed from the stripped total. *)
+  let big = List.filter (fun g -> List.length g >= 2) groups in
+  let covered = List.fold_left (fun acc g -> acc + List.length g) 0 big in
+  let card = n - covered + List.length big in
+  {
+    n;
+    card;
+    classes = Array.of_list (List.map (fun g -> Array.of_list (List.rev g)) big);
+  }
+
+let of_column col =
+  let n = Array.length col in
+  let tbl = Hashtbl.create (2 * n) in
+  for r = 0 to n - 1 do
+    let key = col.(r) in
+    let prev = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
+    Hashtbl.replace tbl key (r :: prev)
+  done;
+  strip n (Hashtbl.fold (fun _ g acc -> g :: acc) tbl [])
+
+let of_table table set =
+  let n = Table.rows table in
+  let cols = Attrset.elements set in
+  if cols = [] then
+    (* π_∅: all rows equivalent. *)
+    strip n [ List.init n (fun r -> n - 1 - r) ]
+  else begin
+    let tbl = Hashtbl.create (2 * n) in
+    for r = 0 to n - 1 do
+      let key = List.map (fun c -> Table.cell table ~row:r ~col:c) cols in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
+      Hashtbl.replace tbl key (r :: prev)
+    done;
+    strip n (Hashtbl.fold (fun _ g acc -> g :: acc) tbl [])
+  end
+
+(* TANE partition product: probe rows of π_X's classes against class ids
+   of π_Y.  Linear in the stripped sizes. *)
+let product a b =
+  if a.n <> b.n then invalid_arg "Partition.product: row counts differ";
+  let n = a.n in
+  let class_of = Array.make n (-1) in
+  Array.iteri (fun ci cls -> Array.iter (fun r -> class_of.(r) <- ci) cls) b.classes;
+  let groups = ref [] in
+  Array.iter
+    (fun cls ->
+      (* Split this π_X class by the π_Y class id of each row; rows in no
+         stripped π_Y class (id -1) are singletons in the product. *)
+      let sub = Hashtbl.create 16 in
+      Array.iter
+        (fun r ->
+          let ci = class_of.(r) in
+          if ci >= 0 then begin
+            let prev = Option.value ~default:[] (Hashtbl.find_opt sub ci) in
+            Hashtbl.replace sub ci (r :: prev)
+          end)
+        cls;
+      Hashtbl.iter (fun _ g -> groups := g :: !groups) sub)
+    a.classes;
+  strip n !groups
+
+let error t =
+  Array.fold_left (fun acc cls -> acc + Array.length cls - 1) 0 t.classes
+
+let labels t =
+  let l = Array.make t.n (-1) in
+  let next = ref 0 in
+  Array.iter
+    (fun cls ->
+      let id = !next in
+      incr next;
+      Array.iter (fun r -> l.(r) <- id) cls)
+    t.classes;
+  for r = 0 to t.n - 1 do
+    if l.(r) < 0 then begin
+      l.(r) <- !next;
+      incr next
+    end
+  done;
+  l
+
+let equal_refinement a b =
+  if a.n <> b.n then false
+  else begin
+    let la = labels a and lb = labels b in
+    (* Same refinement iff the label pairs are in bijection. *)
+    let fwd = Hashtbl.create 64 and bwd = Hashtbl.create 64 in
+    let ok = ref true in
+    for r = 0 to a.n - 1 do
+      (match Hashtbl.find_opt fwd la.(r) with
+      | Some x when x <> lb.(r) -> ok := false
+      | Some _ -> ()
+      | None -> Hashtbl.replace fwd la.(r) lb.(r));
+      match Hashtbl.find_opt bwd lb.(r) with
+      | Some x when x <> la.(r) -> ok := false
+      | Some _ -> ()
+      | None -> Hashtbl.replace bwd lb.(r) la.(r)
+    done;
+    !ok
+  end

@@ -1,0 +1,42 @@
+(** Stripped partitions (π_X) over a plaintext relation — the classical
+    partition representation of TANE (Huhtala et al., 1999) used by the
+    paper's Theorem 1: an FD A → B holds iff |π_A| = |π_{A∪B}|.
+
+    A partition is stored "stripped": only equivalence classes with at
+    least two rows are kept; [cardinality] still reports the true |π_X|
+    including singletons. *)
+
+open Relation
+
+type t
+
+val n : t -> int
+(** Number of rows of the underlying relation. *)
+
+val cardinality : t -> int
+(** |π_X| — the number of equivalence classes, singletons included. *)
+
+val classes : t -> int array array
+(** The stripped classes (row indices, each class length >= 2). *)
+
+val of_column : Value.t array -> t
+(** Partition of the relation under a single attribute. *)
+
+val of_table : Table.t -> Attrset.t -> t
+(** Partition under an arbitrary attribute set, computed directly (used as
+    a test oracle; the lattice uses {!product} instead). *)
+
+val product : t -> t -> t
+(** π_{X∪Y} from π_X and π_Y — the TANE partition product, linear in the
+    stripped sizes. *)
+
+val error : t -> int
+(** TANE's e(X) = (rows in stripped classes) - (number of stripped
+    classes); e(X) = 0 iff X is a (super)key. *)
+
+val labels : t -> int array
+(** A labelling [l] with [l.(r1) = l.(r2)] iff rows r1, r2 are equivalent
+    — the plaintext analogue of the paper's label_X. *)
+
+val equal_refinement : t -> t -> bool
+(** Do the two partitions classify rows identically? *)

@@ -1,0 +1,17 @@
+open Relation
+
+let oracle table =
+  {
+    Lattice.single = (fun col ->
+      let p = Partition.of_column (Table.column table col) in
+      (p, Partition.cardinality p));
+    combine = (fun _x h1 h2 ->
+      let p = Partition.product h1 h2 in
+      (p, Partition.cardinality p));
+    release = (fun _ -> ());
+  }
+
+let discover ?max_lhs table =
+  Lattice.discover ~m:(Table.cols table) ~n:(Table.rows table) ?max_lhs (oracle table)
+
+let fds ?max_lhs table = (discover ?max_lhs table).Lattice.fds

@@ -1,0 +1,14 @@
+(** Plaintext TANE: the non-secure FD-discovery baseline, i.e. the
+    lattice search of {!Lattice} with stripped-partition oracles.  This is
+    the algorithm whose output the secure protocols must reproduce
+    exactly (they only change {e how} partitions are computed). *)
+
+open Relation
+
+val oracle : Table.t -> Partition.t Lattice.oracle
+(** The stripped-partition attribute-level oracle over a plaintext table. *)
+
+val discover : ?max_lhs:int -> Table.t -> Lattice.result
+(** Discover all minimal non-trivial FDs of the table. *)
+
+val fds : ?max_lhs:int -> Table.t -> Fd.t list

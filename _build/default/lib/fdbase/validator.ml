@@ -1,0 +1,41 @@
+open Relation
+
+let holds table ~lhs ~rhs =
+  let n = Table.rows table in
+  let tbl = Hashtbl.create (2 * n) in
+  let ok = ref true in
+  for r = 0 to n - 1 do
+    let key = Table.project_value table ~row:r lhs in
+    let v = Table.project_value table ~row:r rhs in
+    match Hashtbl.find_opt tbl key with
+    | Some v' -> if not (List.for_all2 Value.equal v v') then ok := false
+    | None -> Hashtbl.replace tbl key v
+  done;
+  !ok
+
+let holds_fd table { Fd.lhs; rhs } = holds table ~lhs ~rhs:(Attrset.singleton rhs)
+
+let brute_force_minimal table =
+  let m = Table.cols table in
+  let fds = ref [] in
+  for rhs = 0 to m - 1 do
+    (* All subsets of R \ {rhs}, smallest first; keep minimal valid ones. *)
+    let others = List.filter (fun a -> a <> rhs) (List.init m Fun.id) in
+    let valid : Attrset.t list ref = ref [] in
+    let subsets = ref [ Attrset.empty ] in
+    List.iter
+      (fun a -> subsets := !subsets @ List.map (fun s -> Attrset.add s a) !subsets)
+      others;
+    let sorted =
+      List.sort (fun a b -> compare (Attrset.cardinal a) (Attrset.cardinal b)) !subsets
+    in
+    List.iter
+      (fun lhs ->
+        let has_smaller = List.exists (fun v -> Attrset.subset v lhs) !valid in
+        if (not has_smaller) && holds table ~lhs ~rhs:(Attrset.singleton rhs) then begin
+          valid := lhs :: !valid;
+          fds := { Fd.lhs; rhs } :: !fds
+        end)
+      sorted
+  done;
+  Fd.sort_canonical !fds

@@ -1,0 +1,16 @@
+(** Direct FD validation — the independent test oracle.
+
+    Checks an FD by grouping rows on the LHS values in a hash table; used
+    to cross-check discovery output, and to brute-force all minimal FDs on
+    small tables. *)
+
+open Relation
+
+val holds : Table.t -> lhs:Attrset.t -> rhs:Attrset.t -> bool
+(** Does [lhs -> rhs] hold in the table? (Direct definition check.) *)
+
+val holds_fd : Table.t -> Fd.t -> bool
+
+val brute_force_minimal : Table.t -> Fd.t list
+(** All minimal non-trivial FDs with single-attribute RHS, by enumerating
+    every LHS subset.  Exponential in the column count — tests only. *)

@@ -1,0 +1,1 @@
+lib/oram/linear_oram.ml: Array Bytes Crypto Servsim String

@@ -1,0 +1,1 @@
+lib/oram/omap.ml: Bytes Hashtbl Int64 List Path_oram Printf Recursive_path_oram Relation String

@@ -1,0 +1,1 @@
+lib/oram/omap.mli: Crypto Servsim

@@ -1,0 +1,1 @@
+lib/oram/oram_intf.ml: Crypto Linear_oram Path_oram Servsim

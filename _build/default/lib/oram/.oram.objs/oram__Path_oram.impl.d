@@ -1,0 +1,1 @@
+lib/oram/path_oram.ml: Array Bytes Crypto Hashtbl List Printf Servsim String

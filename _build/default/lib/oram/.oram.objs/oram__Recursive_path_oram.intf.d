@@ -1,0 +1,1 @@
+lib/oram/recursive_path_oram.mli: Crypto Servsim

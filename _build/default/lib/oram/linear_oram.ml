@@ -1,0 +1,108 @@
+type config = {
+  capacity : int;
+  key_len : int;
+  payload_len : int;
+}
+
+type t = {
+  cfg : config;
+  store : Servsim.Block_store.t;
+  server : Servsim.Server.t;
+  name : string;
+  cipher : Crypto.Cell_cipher.t;
+  mutable live : int;
+  mutable accesses : int;
+}
+
+let block_pt_len cfg = 1 + cfg.key_len + cfg.payload_len
+let encode_dummy cfg = String.make (block_pt_len cfg) '\000'
+
+let encode_block cfg ~key ~payload =
+  let b = Bytes.create (block_pt_len cfg) in
+  Bytes.set b 0 '\001';
+  Bytes.blit_string key 0 b 1 cfg.key_len;
+  Bytes.blit_string payload 0 b (1 + cfg.key_len) cfg.payload_len;
+  Bytes.to_string b
+
+let decode_block cfg pt =
+  if pt.[0] = '\000' then None
+  else Some (String.sub pt 1 cfg.key_len, String.sub pt (1 + cfg.key_len) cfg.payload_len)
+
+let setup ~name cfg server cipher _rand =
+  if cfg.capacity < 1 then invalid_arg "Linear_oram.setup: capacity must be >= 1";
+  let store = Servsim.Server.create_store server name in
+  Servsim.Block_store.ensure store cfg.capacity;
+  let dummy = encode_dummy cfg in
+  for i = 0 to cfg.capacity - 1 do
+    Servsim.Block_store.write store i (Crypto.Cell_cipher.encrypt cipher dummy)
+  done;
+  Servsim.Cost.round_trip (Servsim.Server.cost server);
+  { cfg; store; server; name; cipher; live = 0; accesses = 0 }
+
+(* One full scan: decrypt every slot, apply the logical operation to the
+   matching slot (or claim the first free slot on insert), re-encrypt all. *)
+let access t ~key update =
+  if String.length key <> t.cfg.key_len then invalid_arg "Linear_oram.access: bad key length";
+  let n = t.cfg.capacity in
+  let plain = Array.make n None in
+  for i = 0 to n - 1 do
+    let c = Servsim.Block_store.read t.store i in
+    plain.(i) <- decode_block t.cfg (Crypto.Cell_cipher.decrypt t.cipher c)
+  done;
+  let found = ref None in
+  let found_at = ref (-1) in
+  Array.iteri
+    (fun i slot ->
+      match slot with
+      | Some (k, payload) when k = key && !found_at < 0 ->
+          found := Some payload;
+          found_at := i
+      | Some _ | None -> ())
+    plain;
+  (match update !found with
+  | Some v ->
+      if String.length v <> t.cfg.payload_len then
+        invalid_arg "Linear_oram.access: bad payload length";
+      let slot =
+        if !found_at >= 0 then !found_at
+        else begin
+          let free = ref (-1) in
+          Array.iteri (fun i s -> if s = None && !free < 0 then free := i) plain;
+          if !free < 0 then failwith "Linear_oram: capacity exceeded";
+          t.live <- t.live + 1;
+          !free
+        end
+      in
+      plain.(slot) <- Some (key, v)
+  | None ->
+      if !found_at >= 0 then begin
+        plain.(!found_at) <- None;
+        t.live <- t.live - 1
+      end);
+  let dummy = encode_dummy t.cfg in
+  for i = 0 to n - 1 do
+    let pt =
+      match plain.(i) with
+      | None -> dummy
+      | Some (k, payload) -> encode_block t.cfg ~key:k ~payload
+    in
+    Servsim.Block_store.write t.store i (Crypto.Cell_cipher.encrypt t.cipher pt)
+  done;
+  t.accesses <- t.accesses + 1;
+  Servsim.Cost.round_trip (Servsim.Server.cost t.server);
+  !found
+
+let dummy_access t =
+  (* A scan keyed on a reserved key no caller can use (wrong length is not
+     allowed, so use all-0xff, which value codecs never produce). *)
+  ignore (access t ~key:(String.make t.cfg.key_len '\xff') (fun old -> old))
+
+let read t ~key = access t ~key (fun old -> old)
+let write t ~key v = ignore (access t ~key (fun _ -> Some v))
+let remove t ~key = ignore (access t ~key (fun _ -> None))
+
+let live_blocks t = t.live
+let client_state_bytes _ = 0
+let access_count t = t.accesses
+
+let destroy t = Servsim.Server.drop_store t.server t.name

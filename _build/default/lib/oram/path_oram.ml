@@ -1,0 +1,192 @@
+(* Non-recursive PathORAM.  Bucket b (heap order, root = 0) occupies slots
+   [b*z .. b*z+z-1] of the block store; every slot always holds a
+   ciphertext of the same fixed-width plaintext [flag | key | payload]. *)
+
+let z = 4
+
+type config = {
+  capacity : int;
+  key_len : int;
+  payload_len : int;
+}
+
+type t = {
+  cfg : config;
+  levels : int; (* L: leaves = 2^L *)
+  leaves : int;
+  store : Servsim.Block_store.t;
+  server : Servsim.Server.t;
+  name : string;
+  cipher : Crypto.Cell_cipher.t;
+  rand_int : int -> int;
+  pos : (string, int) Hashtbl.t; (* key -> leaf *)
+  stash : (string, string) Hashtbl.t; (* key -> payload *)
+  mutable max_stash : int;
+  mutable overflows : int;
+  mutable accesses : int;
+}
+
+let ceil_log2 n =
+  let rec go acc v = if v >= n then acc else go (acc + 1) (v * 2) in
+  go 0 1
+
+let block_pt_len cfg = 1 + cfg.key_len + cfg.payload_len
+
+let encode_dummy cfg = String.make (block_pt_len cfg) '\000'
+
+let encode_block cfg ~key ~payload =
+  assert (String.length key = cfg.key_len);
+  assert (String.length payload = cfg.payload_len);
+  let b = Bytes.create (block_pt_len cfg) in
+  Bytes.set b 0 '\001';
+  Bytes.blit_string key 0 b 1 cfg.key_len;
+  Bytes.blit_string payload 0 b (1 + cfg.key_len) cfg.payload_len;
+  Bytes.to_string b
+
+let decode_block cfg pt =
+  if String.length pt <> block_pt_len cfg then invalid_arg "Path_oram: corrupt block";
+  if pt.[0] = '\000' then None
+  else
+    let key = String.sub pt 1 cfg.key_len in
+    let payload = String.sub pt (1 + cfg.key_len) cfg.payload_len in
+    Some (key, payload)
+
+(* Bucket index at level [lev] (root = level 0) on the path to [leaf]. *)
+let node_at t ~leaf ~lev = (1 lsl lev) - 1 + (leaf lsr (t.levels - lev))
+
+let stash_limit t = 7 * max 1 (ceil_log2 t.cfg.capacity)
+
+let client_state_bytes t =
+  let pos_bytes = Hashtbl.length t.pos * (t.cfg.key_len + 8) in
+  let stash_bytes = Hashtbl.length t.stash * (t.cfg.key_len + t.cfg.payload_len) in
+  pos_bytes + stash_bytes
+
+let sync_client_cost t =
+  Servsim.Cost.client_set (Servsim.Server.cost t.server) ~tag:t.name (client_state_bytes t)
+
+let setup ~name cfg server cipher rand_int =
+  if cfg.capacity < 1 then invalid_arg "Path_oram.setup: capacity must be >= 1";
+  let levels = max 1 (ceil_log2 cfg.capacity) in
+  let leaves = 1 lsl levels in
+  let buckets = (2 * leaves) - 1 in
+  let store = Servsim.Server.create_store server name in
+  Servsim.Block_store.ensure store (buckets * z);
+  let dummy = encode_dummy cfg in
+  for slot = 0 to (buckets * z) - 1 do
+    Servsim.Block_store.write store slot (Crypto.Cell_cipher.encrypt cipher dummy)
+  done;
+  Servsim.Cost.round_trip (Servsim.Server.cost server);
+  {
+    cfg;
+    levels;
+    leaves;
+    store;
+    server;
+    name;
+    cipher;
+    rand_int;
+    pos = Hashtbl.create (2 * cfg.capacity);
+    stash = Hashtbl.create 64;
+    max_stash = 0;
+    overflows = 0;
+    accesses = 0;
+  }
+
+(* Read every block of the path to [leaf] into the stash. *)
+let fetch_path t leaf =
+  for lev = 0 to t.levels do
+    let bucket = node_at t ~leaf ~lev in
+    for s = 0 to z - 1 do
+      let c = Servsim.Block_store.read t.store ((bucket * z) + s) in
+      let pt = Crypto.Cell_cipher.decrypt t.cipher c in
+      match decode_block t.cfg pt with
+      | None -> ()
+      | Some (key, payload) -> Hashtbl.replace t.stash key payload
+    done
+  done
+
+(* Greedy eviction along the path to [leaf]: deepest buckets first. *)
+let evict_path t leaf =
+  let dummy = encode_dummy t.cfg in
+  for lev = t.levels downto 0 do
+    let bucket = node_at t ~leaf ~lev in
+    (* Stash blocks whose assigned leaf passes through [bucket]. *)
+    let chosen = ref [] in
+    let count = ref 0 in
+    (try
+       Hashtbl.iter
+         (fun key payload ->
+           if !count >= z then raise Exit;
+           match Hashtbl.find_opt t.pos key with
+           | Some l when node_at t ~leaf:l ~lev = bucket ->
+               chosen := (key, payload) :: !chosen;
+               incr count
+           | Some _ | None -> ())
+         t.stash
+     with Exit -> ());
+    List.iter (fun (key, _) -> Hashtbl.remove t.stash key) !chosen;
+    let blocks = Array.make z dummy in
+    List.iteri
+      (fun i (key, payload) -> blocks.(i) <- encode_block t.cfg ~key ~payload)
+      !chosen;
+    for s = 0 to z - 1 do
+      Servsim.Block_store.write t.store
+        ((bucket * z) + s)
+        (Crypto.Cell_cipher.encrypt t.cipher blocks.(s))
+    done
+  done
+
+let finish_access t =
+  let occupancy = Hashtbl.length t.stash in
+  if occupancy > t.max_stash then t.max_stash <- occupancy;
+  if occupancy > stash_limit t then t.overflows <- t.overflows + 1;
+  t.accesses <- t.accesses + 1;
+  Servsim.Cost.round_trip (Servsim.Server.cost t.server);
+  sync_client_cost t
+
+let access t ~key update =
+  if String.length key <> t.cfg.key_len then
+    invalid_arg
+      (Printf.sprintf "Path_oram.access: key length %d, expected %d (store %s)"
+         (String.length key) t.cfg.key_len t.name);
+  let leaf =
+    match Hashtbl.find_opt t.pos key with
+    | Some l -> l
+    | None -> t.rand_int t.leaves
+  in
+  fetch_path t leaf;
+  let old = Hashtbl.find_opt t.stash key in
+  (match update old with
+  | Some v ->
+      if String.length v <> t.cfg.payload_len then
+        invalid_arg
+          (Printf.sprintf "Path_oram.access: payload length %d, expected %d (store %s)"
+             (String.length v) t.cfg.payload_len t.name);
+      Hashtbl.replace t.stash key v;
+      Hashtbl.replace t.pos key (t.rand_int t.leaves)
+  | None ->
+      Hashtbl.remove t.stash key;
+      Hashtbl.remove t.pos key);
+  evict_path t leaf;
+  finish_access t;
+  old
+
+let dummy_access t =
+  let leaf = t.rand_int t.leaves in
+  fetch_path t leaf;
+  evict_path t leaf;
+  finish_access t
+
+let read t ~key = access t ~key (fun old -> old)
+let write t ~key v = ignore (access t ~key (fun _ -> Some v))
+let remove t ~key = ignore (access t ~key (fun _ -> None))
+
+let live_blocks t = Hashtbl.length t.pos
+let levels t = t.levels
+let max_stash_seen t = t.max_stash
+let stash_overflows t = t.overflows
+let access_count t = t.accesses
+
+let destroy t =
+  Servsim.Server.drop_store t.server t.name;
+  Servsim.Cost.client_set (Servsim.Server.cost t.server) ~tag:t.name 0

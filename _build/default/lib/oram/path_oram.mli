@@ -1,0 +1,57 @@
+(** Non-recursive PathORAM (Stefanov et al., JACM 2018) — the construction
+    the paper adopts (§III-C, Definition 4), with Z = 4 blocks per bucket
+    and the client-side stash capped at 7·⌈log2 n⌉ blocks for reporting
+    purposes (the paper's setting, §VII-A).
+
+    The server holds a complete binary tree of buckets in one block store;
+    every bucket slot always contains a ciphertext of the same length, and
+    every access reads and rewrites exactly one root-to-leaf path, so the
+    server's view of an access is (path ciphertexts, fresh re-encryptions)
+    for a uniformly random leaf — independent of the key and operation.
+
+    The client holds the position map and the stash; their byte sizes are
+    charged to the cost ledger (this is the O(n) client memory of the
+    paper's Fig. 5). *)
+
+type t
+
+type config = {
+  capacity : int;
+  key_len : int;
+  payload_len : int;
+}
+
+val setup :
+  name:string -> config -> Servsim.Server.t -> Crypto.Cell_cipher.t -> (int -> int) -> t
+(** [setup ~name cfg server cipher rand_int] builds the encrypted tree on
+    [server] in a fresh store [name].  [rand_int bound] must return a
+    uniform integer in [[0, bound)] — pass {!Crypto.Rng.int} or
+    {!Crypto.Ctr_prg.int} partially applied. *)
+
+val access : t -> key:string -> (string option -> string option) -> string option
+val dummy_access : t -> unit
+val read : t -> key:string -> string option
+val write : t -> key:string -> string -> unit
+val remove : t -> key:string -> unit
+
+val live_blocks : t -> int
+val client_state_bytes : t -> int
+val destroy : t -> unit
+
+(** {2 Introspection (tests and benches)} *)
+
+val levels : t -> int
+(** Tree height L; the tree has 2^L leaves and 2^(L+1)-1 buckets. *)
+
+val max_stash_seen : t -> int
+(** High-water mark of stash occupancy (blocks), measured after eviction. *)
+
+val stash_limit : t -> int
+(** The paper's 7·⌈log2 capacity⌉ cap. *)
+
+val stash_overflows : t -> int
+(** Number of accesses after which the stash exceeded {!stash_limit}. *)
+
+val access_count : t -> int
+(** Total physical accesses (including dummy accesses and setup writes are
+    excluded; one per {!access}/{!dummy_access} call). *)

@@ -1,0 +1,222 @@
+(* Recursive PathORAM.  Tree 0 holds the data blocks; tree i >= 1 holds
+   the position map of tree i-1, [fanout] positions per block; the top
+   map (positions of the last tree) is a small client-side array.
+
+   Block plaintext layout (uniform within a tree):
+     flag (1) | id (8) | leaf (8) | payload (payload_len)
+   The assigned leaf rides inside the block so eviction can place stash
+   residents without consulting the maps. *)
+
+let z = 4
+
+type config = {
+  capacity : int;
+  payload_len : int;
+  fanout : int;
+  top_cutoff : int;
+}
+
+type tree = {
+  store : Servsim.Block_store.t;
+  name : string;
+  levels : int;
+  leaves : int;
+  payload_len : int; (* payload bytes for this tree's blocks *)
+  stash : (int, int * Bytes.t) Hashtbl.t; (* id -> (leaf, payload) *)
+}
+
+type t = {
+  cfg : config;
+  server : Servsim.Server.t;
+  cipher : Crypto.Cell_cipher.t;
+  rand_int : int -> int;
+  trees : tree array; (* trees.(0) = data; trees.(i) = map of tree i-1 *)
+  top : int array; (* positions of the last tree's blocks *)
+  session_name : string;
+  mutable live : int;
+}
+
+let invalid_pos = -1
+
+let ceil_log2 n =
+  let rec go acc v = if v >= n then acc else go (acc + 1) (v * 2) in
+  go 0 1
+
+let block_pt_len tree = 1 + 8 + 8 + tree.payload_len
+
+let node_at tree ~leaf ~lev = (1 lsl lev) - 1 + (leaf lsr (tree.levels - lev))
+
+let make_tree server cipher ~name ~capacity ~payload_len =
+  let levels = max 1 (ceil_log2 capacity) in
+  let leaves = 1 lsl levels in
+  let buckets = (2 * leaves) - 1 in
+  let store = Servsim.Server.create_store server name in
+  Servsim.Block_store.ensure store (buckets * z);
+  let tree = { store; name; levels; leaves; payload_len; stash = Hashtbl.create 32 } in
+  let dummy = String.make (block_pt_len tree) '\000' in
+  for slot = 0 to (buckets * z) - 1 do
+    Servsim.Block_store.write store slot (Crypto.Cell_cipher.encrypt cipher dummy)
+  done;
+  tree
+
+let setup ~name cfg server cipher rand_int =
+  if cfg.capacity < 1 then invalid_arg "Recursive_path_oram.setup: capacity must be >= 1";
+  if cfg.fanout < 2 then invalid_arg "Recursive_path_oram.setup: fanout must be >= 2";
+  (* Sizes of the recursion levels: n, ceil(n/f), ceil(n/f^2), ... *)
+  let sizes = ref [ cfg.capacity ] in
+  while List.hd !sizes > cfg.top_cutoff do
+    sizes := ((List.hd !sizes + cfg.fanout - 1) / cfg.fanout) :: !sizes
+  done;
+  let sizes = Array.of_list (List.rev !sizes) in
+  (* sizes.(0) = capacity = data tree; sizes.(i) = block count of map tree
+     i (which packs the positions of tree i-1).  A tree exists for every
+     entry; the client's top map holds the positions of the last tree —
+     sizes.(last) entries, <= top_cutoff by construction. *)
+  let ntrees = Array.length sizes in
+  let trees =
+    Array.init ntrees (fun i ->
+        let payload_len = if i = 0 then cfg.payload_len else cfg.fanout * 8 in
+        make_tree server cipher
+          ~name:(Printf.sprintf "%s-t%d" name i)
+          ~capacity:sizes.(i) ~payload_len)
+  in
+  let top_size = sizes.(ntrees - 1) in
+  Servsim.Cost.round_trip (Servsim.Server.cost server);
+  {
+    cfg;
+    server;
+    cipher;
+    rand_int;
+    trees;
+    top = Array.make top_size invalid_pos;
+    session_name = name;
+    live = 0;
+  }
+
+let encode_block tree ~id ~leaf payload =
+  let b = Bytes.make (block_pt_len tree) '\000' in
+  Bytes.set b 0 '\001';
+  Relation.Codec.put_int64 b 1 (Int64.of_int id);
+  Relation.Codec.put_int64 b 9 (Int64.of_int leaf);
+  Bytes.blit payload 0 b 17 tree.payload_len;
+  Bytes.to_string b
+
+let decode_block tree pt =
+  if pt.[0] = '\000' then None
+  else
+    let id = Int64.to_int (Relation.Codec.get_int64 pt 1) in
+    let leaf = Int64.to_int (Relation.Codec.get_int64 pt 9) in
+    let payload = Bytes.of_string (String.sub pt 17 tree.payload_len) in
+    Some (id, leaf, payload)
+
+let fetch_path t tree leaf =
+  for lev = 0 to tree.levels do
+    let bucket = node_at tree ~leaf ~lev in
+    for s = 0 to z - 1 do
+      let c = Servsim.Block_store.read tree.store ((bucket * z) + s) in
+      match decode_block tree (Crypto.Cell_cipher.decrypt t.cipher c) with
+      | None -> ()
+      | Some (id, l, payload) -> Hashtbl.replace tree.stash id (l, payload)
+    done
+  done
+
+let evict_path t tree leaf =
+  let dummy = String.make (block_pt_len tree) '\000' in
+  for lev = tree.levels downto 0 do
+    let bucket = node_at tree ~leaf ~lev in
+    let chosen = ref [] in
+    let count = ref 0 in
+    (try
+       Hashtbl.iter
+         (fun id (l, payload) ->
+           if !count >= z then raise Exit;
+           if node_at tree ~leaf:l ~lev = bucket then begin
+             chosen := (id, l, payload) :: !chosen;
+             incr count
+           end)
+         tree.stash
+     with Exit -> ());
+    List.iter (fun (id, _, _) -> Hashtbl.remove tree.stash id) !chosen;
+    let blocks = Array.make z dummy in
+    List.iteri (fun i (id, l, payload) -> blocks.(i) <- encode_block tree ~id ~leaf:l payload) !chosen;
+    for s = 0 to z - 1 do
+      Servsim.Block_store.write tree.store
+        ((bucket * z) + s)
+        (Crypto.Cell_cipher.encrypt t.cipher blocks.(s))
+    done
+  done
+
+(* Read-and-reassign the position of block [idx] of tree [lvl - 1]:
+   returns its old leaf and records [new_leaf].  For lvl = depth the
+   positions live in the client's top map; otherwise in tree [lvl]. *)
+let rec update_position t ~lvl ~idx ~new_leaf =
+  if lvl >= Array.length t.trees then begin
+    let old = t.top.(idx) in
+    t.top.(idx) <- new_leaf;
+    old
+  end
+  else begin
+    let tree = t.trees.(lvl) in
+    let blk = idx / t.cfg.fanout and slot = idx mod t.cfg.fanout in
+    let my_new = t.rand_int tree.leaves in
+    let my_old = update_position t ~lvl:(lvl + 1) ~idx:blk ~new_leaf:my_new in
+    let my_old = if my_old = invalid_pos then t.rand_int tree.leaves else my_old in
+    fetch_path t tree my_old;
+    let payload =
+      match Hashtbl.find_opt tree.stash blk with
+      | Some (_, payload) -> payload
+      | None ->
+          (* Fresh map block: all positions invalid. *)
+          let b = Bytes.create tree.payload_len in
+          for s = 0 to t.cfg.fanout - 1 do
+            Relation.Codec.put_int64 b (s * 8) (Int64.of_int invalid_pos)
+          done;
+          b
+    in
+    let old = Int64.to_int (Relation.Codec.get_int64 (Bytes.to_string payload) (slot * 8)) in
+    Relation.Codec.put_int64 payload (slot * 8) (Int64.of_int new_leaf);
+    Hashtbl.replace tree.stash blk (my_new, payload);
+    evict_path t tree my_old;
+    old
+  end
+
+let access t ~key update =
+  if key < 0 || key >= t.cfg.capacity then
+    invalid_arg "Recursive_path_oram.access: key out of [0, capacity)";
+  let data = t.trees.(0) in
+  let new_leaf = t.rand_int data.leaves in
+  let old_leaf = update_position t ~lvl:1 ~idx:key ~new_leaf in
+  let old_leaf = if old_leaf = invalid_pos then t.rand_int data.leaves else old_leaf in
+  fetch_path t data old_leaf;
+  let old = Option.map (fun (_, p) -> Bytes.to_string p) (Hashtbl.find_opt data.stash key) in
+  (match update old with
+  | Some v ->
+      if String.length v <> t.cfg.payload_len then
+        invalid_arg "Recursive_path_oram.access: bad payload length";
+      if old = None then t.live <- t.live + 1;
+      Hashtbl.replace data.stash key (new_leaf, Bytes.of_string v)
+  | None ->
+      if old <> None then t.live <- t.live - 1;
+      Hashtbl.remove data.stash key);
+  evict_path t data old_leaf;
+  Servsim.Cost.round_trip (Servsim.Server.cost t.server);
+  old
+
+let read t ~key = access t ~key (fun old -> old)
+let write t ~key v = ignore (access t ~key (fun _ -> Some v))
+let remove t ~key = ignore (access t ~key (fun _ -> None))
+
+let recursion_depth t = Array.length t.trees
+
+let client_state_bytes t =
+  let stash_bytes =
+    Array.fold_left
+      (fun acc tree -> acc + (Hashtbl.length tree.stash * (16 + tree.payload_len)))
+      0 t.trees
+  in
+  (Array.length t.top * 8) + stash_bytes
+
+let live_blocks t = t.live
+
+let destroy t =
+  Array.iter (fun tree -> Servsim.Server.drop_store t.server tree.name) t.trees

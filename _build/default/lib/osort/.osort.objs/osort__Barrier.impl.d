@@ -1,0 +1,1 @@
+lib/osort/barrier.ml: Condition Mutex

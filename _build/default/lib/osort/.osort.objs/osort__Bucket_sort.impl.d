@@ -1,0 +1,1 @@
+lib/osort/bucket_sort.ml: Array Int List Network

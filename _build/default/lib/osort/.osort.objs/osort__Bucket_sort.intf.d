@@ -1,0 +1,1 @@
+lib/osort/bucket_sort.mli:

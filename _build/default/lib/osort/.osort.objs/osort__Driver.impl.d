@@ -1,0 +1,1 @@
+lib/osort/driver.ml: Array Barrier Domain Network

@@ -1,0 +1,1 @@
+lib/osort/driver.mli: Network

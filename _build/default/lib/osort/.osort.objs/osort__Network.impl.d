@@ -1,0 +1,1 @@
+lib/osort/network.ml: Array Hashtbl List

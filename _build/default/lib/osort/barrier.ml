@@ -1,0 +1,26 @@
+type t = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  parties : int;
+  mutable waiting : int;
+  mutable phase : int;
+}
+
+let create parties =
+  if parties < 1 then invalid_arg "Barrier.create: parties must be >= 1";
+  { mutex = Mutex.create (); cond = Condition.create (); parties; waiting = 0; phase = 0 }
+
+let wait t =
+  Mutex.lock t.mutex;
+  let phase = t.phase in
+  t.waiting <- t.waiting + 1;
+  if t.waiting = t.parties then begin
+    t.waiting <- 0;
+    t.phase <- phase + 1;
+    Condition.broadcast t.cond
+  end
+  else
+    while t.phase = phase do
+      Condition.wait t.cond t.mutex
+    done;
+  Mutex.unlock t.mutex

@@ -1,0 +1,10 @@
+(** A reusable synchronisation barrier for a fixed party count, used to
+    separate network stages among persistent worker domains. *)
+
+type t
+
+val create : int -> t
+(** [create parties] — @raise Invalid_argument if [parties < 1]. *)
+
+val wait : t -> unit
+(** Blocks until all parties have called [wait] for the current phase. *)

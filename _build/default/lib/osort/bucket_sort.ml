@@ -1,0 +1,119 @@
+exception Overflow
+
+type 'a slot =
+  | Real of int * 'a (* routing key, element *)
+  | Dummy
+
+let log2_exact b =
+  let rec go l v = if v = 1 then l else go (l + 1) (v / 2) in
+  go 0 b
+
+(* One MergeSplit: route the real elements of two z-slot buckets by bit
+   [bit] of their keys.  (A deployment performs this as a fixed bitonic
+   network over the 2z encrypted slots; the data movement below is the
+   same and the schedule is equally input-independent — every level
+   touches every slot of every bucket exactly once.) *)
+let merge_split ~z ~bit b0 b1 =
+  let out0 = Array.make z Dummy and out1 = Array.make z Dummy in
+  let n0 = ref 0 and n1 = ref 0 in
+  let route slot =
+    match slot with
+    | Dummy -> ()
+    | Real (key, _) ->
+        if key land (1 lsl bit) = 0 then begin
+          if !n0 >= z then raise Overflow;
+          out0.(!n0) <- slot;
+          incr n0
+        end
+        else begin
+          if !n1 >= z then raise Overflow;
+          out1.(!n1) <- slot;
+          incr n1
+        end
+  in
+  Array.iter route b0;
+  Array.iter route b1;
+  (out0, out1)
+
+let permute_once ~z ~rand a =
+  let n = Array.length a in
+  let half = z / 2 in
+  let b = Network.ceil_pow2 (max 2 ((n + half - 1) / half)) in
+  let levels = log2_exact b in
+  (* Random destination keys, then initial distribution: <= z/2 reals per
+     bucket. *)
+  let buckets =
+    Array.init b (fun bi ->
+        Array.init z (fun s ->
+            let i = (bi * half) + s in
+            if s < half && i < n then Real (rand b, a.(i)) else Dummy))
+  in
+  for level = 0 to levels - 1 do
+    let stride = 1 lsl level in
+    for i = 0 to b - 1 do
+      if i land stride = 0 then begin
+        let j = i lor stride in
+        let o0, o1 = merge_split ~z ~bit:level buckets.(i) buckets.(j) in
+        buckets.(i) <- o0;
+        buckets.(j) <- o1
+      end
+    done
+  done;
+  (* Collect reals bucket by bucket; within a bucket the residual order is
+     a deterministic function of the keys, so shuffle it away (client-side
+     work, invisible to the server). *)
+  let out = Array.make n a.(0) in
+  let k = ref 0 in
+  Array.iter
+    (fun bucket ->
+      let reals =
+        Array.to_list bucket
+        |> List.filter_map (function Real (_, x) -> Some x | Dummy -> None)
+        |> Array.of_list
+      in
+      for i = Array.length reals - 1 downto 1 do
+        let j = rand (i + 1) in
+        let tmp = reals.(i) in
+        reals.(i) <- reals.(j);
+        reals.(j) <- tmp
+      done;
+      Array.iter
+        (fun x ->
+          out.(!k) <- x;
+          incr k)
+        reals)
+    buckets;
+  assert (!k = n);
+  out
+
+let permute ?(z = 32) ?(attempts = 16) ~rand a =
+  if z < 2 || z mod 2 <> 0 then invalid_arg "Bucket_sort.permute: z must be even and >= 2";
+  if Array.length a <= 1 then Array.copy a
+  else begin
+    let rec try_ k =
+      if k = 0 then raise Overflow
+      else
+        match permute_once ~z ~rand a with
+        | out -> out
+        | exception Overflow -> try_ (k - 1)
+    in
+    try_ attempts
+  end
+
+let sort ?z ~compare ~rand a =
+  let permuted = permute ?z ~rand a in
+  (* Comparison sort over randomly permuted data: the comparison outcomes
+     (hence any data-dependent accesses) are determined by the uniformly
+     random permutation once ties are broken by position. *)
+  let indexed = Array.mapi (fun i x -> (x, i)) permuted in
+  Array.sort
+    (fun (x, i) (y, j) -> match compare x y with 0 -> Int.compare i j | c -> c)
+    indexed;
+  Array.map fst indexed
+
+let touches ~n ~z =
+  let half = z / 2 in
+  let b = Network.ceil_pow2 (max 2 ((n + half - 1) / half)) in
+  let levels = log2_exact b in
+  (* Each level reads and rewrites every slot of every bucket. *)
+  2 * levels * b * z

@@ -1,0 +1,35 @@
+(** Bucket oblivious random permutation and bucket oblivious sort
+    (Asharov, Chan, Nayak, Pass, Ren, Shi — SOSA 2020), the paper's
+    reference [1]: an O(n log n) oblivious shuffle/sort, asymptotically
+    better than bitonic's O(n log² n).
+
+    Structure: elements get uniform random destination keys and are
+    routed through a butterfly of log B levels of {e MergeSplit}
+    operations over B buckets of capacity [z]; each MergeSplit is a fixed
+    bitonic network over 2[z] slots, so the whole physical schedule is a
+    function of (n, z) alone.  A bucket overflow (probability
+    2^{-Ω(z)}) aborts and retries with fresh keys — the retry itself
+    reveals nothing about the data since keys are independent of it.
+
+    After the permutation, a comparison sort's access pattern on the
+    {e randomly permuted} data is input-independent (ties broken by
+    position), giving the bucket oblivious sort. *)
+
+exception Overflow
+(** Raised internally on bucket overflow; {!permute} retries, so callers
+    see it only if [attempts] is exhausted. *)
+
+val permute : ?z:int -> ?attempts:int -> rand:(int -> int) -> 'a array -> 'a array
+(** [permute ~rand a] is a uniformly random permutation of [a] produced
+    by the oblivious routing network.  [z] is the bucket capacity
+    (default 32); [attempts] bounds overflow retries (default 16).
+    @raise Overflow if every attempt overflowed (vanishingly unlikely). *)
+
+val sort : ?z:int -> compare:('a -> 'a -> int) -> rand:(int -> int) -> 'a array -> 'a array
+(** Bucket oblivious sort: {!permute}, then merge sort with ties broken
+    by permuted position. *)
+
+val touches : n:int -> z:int -> int
+(** The number of element slots touched by the routing network for [n]
+    elements — the cost model used in the ablation bench (compare with
+    2·comparators of the bitonic network). *)

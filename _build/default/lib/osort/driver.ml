@@ -1,0 +1,34 @@
+let run (net : Network.t) ~exchange =
+  Array.iter
+    (fun stage ->
+      Array.iter (fun { Network.i; j; up } -> exchange ~up i j) stage)
+    net.Network.stages
+
+(* Persistent workers: domains are spawned once for the whole network and
+   synchronise between stages on a reusable barrier — per-stage domain
+   churn (and its stop-the-world GC synchronisations) would otherwise eat
+   the parallel speedup. *)
+let run_parallel (net : Network.t) ~domains ~make_exchange =
+  if domains < 1 then invalid_arg "Driver.run_parallel: domains must be >= 1";
+  if domains = 1 then run net ~exchange:(make_exchange ())
+  else begin
+    let stages = net.Network.stages in
+    let barrier = Barrier.create domains in
+    let worker w () =
+      let exchange = make_exchange () in
+      Array.iter
+        (fun stage ->
+          let len = Array.length stage in
+          let chunk = (len + domains - 1) / domains in
+          let lo = w * chunk and hi = min len ((w + 1) * chunk) in
+          for c = lo to hi - 1 do
+            let { Network.i; j; up } = stage.(c) in
+            exchange ~up i j
+          done;
+          Barrier.wait barrier)
+        stages
+    in
+    let spawned = Array.init (domains - 1) (fun w -> Domain.spawn (worker (w + 1))) in
+    worker 0 ();
+    Array.iter Domain.join spawned
+  end

@@ -1,0 +1,46 @@
+(** Comparator networks.
+
+    A sorting network is an explicit, data-independent schedule of
+    compare-exchange operations: a sequence of stages, each a set of
+    comparators touching pairwise-disjoint positions.  Because the schedule
+    is a function of the array length alone, any algorithm that executes a
+    network over encrypted elements is oblivious by construction
+    (Definition 2 of the paper) — this module is where that guarantee
+    comes from, so it is kept free of any data or crypto concerns.
+
+    Comparators within one stage are disjoint, which is exactly the
+    parallelism the paper exploits (§VII-D, up to n/2 threads). *)
+
+type comparator = {
+  i : int;
+  j : int;  (** i < j always *)
+  up : bool;  (** after the exchange, elt(i) <= elt(j) iff [up] *)
+}
+
+type t = {
+  n : int;  (** array length the network sorts (a power of two) *)
+  stages : comparator array array;
+}
+
+val bitonic : int -> t
+(** [bitonic n] is Batcher's bitonic sorting network for [n] a power of
+    two; O(n log^2 n) comparators in (log n)(log n + 1)/2 stages.
+    @raise Invalid_argument if [n] is not a positive power of two. *)
+
+val odd_even_merge : int -> t
+(** Batcher's odd-even merge sorting network, same asymptotics with a
+    smaller constant; used for the network ablation. *)
+
+val comparator_count : t -> int
+val stage_count : t -> int
+
+val sorts_all_01 : t -> bool
+(** Exhaustive 0-1-principle check: the network sorts all 2^n boolean
+    inputs ascending.  Exponential — for test use with n <= 16. *)
+
+val check_disjoint_stages : t -> bool
+(** Every stage touches each index at most once (required for parallel
+    execution). *)
+
+val ceil_pow2 : int -> int
+(** Smallest power of two >= max(1, n). *)

@@ -1,0 +1,1 @@
+lib/relation/attrset.ml: Array Format Int List String

@@ -1,0 +1,1 @@
+lib/relation/attrset.mli: Format

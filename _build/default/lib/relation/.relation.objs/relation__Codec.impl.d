@@ -1,0 +1,1 @@
+lib/relation/codec.ml: Bytes Char Int64 Printf String Value

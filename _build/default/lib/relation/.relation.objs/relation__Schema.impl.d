@@ -1,0 +1,1 @@
+lib/relation/schema.ml: Array Attrset Hashtbl List

@@ -1,0 +1,1 @@
+lib/relation/table.ml: Array Attrset Format List Schema String Value

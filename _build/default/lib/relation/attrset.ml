@@ -1,0 +1,67 @@
+type t = int
+
+let max_attrs = 62
+
+let empty = 0
+let full ~m = (1 lsl m) - 1
+
+let check_idx i =
+  if i < 0 || i >= max_attrs then invalid_arg "Attrset: attribute index out of range"
+
+let singleton i =
+  check_idx i;
+  1 lsl i
+
+let add s i =
+  check_idx i;
+  s lor (1 lsl i)
+
+let remove s i =
+  check_idx i;
+  s land lnot (1 lsl i)
+
+let mem s i = i >= 0 && i < max_attrs && s land (1 lsl i) <> 0
+let union a b = a lor b
+let inter a b = a land b
+let diff a b = a land lnot b
+
+let cardinal s =
+  let rec go s acc = if s = 0 then acc else go (s land (s - 1)) (acc + 1) in
+  go s 0
+
+let is_empty s = s = 0
+let subset a b = a land b = a
+let equal = Int.equal
+let compare = Int.compare
+
+let elements s =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (if mem s i then i :: acc else acc) in
+  go (max_attrs - 1) []
+
+let of_list l = List.fold_left add empty l
+
+let iter f s = List.iter f (elements s)
+let fold f s init = List.fold_left (fun acc i -> f i acc) init (elements s)
+let for_all p s = List.for_all p (elements s)
+let exists p s = List.exists p (elements s)
+
+let min_elt s =
+  if s = 0 then raise Not_found;
+  let rec go i = if mem s i then i else go (i + 1) in
+  go 0
+
+let choose_two_generators s =
+  if cardinal s < 2 then invalid_arg "Attrset.choose_two_generators: need |X| >= 2";
+  let a = min_elt s in
+  let b = min_elt (remove s a) in
+  (remove s a, remove s b)
+
+let to_int s = s
+let of_int s = s
+
+let pp ppf s =
+  Format.fprintf ppf "{%s}" (String.concat "," (List.map string_of_int (elements s)))
+
+let pp_named names ppf s =
+  let name i = if i < Array.length names then names.(i) else string_of_int i in
+  Format.fprintf ppf "{%s}" (String.concat "," (List.map name (elements s)))

@@ -1,0 +1,48 @@
+(** Attribute sets as bitmasks over column indices.
+
+    FD discovery manipulates very many small sets of column indices
+    (lattice nodes, C+ candidate sets); a bitmask makes membership, union,
+    intersection and equality O(1) and makes sets directly usable as
+    hash-table keys.  Supports up to 62 columns, far above the paper's
+    datasets (14–20). *)
+
+type t = private int
+
+val max_attrs : int
+
+val empty : t
+val full : m:int -> t
+val singleton : int -> t
+val add : t -> int -> t
+val remove : t -> int -> t
+val mem : t -> int -> bool
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val cardinal : t -> int
+val is_empty : t -> bool
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val elements : t -> int list
+(** Ascending column indices. *)
+
+val of_list : int list -> t
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val for_all : (int -> bool) -> t -> bool
+val exists : (int -> bool) -> t -> bool
+val min_elt : t -> int
+(** @raise Not_found on the empty set. *)
+
+val choose_two_generators : t -> t * t
+(** For [|X| >= 2], the two subsets [X \ {a}] and [X \ {b}] where [a], [b]
+    are the two smallest attributes — the pair (X1, X2) of the paper's
+    Property 1 (X1 ∪ X2 = X, both strict subsets, both one level down).
+    @raise Invalid_argument if [cardinal < 2]. *)
+
+val to_int : t -> int
+val of_int : int -> t
+val pp : Format.formatter -> t -> unit
+val pp_named : string array -> Format.formatter -> t -> unit

@@ -1,0 +1,70 @@
+let put_int64 b off v =
+  for k = 0 to 7 do
+    Bytes.set b (off + k) (Char.chr (Int64.to_int (Int64.shift_right_logical v (k * 8)) land 0xff))
+  done
+
+let get_int64 s off =
+  let v = ref 0L in
+  for k = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code s.[off + k]))
+  done;
+  !v
+
+let encode_int v =
+  let b = Bytes.create 8 in
+  put_int64 b 0 (Int64.of_int v);
+  Bytes.to_string b
+
+let decode_int s = Int64.to_int (get_int64 s 0)
+
+(* Layout: 1 tag byte; Int -> 8 bytes LE + zero padding; Str -> 1 length
+   byte + bytes + zero padding.  22 string bytes keeps the whole encoding
+   at 24 bytes, which pads to one extra AES block beyond the IV. *)
+let max_str_len = 22
+let value_width = 2 + max_str_len
+
+let encode_value (v : Value.t) =
+  let b = Bytes.make value_width '\000' in
+  (match v with
+  | Value.Int x ->
+      Bytes.set b 0 '\001';
+      (* Big-endian with sign bit flipped, so byte order matches integer
+         order (useful property, relied on by tests). *)
+      let u = Int64.logxor (Int64.of_int x) Int64.min_int in
+      for k = 0 to 7 do
+        Bytes.set b (1 + k) (Char.chr (Int64.to_int (Int64.shift_right_logical u ((7 - k) * 8)) land 0xff))
+      done
+  | Value.Str s ->
+      let len = String.length s in
+      if len > max_str_len then
+        invalid_arg (Printf.sprintf "Codec.encode_value: string longer than %d bytes" max_str_len);
+      Bytes.set b 0 '\002';
+      Bytes.blit_string s 0 b 1 len;
+      Bytes.set b (value_width - 1) (Char.chr len));
+  Bytes.to_string b
+
+(* Strict decoding: padding bytes must be exactly as {!encode_value}
+   writes them, so any bit flip anywhere in an encoded value is rejected
+   rather than silently ignored (ciphertext-corruption detection relies
+   on this). *)
+let check_zero_padding s ~from ~upto =
+  for k = from to upto do
+    if s.[k] <> '\000' then invalid_arg "Codec.decode_value: corrupt padding"
+  done
+
+let decode_value s =
+  if String.length s <> value_width then invalid_arg "Codec.decode_value: bad width";
+  match s.[0] with
+  | '\001' ->
+      check_zero_padding s ~from:9 ~upto:(value_width - 1);
+      let u = ref 0L in
+      for k = 0 to 7 do
+        u := Int64.logor (Int64.shift_left !u 8) (Int64.of_int (Char.code s.[1 + k]))
+      done;
+      Value.Int (Int64.to_int (Int64.logxor !u Int64.min_int))
+  | '\002' ->
+      let len = Char.code s.[value_width - 1] in
+      if len > max_str_len then invalid_arg "Codec.decode_value: bad string length";
+      check_zero_padding s ~from:(1 + len) ~upto:(value_width - 2);
+      Value.Str (String.sub s 1 len)
+  | _ -> invalid_arg "Codec.decode_value: bad tag"

@@ -1,0 +1,34 @@
+(** Fixed-width binary codecs.
+
+    Everything stored in an ORAM block or a sorting-network element must
+    have a width that depends only on public parameters (it is encrypted,
+    but the ciphertext length is visible), so values and integers are
+    encoded into fixed-width fields here.
+
+    The value encoding is injective — attribute compression (§IV-B of the
+    paper) relies on distinct values mapping to distinct keys. *)
+
+val put_int64 : Bytes.t -> int -> int64 -> unit
+val get_int64 : string -> int -> int64
+
+val encode_int : int -> string
+(** 8-byte little-endian two's-complement encoding. *)
+
+val decode_int : string -> int
+(** Inverse of {!encode_int} on its image (reads the first 8 bytes). *)
+
+val value_width : int
+(** Fixed byte width of an encoded cell value (tag + 8-byte int, or tag +
+    length byte + up to {!max_str_len} string bytes). *)
+
+val max_str_len : int
+(** Longest string value that fits the fixed width. *)
+
+val encode_value : Value.t -> string
+(** Fixed-width injective encoding; the encoding also preserves
+    {!Value.compare} order under lexicographic byte comparison
+    for values of the same kind.
+    @raise Invalid_argument if a string value exceeds {!max_str_len}. *)
+
+val decode_value : string -> Value.t
+(** @raise Invalid_argument on malformed input. *)

@@ -1,0 +1,25 @@
+type t = { names : string array; by_name : (string, int) Hashtbl.t }
+
+let make names =
+  if Array.length names > Attrset.max_attrs then
+    invalid_arg "Schema.make: too many columns";
+  let by_name = Hashtbl.create (Array.length names) in
+  Array.iteri
+    (fun i n ->
+      if Hashtbl.mem by_name n then invalid_arg ("Schema.make: duplicate attribute " ^ n);
+      Hashtbl.replace by_name n i)
+    names;
+  { names = Array.copy names; by_name }
+
+let arity t = Array.length t.names
+let name t i = t.names.(i)
+let names t = Array.copy t.names
+
+let index t n =
+  match Hashtbl.find_opt t.by_name n with
+  | Some i -> i
+  | None -> raise Not_found
+
+let attrset_of_names t l = Attrset.of_list (List.map (index t) l)
+
+let pp_attrset t ppf s = Attrset.pp_named t.names ppf s

@@ -1,0 +1,16 @@
+(** Relation schema: ordered attribute (column) names. *)
+
+type t
+
+val make : string array -> t
+(** @raise Invalid_argument on duplicate names or more than
+    {!Attrset.max_attrs} columns. *)
+
+val arity : t -> int
+val name : t -> int -> string
+val names : t -> string array
+val index : t -> string -> int
+(** @raise Not_found if the attribute is unknown. *)
+
+val attrset_of_names : t -> string list -> Attrset.t
+val pp_attrset : t -> Format.formatter -> Attrset.t -> unit

@@ -1,0 +1,61 @@
+type t = { schema : Schema.t; data : Value.t array array }
+
+let make schema data =
+  let m = Schema.arity schema in
+  Array.iter
+    (fun r ->
+      if Array.length r <> m then invalid_arg "Table.make: row arity mismatch")
+    data;
+  { schema; data = Array.copy data }
+
+let schema t = t.schema
+let rows t = Array.length t.data
+let cols t = Schema.arity t.schema
+let cell t ~row ~col = t.data.(row).(col)
+let row t i = Array.copy t.data.(i)
+let column t c = Array.map (fun r -> r.(c)) t.data
+
+let project_value t ~row set =
+  List.map (fun c -> t.data.(row).(c)) (Attrset.elements set)
+
+let sample_rows t rand k =
+  let n = rows t in
+  if k > n then invalid_arg "Table.sample_rows: sample larger than table";
+  let idx = Array.init n (fun i -> i) in
+  (* Partial Fisher–Yates: the first k entries end up a uniform sample. *)
+  for i = 0 to k - 1 do
+    let j = i + rand (n - i) in
+    let tmp = idx.(i) in
+    idx.(i) <- idx.(j);
+    idx.(j) <- tmp
+  done;
+  { schema = t.schema; data = Array.init k (fun i -> t.data.(idx.(i))) }
+
+let append_row t r =
+  if Array.length r <> cols t then invalid_arg "Table.append_row: arity mismatch";
+  { t with data = Array.append t.data [| Array.copy r |] }
+
+let remove_row t i =
+  if i < 0 || i >= rows t then invalid_arg "Table.remove_row: out of bounds";
+  let data =
+    Array.init (rows t - 1) (fun k -> if k < i then t.data.(k) else t.data.(k + 1))
+  in
+  { t with data }
+
+let equal a b =
+  Schema.names a.schema = Schema.names b.schema
+  && Array.length a.data = Array.length b.data
+  && Array.for_all2 (fun r1 r2 -> Array.for_all2 Value.equal r1 r2) a.data b.data
+
+let pp ppf t =
+  let m = cols t in
+  Format.fprintf ppf "@[<v>%s@," (String.concat " | " (Array.to_list (Schema.names t.schema)));
+  Array.iter
+    (fun r ->
+      for c = 0 to m - 1 do
+        if c > 0 then Format.fprintf ppf " | ";
+        Value.pp ppf r.(c)
+      done;
+      Format.fprintf ppf "@,")
+    t.data;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,36 @@
+(** In-memory plaintext relation: the client's database DB before
+    outsourcing, and the working representation of the non-secure
+    baselines. *)
+
+type t
+
+val make : Schema.t -> Value.t array array -> t
+(** Rows are copied shallowly; each row must have [Schema.arity] cells.
+    @raise Invalid_argument on arity mismatch. *)
+
+val schema : t -> Schema.t
+val rows : t -> int
+(** n — number of records. *)
+
+val cols : t -> int
+(** m — number of attributes. *)
+
+val cell : t -> row:int -> col:int -> Value.t
+val row : t -> int -> Value.t array
+val column : t -> int -> Value.t array
+
+val project_value : t -> row:int -> Attrset.t -> Value.t list
+(** The tuple of values of a record under an attribute set (ascending
+    column order). *)
+
+val sample_rows : t -> (int -> int) -> int -> t
+(** [sample_rows t rand k] takes a uniform sample of [k] distinct rows
+    (used by the Table II experiment to equalise dataset sizes).
+    @raise Invalid_argument if [k > rows t]. *)
+
+val append_row : t -> Value.t array -> t
+val remove_row : t -> int -> t
+(** Functional update helpers for the dynamic-database tests. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+type t =
+  | Int of int
+  | Str of string
+
+let compare a b =
+  match (a, b) with
+  | Int x, Int y -> Int.compare x y
+  | Str x, Str y -> String.compare x y
+  | Int _, Str _ -> -1
+  | Str _, Int _ -> 1
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Int x -> Hashtbl.hash (0, x)
+  | Str s -> Hashtbl.hash (1, s)
+
+let to_string = function
+  | Int x -> string_of_int x
+  | Str s -> s
+
+let pp ppf = function
+  | Int x -> Format.fprintf ppf "%d" x
+  | Str s -> Format.fprintf ppf "%S" s
+
+let of_string s =
+  match int_of_string_opt s with
+  | Some x -> Int x
+  | None -> Str s

@@ -1,0 +1,20 @@
+(** Cell values of the outsourced database.
+
+    The paper assumes orderable, individually encryptable cell values
+    (§II-A, Definition 3).  We support integers and short strings; both
+    are totally ordered (all integers sort before all strings) and encode
+    to a fixed-width binary form suitable for semantically secure
+    encryption (see {!Codec}). *)
+
+type t =
+  | Int of int
+  | Str of string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val of_string : string -> t
+(** Parses an integer if the string looks like one, else a [Str]. *)

@@ -1,0 +1,1 @@
+lib/servsim/block_store.mli: Cost Remote Trace

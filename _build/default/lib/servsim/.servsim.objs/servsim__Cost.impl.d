@@ -1,0 +1,1 @@
+lib/servsim/cost.ml: Format Hashtbl Option

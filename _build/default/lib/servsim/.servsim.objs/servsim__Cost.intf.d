@@ -1,0 +1,1 @@
+lib/servsim/cost.mli: Format

@@ -1,0 +1,1 @@
+lib/servsim/remote.ml: Int64 Sys Unix Wire

@@ -1,0 +1,1 @@
+lib/servsim/remote.mli: Unix Wire

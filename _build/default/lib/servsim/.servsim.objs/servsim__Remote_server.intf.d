@@ -1,0 +1,1 @@
+lib/servsim/remote_server.mli: Unix

@@ -1,0 +1,1 @@
+lib/servsim/server.ml: Block_store Cost Hashtbl List Printf Remote Trace Wire

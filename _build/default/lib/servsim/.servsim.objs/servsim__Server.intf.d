@@ -1,0 +1,1 @@
+lib/servsim/server.mli: Block_store Cost Remote Trace

@@ -1,0 +1,1 @@
+lib/servsim/trace.ml: Char Int64 List String

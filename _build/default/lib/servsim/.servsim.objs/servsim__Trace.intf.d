@@ -1,0 +1,1 @@
+lib/servsim/trace.mli:

@@ -1,0 +1,1 @@
+lib/servsim/wire.ml: Char Int64 Printf String

@@ -1,0 +1,1 @@
+lib/servsim/wire.mli:

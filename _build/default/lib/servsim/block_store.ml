@@ -1,0 +1,98 @@
+type storage =
+  | Local_mem of { mutable blocks : string array }
+  | Remote_conn of { conn : Remote.t; mutable lengths : int array }
+      (* [lengths] shadows the remote block sizes so the byte ledger can
+         be maintained without extra round trips. *)
+
+type t = {
+  name : string;
+  trace : Trace.t;
+  cost : Cost.t;
+  on_resize : int -> unit; (* notify owner of byte-count delta *)
+  storage : storage;
+  mutable len : int;
+  mutable bytes : int;
+}
+
+let name t = t.name
+let length t = t.len
+let size_bytes t = t.bytes
+
+let create ~name ~trace ~on_resize ?remote cost =
+  let storage =
+    match remote with
+    | Some conn -> Remote_conn { conn; lengths = Array.make 16 0 }
+    | None -> Local_mem { blocks = Array.make 16 "" }
+  in
+  { name; trace; cost; on_resize; storage; len = 0; bytes = 0 }
+
+let grow_pow2 cur n =
+  let cap = ref (max 16 cur) in
+  while !cap < n do
+    cap := !cap * 2
+  done;
+  !cap
+
+let ensure t n =
+  (match t.storage with
+  | Local_mem s ->
+      if n > Array.length s.blocks then begin
+        let blocks = Array.make (grow_pow2 (Array.length s.blocks) n) "" in
+        Array.blit s.blocks 0 blocks 0 t.len;
+        s.blocks <- blocks
+      end
+  | Remote_conn r ->
+      if n > Array.length r.lengths then begin
+        let lengths = Array.make (grow_pow2 (Array.length r.lengths) n) 0 in
+        Array.blit r.lengths 0 lengths 0 t.len;
+        r.lengths <- lengths
+      end;
+      if n > t.len then ignore (Remote.call r.conn (Wire.Ensure (t.name, n))));
+  if n > t.len then t.len <- n
+
+let check_bounds t i fname =
+  if i < 0 || i >= t.len then
+    invalid_arg
+      (Printf.sprintf "Block_store.%s: index %d out of bounds (store %s, len %d)" fname i
+         t.name t.len)
+
+(* When the trace is disabled (multi-domain sections), cost accounting is
+   suspended too: the shared counters would otherwise bounce between the
+   domains' caches and serialise the workers. *)
+let read t i =
+  check_bounds t i "read";
+  let c =
+    match t.storage with
+    | Local_mem s -> s.blocks.(i)
+    | Remote_conn r -> (
+        match Remote.call r.conn (Wire.Get (t.name, i)) with
+        | Wire.Value v -> v
+        | _ -> raise (Wire.Protocol_error "unexpected response to Get"))
+  in
+  if Trace.enabled t.trace then begin
+    Trace.record t.trace { store = t.name; op = Trace.Read; addr = i; len = String.length c };
+    Cost.sent_to_client t.cost (String.length c)
+  end;
+  c
+
+let write t i c =
+  check_bounds t i "write";
+  let old_len =
+    match t.storage with
+    | Local_mem s ->
+        let old = String.length s.blocks.(i) in
+        s.blocks.(i) <- c;
+        old
+    | Remote_conn r ->
+        ignore (Remote.call r.conn (Wire.Put (t.name, i, c)));
+        let old = r.lengths.(i) in
+        r.lengths.(i) <- String.length c;
+        old
+  in
+  if Trace.enabled t.trace then begin
+    let delta = String.length c - old_len in
+    t.bytes <- t.bytes + delta;
+    t.on_resize delta;
+    Trace.record t.trace { store = t.name; op = Trace.Write; addr = i; len = String.length c };
+    Cost.sent_to_server t.cost (String.length c)
+  end

@@ -1,0 +1,41 @@
+(** A named, growable array of ciphertext blocks held by the server.
+
+    Every read and write is recorded in the server's {!Trace} and counted
+    against the channel in {!Cost} — this is the adversary's complete view
+    of the store.  Blocks are opaque strings (ciphertexts); the store never
+    interprets them.
+
+    While the trace is disabled ({!Trace.set_enabled}), cost accounting is
+    suspended as well: the shared counters are not safe (or cheap) to
+    mutate from multiple domains, and multi-domain sections are exactly
+    when tracing is turned off.  Byte/storage totals are therefore only
+    meaningful for single-domain runs. *)
+
+type t
+
+val name : t -> string
+
+val length : t -> int
+(** Number of block slots. *)
+
+val size_bytes : t -> int
+(** Total bytes currently stored. *)
+
+val ensure : t -> int -> unit
+(** [ensure t n] grows the store to at least [n] slots (empty blocks). *)
+
+val read : t -> int -> string
+(** [read t i] returns block [i], tracing the access and counting the
+    bytes as server→client traffic. *)
+
+val write : t -> int -> string -> unit
+(** [write t i c] replaces block [i], tracing and counting client→server
+    traffic. *)
+
+(** {2 Construction} — normally via {!Server.create_store}. *)
+
+val create :
+  name:string -> trace:Trace.t -> on_resize:(int -> unit) -> ?remote:Remote.t -> Cost.t -> t
+(** With [?remote], blocks live in the connected server process and every
+    read/write is a wire round trip; the client still records its own
+    trace and cost view (block sizes are mirrored locally). *)

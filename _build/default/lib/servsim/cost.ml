@@ -1,0 +1,67 @@
+type snapshot = {
+  bytes_to_server : int;
+  bytes_to_client : int;
+  round_trips : int;
+  server_bytes : int;
+  client_peak_bytes : int;
+  client_current_bytes : int;
+}
+
+type t = {
+  mutable to_server : int;
+  mutable to_client : int;
+  mutable trips : int;
+  mutable server : int;
+  mutable client_current : int;
+  mutable client_peak : int;
+  client_tagged : (string, int) Hashtbl.t;
+}
+
+let create () =
+  {
+    to_server = 0;
+    to_client = 0;
+    trips = 0;
+    server = 0;
+    client_current = 0;
+    client_peak = 0;
+    client_tagged = Hashtbl.create 16;
+  }
+
+let bump_peak t = if t.client_current > t.client_peak then t.client_peak <- t.client_current
+
+let sent_to_server t n = t.to_server <- t.to_server + n
+let sent_to_client t n = t.to_client <- t.to_client + n
+let round_trip t = t.trips <- t.trips + 1
+
+let client_alloc t n =
+  t.client_current <- t.client_current + n;
+  bump_peak t
+
+let client_free t n = t.client_current <- max 0 (t.client_current - n)
+
+let client_set t ~tag n =
+  let old = Option.value ~default:0 (Hashtbl.find_opt t.client_tagged tag) in
+  Hashtbl.replace t.client_tagged tag n;
+  t.client_current <- t.client_current - old + n;
+  bump_peak t
+
+let set_server_bytes t n = t.server <- n
+
+let snapshot t =
+  {
+    bytes_to_server = t.to_server;
+    bytes_to_client = t.to_client;
+    round_trips = t.trips;
+    server_bytes = t.server;
+    client_peak_bytes = t.client_peak;
+    client_current_bytes = t.client_current;
+  }
+
+let reset_peak t = t.client_peak <- t.client_current
+
+let pp_snapshot ppf s =
+  Format.fprintf ppf
+    "@[<v>bytes to server: %d@ bytes to client: %d@ round trips: %d@ server storage: %d B@ \
+     client peak memory: %d B@]"
+    s.bytes_to_server s.bytes_to_client s.round_trips s.server_bytes s.client_peak_bytes

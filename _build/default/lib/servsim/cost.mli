@@ -1,0 +1,41 @@
+(** Cost accounting for the three metrics the paper evaluates (§VII-A):
+    runtime is measured by the benches; this module tracks (1) bytes moved
+    over the client↔server channel and round trips, (2) server-side
+    storage, and (3) client-side memory.
+
+    Client memory is tracked as a ledger: protocol components [alloc] and
+    [free] the structures the client must hold (position maps, stashes,
+    working buffers), and the peak is reported.  Server storage is owned by
+    {!Server} / {!Block_store} and folded into {!snapshot}. *)
+
+type t
+
+type snapshot = {
+  bytes_to_server : int;
+  bytes_to_client : int;
+  round_trips : int;
+  server_bytes : int;
+  client_peak_bytes : int;
+  client_current_bytes : int;
+}
+
+val create : unit -> t
+
+val sent_to_server : t -> int -> unit
+val sent_to_client : t -> int -> unit
+val round_trip : t -> unit
+
+val client_alloc : t -> int -> unit
+val client_free : t -> int -> unit
+val client_set : t -> tag:string -> int -> unit
+(** [client_set t ~tag bytes] declares the current size of the named client
+    structure (replacing its previous size); convenient for structures that
+    grow, like an ORAM stash. *)
+
+val set_server_bytes : t -> int -> unit
+(** Owned by {!Server}: current total of all block stores. *)
+
+val snapshot : t -> snapshot
+val reset_peak : t -> unit
+
+val pp_snapshot : Format.formatter -> snapshot -> unit

@@ -1,0 +1,39 @@
+type t = {
+  ic : in_channel;
+  oc : out_channel;
+  pid : int option;
+  mutable closed : bool;
+}
+
+let connect_fd ?pid fd =
+  (* A dead peer must surface as an exception on the next call, not as a
+     process-killing SIGPIPE. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd; pid; closed = false }
+
+let call t req =
+  if t.closed then raise (Wire.Protocol_error "connection closed");
+  Wire.write_request t.oc req;
+  match Wire.read_response t.ic with
+  | Wire.Error msg -> raise (Wire.Protocol_error msg)
+  | resp -> resp
+
+let server_digests t =
+  match call t Wire.Digest with
+  | Wire.Digests { full; shape; count } -> (full, shape, count)
+  | _ -> raise (Wire.Protocol_error "unexpected response to Digest")
+
+let digests t ~full ~shape ~count =
+  let f, s, c = server_digests t in
+  Int64.equal f full && Int64.equal s shape && c = count
+
+let close t =
+  if not t.closed then begin
+    (try ignore (call t Wire.Bye) with _ -> ());
+    t.closed <- true;
+    close_out_noerr t.oc;
+    (* ic shares the fd; closing oc closed it. *)
+    match t.pid with
+    | Some pid -> ignore (try Unix.waitpid [] pid with Unix.Unix_error _ -> (0, Unix.WEXITED 0))
+    | None -> ()
+  end

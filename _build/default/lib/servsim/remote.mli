@@ -1,0 +1,21 @@
+(** Client-side connection to a remote server process. *)
+
+type t
+
+val connect_fd : ?pid:int -> Unix.file_descr -> t
+(** Wrap a connected descriptor (e.g. from {!Remote_server.fork_server});
+    [pid] is reaped on {!close}. *)
+
+val call : t -> Wire.request -> Wire.response
+(** Synchronous request/response.
+    @raise Wire.Protocol_error on an [Error] response. *)
+
+val digests : t -> full:int64 -> shape:int64 -> count:int -> bool
+(** [digests t ~full ~shape ~count] asks the server for its own trace
+    digests and compares with the given (client-side) ones. *)
+
+val server_digests : t -> int64 * int64 * int
+(** The server's own (full, shape, count). *)
+
+val close : t -> unit
+(** Send [Bye], close the channel, reap the child if any. *)

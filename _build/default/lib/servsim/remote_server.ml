@@ -1,0 +1,131 @@
+type store = { mutable blocks : string array; mutable len : int }
+
+type state = {
+  stores : (string, store) Hashtbl.t;
+  trace : Trace.t;
+  mutable bytes : int;
+}
+
+let create_state () = { stores = Hashtbl.create 32; trace = Trace.create (); bytes = 0 }
+
+let find st name =
+  match Hashtbl.find_opt st.stores name with
+  | Some s -> s
+  | None -> raise (Wire.Protocol_error ("no such store: " ^ name))
+
+let ensure s n =
+  if n > Array.length s.blocks then begin
+    let cap = ref (max 16 (Array.length s.blocks)) in
+    while !cap < n do
+      cap := !cap * 2
+    done;
+    let blocks = Array.make !cap "" in
+    Array.blit s.blocks 0 blocks 0 s.len;
+    s.blocks <- blocks
+  end;
+  if n > s.len then s.len <- n
+
+let handle st = function
+  | Wire.Create_store name ->
+      if Hashtbl.mem st.stores name then Wire.Error ("store exists: " ^ name)
+      else begin
+        Hashtbl.replace st.stores name { blocks = Array.make 16 ""; len = 0 };
+        Wire.Ok
+      end
+  | Wire.Drop_store name ->
+      (match Hashtbl.find_opt st.stores name with
+      | None -> ()
+      | Some s ->
+          for i = 0 to s.len - 1 do
+            st.bytes <- st.bytes - String.length s.blocks.(i)
+          done;
+          Hashtbl.remove st.stores name);
+      Wire.Ok
+  | Wire.Ensure (name, n) ->
+      ensure (find st name) n;
+      Wire.Ok
+  | Wire.Get (name, i) ->
+      let s = find st name in
+      if i < 0 || i >= s.len then Wire.Error "index out of bounds"
+      else begin
+        let c = s.blocks.(i) in
+        Trace.record st.trace { Trace.store = name; op = Trace.Read; addr = i; len = String.length c };
+        Wire.Value c
+      end
+  | Wire.Put (name, i, c) ->
+      let s = find st name in
+      if i < 0 || i >= s.len then Wire.Error "index out of bounds"
+      else begin
+        st.bytes <- st.bytes - String.length s.blocks.(i) + String.length c;
+        s.blocks.(i) <- c;
+        Trace.record st.trace { Trace.store = name; op = Trace.Write; addr = i; len = String.length c };
+        Wire.Ok
+      end
+  | Wire.Digest ->
+      Wire.Digests
+        {
+          full = Trace.full_digest st.trace;
+          shape = Trace.shape_digest st.trace;
+          count = Trace.count st.trace;
+        }
+  | Wire.Total_bytes -> Wire.Bytes_total st.bytes
+  | Wire.Bye -> Wire.Ok
+
+let serve ic oc =
+  let st = create_state () in
+  let continue_ = ref true in
+  while !continue_ do
+    match Wire.read_request ic with
+    | Wire.Bye ->
+        Wire.write_response oc Wire.Ok;
+        continue_ := false
+    | req ->
+        let resp = try handle st req with Wire.Protocol_error msg -> Wire.Error msg in
+        Wire.write_response oc resp
+    | exception End_of_file -> continue_ := false
+  done
+
+let serve_fd fd =
+  let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in
+  serve ic oc
+
+let serve_fd_env = "SFDD_SERVE_FD"
+
+let maybe_serve_child () =
+  match Sys.getenv_opt serve_fd_env with
+  | None -> ()
+  | Some s ->
+      (* We are the re-executed server child: the socket descriptor was
+         inherited across exec under this number. *)
+      let fd : Unix.file_descr = Obj.magic (int_of_string s) in
+      (try serve_fd fd with _ -> ());
+      Stdlib.exit 0
+
+let fork_server () =
+  let parent_fd, child_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.fork () with
+  | 0 ->
+      Unix.close parent_fd;
+      (try serve_fd child_fd with _ -> ());
+      Stdlib.exit 0
+  | pid ->
+      Unix.close child_fd;
+      (parent_fd, pid)
+  | exception Failure _ ->
+      (* OCaml 5 forbids fork once domains have been spawned; re-exec this
+         program instead, with the child endpoint's descriptor number in
+         the environment (the process re-enters through
+         {!maybe_serve_child}, which the hosting executable must call at
+         startup). *)
+      let fd_int : int = Obj.magic child_fd in
+      let env =
+        Array.append (Unix.environment ())
+          [| Printf.sprintf "%s=%d" serve_fd_env fd_int |]
+      in
+      let pid =
+        Unix.create_process_env Sys.executable_name
+          [| Sys.executable_name |]
+          env Unix.stdin Unix.stdout Unix.stderr
+      in
+      Unix.close child_fd;
+      (parent_fd, pid)

@@ -1,0 +1,28 @@
+(** The server process S: a request loop over the {!Wire} protocol.
+
+    Holds the ciphertext stores and its own access-pattern {!Trace} —
+    the adversary's view recorded where the adversary actually sits.
+    Run it in a forked child over a socketpair ({!serve_fd}) or embed the
+    loop in any process with connected channels ({!serve}). *)
+
+val serve : in_channel -> out_channel -> unit
+(** Serve requests until [Bye] or EOF. *)
+
+val serve_fd : Unix.file_descr -> unit
+(** Convenience: wrap a descriptor and {!serve}. *)
+
+val fork_server : unit -> Unix.file_descr * int
+(** [fork_server ()] starts a child process serving one endpoint of a
+    socketpair; returns the parent's endpoint and the child pid.  Close
+    the descriptor (or send [Bye]) and reap the pid when done.
+
+    Implementation: [Unix.fork] when possible; once domains have been
+    spawned (OCaml 5 forbids forking then) it falls back to re-executing
+    [Sys.executable_name] with the socket descriptor in the environment —
+    which requires the hosting program to call {!maybe_serve_child} at
+    startup. *)
+
+val maybe_serve_child : unit -> unit
+(** Call first thing in [main]: if this process was started as a re-exec
+    server child (see {!fork_server}), runs the serve loop and exits;
+    otherwise returns immediately. *)

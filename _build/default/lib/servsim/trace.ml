@@ -1,0 +1,67 @@
+type op = Read | Write
+
+type event = { store : string; op : op; addr : int; len : int }
+
+type t = {
+  keep_events : bool;
+  mutable events_rev : event list;
+  mutable count : int;
+  mutable full : int64;
+  mutable shape : int64;
+  mutable enabled : bool;
+}
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let create ?(keep_events = false) () =
+  {
+    keep_events;
+    events_rev = [];
+    count = 0;
+    full = fnv_offset;
+    shape = fnv_offset;
+    enabled = true;
+  }
+
+let fold1 h byte = Int64.mul (Int64.logxor h (Int64.of_int (byte land 0xff))) fnv_prime
+
+let fold_int h v =
+  let h = ref h in
+  for shift = 0 to 7 do
+    h := fold1 !h ((v lsr (shift * 8)) land 0xff)
+  done;
+  !h
+
+let fold_string h s =
+  let h = ref h in
+  String.iter (fun c -> h := fold1 !h (Char.code c)) s;
+  !h
+
+let op_tag = function Read -> 1 | Write -> 2
+
+let record t e =
+  if t.enabled then begin
+    t.count <- t.count + 1;
+    if t.keep_events then t.events_rev <- e :: t.events_rev;
+    let h = fold_string t.full e.store in
+    let h = fold_int h (op_tag e.op) in
+    let h = fold_int h e.addr in
+    t.full <- fold_int h e.len;
+    let h = fold_string t.shape e.store in
+    let h = fold_int h (op_tag e.op) in
+    t.shape <- fold_int h e.len
+  end
+
+let mark t label =
+  if t.enabled then begin
+    t.full <- fold_string t.full label;
+    t.shape <- fold_string t.shape label
+  end
+
+let count t = t.count
+let full_digest t = t.full
+let shape_digest t = t.shape
+let events t = List.rev t.events_rev
+let set_enabled t b = t.enabled <- b
+let enabled t = t.enabled

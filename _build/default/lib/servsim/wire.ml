@@ -1,0 +1,128 @@
+type request =
+  | Create_store of string
+  | Drop_store of string
+  | Ensure of string * int
+  | Get of string * int
+  | Put of string * int * string
+  | Digest
+  | Total_bytes
+  | Bye
+
+type response =
+  | Ok
+  | Value of string
+  | Digests of { full : int64; shape : int64; count : int }
+  | Bytes_total of int
+  | Error of string
+
+exception Protocol_error of string
+
+let put_u32 oc v =
+  for k = 0 to 3 do
+    output_char oc (Char.chr ((v lsr (k * 8)) land 0xff))
+  done
+
+let get_u32 ic =
+  let v = ref 0 in
+  for k = 0 to 3 do
+    v := !v lor (Char.code (input_char ic) lsl (k * 8))
+  done;
+  !v
+
+let put_u64 oc v =
+  for k = 0 to 7 do
+    output_char oc (Char.chr (Int64.to_int (Int64.shift_right_logical v (k * 8)) land 0xff))
+  done
+
+let get_u64 ic =
+  let v = ref 0L in
+  for k = 0 to 7 do
+    let b = Int64.of_int (Char.code (input_char ic)) in
+    v := Int64.logor !v (Int64.shift_left b (k * 8))
+  done;
+  !v
+
+let put_string oc s =
+  put_u32 oc (String.length s);
+  output_string oc s
+
+let get_string ic =
+  let n = get_u32 ic in
+  really_input_string ic n
+
+let write_request oc req =
+  (match req with
+  | Create_store s ->
+      output_char oc '\001';
+      put_string oc s
+  | Drop_store s ->
+      output_char oc '\002';
+      put_string oc s
+  | Ensure (s, n) ->
+      output_char oc '\003';
+      put_string oc s;
+      put_u32 oc n
+  | Get (s, i) ->
+      output_char oc '\004';
+      put_string oc s;
+      put_u32 oc i
+  | Put (s, i, v) ->
+      output_char oc '\005';
+      put_string oc s;
+      put_u32 oc i;
+      put_string oc v
+  | Digest -> output_char oc '\006'
+  | Total_bytes -> output_char oc '\007'
+  | Bye -> output_char oc '\008');
+  flush oc
+
+let read_request ic =
+  match input_char ic with
+  | '\001' -> Create_store (get_string ic)
+  | '\002' -> Drop_store (get_string ic)
+  | '\003' ->
+      let s = get_string ic in
+      Ensure (s, get_u32 ic)
+  | '\004' ->
+      let s = get_string ic in
+      Get (s, get_u32 ic)
+  | '\005' ->
+      let s = get_string ic in
+      let i = get_u32 ic in
+      Put (s, i, get_string ic)
+  | '\006' -> Digest
+  | '\007' -> Total_bytes
+  | '\008' -> Bye
+  | c -> raise (Protocol_error (Printf.sprintf "bad request tag %d" (Char.code c)))
+
+let write_response oc resp =
+  (match resp with
+  | Ok -> output_char oc '\100'
+  | Value v ->
+      output_char oc '\101';
+      put_string oc v
+  | Digests { full; shape; count } ->
+      output_char oc '\102';
+      put_u64 oc full;
+      put_u64 oc shape;
+      put_u32 oc count
+  | Bytes_total n ->
+      output_char oc '\103';
+      put_u32 oc n
+  | Error msg ->
+      output_char oc '\104';
+      put_string oc msg);
+  flush oc
+
+let read_response ic =
+  match input_char ic with
+  | '\100' -> Ok
+  | '\101' -> Value (get_string ic)
+  | '\102' ->
+      let full = get_u64 ic in
+      let shape = get_u64 ic in
+      let count = get_u32 ic in
+      Digests { full; shape; count }
+  | '\103' -> Bytes_total (get_u32 ic)
+  | '\104' -> Error (get_string ic)
+  | c -> raise (Protocol_error (Printf.sprintf "bad response tag %d" (Char.code c)))

@@ -1,0 +1,31 @@
+(** Wire protocol between the client and a remote server process.
+
+    Binary, synchronous request/response over any pair of file
+    descriptors (Unix socketpair, TCP socket).  All integers are
+    little-endian fixed width; strings are length-prefixed.  The protocol
+    carries only what the honest-but-curious server legitimately sees:
+    opaque ciphertext blocks and store bookkeeping. *)
+
+type request =
+  | Create_store of string
+  | Drop_store of string
+  | Ensure of string * int
+  | Get of string * int
+  | Put of string * int * string
+  | Digest  (** ask the server for its own trace digests *)
+  | Total_bytes
+  | Bye
+
+type response =
+  | Ok
+  | Value of string
+  | Digests of { full : int64; shape : int64; count : int }
+  | Bytes_total of int
+  | Error of string
+
+val write_request : out_channel -> request -> unit
+val read_request : in_channel -> request
+val write_response : out_channel -> response -> unit
+val read_response : in_channel -> response
+
+exception Protocol_error of string

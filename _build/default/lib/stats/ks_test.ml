@@ -1,0 +1,39 @@
+let statistic a b =
+  let n1 = Array.length a and n2 = Array.length b in
+  if n1 = 0 || n2 = 0 then invalid_arg "Ks_test.statistic: empty sample";
+  let a = Array.copy a and b = Array.copy b in
+  Array.sort compare a;
+  Array.sort compare b;
+  let d = ref 0.0 in
+  let i = ref 0 and j = ref 0 in
+  while !i < n1 && !j < n2 do
+    let x1 = a.(!i) and x2 = b.(!j) in
+    if x1 <= x2 then incr i;
+    if x2 <= x1 then incr j;
+    let f1 = float_of_int !i /. float_of_int n1 in
+    let f2 = float_of_int !j /. float_of_int n2 in
+    let diff = Float.abs (f1 -. f2) in
+    if diff > !d then d := diff
+  done;
+  !d
+
+let kolmogorov_q lambda =
+  if lambda <= 0.0 then 1.0
+  else begin
+    let sum = ref 0.0 in
+    for j = 1 to 100 do
+      let sign = if j mod 2 = 1 then 1.0 else -1.0 in
+      sum := !sum +. (sign *. exp (-2.0 *. float_of_int (j * j) *. lambda *. lambda))
+    done;
+    Float.max 0.0 (Float.min 1.0 (2.0 *. !sum))
+  end
+
+let p_value a b =
+  let d = statistic a b in
+  let n1 = float_of_int (Array.length a) and n2 = float_of_int (Array.length b) in
+  let ne = n1 *. n2 /. (n1 +. n2) in
+  let sqrt_ne = sqrt ne in
+  let lambda = (sqrt_ne +. 0.12 +. (0.11 /. sqrt_ne)) *. d in
+  kolmogorov_q lambda
+
+let test ?(alpha = 0.05) a b = p_value a b >= alpha

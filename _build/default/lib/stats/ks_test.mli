@@ -1,0 +1,20 @@
+(** Two-sample Kolmogorov–Smirnov test, as used by the paper's Table II
+    to argue that the runtime distributions of the oblivious methods are
+    indistinguishable across datasets.
+
+    The p-value uses the standard asymptotic Kolmogorov distribution with
+    the Stephens small-sample correction
+    λ = (√n_e + 0.12 + 0.11/√n_e)·D, Q(λ) = 2 Σ_{j≥1} (−1)^{j−1} e^{−2j²λ²},
+    the same approximation as scipy/Numerical Recipes. *)
+
+val statistic : float array -> float array -> float
+(** The KS statistic D = sup_x |F1(x) − F2(x)|.
+    @raise Invalid_argument on an empty sample. *)
+
+val p_value : float array -> float array -> float
+(** Two-sided asymptotic p-value for the two samples. *)
+
+val test : ?alpha:float -> float array -> float array -> bool
+(** [test a b] is [true] when the samples are {e consistent} with one
+    distribution (p >= alpha, default 0.05) — the paper's criterion for
+    obliviousness in Table II. *)

@@ -1,0 +1,33 @@
+let check a = if Array.length a = 0 then invalid_arg "Summary: empty series"
+
+let mean a =
+  check a;
+  Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let stddev a =
+  check a;
+  let m = mean a in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 a
+    /. float_of_int (Array.length a)
+  in
+  sqrt var
+
+let median a =
+  check a;
+  let s = Array.copy a in
+  Array.sort compare s;
+  let n = Array.length s in
+  if n mod 2 = 1 then s.(n / 2) else (s.((n / 2) - 1) +. s.(n / 2)) /. 2.0
+
+let min a =
+  check a;
+  Array.fold_left Float.min a.(0) a
+
+let max a =
+  check a;
+  Array.fold_left Float.max a.(0) a
+
+let pp_series ppf a =
+  Format.fprintf ppf "mean=%.4g sd=%.4g med=%.4g min=%.4g max=%.4g" (mean a) (stddev a)
+    (median a) (min a) (max a)

@@ -1,0 +1,8 @@
+(** Summary statistics for benchmark reporting. *)
+
+val mean : float array -> float
+val stddev : float array -> float
+val median : float array -> float
+val min : float array -> float
+val max : float array -> float
+val pp_series : Format.formatter -> float array -> unit

@@ -1,0 +1,1 @@
+test/suite_approx.ml: Alcotest Approx Attrset Core Crypto Datasets Fd Fdbase Format List Printf Relation Schema String Table Tane Value

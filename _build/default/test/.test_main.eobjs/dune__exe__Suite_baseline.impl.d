@@ -1,0 +1,1 @@
+test/suite_baseline.ml: Alcotest Array Baseline Codec Crypto Datasets Fdbase Format List Printf Relation Schema String Table Value

@@ -1,0 +1,1 @@
+test/suite_bucket_sort.ml: Alcotest Array Crypto Fun Gen List Osort Printf QCheck QCheck_alcotest

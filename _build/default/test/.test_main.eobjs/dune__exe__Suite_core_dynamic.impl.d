@@ -1,0 +1,1 @@
+test/suite_core_dynamic.ml: Alcotest Array Attrset Core Crypto Datasets Dynamic Fdbase Format Fun List Option Relation Schema String Table Value

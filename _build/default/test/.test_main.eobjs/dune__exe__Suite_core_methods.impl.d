@@ -1,0 +1,1 @@
+test/suite_core_methods.ml: Alcotest Array Attrset Core Crypto Datasets Enc_db Enclave Fdbase Format List Or_oram_method Printf Protocol Relation Schema Servsim Session Sort_method String Table Value

@@ -1,0 +1,1 @@
+test/suite_core_oblivious.ml: Alcotest Array Attrset Char Core Crypto Datasets Dynamic Fdbase Format Hashtbl Int64 List Protocol Relation Schema Servsim Session String Table Value

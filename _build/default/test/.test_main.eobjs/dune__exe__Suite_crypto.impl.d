@@ -1,0 +1,1 @@
+test/suite_crypto.ml: Aes128 Alcotest Array Bytes Cbc Cell_cipher Char Crypto Ctr_prg Gen Hex Int64 List Printf QCheck QCheck_alcotest Rng String

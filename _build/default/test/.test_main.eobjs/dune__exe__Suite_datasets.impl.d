@@ -1,0 +1,1 @@
+test/suite_datasets.ml: Alcotest Attrset Crypto Datasets Fdbase List Relation Schema Table Value

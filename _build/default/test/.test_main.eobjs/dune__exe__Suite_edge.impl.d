@@ -1,0 +1,1 @@
+test/suite_edge.ml: Alcotest Array Attrset Core Datasets Dynamic Fdbase Format List Printf Protocol Relation Schema Servsim String Table Value

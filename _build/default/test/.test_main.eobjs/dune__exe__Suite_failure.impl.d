@@ -1,0 +1,1 @@
+test/suite_failure.ml: Alcotest Bytes Char Codec Core Crypto Csv Datasets List Oram Printf Relation Servsim String Sys Table Unix Value

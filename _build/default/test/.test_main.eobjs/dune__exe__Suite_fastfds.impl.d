@@ -1,0 +1,1 @@
+test/suite_fastfds.ml: Alcotest Array Attrset Crypto Datasets Fastfds Fd Fdbase Format List Printf QCheck QCheck_alcotest Relation Schema String Table Tane Validator Value

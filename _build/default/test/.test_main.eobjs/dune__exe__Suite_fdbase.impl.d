@@ -1,0 +1,1 @@
+test/suite_fdbase.ml: Alcotest Array Attrset Crypto Fd Fdbase Format Lattice List Partition Printf QCheck QCheck_alcotest Relation Schema String Table Tane Validator Value

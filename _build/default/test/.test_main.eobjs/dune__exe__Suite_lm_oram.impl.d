@@ -1,0 +1,1 @@
+test/suite_lm_oram.ml: Alcotest Attrset Core Datasets Enc_db Fdbase Format List Lm_oram_method Or_oram_method Printf Relation Servsim Session String Table

@@ -1,0 +1,1 @@
+test/suite_omap.ml: Alcotest Crypto Fun Gen Hashtbl List Option Oram Printf QCheck QCheck_alcotest Relation Servsim String

@@ -1,0 +1,1 @@
+test/suite_oram.ml: Alcotest Array Crypto Gen Hashtbl Int64 List Option Oram QCheck QCheck_alcotest Relation Servsim String

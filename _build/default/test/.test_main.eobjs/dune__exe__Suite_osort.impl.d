@@ -1,0 +1,1 @@
+test/suite_osort.ml: Alcotest Array Crypto Gen List Osort Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/suite_recursive_oram.ml: Alcotest Crypto Gen Hashtbl List Oram Printf QCheck QCheck_alcotest Relation Servsim String

@@ -1,0 +1,1 @@
+test/suite_relation.ml: Alcotest Array Attrset Char Codec Crypto Csv Hashtbl List Printf QCheck QCheck_alcotest Relation Schema String Table Value

@@ -1,0 +1,1 @@
+test/suite_stats.ml: Alcotest Array Crypto Float Gen Printf QCheck QCheck_alcotest Stats

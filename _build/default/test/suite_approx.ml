@@ -1,0 +1,135 @@
+(* Approximate FD discovery tests. *)
+
+open Relation
+open Fdbase
+
+let v x = Value.Int x
+
+let dirty_table () =
+  (* A -> B holds except for one dirty row (of 8): e_split = 1/8. *)
+  let schema = Schema.make [| "A"; "B" |] in
+  Table.make schema
+    [|
+      [| v 1; v 10 |]; [| v 1; v 10 |]; [| v 2; v 20 |]; [| v 2; v 20 |];
+      [| v 3; v 30 |]; [| v 3; v 30 |]; [| v 4; v 40 |]; [| v 4; v 99 |];
+    |]
+
+let test_split_error () =
+  let t = dirty_table () in
+  Alcotest.(check (float 1e-9)) "A->B error 1/8" 0.125
+    (Approx.split_error t ~lhs:(Attrset.singleton 0) ~rhs:1);
+  (* B -> A is exact: every B value has one A value. *)
+  Alcotest.(check (float 1e-9)) "B->A exact" 0.0
+    (Approx.split_error t ~lhs:(Attrset.singleton 1) ~rhs:0)
+
+let test_threshold_behaviour () =
+  let t = dirty_table () in
+  let has eps lhs rhs =
+    List.exists
+      (fun fd -> Fd.equal fd { Fd.lhs = Attrset.of_list lhs; rhs })
+      (Approx.discover_plaintext ~epsilon:eps t).Approx.fds
+  in
+  let covered eps lhs rhs =
+    List.exists
+      (fun fd -> fd.Fd.rhs = rhs && Attrset.subset fd.Fd.lhs (Attrset.of_list lhs))
+      (Approx.discover_plaintext ~epsilon:eps t).Approx.fds
+  in
+  Alcotest.(check bool) "A->B rejected at eps=0" false (has 0.0 [ 0 ] 1);
+  Alcotest.(check bool) "A->B accepted at eps=0.125" true (has 0.125 [ 0 ] 1);
+  (* At eps=0.5 even ∅ -> B becomes valid (4 of 5 B-classes removable),
+     which subsumes A -> B; coverage must persist. *)
+  Alcotest.(check bool) "A->B covered at eps=0.5" true (covered 0.5 [ 0 ] 1);
+  Alcotest.(check bool) "B->A accepted always" true (has 0.0 [ 1 ] 0)
+
+let test_epsilon_zero_matches_tane () =
+  (* With ε = 0 and full depth, the approximate search finds exactly the
+     exact minimal FDs. *)
+  List.iter
+    (fun seed ->
+      let t = Datasets.Rnd.generate_with_domain ~seed ~rows:25 ~cols:4 ~domain:3 () in
+      let exact = Tane.fds t in
+      let approx = (Approx.discover_plaintext ~epsilon:0.0 ~max_lhs:3 t).Approx.fds in
+      let pp fds = String.concat ";" (List.map (Format.asprintf "%a" Fd.pp) fds) in
+      Alcotest.(check string) (Printf.sprintf "seed %d" seed) (pp exact) (pp approx))
+    [ 1; 2; 3; 5; 8 ]
+
+let test_all_results_within_epsilon () =
+  let rng = Crypto.Rng.create 4 in
+  for _ = 1 to 10 do
+    let t =
+      Datasets.Rnd.generate_with_domain ~seed:(Crypto.Rng.int rng 1000) ~rows:30 ~cols:4
+        ~domain:4 ()
+    in
+    let epsilon = 0.2 in
+    List.iter
+      (fun fd ->
+        let e = Approx.split_error t ~lhs:fd.Fd.lhs ~rhs:fd.Fd.rhs in
+        Alcotest.(check bool)
+          (Format.asprintf "%a within eps (e=%.3f)" Fd.pp fd e)
+          true
+          (e <= epsilon +. 1e-9))
+      (Approx.discover_plaintext ~epsilon ~max_lhs:2 t).Approx.fds
+  done
+
+let test_results_are_minimal () =
+  let rng = Crypto.Rng.create 9 in
+  for _ = 1 to 10 do
+    let t =
+      Datasets.Rnd.generate_with_domain ~seed:(Crypto.Rng.int rng 1000) ~rows:30 ~cols:4
+        ~domain:3 ()
+    in
+    let fds = (Approx.discover_plaintext ~epsilon:0.1 ~max_lhs:3 t).Approx.fds in
+    List.iter
+      (fun fd ->
+        List.iter
+          (fun fd' ->
+            if fd.Fd.rhs = fd'.Fd.rhs && not (Attrset.equal fd.Fd.lhs fd'.Fd.lhs) then
+              Alcotest.(check bool) "no subsumption" false
+                (Attrset.subset fd'.Fd.lhs fd.Fd.lhs))
+          fds)
+      fds
+  done
+
+let test_monotone_in_epsilon () =
+  (* Every FD accepted at ε remains implied at ε' >= ε: its lhs (or a
+     subset) must still be accepted. *)
+  let t = Datasets.Rnd.generate_with_domain ~seed:77 ~rows:40 ~cols:4 ~domain:3 () in
+  let at eps = (Approx.discover_plaintext ~epsilon:eps ~max_lhs:2 t).Approx.fds in
+  let small = at 0.05 and large = at 0.2 in
+  List.iter
+    (fun fd ->
+      Alcotest.(check bool)
+        (Format.asprintf "%a still covered" Fd.pp fd)
+        true
+        (List.exists
+           (fun fd' -> fd'.Fd.rhs = fd.Fd.rhs && Attrset.subset fd'.Fd.lhs fd.Fd.lhs)
+           large))
+    small
+
+let test_secure_matches_plaintext () =
+  let t = dirty_table () in
+  let expect = (Approx.discover_plaintext ~epsilon:0.125 ~max_lhs:1 t).Approx.fds in
+  List.iter
+    (fun m ->
+      let got = (Core.Protocol.discover_approx ~epsilon:0.125 ~max_lhs:1 m t).Approx.fds in
+      let pp fds = String.concat ";" (List.map (Format.asprintf "%a" Fd.pp) fds) in
+      Alcotest.(check string) (Core.Protocol.method_name m) (pp expect) (pp got))
+    [ Core.Protocol.Or_oram; Core.Protocol.Ex_oram; Core.Protocol.Sort ]
+
+let test_invalid_epsilon () =
+  Alcotest.(check bool) "negative rejected" true
+    (match Approx.discover_plaintext ~epsilon:(-0.1) (dirty_table ()) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "split error" `Quick test_split_error;
+    Alcotest.test_case "threshold behaviour" `Quick test_threshold_behaviour;
+    Alcotest.test_case "eps=0 matches TANE" `Quick test_epsilon_zero_matches_tane;
+    Alcotest.test_case "results within epsilon" `Quick test_all_results_within_epsilon;
+    Alcotest.test_case "results minimal" `Quick test_results_are_minimal;
+    Alcotest.test_case "monotone in epsilon" `Quick test_monotone_in_epsilon;
+    Alcotest.test_case "secure = plaintext" `Quick test_secure_matches_plaintext;
+    Alcotest.test_case "invalid epsilon rejected" `Quick test_invalid_epsilon;
+  ]

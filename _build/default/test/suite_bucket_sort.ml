@@ -1,0 +1,114 @@
+(* Bucket oblivious random permutation / sort tests. *)
+
+let rand_of seed =
+  let rng = Crypto.Rng.create seed in
+  Crypto.Rng.int rng
+
+let test_permute_is_permutation () =
+  List.iter
+    (fun n ->
+      let a = Array.init n (fun i -> i) in
+      let p = Osort.Bucket_sort.permute ~rand:(rand_of (100 + n)) a in
+      Alcotest.(check int) "length" n (Array.length p);
+      let sorted = Array.copy p in
+      Array.sort compare sorted;
+      Alcotest.(check bool)
+        (Printf.sprintf "permutation of [0,%d)" n)
+        true
+        (Array.to_list sorted = List.init n Fun.id))
+    [ 0; 1; 2; 7; 32; 100; 500 ]
+
+let test_permute_randomises () =
+  let n = 64 in
+  let a = Array.init n (fun i -> i) in
+  let p1 = Osort.Bucket_sort.permute ~rand:(rand_of 1) a in
+  let p2 = Osort.Bucket_sort.permute ~rand:(rand_of 2) a in
+  Alcotest.(check bool) "different draws differ" false (p1 = p2);
+  Alcotest.(check bool) "not identity" false (p1 = a)
+
+let test_permute_uniformity_coarse () =
+  (* Track where element 0 lands over many draws: each of the n positions
+     should be hit roughly uniformly. *)
+  let n = 8 in
+  let trials = 4000 in
+  let counts = Array.make n 0 in
+  let rng = Crypto.Rng.create 99 in
+  for _ = 1 to trials do
+    let p = Osort.Bucket_sort.permute ~z:4 ~rand:(Crypto.Rng.int rng) (Array.init n Fun.id) in
+    let pos = ref 0 in
+    Array.iteri (fun i x -> if x = 0 then pos := i) p;
+    counts.(!pos) <- counts.(!pos) + 1
+  done;
+  let expect = trials / n in
+  Array.iteri
+    (fun i c ->
+      if c < expect / 2 || c > expect * 2 then
+        Alcotest.failf "position %d hit %d times (expected ~%d)" i c expect)
+    counts
+
+let test_sort_sorts () =
+  let rng = Crypto.Rng.create 5 in
+  List.iter
+    (fun n ->
+      let a = Array.init n (fun _ -> Crypto.Rng.int rng 50) in
+      let expect = Array.copy a in
+      Array.sort compare expect;
+      let got = Osort.Bucket_sort.sort ~compare ~rand:(Crypto.Rng.int rng) a in
+      Alcotest.(check (array int)) (Printf.sprintf "n=%d" n) expect got)
+    [ 1; 2; 10; 64; 300 ]
+
+let test_sort_with_duplicates () =
+  let a = Array.make 100 7 in
+  let got = Osort.Bucket_sort.sort ~compare ~rand:(rand_of 3) a in
+  Alcotest.(check (array int)) "all equal" a got
+
+let test_invalid_z () =
+  Alcotest.(check bool) "odd z rejected" true
+    (match Osort.Bucket_sort.permute ~z:5 ~rand:(rand_of 1) [| 1; 2 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_touches_asymptotics () =
+  (* O(n log n): doubling n should grow touches by a bit more than 2x,
+     far below the ~2.4x of n log^2 n at these sizes. *)
+  let z = 32 in
+  let t1 = Osort.Bucket_sort.touches ~n:1024 ~z in
+  let t2 = Osort.Bucket_sort.touches ~n:2048 ~z in
+  let ratio = float_of_int t2 /. float_of_int t1 in
+  Alcotest.(check bool) (Printf.sprintf "ratio %.2f in [2, 2.4]" ratio) true
+    (ratio >= 2.0 && ratio <= 2.4);
+  (* And asymptotically cheaper than bitonic for large n. *)
+  let n = 1 lsl 14 in
+  let bitonic = 2 * Osort.Network.comparator_count (Osort.Network.bitonic n) in
+  let bucket = Osort.Bucket_sort.touches ~n ~z:512 in
+  Alcotest.(check bool)
+    (Printf.sprintf "bucket %d < bitonic %d at n=2^14" bucket bitonic)
+    true (bucket < bitonic)
+
+let qcheck_sort_random =
+  QCheck.Test.make ~name:"bucket sort = stdlib sort" ~count:50
+    QCheck.(array_of_size Gen.(0 -- 200) (int_bound 1000))
+    (fun a ->
+      let expect = Array.copy a in
+      Array.sort compare expect;
+      Osort.Bucket_sort.sort ~compare ~rand:(rand_of (Array.length a)) a = expect)
+
+let qcheck_permute_multiset =
+  QCheck.Test.make ~name:"permute preserves multiset" ~count:50
+    QCheck.(array_of_size Gen.(0 -- 150) (int_bound 20))
+    (fun a ->
+      let p = Osort.Bucket_sort.permute ~rand:(rand_of (1 + Array.length a)) a in
+      List.sort compare (Array.to_list p) = List.sort compare (Array.to_list a))
+
+let suite =
+  [
+    Alcotest.test_case "permute is a permutation" `Quick test_permute_is_permutation;
+    Alcotest.test_case "permute randomises" `Quick test_permute_randomises;
+    Alcotest.test_case "permute coarse uniformity" `Slow test_permute_uniformity_coarse;
+    Alcotest.test_case "sort sorts" `Quick test_sort_sorts;
+    Alcotest.test_case "sort with duplicates" `Quick test_sort_with_duplicates;
+    Alcotest.test_case "invalid z rejected" `Quick test_invalid_z;
+    Alcotest.test_case "O(n log n) touches" `Quick test_touches_asymptotics;
+    QCheck_alcotest.to_alcotest qcheck_sort_random;
+    QCheck_alcotest.to_alcotest qcheck_permute_multiset;
+  ]

@@ -1,0 +1,204 @@
+(* Dynamic maintenance (§V): Ex-ORAM cardinalities and FD re-validation
+   must track a shadow plaintext table through arbitrary insert/delete
+   sequences. *)
+
+open Relation
+open Core
+
+let v x = Value.Int x
+
+let small_table () =
+  let schema = Schema.make [| "A"; "B"; "C" |] in
+  Table.make schema
+    [|
+      [| v 1; v 10; v 100 |];
+      [| v 1; v 10; v 200 |];
+      [| v 2; v 20; v 100 |];
+      [| v 3; v 20; v 200 |];
+    |]
+
+let test_start_matches_tane () =
+  let t = small_table () in
+  let d = Dynamic.start ~capacity:32 t in
+  let pp_fds fds = String.concat ";" (List.map (Format.asprintf "%a" Fdbase.Fd.pp) fds) in
+  Alcotest.(check string) "initial FDs" (pp_fds (Fdbase.Tane.fds t)) (pp_fds (Dynamic.fds d));
+  Alcotest.(check int) "live" 4 (Dynamic.live_records d);
+  Dynamic.release d
+
+let test_insert_updates_cardinalities () =
+  let t = small_table () in
+  let d = Dynamic.start ~capacity:32 t in
+  let card x = Option.get (Dynamic.cardinality d (Attrset.of_list x)) in
+  Alcotest.(check int) "|π_A| before" 3 (card [ 0 ]);
+  ignore (Dynamic.insert d [| v 9; v 10; v 100 |]);
+  Alcotest.(check int) "|π_A| after" 4 (card [ 0 ]);
+  Alcotest.(check int) "|π_B| unchanged" 2 (card [ 1 ]);
+  (* AB pairs now {(1,10), (2,20), (3,20), (9,10)}. *)
+  Alcotest.(check int) "|π_AB| after" 4 (card [ 0; 1 ]);
+  Alcotest.(check int) "live" 5 (Dynamic.live_records d);
+  Dynamic.release d
+
+let test_insert_breaks_fd () =
+  (* A → B holds initially; inserting (1, 99, _) breaks it. *)
+  let t = small_table () in
+  let d = Dynamic.start ~capacity:32 t in
+  let fd_ab = { Fdbase.Fd.lhs = Attrset.singleton 0; rhs = 1 } in
+  let status fd l = List.assoc fd (List.map (fun (f, b) -> (f, b)) l) in
+  let before = Dynamic.revalidate d in
+  Alcotest.(check bool) "A→B holds initially" true (status fd_ab before);
+  ignore (Dynamic.insert d [| v 1; v 99; v 1 |]);
+  let after = Dynamic.revalidate d in
+  Alcotest.(check bool) "A→B broken by insert" false (status fd_ab after);
+  Dynamic.release d
+
+let test_delete_restores_fd () =
+  let t = small_table () in
+  let d = Dynamic.start ~capacity:32 t in
+  let fd_ab = { Fdbase.Fd.lhs = Attrset.singleton 0; rhs = 1 } in
+  let id = Dynamic.insert d [| v 1; v 99; v 1 |] in
+  Alcotest.(check bool) "broken" false (List.assoc fd_ab (Dynamic.revalidate d));
+  Dynamic.delete d ~id;
+  Alcotest.(check bool) "restored" true (List.assoc fd_ab (Dynamic.revalidate d));
+  Alcotest.(check int) "live back to 4" 4 (Dynamic.live_records d);
+  Dynamic.release d
+
+let test_delete_updates_cardinality () =
+  let t = small_table () in
+  let d = Dynamic.start ~capacity:32 t in
+  let card x = Option.get (Dynamic.cardinality d (Attrset.of_list x)) in
+  (* Delete row 3 (A=3): |π_A| drops from 3 to 2. *)
+  Dynamic.delete d ~id:3;
+  Alcotest.(check int) "|π_A|" 2 (card [ 0 ]);
+  (* Delete row 0 (A=1 shared with row 1): |π_A| stays 2. *)
+  Dynamic.delete d ~id:0;
+  Alcotest.(check int) "|π_A| shared value" 2 (card [ 0 ]);
+  Alcotest.(check int) "live" 2 (Dynamic.live_records d);
+  Dynamic.release d
+
+let test_delete_absent_id_noop () =
+  let t = small_table () in
+  let d = Dynamic.start ~capacity:32 t in
+  Dynamic.delete d ~id:77;
+  Alcotest.(check int) "live unchanged" 4 (Dynamic.live_records d);
+  let card x = Option.get (Dynamic.cardinality d (Attrset.of_list x)) in
+  Alcotest.(check int) "|π_A| unchanged" 3 (card [ 0 ]);
+  Dynamic.release d
+
+let shadow_check d table =
+  (* Compare every retained cardinality against the shadow table. *)
+  let m = Table.cols table in
+  for a = 0 to m - 1 do
+    let x = Attrset.singleton a in
+    match Dynamic.cardinality d x with
+    | None -> ()
+    | Some c ->
+        let expect = Fdbase.Partition.cardinality (Fdbase.Partition.of_table table x) in
+        Alcotest.(check int) (Format.asprintf "|π_%a|" Attrset.pp x) expect c
+  done
+
+let test_random_update_sequence_vs_shadow () =
+  let rng = Crypto.Rng.create 77 in
+  let t = Datasets.Rnd.generate_with_domain ~seed:50 ~rows:12 ~cols:3 ~domain:3 () in
+  let d = Dynamic.start ~capacity:128 t in
+  let shadow = ref t in
+  let ids = ref (List.init 12 Fun.id) in
+  (* Map our ids to shadow row positions. *)
+  let id_list () = !ids in
+  for _step = 1 to 40 do
+    if Crypto.Rng.bool rng || List.length (id_list ()) = 0 then begin
+      let row = Array.init 3 (fun _ -> v (1 + Crypto.Rng.int rng 3)) in
+      let id = Dynamic.insert d row in
+      shadow := Table.append_row !shadow row;
+      ids := !ids @ [ id ]
+    end
+    else begin
+      let pos = Crypto.Rng.int rng (List.length (id_list ())) in
+      let id = List.nth !ids pos in
+      Dynamic.delete d ~id;
+      shadow := Table.remove_row !shadow pos;
+      ids := List.filteri (fun i _ -> i <> pos) !ids
+    end
+  done;
+  Alcotest.(check int) "live matches shadow" (Table.rows !shadow) (Dynamic.live_records d);
+  shadow_check d !shadow;
+  (* Re-validated FD statuses must match direct validation on the shadow. *)
+  List.iter
+    (fun (fd, ok) ->
+      Alcotest.(check bool)
+        (Format.asprintf "%a" Fdbase.Fd.pp fd)
+        (Fdbase.Validator.holds_fd !shadow fd)
+        ok)
+    (Dynamic.revalidate d);
+  Dynamic.release d
+
+let test_reinsert_same_id_space () =
+  (* Values equal to deleted ones must be re-countable. *)
+  let schema = Schema.make [| "A" |] in
+  let t = Table.make schema [| [| v 5 |]; [| v 6 |] |] in
+  let d = Dynamic.start ~capacity:16 t in
+  let card () = Option.get (Dynamic.cardinality d (Attrset.singleton 0)) in
+  Alcotest.(check int) "2 distinct" 2 (card ());
+  Dynamic.delete d ~id:0;
+  Alcotest.(check int) "1 distinct" 1 (card ());
+  ignore (Dynamic.insert d [| v 5 |]);
+  Alcotest.(check int) "back to 2" 2 (card ());
+  ignore (Dynamic.insert d [| v 5 |]);
+  Alcotest.(check int) "duplicate adds nothing" 2 (card ());
+  Dynamic.release d
+
+let test_capacity_enforced () =
+  let schema = Schema.make [| "A" |] in
+  let t = Table.make schema [| [| v 1 |] |] in
+  let d = Dynamic.start ~capacity:16 t in
+  Alcotest.(check bool) "overflow rejected" true
+    (try
+       for i = 0 to 20 do
+         ignore (Dynamic.insert d [| v i |])
+       done;
+       false
+     with Invalid_argument _ -> true);
+  Dynamic.release d
+
+let test_grow_small_table () =
+  (* Start from a 4-row table with no FDs (so the whole 2-attribute
+     lattice is materialised), then grow it. *)
+  let schema = Schema.make [| "A"; "B" |] in
+  let t =
+    Table.make schema [| [| v 1; v 1 |]; [| v 1; v 2 |]; [| v 2; v 1 |]; [| v 2; v 2 |] |]
+  in
+  let d = Dynamic.start ~capacity:16 t in
+  ignore (Dynamic.insert d [| v 3; v 1 |]);
+  ignore (Dynamic.insert d [| v 3; v 2 |]);
+  let card x = Option.get (Dynamic.cardinality d (Attrset.of_list x)) in
+  Alcotest.(check int) "|π_A|" 3 (card [ 0 ]);
+  Alcotest.(check int) "|π_B|" 2 (card [ 1 ]);
+  Alcotest.(check int) "|π_AB|" 6 (card [ 0; 1 ]);
+  Dynamic.release d
+
+let test_non_lattice_set_not_tracked () =
+  (* A degenerate table where every column is a key: the pair {A,B} is
+     key-pruned at level 1 and hence not materialised — [cardinality]
+     reports None rather than a stale number. *)
+  let schema = Schema.make [| "A"; "B" |] in
+  let t = Table.make schema [| [| v 1; v 9 |]; [| v 2; v 8 |] |] in
+  let d = Dynamic.start ~capacity:16 t in
+  Alcotest.(check (option int)) "AB not retained" None
+    (Dynamic.cardinality d (Attrset.of_list [ 0; 1 ]));
+  Alcotest.(check (option int)) "A retained" (Some 2)
+    (Dynamic.cardinality d (Attrset.of_list [ 0 ]));
+  Dynamic.release d
+
+let suite =
+  [
+    Alcotest.test_case "start matches TANE" `Quick test_start_matches_tane;
+    Alcotest.test_case "insert updates cardinalities" `Quick test_insert_updates_cardinalities;
+    Alcotest.test_case "insert breaks FD" `Quick test_insert_breaks_fd;
+    Alcotest.test_case "delete restores FD" `Quick test_delete_restores_fd;
+    Alcotest.test_case "delete updates cardinality" `Quick test_delete_updates_cardinality;
+    Alcotest.test_case "delete of absent id is a no-op" `Quick test_delete_absent_id_noop;
+    Alcotest.test_case "random updates vs shadow table" `Slow test_random_update_sequence_vs_shadow;
+    Alcotest.test_case "reinsertion of deleted values" `Quick test_reinsert_same_id_space;
+    Alcotest.test_case "capacity enforced" `Quick test_capacity_enforced;
+    Alcotest.test_case "grow a small table" `Quick test_grow_small_table;
+    Alcotest.test_case "pruned sets are not tracked" `Quick test_non_lattice_set_not_tracked;
+  ]

@@ -1,0 +1,182 @@
+(* Operational checks of Definition 2 (oblivious algorithm): for any two
+   databases of the same size, the server's view must be distributed
+   identically.  For Sort the whole physical trace (addresses included)
+   is a deterministic function of (n, m, plan), so traces must be
+   bit-identical; for the ORAM methods the trace *shape* (sequence of
+   stores, op kinds and ciphertext lengths) must be identical while path
+   choices are random. *)
+
+open Relation
+open Core
+
+(* Two databases, same size, very different contents and FDs... but NOTE:
+   the lattice plan is allowed to depend on the discovered FDs (part of
+   the leakage), so trace comparisons across databases must use tables
+   with identical FD sets, or fixed attribute-set computations. *)
+
+let table_a n = Datasets.Rnd.generate_with_domain ~seed:1 ~rows:n ~cols:3 ~domain:4 ()
+let table_b n = Datasets.Rnd.generate_with_domain ~seed:2 ~rows:n ~cols:3 ~domain:900000 ()
+
+let table_strings n =
+  let schema = Schema.make [| "A"; "B"; "C" |] in
+  let rng = Crypto.Rng.create 3 in
+  Table.make schema
+    (Array.init n (fun _ ->
+         Array.init 3 (fun _ ->
+             Value.Str (String.init 6 (fun _ -> Char.chr (97 + Crypto.Rng.int rng 26))))))
+
+let partition_trace method_ table x =
+  let _, r = Protocol.partition_cardinality ~seed:424242 method_ table x in
+  r
+
+(* --- Sort: full trace equality (strongest property). --- *)
+
+let test_sort_full_trace_identical_datasets () =
+  let x = Attrset.of_list [ 0; 1 ] in
+  let r1 = partition_trace Protocol.Sort (table_a 32) x in
+  let r2 = partition_trace Protocol.Sort (table_b 32) x in
+  let r3 = partition_trace Protocol.Sort (table_strings 32) x in
+  Alcotest.(check int64) "a = b" r1.Protocol.trace_full r2.Protocol.trace_full;
+  Alcotest.(check int64) "a = strings" r1.Protocol.trace_full r3.Protocol.trace_full
+
+let test_sort_full_trace_single_attr () =
+  let x = Attrset.singleton 2 in
+  let r1 = partition_trace Protocol.Sort (table_a 48) x in
+  let r2 = partition_trace Protocol.Sort (table_b 48) x in
+  Alcotest.(check int64) "identical" r1.Protocol.trace_full r2.Protocol.trace_full
+
+let test_sort_trace_differs_across_sizes () =
+  let x = Attrset.singleton 0 in
+  let r1 = partition_trace Protocol.Sort (table_a 32) x in
+  let r2 = partition_trace Protocol.Sort (table_a 64) x in
+  Alcotest.(check bool) "sizes distinguishable (allowed leakage)" false
+    (Int64.equal r1.Protocol.trace_full r2.Protocol.trace_full)
+
+(* --- ORAM methods: shape equality; addresses (leaves) may differ. --- *)
+
+let test_oram_shape_identical_datasets () =
+  List.iter
+    (fun m ->
+      let x = Attrset.of_list [ 0; 1 ] in
+      let r1 = partition_trace m (table_a 32) x in
+      let r2 = partition_trace m (table_b 32) x in
+      let r3 = partition_trace m (table_strings 32) x in
+      Alcotest.(check int64)
+        (Protocol.method_name m ^ " a=b")
+        r1.Protocol.trace_shape r2.Protocol.trace_shape;
+      Alcotest.(check int64)
+        (Protocol.method_name m ^ " a=strings")
+        r1.Protocol.trace_shape r3.Protocol.trace_shape;
+      Alcotest.(check int)
+        (Protocol.method_name m ^ " same access count")
+        r1.Protocol.trace_count r2.Protocol.trace_count)
+    [ Protocol.Or_oram; Protocol.Ex_oram ]
+
+let test_oram_shape_single_attr () =
+  List.iter
+    (fun m ->
+      let x = Attrset.singleton 1 in
+      let r1 = partition_trace m (table_a 24) x in
+      let r2 = partition_trace m (table_strings 24) x in
+      Alcotest.(check int64) (Protocol.method_name m) r1.Protocol.trace_shape
+        r2.Protocol.trace_shape)
+    [ Protocol.Or_oram; Protocol.Ex_oram ]
+
+(* --- Full protocol: for equal-size DBs with equal FD sets, the entire
+   execution must look the same (Sort: identical; ORAM: same shape). --- *)
+
+let rename_values table =
+  (* A bijective per-column renaming preserves all partitions, hence all
+     FDs, while changing every plaintext. *)
+  let m = Table.cols table in
+  let maps = Array.init m (fun _ -> Hashtbl.create 16) in
+  let fresh = Array.make m 1000 in
+  let data =
+    Array.init (Table.rows table) (fun r ->
+        Array.init m (fun c ->
+            let v = Table.cell table ~row:r ~col:c in
+            let tbl = maps.(c) in
+            match Hashtbl.find_opt tbl v with
+            | Some v' -> v'
+            | None ->
+                let v' = Value.Int fresh.(c) in
+                fresh.(c) <- fresh.(c) + 7;
+                Hashtbl.replace tbl v v';
+                v'))
+  in
+  Table.make (Table.schema table) data
+
+let test_protocol_sort_identical_for_equal_leakage () =
+  let t1 = Datasets.Rnd.generate_with_domain ~seed:21 ~rows:24 ~cols:3 ~domain:3 () in
+  let t2 = rename_values t1 in
+  let r1 = Protocol.discover ~seed:777 Protocol.Sort t1 in
+  let r2 = Protocol.discover ~seed:777 Protocol.Sort t2 in
+  Alcotest.(check string) "same FDs (leakage equal)"
+    (String.concat ";" (List.map (Format.asprintf "%a" Fdbase.Fd.pp) r1.Protocol.fds))
+    (String.concat ";" (List.map (Format.asprintf "%a" Fdbase.Fd.pp) r2.Protocol.fds));
+  Alcotest.(check int64) "identical full trace" r1.Protocol.trace_full r2.Protocol.trace_full
+
+let test_protocol_oram_same_shape_for_equal_leakage () =
+  let t1 = Datasets.Rnd.generate_with_domain ~seed:22 ~rows:20 ~cols:3 ~domain:3 () in
+  let t2 = rename_values t1 in
+  List.iter
+    (fun m ->
+      let r1 = Protocol.discover ~seed:778 m t1 in
+      let r2 = Protocol.discover ~seed:778 m t2 in
+      Alcotest.(check int64) (Protocol.method_name m ^ " shape") r1.Protocol.trace_shape
+        r2.Protocol.trace_shape;
+      Alcotest.(check int) (Protocol.method_name m ^ " count") r1.Protocol.trace_count
+        r2.Protocol.trace_count)
+    [ Protocol.Or_oram; Protocol.Ex_oram ]
+
+let test_oram_leaves_vary_across_seeds () =
+  (* Sanity: the ORAM trace is NOT degenerate — different client
+     randomness produces different physical addresses. *)
+  let x = Attrset.singleton 0 in
+  let t = table_a 24 in
+  let _, r1 = Protocol.partition_cardinality ~seed:1 Protocol.Or_oram t x in
+  let _, r2 = Protocol.partition_cardinality ~seed:2 Protocol.Or_oram t x in
+  Alcotest.(check int64) "same shape" r1.Protocol.trace_shape r2.Protocol.trace_shape;
+  Alcotest.(check bool) "different addresses" false
+    (Int64.equal r1.Protocol.trace_full r2.Protocol.trace_full)
+
+let test_ex_oram_insert_delete_shape () =
+  (* Updates on different values must look identical (same shape and
+     count) — the dynamic method's obliviousness. *)
+  let run values =
+    let n = List.length values in
+    let schema = Schema.make [| "A" |] in
+    let t = Table.make schema (Array.of_list (List.map (fun v -> [| Value.Int v |]) values)) in
+    let d = Dynamic.start ~seed:31 ~capacity:64 t in
+    let id = Dynamic.insert d [| Value.Int (List.nth values 0) |] in
+    Dynamic.delete d ~id;
+    Dynamic.delete d ~id:0;
+    ignore n;
+    let trace = Session.trace (Dynamic.session d) in
+    (Servsim.Trace.shape_digest trace, Servsim.Trace.count trace)
+  in
+  let s1, c1 = run [ 5; 5; 7; 9 ] in
+  let s2, c2 = run [ 1; 2; 3; 4 ] in
+  Alcotest.(check int64) "same shape" s1 s2;
+  Alcotest.(check int) "same count" c1 c2
+
+let suite =
+  [
+    Alcotest.test_case "Sort: identical traces across datasets" `Quick
+      test_sort_full_trace_identical_datasets;
+    Alcotest.test_case "Sort: identical traces (single attr)" `Quick
+      test_sort_full_trace_single_attr;
+    Alcotest.test_case "Sort: size is (allowed) leakage" `Quick
+      test_sort_trace_differs_across_sizes;
+    Alcotest.test_case "ORAM: identical shapes across datasets" `Quick
+      test_oram_shape_identical_datasets;
+    Alcotest.test_case "ORAM: identical shapes (single attr)" `Quick
+      test_oram_shape_single_attr;
+    Alcotest.test_case "full protocol (Sort) identical for equal leakage" `Quick
+      test_protocol_sort_identical_for_equal_leakage;
+    Alcotest.test_case "full protocol (ORAM) same shape for equal leakage" `Quick
+      test_protocol_oram_same_shape_for_equal_leakage;
+    Alcotest.test_case "ORAM leaves vary across seeds" `Quick test_oram_leaves_vary_across_seeds;
+    Alcotest.test_case "Ex-ORAM update shape data-independent" `Quick
+      test_ex_oram_insert_delete_shape;
+  ]

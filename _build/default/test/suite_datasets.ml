@@ -1,0 +1,106 @@
+(* Dataset generator tests: shapes, determinism, planted FDs. *)
+
+open Relation
+
+let test_rnd_shape () =
+  let t = Datasets.Rnd.generate ~rows:100 ~cols:7 () in
+  Alcotest.(check int) "rows" 100 (Table.rows t);
+  Alcotest.(check int) "cols" 7 (Table.cols t);
+  (* Values in [1, 2^20]. *)
+  for r = 0 to 99 do
+    for c = 0 to 6 do
+      match Table.cell t ~row:r ~col:c with
+      | Value.Int v -> Alcotest.(check bool) "range" true (v >= 1 && v <= 1 lsl 20)
+      | Value.Str _ -> Alcotest.fail "RND cells must be integers"
+    done
+  done
+
+let test_rnd_deterministic () =
+  let a = Datasets.Rnd.generate ~seed:4 ~rows:20 ~cols:3 () in
+  let b = Datasets.Rnd.generate ~seed:4 ~rows:20 ~cols:3 () in
+  let c = Datasets.Rnd.generate ~seed:5 ~rows:20 ~cols:3 () in
+  Alcotest.(check bool) "same seed same data" true (Table.equal a b);
+  Alcotest.(check bool) "different seed different data" false (Table.equal a c)
+
+let test_adult_like () =
+  let t = Datasets.Adult_like.generate ~rows:200 () in
+  Alcotest.(check int) "14 columns (Table I)" 14 (Table.cols t);
+  Alcotest.(check int) "rows" 200 (Table.rows t);
+  let schema = Table.schema t in
+  let edu = Schema.index schema "education" and num = Schema.index schema "education_num" in
+  Alcotest.(check bool) "education -> education_num planted" true
+    (Fdbase.Validator.holds t ~lhs:(Attrset.singleton edu) ~rhs:(Attrset.singleton num))
+
+let test_letter_like () =
+  let t = Datasets.Letter_like.generate ~rows:150 () in
+  Alcotest.(check int) "16 columns (Table I)" 16 (Table.cols t);
+  for r = 0 to 149 do
+    for c = 0 to 15 do
+      match Table.cell t ~row:r ~col:c with
+      | Value.Int v -> Alcotest.(check bool) "0..15" true (v >= 0 && v <= 15)
+      | Value.Str _ -> Alcotest.fail "letter cells must be integers"
+    done
+  done
+
+let test_flight_like () =
+  let t = Datasets.Flight_like.generate ~rows:300 () in
+  Alcotest.(check int) "20 columns (Table I)" 20 (Table.cols t);
+  let schema = Table.schema t in
+  let idx = Schema.index schema in
+  let holds lhs rhs =
+    Fdbase.Validator.holds t
+      ~lhs:(Attrset.of_list (List.map idx lhs))
+      ~rhs:(Attrset.of_list (List.map idx rhs))
+  in
+  Alcotest.(check bool) "origin -> origin_city" true
+    (holds [ "origin" ] [ "origin_city" ]);
+  Alcotest.(check bool) "origin -> origin_state" true
+    (holds [ "origin" ] [ "origin_state" ]);
+  Alcotest.(check bool) "dest -> dest_city" true (holds [ "dest" ] [ "dest_city" ]);
+  Alcotest.(check bool) "(carrier, flight_num) -> origin" true
+    (holds [ "carrier"; "flight_num" ] [ "origin" ]);
+  Alcotest.(check bool) "(carrier, flight_num) -> distance" true
+    (holds [ "carrier"; "flight_num" ] [ "distance" ])
+
+let test_default_row_counts () =
+  (* Table I's row counts are exposed as constants (we don't generate the
+     full sizes in tests). *)
+  Alcotest.(check int) "adult" 48_842 Datasets.Adult_like.default_rows;
+  Alcotest.(check int) "letter" 20_000 Datasets.Letter_like.default_rows;
+  Alcotest.(check int) "flight" 500_000 Datasets.Flight_like.default_rows
+
+let test_examples () =
+  let fig1 = Datasets.Examples.fig1 () in
+  Alcotest.(check int) "fig1 rows" 4 (Table.rows fig1);
+  let emp = Datasets.Examples.employee () in
+  let schema = Table.schema emp in
+  Alcotest.(check bool) "Position -> Department" true
+    (Fdbase.Validator.holds emp
+       ~lhs:(Attrset.singleton (Schema.index schema "Position"))
+       ~rhs:(Attrset.singleton (Schema.index schema "Department")))
+
+let test_distinct_distributions () =
+  (* The Table II argument needs datasets with different distributions:
+     compare single-column cardinalities at equal sample size. *)
+  let n = 256 in
+  let rng = Crypto.Rng.create 5 in
+  let card t c = Fdbase.Partition.cardinality (Fdbase.Partition.of_column (Table.column t c)) in
+  let a = Table.sample_rows (Datasets.Adult_like.generate ~rows:1000 ()) (Crypto.Rng.int rng) n in
+  let l = Table.sample_rows (Datasets.Letter_like.generate ~rows:1000 ()) (Crypto.Rng.int rng) n in
+  let r = Datasets.Rnd.generate ~rows:n ~cols:3 () in
+  (* RND columns are near-unique; letter columns have <= 16 values. *)
+  Alcotest.(check bool) "rnd near-unique" true (card r 0 > n / 2);
+  Alcotest.(check bool) "letter small domain" true (card l 0 <= 16);
+  Alcotest.(check bool) "adult sex binary-ish" true (card a 9 <= 2)
+
+let suite =
+  [
+    Alcotest.test_case "RND shape and range" `Quick test_rnd_shape;
+    Alcotest.test_case "RND deterministic by seed" `Quick test_rnd_deterministic;
+    Alcotest.test_case "Adult-like (planted FD)" `Quick test_adult_like;
+    Alcotest.test_case "Letter-like" `Quick test_letter_like;
+    Alcotest.test_case "Flight-like (route FDs)" `Quick test_flight_like;
+    Alcotest.test_case "Table I row counts" `Quick test_default_row_counts;
+    Alcotest.test_case "paper examples" `Quick test_examples;
+    Alcotest.test_case "distributions differ" `Quick test_distinct_distributions;
+  ]

@@ -1,0 +1,136 @@
+(* Corner-case tables through the full secure protocols: single row,
+   single column, all-equal, all-distinct, two identical rows — the
+   shapes where off-by-one errors in partitions, lattices, ORAM sizing
+   and network padding live. *)
+
+open Relation
+open Core
+
+let v x = Value.Int x
+
+let pp_fds fds = String.concat "; " (List.map (Format.asprintf "%a" Fdbase.Fd.pp) fds)
+
+let check_all_methods t label =
+  let expect = Fdbase.Tane.fds t in
+  List.iter
+    (fun m ->
+      let r = Protocol.discover m t in
+      Alcotest.(check string)
+        (Printf.sprintf "%s on %s" (Protocol.method_name m) label)
+        (pp_fds expect) (pp_fds r.Protocol.fds))
+    [ Protocol.Or_oram; Protocol.Ex_oram; Protocol.Sort ]
+
+let test_single_row () =
+  let t = Table.make (Schema.make [| "A"; "B" |]) [| [| v 1; v 2 |] |] in
+  (* With one row every FD holds; minimal cover: ∅ -> A, ∅ -> B. *)
+  let expect = [ { Fdbase.Fd.lhs = Attrset.empty; rhs = 0 }; { Fdbase.Fd.lhs = Attrset.empty; rhs = 1 } ] in
+  Alcotest.(check string) "TANE single row" (pp_fds expect) (pp_fds (Fdbase.Tane.fds t));
+  check_all_methods t "single row"
+
+let test_single_column () =
+  let t = Table.make (Schema.make [| "A" |]) [| [| v 1 |]; [| v 2 |]; [| v 1 |] |] in
+  Alcotest.(check string) "no FDs possible" "" (pp_fds (Fdbase.Tane.fds t));
+  check_all_methods t "single column"
+
+let test_all_rows_equal () =
+  let t =
+    Table.make (Schema.make [| "A"; "B"; "C" |])
+      (Array.make 5 [| v 7; v 8; v 9 |])
+  in
+  (* Every column constant: ∅ determines everything. *)
+  let fds = Fdbase.Tane.fds t in
+  Alcotest.(check int) "three constant FDs" 3 (List.length fds);
+  List.iter
+    (fun fd -> Alcotest.(check bool) "lhs empty" true (Attrset.is_empty fd.Fdbase.Fd.lhs))
+    fds;
+  check_all_methods t "all rows equal"
+
+let test_all_rows_distinct_all_columns_keys () =
+  let t =
+    Table.make (Schema.make [| "A"; "B" |])
+      (Array.init 6 (fun i -> [| v i; v (100 + i) |]))
+  in
+  (* Both columns are keys: A -> B and B -> A. *)
+  let expect =
+    [ { Fdbase.Fd.lhs = Attrset.singleton 0; rhs = 1 };
+      { Fdbase.Fd.lhs = Attrset.singleton 1; rhs = 0 } ]
+  in
+  Alcotest.(check string) "key FDs" (pp_fds expect) (pp_fds (Fdbase.Tane.fds t));
+  check_all_methods t "all distinct"
+
+let test_duplicate_rows () =
+  let t =
+    Table.make (Schema.make [| "A"; "B" |])
+      [| [| v 1; v 2 |]; [| v 1; v 2 |]; [| v 3; v 4 |]; [| v 3; v 4 |] |]
+  in
+  check_all_methods t "duplicate rows"
+
+let test_two_rows () =
+  let t = Table.make (Schema.make [| "A"; "B"; "C" |])
+      [| [| v 1; v 5; v 5 |]; [| v 2; v 5; v 6 |] |]
+  in
+  check_all_methods t "two rows"
+
+let test_non_pow2_sizes () =
+  (* Sort pads to a power of two; sizes just above one are the risky
+     spots. *)
+  List.iter
+    (fun n ->
+      let t = Datasets.Rnd.generate_with_domain ~seed:n ~rows:n ~cols:2 ~domain:3 () in
+      check_all_methods t (Printf.sprintf "n=%d" n))
+    [ 3; 5; 9; 17; 33 ]
+
+let test_wide_table_max_lhs () =
+  (* Wider than the paper's datasets per row count; capped lattice. *)
+  let t = Datasets.Rnd.generate_with_domain ~seed:3 ~rows:12 ~cols:8 ~domain:2 () in
+  let expect = (Fdbase.Tane.discover ~max_lhs:1 t).Fdbase.Lattice.fds in
+  let r = Protocol.discover ~max_lhs:1 Protocol.Sort t in
+  Alcotest.(check string) "wide, capped" (pp_fds expect) (pp_fds r.Protocol.fds)
+
+let test_dynamic_down_to_empty () =
+  let t = Table.make (Schema.make [| "A" |]) [| [| v 1 |]; [| v 2 |] |] in
+  let d = Dynamic.start ~capacity:8 t in
+  Dynamic.delete d ~id:0;
+  Dynamic.delete d ~id:1;
+  Alcotest.(check int) "empty" 0 (Dynamic.live_records d);
+  Alcotest.(check (option int)) "cardinality 0" (Some 0)
+    (Dynamic.cardinality d (Attrset.singleton 0));
+  (* Refill after emptying. *)
+  ignore (Dynamic.insert d [| v 9 |]);
+  Alcotest.(check (option int)) "cardinality back to 1" (Some 1)
+    (Dynamic.cardinality d (Attrset.singleton 0));
+  Dynamic.release d
+
+let test_modeled_network_time () =
+  let r =
+    {
+      Protocol.fds = [];
+      sets_checked = 0;
+      plan = [];
+      cost = Servsim.Cost.snapshot (Servsim.Cost.create ());
+      elapsed_s = 0.0;
+      trace_full = 0L;
+      trace_shape = 0L;
+      trace_count = 0;
+      step_round_trips = 1000;
+      step_bytes = 1_000_000;
+    }
+  in
+  (* 1000 trips x 0.2ms + 8 Mbit / 1 Gbps = 0.2 + 0.008 s. *)
+  Alcotest.(check (float 1e-9)) "default model" 0.208 (Protocol.modeled_network_seconds r);
+  Alcotest.(check (float 1e-9)) "custom model" 2.008
+    (Protocol.modeled_network_seconds ~rtt_s:2e-3 ~gbps:1.0 r)
+
+let suite =
+  [
+    Alcotest.test_case "single row" `Quick test_single_row;
+    Alcotest.test_case "single column" `Quick test_single_column;
+    Alcotest.test_case "all rows equal" `Quick test_all_rows_equal;
+    Alcotest.test_case "all rows distinct" `Quick test_all_rows_distinct_all_columns_keys;
+    Alcotest.test_case "duplicate rows" `Quick test_duplicate_rows;
+    Alcotest.test_case "two rows" `Quick test_two_rows;
+    Alcotest.test_case "non-power-of-two sizes" `Slow test_non_pow2_sizes;
+    Alcotest.test_case "wide table with max_lhs" `Quick test_wide_table_max_lhs;
+    Alcotest.test_case "dynamic down to empty" `Quick test_dynamic_down_to_empty;
+    Alcotest.test_case "modeled network time" `Quick test_modeled_network_time;
+  ]

@@ -1,0 +1,147 @@
+(* Failure injection: a corrupted or misbehaving server must surface as a
+   client-side integrity error, never as silently wrong results; plus
+   malformed-input robustness of the parsers and the wire protocol. *)
+
+open Relation
+
+let test_corrupted_cell_detected () =
+  (* Flip bytes of a stored cell ciphertext; the client's CBC decryption
+     must reject it (with overwhelming probability the padding breaks) or
+     the codec must reject the garbled plaintext. *)
+  let t = Datasets.Examples.fig1 () in
+  let session = Core.Session.create ~n:4 ~m:3 () in
+  let db = Core.Enc_db.outsource session t in
+  let store = Servsim.Server.find_store session.Core.Session.server (Core.Enc_db.store_name db) in
+  let detected = ref 0 in
+  let rng = Crypto.Rng.create 13 in
+  for trial = 1 to 20 do
+    let idx = Crypto.Rng.int rng 12 in
+    let c = Bytes.of_string (Servsim.Block_store.read store idx) in
+    let pos = Crypto.Rng.int rng (Bytes.length c) in
+    Bytes.set c pos (Char.chr (Char.code (Bytes.get c pos) lxor (1 + Crypto.Rng.int rng 254)));
+    Servsim.Block_store.write store idx (Bytes.to_string c);
+    (match Core.Enc_db.read_cell db ~row:(idx / 3) ~col:(idx mod 3) with
+    | exception Invalid_argument _ -> incr detected
+    | v ->
+        (* Corruption of non-final blocks can decrypt to valid padding and
+           a valid codec tag; then the value differs from the original. *)
+        if not (Value.equal v (Table.cell t ~row:(idx / 3) ~col:(idx mod 3))) then
+          incr detected);
+    ignore trial
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "%d/20 corruptions detected" !detected)
+    true (!detected >= 18)
+
+let test_truncated_ciphertext_rejected () =
+  let cipher = Crypto.Cell_cipher.create (String.make 16 'T') in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "rejected" true
+        (match Crypto.Cell_cipher.decrypt cipher s with
+        | exception Invalid_argument _ -> true
+        | _ -> false))
+    [ ""; "short"; String.make 31 'x'; String.make 40 'y' ]
+
+let test_oram_corruption_detected () =
+  let server = Servsim.Server.create () in
+  let cipher = Crypto.Cell_cipher.create (String.make 16 'K') in
+  let rng = Crypto.Rng.create 3 in
+  let o =
+    Oram.Path_oram.setup ~name:"o" { capacity = 16; key_len = 8; payload_len = 8 } server
+      cipher (Crypto.Rng.int rng)
+  in
+  Oram.Path_oram.write o ~key:(Codec.encode_int 1) (Codec.encode_int 1);
+  let store = Servsim.Server.find_store server "o" in
+  (* Corrupt every slot: any subsequent access must fail loudly. *)
+  for i = 0 to Servsim.Block_store.length store - 1 do
+    Servsim.Block_store.write store i (String.make 64 'Z')
+  done;
+  Alcotest.(check bool) "detected" true
+    (match Oram.Path_oram.read o ~key:(Codec.encode_int 1) with
+    | exception Invalid_argument _ -> true
+    | exception Failure _ -> true
+    | _ -> false)
+
+let test_csv_malformed () =
+  List.iter
+    (fun doc ->
+      Alcotest.(check bool) (Printf.sprintf "rejected: %S" doc) true
+        (match Csv.of_string doc with exception Invalid_argument _ -> true | _ -> false))
+    [ ""; "a,b\n1,2,3\n"; "a,b\n\"unterminated\n" ]
+
+let test_wire_malformed_stream () =
+  (* Feed garbage bytes to the server loop: it must not crash the
+     process; the reader raises and serve returns on EOF/protocol error. *)
+  let r, w = Unix.pipe () in
+  let oc = Unix.out_channel_of_descr w in
+  output_string oc "\255garbage-bytes";
+  close_out oc;
+  let ic = Unix.in_channel_of_descr r in
+  Alcotest.(check bool) "protocol error raised" true
+    (match Servsim.Wire.read_request ic with
+    | exception Servsim.Wire.Protocol_error _ -> true
+    | exception End_of_file -> true
+    | _ -> false);
+  close_in ic
+
+let test_stash_statistics () =
+  (* Hammer one PathORAM and confirm the stash stays within the paper's
+     7·log n bound throughout (the bound is statistical; a violation
+     would indicate an eviction bug rather than bad luck at these
+     sizes). *)
+  let server = Servsim.Server.create () in
+  let cipher = Crypto.Cell_cipher.create (String.make 16 'K') in
+  let rng = Crypto.Rng.create 77 in
+  let o =
+    Oram.Path_oram.setup ~name:"s" { capacity = 512; key_len = 8; payload_len = 8 } server
+      cipher (Crypto.Rng.int rng)
+  in
+  for i = 0 to 511 do
+    Oram.Path_oram.write o ~key:(Codec.encode_int i) (Codec.encode_int i)
+  done;
+  for round = 1 to 4 do
+    for i = 0 to 511 do
+      ignore (Oram.Path_oram.read o ~key:(Codec.encode_int ((i * 7) mod 512)))
+    done;
+    ignore round
+  done;
+  Alcotest.(check int) "no overflow" 0 (Oram.Path_oram.stash_overflows o);
+  Alcotest.(check bool)
+    (Printf.sprintf "max stash %d <= limit %d" (Oram.Path_oram.max_stash_seen o)
+       (Oram.Path_oram.stash_limit o))
+    true
+    (Oram.Path_oram.max_stash_seen o <= Oram.Path_oram.stash_limit o)
+
+let test_schema_mismatch_rejected () =
+  let t = Datasets.Examples.fig1 () in
+  let session = Core.Session.create ~n:99 ~m:3 () in
+  Alcotest.(check bool) "dimension mismatch" true
+    (match Core.Enc_db.outsource session t with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_dead_server_process () =
+  (* Kill the server child mid-session: the next call must raise, not
+     hang. *)
+  let fd, pid = Servsim.Remote_server.fork_server () in
+  let conn = Servsim.Remote.connect_fd fd in
+  ignore (Servsim.Remote.call conn (Servsim.Wire.Create_store "s"));
+  Unix.kill pid Sys.sigkill;
+  ignore (Unix.waitpid [] pid);
+  Alcotest.(check bool) "raises after server death" true
+    (match Servsim.Remote.call conn (Servsim.Wire.Get ("s", 0)) with
+    | exception _ -> true
+    | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "corrupted cells detected" `Quick test_corrupted_cell_detected;
+    Alcotest.test_case "truncated ciphertexts rejected" `Quick test_truncated_ciphertext_rejected;
+    Alcotest.test_case "ORAM corruption detected" `Quick test_oram_corruption_detected;
+    Alcotest.test_case "malformed CSV rejected" `Quick test_csv_malformed;
+    Alcotest.test_case "malformed wire stream" `Quick test_wire_malformed_stream;
+    Alcotest.test_case "stash statistics" `Slow test_stash_statistics;
+    Alcotest.test_case "schema mismatch rejected" `Quick test_schema_mismatch_rejected;
+    Alcotest.test_case "dead server process" `Quick test_dead_server_process;
+  ]

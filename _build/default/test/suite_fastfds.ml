@@ -1,0 +1,92 @@
+(* FastFDs tests: the difference-set algorithm must agree exactly with
+   both the TANE lattice and brute force — three independent roads to the
+   same FD set. *)
+
+open Relation
+open Fdbase
+
+let v x = Value.Int x
+
+let pp_fds fds = String.concat "; " (List.map (Format.asprintf "%a" Fd.pp) fds)
+
+let random_table rng ~n ~m ~domain =
+  let schema = Schema.make (Array.init m (fun i -> Printf.sprintf "C%d" i)) in
+  Table.make schema
+    (Array.init n (fun _ -> Array.init m (fun _ -> v (Crypto.Rng.int rng domain))))
+
+let test_difference_sets_fig1 () =
+  let t = Datasets.Examples.fig1 () in
+  let diffs = Fastfds.difference_sets t in
+  (* r2/r3 differ only on Birth: {2} must be a difference set. *)
+  Alcotest.(check bool) "{Birth} present" true
+    (List.exists (fun d -> Attrset.equal d (Attrset.singleton 2)) diffs);
+  (* All sets non-empty and within the schema. *)
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "non-empty" false (Attrset.is_empty d);
+      Alcotest.(check bool) "within schema" true (Attrset.subset d (Attrset.full ~m:3)))
+    diffs
+
+let test_minimal_difference_sets () =
+  let s = Attrset.of_list in
+  let sets = [ s [ 0 ]; s [ 0; 1 ]; s [ 1; 2 ]; s [ 2 ] ] in
+  let min = Fastfds.minimal_difference_sets sets in
+  Alcotest.(check int) "kept" 2 (List.length min);
+  Alcotest.(check bool) "{0} kept" true (List.exists (Attrset.equal (s [ 0 ])) min);
+  Alcotest.(check bool) "{2} kept" true (List.exists (Attrset.equal (s [ 2 ])) min)
+
+let test_matches_tane_fig1 () =
+  let t = Datasets.Examples.fig1 () in
+  Alcotest.(check string) "fig1" (pp_fds (Tane.fds t)) (pp_fds (Fastfds.discover t))
+
+let test_matches_tane_employee () =
+  let t = Datasets.Examples.employee () in
+  Alcotest.(check string) "employee" (pp_fds (Tane.fds t)) (pp_fds (Fastfds.discover t))
+
+let test_matches_tane_random () =
+  let rng = Crypto.Rng.create 61 in
+  for _ = 1 to 25 do
+    let t = random_table rng ~n:(8 + Crypto.Rng.int rng 25) ~m:4 ~domain:3 in
+    Alcotest.(check string) "same FDs" (pp_fds (Tane.fds t)) (pp_fds (Fastfds.discover t))
+  done
+
+let test_matches_brute_force () =
+  let rng = Crypto.Rng.create 62 in
+  for _ = 1 to 10 do
+    let t = random_table rng ~n:(6 + Crypto.Rng.int rng 15) ~m:5 ~domain:3 in
+    Alcotest.(check string) "same FDs" (pp_fds (Validator.brute_force_minimal t))
+      (pp_fds (Fastfds.discover t))
+  done
+
+let test_constant_and_key_columns () =
+  let schema = Schema.make [| "K"; "A"; "C" |] in
+  let t =
+    Table.make schema
+      [| [| v 0; v 5; v 7 |]; [| v 1; v 5; v 7 |]; [| v 2; v 6; v 7 |] |]
+  in
+  let fds = Fastfds.discover t in
+  Alcotest.(check bool) "∅ → C (constant)" true
+    (List.exists (Fd.equal { Fd.lhs = Attrset.empty; rhs = 2 }) fds);
+  Alcotest.(check bool) "K → A (key)" true
+    (List.exists (Fd.equal { Fd.lhs = Attrset.singleton 0; rhs = 1 }) fds);
+  Alcotest.(check string) "agrees with TANE" (pp_fds (Tane.fds t)) (pp_fds fds)
+
+let qcheck_three_way_agreement =
+  QCheck.Test.make ~name:"FastFDs = TANE (random tables)" ~count:20
+    QCheck.(pair (int_range 5 20) (int_range 2 4))
+    (fun (n, domain) ->
+      let rng = Crypto.Rng.create ((n * 31) + domain) in
+      let t = random_table rng ~n ~m:4 ~domain in
+      String.equal (pp_fds (Tane.fds t)) (pp_fds (Fastfds.discover t)))
+
+let suite =
+  [
+    Alcotest.test_case "difference sets on Fig. 1" `Quick test_difference_sets_fig1;
+    Alcotest.test_case "minimal difference sets" `Quick test_minimal_difference_sets;
+    Alcotest.test_case "= TANE on Fig. 1" `Quick test_matches_tane_fig1;
+    Alcotest.test_case "= TANE on employee" `Quick test_matches_tane_employee;
+    Alcotest.test_case "= TANE on random tables" `Quick test_matches_tane_random;
+    Alcotest.test_case "= brute force" `Quick test_matches_brute_force;
+    Alcotest.test_case "constant and key columns" `Quick test_constant_and_key_columns;
+    QCheck_alcotest.to_alcotest qcheck_three_way_agreement;
+  ]

@@ -1,0 +1,265 @@
+(* Plaintext FD discovery tests: partitions, Theorem 1, TANE vs brute
+   force on random tables, Armstrong closure. *)
+
+open Relation
+open Fdbase
+
+let v_int x = Value.Int x
+let v_str s = Value.Str s
+
+let fig1_table () =
+  let schema = Schema.make [| "Name"; "City"; "Birth" |] in
+  Table.make schema
+    [|
+      [| v_str "Alice"; v_str "Boston"; v_str "Jan" |];
+      [| v_str "Bob"; v_str "Boston"; v_str "May" |];
+      [| v_str "Bob"; v_str "Boston"; v_str "Jan" |];
+      [| v_str "Carol"; v_str "New York"; v_str "Sep" |];
+    |]
+
+let attrs = Attrset.of_list
+
+let test_partition_single () =
+  let t = fig1_table () in
+  let p = Partition.of_column (Table.column t 0) in
+  Alcotest.(check int) "|π_Name| = 3" 3 (Partition.cardinality p);
+  let p_city = Partition.of_column (Table.column t 1) in
+  Alcotest.(check int) "|π_City| = 2" 2 (Partition.cardinality p_city)
+
+let test_partition_of_table_empty_set () =
+  let t = fig1_table () in
+  let p = Partition.of_table t Attrset.empty in
+  Alcotest.(check int) "|π_∅| = 1" 1 (Partition.cardinality p)
+
+let test_theorem1_fig1 () =
+  (* Paper Fig. 1: Name → City holds, Name → Birth does not. *)
+  let t = fig1_table () in
+  let card s = Partition.cardinality (Partition.of_table t s) in
+  Alcotest.(check int) "|π_Name|" 3 (card (attrs [ 0 ]));
+  Alcotest.(check int) "|π_{Name,City}|" 3 (card (attrs [ 0; 1 ]));
+  Alcotest.(check int) "|π_{Name,Birth}|" 4 (card (attrs [ 0; 2 ]));
+  Alcotest.(check bool) "Name → City" true (card (attrs [ 0 ]) = card (attrs [ 0; 1 ]));
+  Alcotest.(check bool) "Name → Birth fails" false
+    (card (attrs [ 0 ]) = card (attrs [ 0; 2 ]))
+
+let test_partition_product_matches_direct () =
+  let rng = Crypto.Rng.create 11 in
+  for _ = 1 to 20 do
+    let n = 30 + Crypto.Rng.int rng 40 in
+    let col () = Array.init n (fun _ -> v_int (Crypto.Rng.int rng 5)) in
+    let c1 = col () and c2 = col () in
+    let schema = Schema.make [| "A"; "B" |] in
+    let t = Table.make schema (Array.init n (fun i -> [| c1.(i); c2.(i) |])) in
+    let p1 = Partition.of_column c1 and p2 = Partition.of_column c2 in
+    let prod = Partition.product p1 p2 in
+    let direct = Partition.of_table t (attrs [ 0; 1 ]) in
+    Alcotest.(check int) "cardinality" (Partition.cardinality direct)
+      (Partition.cardinality prod);
+    Alcotest.(check bool) "same refinement" true (Partition.equal_refinement prod direct)
+  done
+
+let test_partition_error_superkey () =
+  let col = Array.init 10 (fun i -> v_int i) in
+  let p = Partition.of_column col in
+  Alcotest.(check int) "e(X) = 0 for key" 0 (Partition.error p);
+  Alcotest.(check int) "card = n" 10 (Partition.cardinality p)
+
+let test_labels_consistent () =
+  let col = [| v_int 1; v_int 2; v_int 1; v_int 3; v_int 2 |] in
+  let p = Partition.of_column col in
+  let l = Partition.labels p in
+  Alcotest.(check bool) "same label same value" true (l.(0) = l.(2) && l.(1) = l.(4));
+  Alcotest.(check bool) "distinct labels distinct values" true
+    (l.(0) <> l.(1) && l.(0) <> l.(3) && l.(1) <> l.(3))
+
+let test_tane_fig1 () =
+  let t = fig1_table () in
+  let fds = Tane.fds t in
+  (* Name → City must be among the discovered FDs. *)
+  let has lhs rhs = List.exists (fun fd -> Fd.equal fd { Fd.lhs = attrs lhs; rhs }) fds in
+  Alcotest.(check bool) "Name → City" true (has [ 0 ] 1);
+  Alcotest.(check bool) "no Name → Birth" false (has [ 0 ] 2)
+
+let random_table rng ~n ~m ~domain =
+  let schema = Schema.make (Array.init m (fun i -> Printf.sprintf "C%d" i)) in
+  Table.make schema
+    (Array.init n (fun _ -> Array.init m (fun _ -> v_int (Crypto.Rng.int rng domain))))
+
+let check_tane_equals_brute t =
+  let expected = Validator.brute_force_minimal t in
+  let got = Tane.fds t in
+  let pp_fds fds = String.concat "; " (List.map (Format.asprintf "%a" Fd.pp) fds) in
+  Alcotest.(check string) "same minimal FDs" (pp_fds expected) (pp_fds got)
+
+let test_tane_vs_brute_small_random () =
+  let rng = Crypto.Rng.create 21 in
+  for _ = 1 to 30 do
+    let t = random_table rng ~n:(5 + Crypto.Rng.int rng 20) ~m:4 ~domain:3 in
+    check_tane_equals_brute t
+  done
+
+let test_tane_vs_brute_wider () =
+  let rng = Crypto.Rng.create 22 in
+  for _ = 1 to 10 do
+    let t = random_table rng ~n:(10 + Crypto.Rng.int rng 30) ~m:5 ~domain:4 in
+    check_tane_equals_brute t
+  done
+
+let test_tane_constant_column () =
+  let schema = Schema.make [| "A"; "B" |] in
+  let t =
+    Table.make schema [| [| v_int 1; v_int 7 |]; [| v_int 2; v_int 7 |]; [| v_int 3; v_int 7 |] |]
+  in
+  let fds = Tane.fds t in
+  Alcotest.(check bool) "∅ → B" true
+    (List.exists (fun fd -> Fd.equal fd { Fd.lhs = Attrset.empty; rhs = 1 }) fds)
+
+let test_tane_key_column () =
+  let schema = Schema.make [| "K"; "A"; "B" |] in
+  let t =
+    Table.make schema
+      [|
+        [| v_int 0; v_int 5; v_int 5 |];
+        [| v_int 1; v_int 5; v_int 6 |];
+        [| v_int 2; v_int 6; v_int 5 |];
+      |]
+  in
+  let fds = Tane.fds t in
+  Alcotest.(check bool) "K → A" true
+    (List.exists (fun fd -> Fd.equal fd { Fd.lhs = attrs [ 0 ]; rhs = 1 }) fds);
+  Alcotest.(check bool) "K → B" true
+    (List.exists (fun fd -> Fd.equal fd { Fd.lhs = attrs [ 0 ]; rhs = 2 }) fds);
+  check_tane_equals_brute t
+
+let test_tane_all_fds_validate () =
+  let rng = Crypto.Rng.create 23 in
+  (* Plant C5 = f(C0) so at least one FD is guaranteed. *)
+  let base = random_table rng ~n:60 ~m:5 ~domain:3 in
+  let schema = Schema.make (Array.init 6 (fun i -> Printf.sprintf "C%d" i)) in
+  let derive v = match v with Value.Int x -> v_int ((x * 7) mod 5) | _ -> v in
+  let t =
+    Table.make schema
+      (Array.init (Table.rows base) (fun i ->
+           Array.append (Table.row base i) [| derive (Table.cell base ~row:i ~col:0) |]))
+  in
+  let fds = Tane.fds t in
+  Alcotest.(check bool) "nonempty" true (fds <> []);
+  Alcotest.(check bool) "planted FD found" true
+    (List.exists (fun fd -> fd.Fd.rhs = 5 && Attrset.subset fd.Fd.lhs (attrs [ 0 ])) fds);
+  List.iter
+    (fun fd ->
+      Alcotest.(check bool)
+        (Format.asprintf "%a validates" Fd.pp fd)
+        true (Validator.holds_fd t fd))
+    fds
+
+let test_tane_duplicated_rows () =
+  let rng = Crypto.Rng.create 24 in
+  let base = random_table rng ~n:10 ~m:4 ~domain:3 in
+  (* Duplicating every row must not change the FD set. *)
+  let doubled =
+    Table.make (Table.schema base)
+      (Array.init (2 * Table.rows base) (fun i -> Table.row base (i / 2)))
+  in
+  let pp_fds fds = String.concat "; " (List.map (Format.asprintf "%a" Fd.pp) fds) in
+  Alcotest.(check string) "same FDs" (pp_fds (Tane.fds base)) (pp_fds (Tane.fds doubled))
+
+let test_closure_and_implies () =
+  (* A → B, B → C: closure of {A} is {A,B,C}. *)
+  let fds = [ { Fd.lhs = attrs [ 0 ]; rhs = 1 }; { Fd.lhs = attrs [ 1 ]; rhs = 2 } ] in
+  let cl = Fd.closure ~m:3 fds (attrs [ 0 ]) in
+  Alcotest.(check (list int)) "closure" [ 0; 1; 2 ] (Attrset.elements cl);
+  Alcotest.(check bool) "implies" true
+    (Fd.implies ~m:3 fds ~lhs:(attrs [ 0 ]) ~rhs:(attrs [ 2 ]));
+  Alcotest.(check bool) "superkey" true (Fd.is_superkey ~m:3 fds (attrs [ 0 ]));
+  Alcotest.(check bool) "not superkey" false (Fd.is_superkey ~m:3 fds (attrs [ 2 ]))
+
+let test_lattice_plan_deterministic () =
+  (* Same table → identical plan; the plan is a function of the leakage. *)
+  let rng = Crypto.Rng.create 31 in
+  let t = random_table rng ~n:40 ~m:5 ~domain:3 in
+  let r1 = Tane.discover t and r2 = Tane.discover t in
+  Alcotest.(check int) "same plan length" (List.length r1.Lattice.plan)
+    (List.length r2.Lattice.plan);
+  Alcotest.(check bool) "same plan" true
+    (List.for_all2 Attrset.equal r1.Lattice.plan r2.Lattice.plan)
+
+let test_lattice_plan_depends_only_on_fds () =
+  (* Two different tables with the same schema and the same FD set must
+     produce the same lattice plan (database-level leaks only L(DB)). *)
+  let schema = Schema.make [| "A"; "B"; "C" |] in
+  let t1 =
+    Table.make schema
+      [|
+        [| v_int 1; v_int 1; v_int 1 |];
+        [| v_int 1; v_int 1; v_int 2 |];
+        [| v_int 2; v_int 2; v_int 1 |];
+        [| v_int 3; v_int 2; v_int 2 |];
+      |]
+  in
+  (* Rename values; FDs unchanged. *)
+  let t2 =
+    Table.make schema
+      [|
+        [| v_int 10; v_int 91; v_int 51 |];
+        [| v_int 10; v_int 91; v_int 52 |];
+        [| v_int 20; v_int 92; v_int 51 |];
+        [| v_int 30; v_int 92; v_int 52 |];
+      |]
+  in
+  let r1 = Tane.discover t1 and r2 = Tane.discover t2 in
+  let pp_fds fds = String.concat "; " (List.map (Format.asprintf "%a" Fd.pp) fds) in
+  Alcotest.(check string) "same FDs (precondition)" (pp_fds r1.Lattice.fds)
+    (pp_fds r2.Lattice.fds);
+  Alcotest.(check bool) "same plan" true
+    (List.length r1.Lattice.plan = List.length r2.Lattice.plan
+    && List.for_all2 Attrset.equal r1.Lattice.plan r2.Lattice.plan)
+
+let test_max_lhs_cap () =
+  let rng = Crypto.Rng.create 41 in
+  let t = random_table rng ~n:50 ~m:6 ~domain:2 in
+  let r = Tane.discover ~max_lhs:1 t in
+  List.iter
+    (fun fd ->
+      Alcotest.(check bool) "lhs capped" true (Attrset.cardinal fd.Fd.lhs <= 1))
+    r.Lattice.fds
+
+let qcheck_tane_matches_brute =
+  QCheck.Test.make ~name:"TANE = brute force (random 4-col tables)" ~count:25
+    QCheck.(pair (int_range 4 25) (int_range 2 4))
+    (fun (n, domain) ->
+      let rng = Crypto.Rng.create (n * 100 + domain) in
+      let t = random_table rng ~n ~m:4 ~domain in
+      let pp_fds fds = String.concat ";" (List.map (Format.asprintf "%a" Fd.pp) fds) in
+      String.equal (pp_fds (Validator.brute_force_minimal t)) (pp_fds (Tane.fds t)))
+
+let qcheck_discovered_fds_hold =
+  QCheck.Test.make ~name:"every discovered FD validates directly" ~count:25
+    QCheck.(int_range 5 40)
+    (fun n ->
+      let rng = Crypto.Rng.create (n * 7) in
+      let t = random_table rng ~n ~m:5 ~domain:3 in
+      List.for_all (Validator.holds_fd t) (Tane.fds t))
+
+let suite =
+  [
+    Alcotest.test_case "partition single column" `Quick test_partition_single;
+    Alcotest.test_case "partition of empty attrset" `Quick test_partition_of_table_empty_set;
+    Alcotest.test_case "Theorem 1 on paper Fig. 1" `Quick test_theorem1_fig1;
+    Alcotest.test_case "partition product = direct" `Quick test_partition_product_matches_direct;
+    Alcotest.test_case "partition error/superkey" `Quick test_partition_error_superkey;
+    Alcotest.test_case "partition labels" `Quick test_labels_consistent;
+    Alcotest.test_case "TANE on paper Fig. 1" `Quick test_tane_fig1;
+    Alcotest.test_case "TANE = brute force (small)" `Quick test_tane_vs_brute_small_random;
+    Alcotest.test_case "TANE = brute force (wider)" `Slow test_tane_vs_brute_wider;
+    Alcotest.test_case "TANE constant column" `Quick test_tane_constant_column;
+    Alcotest.test_case "TANE key column" `Quick test_tane_key_column;
+    Alcotest.test_case "all discovered FDs validate" `Quick test_tane_all_fds_validate;
+    Alcotest.test_case "duplicated rows preserve FDs" `Quick test_tane_duplicated_rows;
+    Alcotest.test_case "closure and implication" `Quick test_closure_and_implies;
+    Alcotest.test_case "lattice plan deterministic" `Quick test_lattice_plan_deterministic;
+    Alcotest.test_case "plan depends only on leakage" `Quick test_lattice_plan_depends_only_on_fds;
+    Alcotest.test_case "max_lhs cap respected" `Quick test_max_lhs_cap;
+    QCheck_alcotest.to_alcotest qcheck_tane_matches_brute;
+    QCheck_alcotest.to_alcotest qcheck_discovered_fds_hold;
+  ]

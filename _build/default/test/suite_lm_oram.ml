@@ -1,0 +1,81 @@
+(* Low-memory method (Omap + recursive ORAM) tests. *)
+
+open Relation
+open Core
+
+let pp_fds fds = String.concat "; " (List.map (Format.asprintf "%a" Fdbase.Fd.pp) fds)
+
+let test_single_cardinality () =
+  let t = Datasets.Rnd.generate_with_domain ~seed:7 ~rows:16 ~cols:2 ~domain:4 () in
+  let session = Session.create ~n:16 ~m:2 () in
+  let db = Enc_db.outsource session t in
+  let h = Lm_oram_method.single db 0 in
+  let expect =
+    Fdbase.Partition.cardinality (Fdbase.Partition.of_column (Table.column t 0))
+  in
+  Alcotest.(check int) "cardinality" expect (Lm_oram_method.cardinality h)
+
+let test_combine_cardinality () =
+  let t = Datasets.Rnd.generate_with_domain ~seed:8 ~rows:12 ~cols:2 ~domain:3 () in
+  let session = Session.create ~n:12 ~m:2 () in
+  let db = Enc_db.outsource session t in
+  let h1 = Lm_oram_method.single db 0 in
+  let h2 = Lm_oram_method.single db 1 in
+  let h = Lm_oram_method.combine session (Attrset.of_list [ 0; 1 ]) h1 h2 in
+  let expect =
+    Fdbase.Partition.cardinality (Fdbase.Partition.of_table t (Attrset.of_list [ 0; 1 ]))
+  in
+  Alcotest.(check int) "cardinality" expect (Lm_oram_method.cardinality h)
+
+let test_discover_matches_tane () =
+  let t = Datasets.Examples.fig1 () in
+  let session = Session.create ~n:(Table.rows t) ~m:(Table.cols t) () in
+  let db = Enc_db.outsource session t in
+  let result =
+    Fdbase.Lattice.discover ~m:(Table.cols t) ~n:(Table.rows t)
+      (Lm_oram_method.oracle session db)
+  in
+  Alcotest.(check string) "FDs" (pp_fds (Fdbase.Tane.fds t))
+    (pp_fds result.Fdbase.Lattice.fds)
+
+let test_client_memory_much_smaller () =
+  let n = 64 in
+  let t = Datasets.Rnd.generate_with_domain ~seed:9 ~rows:n ~cols:1 ~domain:20 () in
+  (* Or-ORAM client state: measured through the cost ledger. *)
+  let session_or = Session.create ~n ~m:1 () in
+  let db_or = Enc_db.outsource session_or t in
+  ignore (Or_oram_method.single db_or 0);
+  let or_bytes =
+    (Servsim.Cost.snapshot (Session.cost session_or)).Servsim.Cost.client_current_bytes
+  in
+  let session_lm = Session.create ~n ~m:1 () in
+  let db_lm = Enc_db.outsource session_lm t in
+  let h = Lm_oram_method.single db_lm 0 in
+  let lm_bytes = Lm_oram_method.client_state_bytes h in
+  Alcotest.(check bool)
+    (Printf.sprintf "lm %dB < or %dB / 3" lm_bytes or_bytes)
+    true
+    (lm_bytes < or_bytes / 3)
+
+let test_shape_data_independent () =
+  let run seed_table =
+    let t = Datasets.Rnd.generate_with_domain ~seed:seed_table ~rows:10 ~cols:1 ~domain:3 () in
+    let session = Session.create ~seed:4242 ~n:10 ~m:1 () in
+    let db = Enc_db.outsource session t in
+    ignore (Lm_oram_method.single db 0);
+    let trace = Session.trace session in
+    (Servsim.Trace.shape_digest trace, Servsim.Trace.count trace)
+  in
+  let s1, c1 = run 1 in
+  let s2, c2 = run 2 in
+  Alcotest.(check int64) "same shape" s1 s2;
+  Alcotest.(check int) "same count" c1 c2
+
+let suite =
+  [
+    Alcotest.test_case "single cardinality" `Quick test_single_cardinality;
+    Alcotest.test_case "combine cardinality" `Quick test_combine_cardinality;
+    Alcotest.test_case "discover = TANE" `Quick test_discover_matches_tane;
+    Alcotest.test_case "client memory sublinear" `Slow test_client_memory_much_smaller;
+    Alcotest.test_case "shape data-independent" `Quick test_shape_data_independent;
+  ]

@@ -1,0 +1,193 @@
+(* Oblivious map (AVL over ORAM) tests: model equivalence, AVL
+   invariants, fixed access budgets, client memory with the recursive
+   backing. *)
+
+let key_len = 8
+let value_len = 8
+
+let k i = Relation.Codec.encode_int i
+let v i = Relation.Codec.encode_int i
+
+let make ?(capacity = 256) ?(backing = `Path) ?(seed = 5) () =
+  let server = Servsim.Server.create () in
+  let cipher = Crypto.Cell_cipher.create (String.make 16 'O') in
+  let rng = Crypto.Rng.create seed in
+  let cfg = { Oram.Omap.capacity; key_len; value_len } in
+  let nl = Oram.Omap.node_len cfg in
+  let b =
+    match backing with
+    | `Path ->
+        Oram.Omap.path_oram_backing ~name:"omap" ~capacity ~node_len:nl server cipher
+          (Crypto.Rng.int rng)
+    | `Recursive ->
+        Oram.Omap.recursive_backing ~name:"omap" ~capacity ~node_len:nl server cipher
+          (Crypto.Rng.int rng)
+  in
+  (server, Oram.Omap.create cfg b)
+
+let test_empty () =
+  let _, m = make () in
+  Alcotest.(check (option string)) "find on empty" None (Oram.Omap.find m (k 1));
+  Alcotest.(check int) "size" 0 (Oram.Omap.size m);
+  Oram.Omap.delete m (k 1);
+  Alcotest.(check int) "delete on empty ok" 0 (Oram.Omap.size m)
+
+let test_insert_find () =
+  let _, m = make () in
+  Oram.Omap.insert m (k 5) (v 50);
+  Oram.Omap.insert m (k 3) (v 30);
+  Oram.Omap.insert m (k 8) (v 80);
+  Alcotest.(check (option string)) "find 5" (Some (v 50)) (Oram.Omap.find m (k 5));
+  Alcotest.(check (option string)) "find 3" (Some (v 30)) (Oram.Omap.find m (k 3));
+  Alcotest.(check (option string)) "find 8" (Some (v 80)) (Oram.Omap.find m (k 8));
+  Alcotest.(check (option string)) "find absent" None (Oram.Omap.find m (k 9));
+  Alcotest.(check int) "size" 3 (Oram.Omap.size m);
+  Oram.Omap.insert m (k 5) (v 55);
+  Alcotest.(check (option string)) "overwrite" (Some (v 55)) (Oram.Omap.find m (k 5));
+  Alcotest.(check int) "size unchanged" 3 (Oram.Omap.size m)
+
+let test_sorted_sequence () =
+  let _, m = make () in
+  (* Ascending insertion is the classic AVL degenerate case. *)
+  for i = 0 to 63 do
+    Oram.Omap.insert m (k i) (v i)
+  done;
+  Alcotest.(check bool) "invariants after ascending inserts" true (Oram.Omap.check_invariants m);
+  Alcotest.(check int) "size" 64 (Oram.Omap.size m);
+  let contents = Oram.Omap.to_sorted_list m in
+  Alcotest.(check int) "sorted size" 64 (List.length contents);
+  Alcotest.(check bool) "in order" true
+    (List.for_all2
+       (fun (key, _) i -> String.equal key (k i))
+       contents
+       (List.init 64 Fun.id))
+
+let test_deletions_keep_invariants () =
+  let _, m = make () in
+  for i = 0 to 40 do
+    Oram.Omap.insert m (k i) (v i)
+  done;
+  (* Delete odd keys. *)
+  for i = 0 to 40 do
+    if i mod 2 = 1 then Oram.Omap.delete m (k i)
+  done;
+  Alcotest.(check bool) "invariants" true (Oram.Omap.check_invariants m);
+  Alcotest.(check int) "size" 21 (Oram.Omap.size m);
+  for i = 0 to 40 do
+    Alcotest.(check (option string))
+      (Printf.sprintf "key %d" i)
+      (if i mod 2 = 0 then Some (v i) else None)
+      (Oram.Omap.find m (k i))
+  done
+
+let test_random_model () =
+  let _, m = make ~capacity:64 ~seed:9 () in
+  let model = Hashtbl.create 64 in
+  let rng = Crypto.Rng.create 31 in
+  for _ = 1 to 150 do
+    let key = Crypto.Rng.int rng 40 in
+    match Crypto.Rng.int rng 3 with
+    | 0 ->
+        let value = Crypto.Rng.int rng 10000 in
+        Oram.Omap.insert m (k key) (v value);
+        Hashtbl.replace model key value
+    | 1 ->
+        Oram.Omap.delete m (k key);
+        Hashtbl.remove model key
+    | _ ->
+        let expect = Option.map v (Hashtbl.find_opt model key) in
+        Alcotest.(check (option string))
+          (Printf.sprintf "key %d" key)
+          expect (Oram.Omap.find m (k key))
+  done;
+  Alcotest.(check int) "final size" (Hashtbl.length model) (Oram.Omap.size m);
+  Alcotest.(check bool) "invariants" true (Oram.Omap.check_invariants m)
+
+let test_fixed_access_counts () =
+  (* Obliviousness: within one map, every find costs the same number of
+     physical accesses regardless of key or presence; same for inserts
+     and deletes. *)
+  let server, m = make ~capacity:64 () in
+  for i = 0 to 20 do
+    Oram.Omap.insert m (k i) (v i)
+  done;
+  let trace = Servsim.Server.trace server in
+  let count_of f =
+    let before = Servsim.Trace.count trace in
+    f ();
+    Servsim.Trace.count trace - before
+  in
+  let c1 = count_of (fun () -> ignore (Oram.Omap.find m (k 0))) in
+  let c2 = count_of (fun () -> ignore (Oram.Omap.find m (k 20))) in
+  let c3 = count_of (fun () -> ignore (Oram.Omap.find m (k 999))) in
+  Alcotest.(check int) "find counts equal (present/present)" c1 c2;
+  Alcotest.(check int) "find counts equal (absent)" c1 c3;
+  let i1 = count_of (fun () -> Oram.Omap.insert m (k 100) (v 1)) in
+  let i2 = count_of (fun () -> Oram.Omap.insert m (k 0) (v 2)) in
+  Alcotest.(check int) "insert counts equal" i1 i2;
+  let d1 = count_of (fun () -> Oram.Omap.delete m (k 100)) in
+  let d2 = count_of (fun () -> Oram.Omap.delete m (k 555)) in
+  Alcotest.(check int) "delete counts equal" d1 d2
+
+let test_recursive_backing_small_client () =
+  let _, m_rec = make ~capacity:256 ~backing:`Recursive () in
+  let _, m_path = make ~capacity:256 ~backing:`Path () in
+  for i = 0 to 39 do
+    Oram.Omap.insert m_rec (k i) (v i);
+    Oram.Omap.insert m_path (k i) (v i)
+  done;
+  Alcotest.(check (option string)) "recursive find" (Some (v 17)) (Oram.Omap.find m_rec (k 17));
+  let rb = Oram.Omap.client_state_bytes m_rec in
+  let pb = Oram.Omap.client_state_bytes m_path in
+  Alcotest.(check bool)
+    (Printf.sprintf "recursive client %dB < path client %dB / 2" rb pb)
+    true (rb < pb / 2)
+
+let test_value_keyed_usage () =
+  (* The FD use case: keys are encoded attribute values. *)
+  let server = Servsim.Server.create () in
+  let cipher = Crypto.Cell_cipher.create (String.make 16 'O') in
+  let rng = Crypto.Rng.create 5 in
+  let cfg =
+    { Oram.Omap.capacity = 64; key_len = Relation.Codec.value_width; value_len = 8 }
+  in
+  let b =
+    Oram.Omap.path_oram_backing ~name:"vk" ~capacity:64 ~node_len:(Oram.Omap.node_len cfg)
+      server cipher (Crypto.Rng.int rng)
+  in
+  let m = Oram.Omap.create cfg b in
+  let kv s = Relation.Codec.encode_value (Relation.Value.Str s) in
+  Oram.Omap.insert m (kv "Boston") (v 0);
+  Oram.Omap.insert m (kv "New York") (v 1);
+  Alcotest.(check (option string)) "city label" (Some (v 0)) (Oram.Omap.find m (kv "Boston"));
+  Alcotest.(check (option string)) "absent city" None (Oram.Omap.find m (kv "Chicago"))
+
+let qcheck_model =
+  QCheck.Test.make ~name:"omap = hashtable model" ~count:8
+    QCheck.(list_of_size Gen.(10 -- 40) (pair (int_bound 30) (option (int_bound 1000))))
+    (fun ops ->
+      let _, m = make ~capacity:64 ~seed:(List.length ops * 3) () in
+      let model = Hashtbl.create 16 in
+      List.for_all
+        (fun (key, value) ->
+          match value with
+          | Some value ->
+              Oram.Omap.insert m (k key) (v value);
+              Hashtbl.replace model key value;
+              true
+          | None -> Option.map v (Hashtbl.find_opt model key) = Oram.Omap.find m (k key))
+        ops
+      && Oram.Omap.check_invariants m)
+
+let suite =
+  [
+    Alcotest.test_case "empty map" `Quick test_empty;
+    Alcotest.test_case "insert/find/overwrite" `Quick test_insert_find;
+    Alcotest.test_case "ascending inserts stay balanced" `Quick test_sorted_sequence;
+    Alcotest.test_case "deletions keep invariants" `Quick test_deletions_keep_invariants;
+    Alcotest.test_case "random ops vs model" `Quick test_random_model;
+    Alcotest.test_case "fixed access counts" `Quick test_fixed_access_counts;
+    Alcotest.test_case "recursive backing shrinks client" `Slow test_recursive_backing_small_client;
+    Alcotest.test_case "value-keyed usage" `Quick test_value_keyed_usage;
+    QCheck_alcotest.to_alcotest qcheck_model;
+  ]

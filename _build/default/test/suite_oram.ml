@@ -1,0 +1,303 @@
+(* ORAM tests: functional correctness against a plain hash table (and the
+   linear-scan oracle), obliviousness of the trace shape, stash behaviour,
+   leaf-choice uniformity. *)
+
+let key_len = 8
+let payload_len = 8
+
+let enc_key i = Relation.Codec.encode_int i
+let enc_val i = Relation.Codec.encode_int i
+
+let make_path ?(capacity = 64) ?(seed = 1) () =
+  let server = Servsim.Server.create () in
+  let cipher = Crypto.Cell_cipher.create (String.make 16 'K') in
+  let rng = Crypto.Rng.create seed in
+  let o =
+    Oram.Path_oram.setup ~name:"oram" { capacity; key_len; payload_len } server cipher
+      (Crypto.Rng.int rng)
+  in
+  (server, o)
+
+let test_read_empty () =
+  let _, o = make_path () in
+  Alcotest.(check (option string)) "absent" None (Oram.Path_oram.read o ~key:(enc_key 1))
+
+let test_write_read () =
+  let _, o = make_path () in
+  Oram.Path_oram.write o ~key:(enc_key 1) (enc_val 42);
+  Alcotest.(check (option string)) "present" (Some (enc_val 42))
+    (Oram.Path_oram.read o ~key:(enc_key 1));
+  Alcotest.(check (option string)) "other absent" None (Oram.Path_oram.read o ~key:(enc_key 2))
+
+let test_overwrite () =
+  let _, o = make_path () in
+  Oram.Path_oram.write o ~key:(enc_key 5) (enc_val 1);
+  Oram.Path_oram.write o ~key:(enc_key 5) (enc_val 2);
+  Alcotest.(check (option string)) "latest wins" (Some (enc_val 2))
+    (Oram.Path_oram.read o ~key:(enc_key 5));
+  Alcotest.(check int) "one live block" 1 (Oram.Path_oram.live_blocks o)
+
+let test_remove () =
+  let _, o = make_path () in
+  Oram.Path_oram.write o ~key:(enc_key 5) (enc_val 1);
+  Oram.Path_oram.remove o ~key:(enc_key 5);
+  Alcotest.(check (option string)) "gone" None (Oram.Path_oram.read o ~key:(enc_key 5));
+  Alcotest.(check int) "no live blocks" 0 (Oram.Path_oram.live_blocks o);
+  (* Removing an absent key is a no-op but still a physical access. *)
+  Oram.Path_oram.remove o ~key:(enc_key 99);
+  Alcotest.(check int) "still none" 0 (Oram.Path_oram.live_blocks o)
+
+let test_full_capacity_random_ops () =
+  (* Model check against Hashtbl across a random op sequence. *)
+  let capacity = 128 in
+  let _, o = make_path ~capacity ~seed:7 () in
+  let model = Hashtbl.create 64 in
+  let rng = Crypto.Rng.create 1234 in
+  for step = 1 to 2000 do
+    let k = Crypto.Rng.int rng capacity in
+    let key = enc_key k in
+    match Crypto.Rng.int rng 3 with
+    | 0 ->
+        let v = enc_val (Crypto.Rng.int rng 10000) in
+        Oram.Path_oram.write o ~key v;
+        Hashtbl.replace model k v
+    | 1 ->
+        Oram.Path_oram.remove o ~key;
+        Hashtbl.remove model k
+    | _ ->
+        let expect = Hashtbl.find_opt model k in
+        let got = Oram.Path_oram.read o ~key in
+        if expect <> got then
+          Alcotest.failf "step %d: key %d mismatch (model %s, oram %s)" step k
+            (Option.value ~default:"⊥" expect)
+            (Option.value ~default:"⊥" got)
+  done;
+  Alcotest.(check int) "live count matches model" (Hashtbl.length model)
+    (Oram.Path_oram.live_blocks o)
+
+let test_matches_linear_oracle () =
+  let capacity = 32 in
+  let server = Servsim.Server.create () in
+  let cipher = Crypto.Cell_cipher.create (String.make 16 'K') in
+  let rng = Crypto.Rng.create 3 in
+  let p =
+    Oram.Path_oram.setup ~name:"path" { capacity; key_len; payload_len } server cipher
+      (Crypto.Rng.int rng)
+  in
+  let l =
+    Oram.Linear_oram.setup ~name:"linear" { capacity; key_len; payload_len } server cipher
+      (Crypto.Rng.int rng)
+  in
+  let oprng = Crypto.Rng.create 55 in
+  for _ = 1 to 500 do
+    let k = enc_key (Crypto.Rng.int oprng 20) in
+    match Crypto.Rng.int oprng 3 with
+    | 0 ->
+        let v = enc_val (Crypto.Rng.int oprng 1000) in
+        Oram.Path_oram.write p ~key:k v;
+        Oram.Linear_oram.write l ~key:k v
+    | 1 ->
+        Oram.Path_oram.remove p ~key:k;
+        Oram.Linear_oram.remove l ~key:k
+    | _ ->
+        Alcotest.(check (option string)) "agree"
+          (Oram.Linear_oram.read l ~key:k)
+          (Oram.Path_oram.read p ~key:k)
+  done
+
+let test_stash_within_limit () =
+  let _, o = make_path ~capacity:256 ~seed:11 () in
+  for i = 0 to 255 do
+    Oram.Path_oram.write o ~key:(enc_key i) (enc_val i)
+  done;
+  for i = 0 to 255 do
+    ignore (Oram.Path_oram.read o ~key:(enc_key i))
+  done;
+  Alcotest.(check int) "no overflows" 0 (Oram.Path_oram.stash_overflows o);
+  Alcotest.(check bool) "max stash positive but bounded" true
+    (Oram.Path_oram.max_stash_seen o <= Oram.Path_oram.stash_limit o)
+
+(* Obliviousness: trace shape must be identical for different data and
+   different keys, given the same number of accesses. *)
+let trace_shape_of_ops ops =
+  let server = Servsim.Server.create () in
+  let cipher = Crypto.Cell_cipher.create (String.make 16 'K') in
+  let rng = Crypto.Rng.create 17 in
+  let o =
+    Oram.Path_oram.setup ~name:"oram" { capacity = 64; key_len; payload_len } server cipher
+      (Crypto.Rng.int rng)
+  in
+  List.iter
+    (fun (k, v) ->
+      match v with
+      | Some v -> Oram.Path_oram.write o ~key:(enc_key k) (enc_val v)
+      | None -> ignore (Oram.Path_oram.read o ~key:(enc_key k)))
+    ops;
+  Servsim.Trace.shape_digest (Servsim.Server.trace server)
+
+let test_trace_shape_data_independent () =
+  let ops1 = [ (1, Some 10); (2, Some 20); (1, None); (3, Some 30); (9, None) ] in
+  let ops2 = [ (7, Some 99); (7, Some 98); (7, None); (8, Some 1); (8, None) ] in
+  Alcotest.(check int64) "same shape" (trace_shape_of_ops ops1) (trace_shape_of_ops ops2)
+
+let test_trace_shape_counts_accesses () =
+  (* One more access must change the shape. *)
+  let ops1 = [ (1, Some 10); (2, Some 20) ] in
+  let ops2 = [ (1, Some 10); (2, Some 20); (3, Some 30) ] in
+  Alcotest.(check bool) "different shape" false
+    (Int64.equal (trace_shape_of_ops ops1) (trace_shape_of_ops ops2))
+
+let test_access_touches_one_path () =
+  (* Each access reads and writes exactly (L+1)*Z slots. *)
+  let server = Servsim.Server.create ~keep_events:true () in
+  let cipher = Crypto.Cell_cipher.create (String.make 16 'K') in
+  let rng = Crypto.Rng.create 29 in
+  let o =
+    Oram.Path_oram.setup ~name:"oram" { capacity = 64; key_len; payload_len } server cipher
+      (Crypto.Rng.int rng)
+  in
+  let before = Servsim.Trace.count (Servsim.Server.trace server) in
+  Oram.Path_oram.write o ~key:(enc_key 1) (enc_val 1);
+  let after = Servsim.Trace.count (Servsim.Server.trace server) in
+  let levels = Oram.Path_oram.levels o in
+  Alcotest.(check int) "2*(L+1)*Z slot accesses" (2 * (levels + 1) * 4) (after - before)
+
+let test_dummy_access_indistinguishable_shape () =
+  let run use_dummy =
+    let server = Servsim.Server.create () in
+    let cipher = Crypto.Cell_cipher.create (String.make 16 'K') in
+    let rng = Crypto.Rng.create 31 in
+    let o =
+      Oram.Path_oram.setup ~name:"oram" { capacity = 64; key_len; payload_len } server cipher
+        (Crypto.Rng.int rng)
+    in
+    if use_dummy then Oram.Path_oram.dummy_access o
+    else Oram.Path_oram.write o ~key:(enc_key 4) (enc_val 4);
+    Servsim.Trace.shape_digest (Servsim.Server.trace server)
+  in
+  Alcotest.(check int64) "dummy = real shape" (run true) (run false)
+
+let test_leaf_uniformity () =
+  (* Repeated accesses to one key touch near-uniform leaves: chi-square
+     style coarse bound over the leaf buckets of the recorded paths. *)
+  let server = Servsim.Server.create ~keep_events:true () in
+  let cipher = Crypto.Cell_cipher.create (String.make 16 'K') in
+  let rng = Crypto.Rng.create 37 in
+  let o =
+    Oram.Path_oram.setup ~name:"oram" { capacity = 64; key_len; payload_len } server cipher
+      (Crypto.Rng.int rng)
+  in
+  Oram.Path_oram.write o ~key:(enc_key 1) (enc_val 1);
+  let trials = 2048 in
+  for _ = 1 to trials do
+    ignore (Oram.Path_oram.read o ~key:(enc_key 1))
+  done;
+  let levels = Oram.Path_oram.levels o in
+  let leaves = 1 lsl levels in
+  let leaf_base = 4 * (leaves - 1) in
+  (* Leaf-level slots have addresses >= leaf_base. *)
+  let counts = Array.make leaves 0 in
+  List.iter
+    (fun { Servsim.Trace.op; addr; _ } ->
+      if op = Servsim.Trace.Read && addr >= leaf_base then begin
+        let leaf = (addr - leaf_base) / 4 in
+        if (addr - leaf_base) mod 4 = 0 then counts.(leaf) <- counts.(leaf) + 1
+      end)
+    (Servsim.Trace.events (Servsim.Server.trace server));
+  let total = Array.fold_left ( + ) 0 counts in
+  let expect = float_of_int total /. float_of_int leaves in
+  Array.iteri
+    (fun i c ->
+      let ratio = float_of_int c /. expect in
+      if ratio < 0.5 || ratio > 1.7 then
+        Alcotest.failf "leaf %d count %d far from uniform (expected ~%.0f)" i c expect)
+    counts
+
+let test_destroy_frees_storage () =
+  let server, o = make_path () in
+  let before = Servsim.Server.total_bytes server in
+  Alcotest.(check bool) "storage allocated" true (before > 0);
+  Oram.Path_oram.destroy o;
+  Alcotest.(check int) "freed" 0 (Servsim.Server.total_bytes server)
+
+let test_key_length_validation () =
+  let _, o = make_path () in
+  Alcotest.(check bool) "bad key rejected" true
+    (match Oram.Path_oram.read o ~key:"short" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_linear_oram_basics () =
+  let server = Servsim.Server.create () in
+  let cipher = Crypto.Cell_cipher.create (String.make 16 'K') in
+  let rng = Crypto.Rng.create 3 in
+  let o =
+    Oram.Linear_oram.setup ~name:"lin" { capacity = 16; key_len; payload_len } server cipher
+      (Crypto.Rng.int rng)
+  in
+  Oram.Linear_oram.write o ~key:(enc_key 3) (enc_val 33);
+  Alcotest.(check (option string)) "read" (Some (enc_val 33))
+    (Oram.Linear_oram.read o ~key:(enc_key 3));
+  Oram.Linear_oram.remove o ~key:(enc_key 3);
+  Alcotest.(check (option string)) "removed" None (Oram.Linear_oram.read o ~key:(enc_key 3))
+
+let test_linear_oram_full_trace_identical () =
+  (* The linear ORAM's full trace (addresses included) is identical for
+     any two op sequences of the same length. *)
+  let run ops =
+    let server = Servsim.Server.create () in
+    let cipher = Crypto.Cell_cipher.create (String.make 16 'K') in
+    let rng = Crypto.Rng.create 3 in
+    let o =
+      Oram.Linear_oram.setup ~name:"lin" { capacity = 16; key_len; payload_len } server cipher
+        (Crypto.Rng.int rng)
+    in
+    List.iter
+      (fun (k, v) ->
+        match v with
+        | Some v -> Oram.Linear_oram.write o ~key:(enc_key k) (enc_val v)
+        | None -> ignore (Oram.Linear_oram.read o ~key:(enc_key k)))
+      ops;
+    Servsim.Trace.full_digest (Servsim.Server.trace server)
+  in
+  Alcotest.(check int64) "identical traces"
+    (run [ (1, Some 1); (2, None); (1, None) ])
+    (run [ (9, Some 7); (9, Some 8); (9, None) ])
+
+let qcheck_path_oram_model =
+  QCheck.Test.make ~name:"path oram = hashtable model (random op lists)" ~count:30
+    QCheck.(list_of_size Gen.(5 -- 60) (pair (int_bound 15) (option (int_bound 100))))
+    (fun ops ->
+      let _, o = make_path ~capacity:16 ~seed:(List.length ops) () in
+      let model = Hashtbl.create 16 in
+      List.for_all
+        (fun (k, v) ->
+          let key = enc_key k in
+          match v with
+          | Some v ->
+              Oram.Path_oram.write o ~key (enc_val v);
+              Hashtbl.replace model k (enc_val v);
+              true
+          | None -> Hashtbl.find_opt model k = Oram.Path_oram.read o ~key)
+        ops)
+
+let suite =
+  [
+    Alcotest.test_case "read empty" `Quick test_read_empty;
+    Alcotest.test_case "write/read" `Quick test_write_read;
+    Alcotest.test_case "overwrite" `Quick test_overwrite;
+    Alcotest.test_case "remove" `Quick test_remove;
+    Alcotest.test_case "random ops vs model" `Quick test_full_capacity_random_ops;
+    Alcotest.test_case "path oram = linear oracle" `Quick test_matches_linear_oracle;
+    Alcotest.test_case "stash within 7·log n" `Quick test_stash_within_limit;
+    Alcotest.test_case "trace shape data-independent" `Quick test_trace_shape_data_independent;
+    Alcotest.test_case "trace shape counts accesses" `Quick test_trace_shape_counts_accesses;
+    Alcotest.test_case "access touches one path" `Quick test_access_touches_one_path;
+    Alcotest.test_case "dummy access indistinguishable" `Quick test_dummy_access_indistinguishable_shape;
+    Alcotest.test_case "leaf uniformity" `Slow test_leaf_uniformity;
+    Alcotest.test_case "destroy frees storage" `Quick test_destroy_frees_storage;
+    Alcotest.test_case "key length validation" `Quick test_key_length_validation;
+    Alcotest.test_case "linear oram basics" `Quick test_linear_oram_basics;
+    Alcotest.test_case "linear oram identical full traces" `Quick test_linear_oram_full_trace_identical;
+    QCheck_alcotest.to_alcotest qcheck_path_oram_model;
+  ]

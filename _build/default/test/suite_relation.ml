@@ -1,0 +1,179 @@
+(* Relation substrate tests: values, attribute sets, codecs, tables, CSV. *)
+
+open Relation
+
+let v_int x = Value.Int x
+let v_str s = Value.Str s
+
+let test_value_order () =
+  Alcotest.(check bool) "int < str" true (Value.compare (v_int 5) (v_str "a") < 0);
+  Alcotest.(check bool) "int order" true (Value.compare (v_int (-3)) (v_int 2) < 0);
+  Alcotest.(check bool) "str order" true (Value.compare (v_str "a") (v_str "b") < 0);
+  Alcotest.(check bool) "equal" true (Value.equal (v_str "x") (v_str "x"))
+
+let test_value_of_string () =
+  Alcotest.(check bool) "int parse" true (Value.equal (Value.of_string "42") (v_int 42));
+  Alcotest.(check bool) "str parse" true (Value.equal (Value.of_string "4x2") (v_str "4x2"))
+
+let test_attrset_basics () =
+  let s = Attrset.of_list [ 3; 1; 5 ] in
+  Alcotest.(check (list int)) "elements sorted" [ 1; 3; 5 ] (Attrset.elements s);
+  Alcotest.(check int) "cardinal" 3 (Attrset.cardinal s);
+  Alcotest.(check bool) "mem" true (Attrset.mem s 3);
+  Alcotest.(check bool) "not mem" false (Attrset.mem s 2);
+  Alcotest.(check (list int)) "remove" [ 1; 5 ] (Attrset.elements (Attrset.remove s 3));
+  Alcotest.(check bool) "subset" true (Attrset.subset (Attrset.of_list [ 1; 5 ]) s);
+  Alcotest.(check bool) "not subset" false (Attrset.subset (Attrset.of_list [ 1; 2 ]) s)
+
+let test_attrset_generators () =
+  let s = Attrset.of_list [ 2; 4; 7 ] in
+  let x1, x2 = Attrset.choose_two_generators s in
+  Alcotest.(check (list int)) "x1 = s minus smallest" [ 4; 7 ] (Attrset.elements x1);
+  Alcotest.(check (list int)) "x2 = s minus second" [ 2; 7 ] (Attrset.elements x2);
+  Alcotest.(check (list int)) "union back" [ 2; 4; 7 ]
+    (Attrset.elements (Attrset.union x1 x2));
+  Alcotest.check_raises "needs two"
+    (Invalid_argument "Attrset.choose_two_generators: need |X| >= 2") (fun () ->
+      ignore (Attrset.choose_two_generators (Attrset.singleton 1)))
+
+let test_codec_int_roundtrip () =
+  List.iter
+    (fun v -> Alcotest.(check int) "int roundtrip" v (Codec.decode_int (Codec.encode_int v)))
+    [ 0; 1; -1; 42; max_int; min_int; 1 lsl 40 ]
+
+let test_codec_value_roundtrip () =
+  List.iter
+    (fun v ->
+      let e = Codec.encode_value v in
+      Alcotest.(check int) "fixed width" Codec.value_width (String.length e);
+      Alcotest.(check bool) "roundtrip" true (Value.equal v (Codec.decode_value e)))
+    [ v_int 0; v_int (-77); v_int max_int; v_str ""; v_str "hello"; v_str (String.make 22 'z') ]
+
+let test_codec_value_order_preserved () =
+  (* Byte-lexicographic order of encodings matches value order for ints. *)
+  let vals = [ -1000; -1; 0; 1; 5; 1000000 ] in
+  let sign x = compare x 0 in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let ea = Codec.encode_value (v_int a) and eb = Codec.encode_value (v_int b) in
+          Alcotest.(check int)
+            (Printf.sprintf "%d vs %d" a b)
+            (sign (compare a b))
+            (sign (String.compare ea eb)))
+        vals)
+    vals
+
+let test_codec_too_long_string () =
+  Alcotest.(check bool) "raises" true
+    (match Codec.encode_value (v_str (String.make 23 'a')) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_codec_injective_random () =
+  let rng = Crypto.Rng.create 5 in
+  let seen = Hashtbl.create 256 in
+  for _ = 1 to 2000 do
+    let v =
+      if Crypto.Rng.bool rng then v_int (Crypto.Rng.int rng 1000 - 500)
+      else v_str (String.init (Crypto.Rng.int rng 8) (fun _ -> Char.chr (97 + Crypto.Rng.int rng 26)))
+    in
+    let e = Codec.encode_value v in
+    match Hashtbl.find_opt seen e with
+    | Some v' -> Alcotest.(check bool) "injective" true (Value.equal v v')
+    | None -> Hashtbl.replace seen e v
+  done
+
+let fig1_table () =
+  (* The paper's Fig. 1 example. *)
+  let schema = Schema.make [| "Name"; "City"; "Birth" |] in
+  Table.make schema
+    [|
+      [| v_str "Alice"; v_str "Boston"; v_str "Jan" |];
+      [| v_str "Bob"; v_str "Boston"; v_str "May" |];
+      [| v_str "Bob"; v_str "Boston"; v_str "Jan" |];
+      [| v_str "Carol"; v_str "New York"; v_str "Sep" |];
+    |]
+
+let test_table_basics () =
+  let t = fig1_table () in
+  Alcotest.(check int) "rows" 4 (Table.rows t);
+  Alcotest.(check int) "cols" 3 (Table.cols t);
+  Alcotest.(check bool) "cell" true
+    (Value.equal (Table.cell t ~row:2 ~col:0) (v_str "Bob"));
+  let col = Table.column t 1 in
+  Alcotest.(check int) "column length" 4 (Array.length col)
+
+let test_table_append_remove () =
+  let t = fig1_table () in
+  let t2 = Table.append_row t [| v_str "Dan"; v_str "LA"; v_str "Feb" |] in
+  Alcotest.(check int) "appended" 5 (Table.rows t2);
+  Alcotest.(check int) "original untouched" 4 (Table.rows t);
+  let t3 = Table.remove_row t2 0 in
+  Alcotest.(check int) "removed" 4 (Table.rows t3);
+  Alcotest.(check bool) "shifted" true
+    (Value.equal (Table.cell t3 ~row:0 ~col:0) (v_str "Bob"))
+
+let test_table_sample () =
+  let t = fig1_table () in
+  let rng = Crypto.Rng.create 3 in
+  let s = Table.sample_rows t (Crypto.Rng.int rng) 2 in
+  Alcotest.(check int) "sample size" 2 (Table.rows s)
+
+let test_csv_roundtrip () =
+  let t = fig1_table () in
+  let doc = Csv.to_string t in
+  let t' = Csv.of_string doc in
+  Alcotest.(check bool) "roundtrip" true (Table.equal t t')
+
+let test_csv_quoting () =
+  let fields = Csv.parse_line "a,\"b,c\",\"d\"\"e\",f" in
+  Alcotest.(check (list string)) "quoted fields" [ "a"; "b,c"; "d\"e"; "f" ] fields
+
+let test_schema_lookup () =
+  let s = Schema.make [| "A"; "B"; "C" |] in
+  Alcotest.(check int) "index" 1 (Schema.index s "B");
+  Alcotest.(check (list int)) "attrset of names" [ 0; 2 ]
+    (Attrset.elements (Schema.attrset_of_names s [ "A"; "C" ]));
+  Alcotest.(check bool) "duplicate rejected" true
+    (match Schema.make [| "A"; "A" |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let qcheck_attrset_union_cardinal =
+  QCheck.Test.make ~name:"attrset |A∪B| + |A∩B| = |A| + |B|" ~count:500
+    QCheck.(pair (int_bound 0xffff) (int_bound 0xffff))
+    (fun (a, b) ->
+      let a = Attrset.of_int a and b = Attrset.of_int b in
+      Attrset.cardinal (Attrset.union a b) + Attrset.cardinal (Attrset.inter a b)
+      = Attrset.cardinal a + Attrset.cardinal b)
+
+let qcheck_codec_value_int_order =
+  QCheck.Test.make ~name:"codec int encoding is order-preserving" ~count:500
+    QCheck.(pair int int)
+    (fun (a, b) ->
+      let sign x = compare x 0 in
+      let ea = Codec.encode_value (v_int a) and eb = Codec.encode_value (v_int b) in
+      sign (compare a b) = sign (String.compare ea eb))
+
+let suite =
+  [
+    Alcotest.test_case "value order" `Quick test_value_order;
+    Alcotest.test_case "value of_string" `Quick test_value_of_string;
+    Alcotest.test_case "attrset basics" `Quick test_attrset_basics;
+    Alcotest.test_case "attrset generators (Property 1)" `Quick test_attrset_generators;
+    Alcotest.test_case "codec int roundtrip" `Quick test_codec_int_roundtrip;
+    Alcotest.test_case "codec value roundtrip" `Quick test_codec_value_roundtrip;
+    Alcotest.test_case "codec order preserved" `Quick test_codec_value_order_preserved;
+    Alcotest.test_case "codec string too long" `Quick test_codec_too_long_string;
+    Alcotest.test_case "codec injective (random)" `Quick test_codec_injective_random;
+    Alcotest.test_case "table basics" `Quick test_table_basics;
+    Alcotest.test_case "table append/remove" `Quick test_table_append_remove;
+    Alcotest.test_case "table sample" `Quick test_table_sample;
+    Alcotest.test_case "csv roundtrip" `Quick test_csv_roundtrip;
+    Alcotest.test_case "csv quoting" `Quick test_csv_quoting;
+    Alcotest.test_case "schema lookup" `Quick test_schema_lookup;
+    QCheck_alcotest.to_alcotest qcheck_attrset_union_cardinal;
+    QCheck_alcotest.to_alcotest qcheck_codec_value_int_order;
+  ]

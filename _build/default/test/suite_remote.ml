@@ -1,0 +1,200 @@
+(* Networked mode: the server S runs in a forked child process; every
+   block access crosses a Unix socketpair.  Checks protocol correctness
+   end-to-end and that the *server-side* trace (recorded where the
+   adversary actually sits) matches the client's mirror and stays
+   oblivious. *)
+
+open Relation
+open Core
+
+let with_remote f =
+  let fd, pid = Servsim.Remote_server.fork_server () in
+  let conn = Servsim.Remote.connect_fd ~pid fd in
+  Fun.protect ~finally:(fun () -> Servsim.Remote.close conn) (fun () -> f conn)
+
+let test_wire_roundtrip () =
+  with_remote (fun conn ->
+      (match Servsim.Remote.call conn (Servsim.Wire.Create_store "s") with
+      | Servsim.Wire.Ok -> ()
+      | _ -> Alcotest.fail "create");
+      ignore (Servsim.Remote.call conn (Servsim.Wire.Ensure ("s", 4)));
+      ignore (Servsim.Remote.call conn (Servsim.Wire.Put ("s", 2, "ciphertext!")));
+      (match Servsim.Remote.call conn (Servsim.Wire.Get ("s", 2)) with
+      | Servsim.Wire.Value v -> Alcotest.(check string) "payload" "ciphertext!" v
+      | _ -> Alcotest.fail "get");
+      match Servsim.Remote.call conn Servsim.Wire.Total_bytes with
+      | Servsim.Wire.Bytes_total n -> Alcotest.(check int) "bytes" 11 n
+      | _ -> Alcotest.fail "total")
+
+let test_wire_errors () =
+  with_remote (fun conn ->
+      Alcotest.(check bool) "missing store" true
+        (match Servsim.Remote.call conn (Servsim.Wire.Get ("nope", 0)) with
+        | exception Servsim.Wire.Protocol_error _ -> true
+        | _ -> false);
+      ignore (Servsim.Remote.call conn (Servsim.Wire.Create_store "s"));
+      Alcotest.(check bool) "duplicate store" true
+        (match Servsim.Remote.call conn (Servsim.Wire.Create_store "s") with
+        | exception Servsim.Wire.Protocol_error _ -> true
+        | _ -> false);
+      Alcotest.(check bool) "out of bounds" true
+        (match Servsim.Remote.call conn (Servsim.Wire.Get ("s", 99)) with
+        | exception Servsim.Wire.Protocol_error _ -> true
+        | _ -> false))
+
+let test_block_store_over_wire () =
+  with_remote (fun conn ->
+      let server = Servsim.Server.create ~remote:conn () in
+      let store = Servsim.Server.create_store server "blocks" in
+      Servsim.Block_store.ensure store 8;
+      Servsim.Block_store.write store 3 "abc";
+      Servsim.Block_store.write store 3 "defgh";
+      Alcotest.(check string) "read back" "defgh" (Servsim.Block_store.read store 3);
+      Alcotest.(check int) "local byte mirror" 5 (Servsim.Block_store.size_bytes store);
+      match Servsim.Remote.call conn Servsim.Wire.Total_bytes with
+      | Servsim.Wire.Bytes_total n -> Alcotest.(check int) "remote bytes agree" 5 n
+      | _ -> Alcotest.fail "total")
+
+let test_oram_over_wire () =
+  with_remote (fun conn ->
+      let server = Servsim.Server.create ~remote:conn () in
+      let cipher = Crypto.Cell_cipher.create (String.make 16 'K') in
+      let rng = Crypto.Rng.create 3 in
+      let o =
+        Oram.Path_oram.setup ~name:"o" { capacity = 32; key_len = 8; payload_len = 8 } server
+          cipher (Crypto.Rng.int rng)
+      in
+      for i = 0 to 19 do
+        Oram.Path_oram.write o ~key:(Codec.encode_int i) (Codec.encode_int (i * i))
+      done;
+      for i = 0 to 19 do
+        Alcotest.(check (option string)) "read" (Some (Codec.encode_int (i * i)))
+          (Oram.Path_oram.read o ~key:(Codec.encode_int i))
+      done)
+
+let test_full_protocol_over_wire () =
+  with_remote (fun conn ->
+      let table = Datasets.Examples.fig1 () in
+      let session =
+        Session.create ~seed:99 ~remote:conn ~n:(Table.rows table) ~m:(Table.cols table) ()
+      in
+      let db = Enc_db.outsource session table in
+      let result =
+        Fdbase.Lattice.discover ~m:(Table.cols table) ~n:(Table.rows table)
+          (Sort_method.oracle session db)
+      in
+      let expect = Fdbase.Tane.fds table in
+      let pp fds = String.concat ";" (List.map (Format.asprintf "%a" Fdbase.Fd.pp) fds) in
+      Alcotest.(check string) "FDs over the wire" (pp expect) (pp result.Fdbase.Lattice.fds);
+      (* The adversary's own recording agrees with the client's mirror. *)
+      let trace = Session.trace session in
+      Alcotest.(check bool) "server-side trace matches" true
+        (Servsim.Remote.digests conn
+           ~full:(Servsim.Trace.full_digest trace)
+           ~shape:(Servsim.Trace.shape_digest trace)
+           ~count:(Servsim.Trace.count trace)))
+
+let test_remote_obliviousness_server_side () =
+  (* Run the Sort partition on two different same-size DBs against two
+     fresh server processes; the digests recorded *by the servers* must
+     be identical. *)
+  let run table =
+    with_remote (fun conn ->
+        let session =
+          Session.create ~seed:5 ~remote:conn ~n:(Table.rows table) ~m:(Table.cols table) ()
+        in
+        let db = Enc_db.outsource session table in
+        let h = Sort_method.single db 0 in
+        ignore (Sort_method.cardinality h);
+        Servsim.Remote.server_digests conn)
+  in
+  let t1 = Datasets.Rnd.generate_with_domain ~seed:1 ~rows:16 ~cols:2 ~domain:2 () in
+  let t2 = Datasets.Rnd.generate_with_domain ~seed:2 ~rows:16 ~cols:2 ~domain:1000 () in
+  let f1, s1, c1 = run t1 and f2, s2, c2 = run t2 in
+  Alcotest.(check int64) "full digests equal" f1 f2;
+  Alcotest.(check int64) "shape digests equal" s1 s2;
+  Alcotest.(check int) "counts equal" c1 c2
+
+let test_ex_oram_dynamic_over_wire () =
+  with_remote (fun conn ->
+      let v x = Value.Int x in
+      let schema = Schema.make [| "A" |] in
+      let table = Table.make schema [| [| v 1 |]; [| v 2 |]; [| v 1 |] |] in
+      let session = Session.create ~seed:7 ~remote:conn ~n:3 ~m:1 () in
+      let db = Enc_db.outsource session table in
+      let h = Ex_oram_method.single db 0 in
+      Alcotest.(check int) "card" 2 (Ex_oram_method.cardinality h);
+      Ex_oram_method.delete h ~row:0;
+      Alcotest.(check int) "card after delete" 2 (Ex_oram_method.cardinality h);
+      Ex_oram_method.delete h ~row:2;
+      Alcotest.(check int) "card after second delete" 1 (Ex_oram_method.cardinality h))
+
+(* Property tests for the wire codec itself (through a pipe). *)
+let roundtrip_request req =
+  let r, w = Unix.pipe () in
+  let oc = Unix.out_channel_of_descr w and ic = Unix.in_channel_of_descr r in
+  Servsim.Wire.write_request oc req;
+  let back = Servsim.Wire.read_request ic in
+  close_in_noerr ic;
+  close_out_noerr oc;
+  back = req
+
+let roundtrip_response resp =
+  let r, w = Unix.pipe () in
+  let oc = Unix.out_channel_of_descr w and ic = Unix.in_channel_of_descr r in
+  Servsim.Wire.write_response oc resp;
+  let back = Servsim.Wire.read_response ic in
+  close_in_noerr ic;
+  close_out_noerr oc;
+  back = resp
+
+let qcheck_wire_request_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      oneof
+        [
+          map (fun s -> Servsim.Wire.Create_store s) (string_size (0 -- 30));
+          map (fun s -> Servsim.Wire.Drop_store s) (string_size (0 -- 30));
+          map2 (fun s n -> Servsim.Wire.Ensure (s, n)) (string_size (0 -- 20)) (int_bound 100000);
+          map2 (fun s i -> Servsim.Wire.Get (s, i)) (string_size (0 -- 20)) (int_bound 100000);
+          map3
+            (fun s i v -> Servsim.Wire.Put (s, i, v))
+            (string_size (0 -- 20))
+            (int_bound 100000) (string_size (0 -- 200));
+          return Servsim.Wire.Digest;
+          return Servsim.Wire.Total_bytes;
+        ])
+  in
+  QCheck.Test.make ~name:"wire request roundtrip" ~count:200 (QCheck.make gen)
+    roundtrip_request
+
+let qcheck_wire_response_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      oneof
+        [
+          return Servsim.Wire.Ok;
+          map (fun v -> Servsim.Wire.Value v) (string_size (0 -- 200));
+          map3
+            (fun a b c ->
+              Servsim.Wire.Digests { full = Int64.of_int a; shape = Int64.of_int b; count = c })
+            int int (int_bound 1000000);
+          map (fun n -> Servsim.Wire.Bytes_total n) (int_bound 1000000);
+          map (fun m -> Servsim.Wire.Error m) (string_size (0 -- 50));
+        ])
+  in
+  QCheck.Test.make ~name:"wire response roundtrip" ~count:200 (QCheck.make gen)
+    roundtrip_response
+
+let suite =
+  [
+    Alcotest.test_case "wire roundtrip" `Quick test_wire_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_wire_request_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_wire_response_roundtrip;
+    Alcotest.test_case "wire errors" `Quick test_wire_errors;
+    Alcotest.test_case "block store over wire" `Quick test_block_store_over_wire;
+    Alcotest.test_case "path oram over wire" `Quick test_oram_over_wire;
+    Alcotest.test_case "full protocol over wire" `Quick test_full_protocol_over_wire;
+    Alcotest.test_case "server-side obliviousness" `Quick test_remote_obliviousness_server_side;
+    Alcotest.test_case "ex-oram dynamic over wire" `Quick test_ex_oram_dynamic_over_wire;
+  ]
