@@ -1,1 +1,1 @@
-bench/exp_micro.ml: Analyze Bechamel Bench_util Benchmark Core Crypto Datasets Fdbase Hashtbl Instance Lazy List Measure Oram Osort Printf Relation Servsim Staged String Test Time Toolkit
+bench/exp_micro.ml: Analyze Bechamel Bench_util Benchmark Core Crypto Datasets Fdbase Fun Hashtbl Instance Lazy List Measure Oram Osort Printf Relation Servsim Staged String Test Time Toolkit Unix

@@ -99,6 +99,39 @@ let tests =
             Core.Ex_oram_method.delete h ~row:id));
   ]
 
+(* Wire protocol v2: frames per PathORAM access over a real forked server
+   process.  v1 sent one synchronous frame per block — 2·(levels+1)·Z of
+   them per access; v2 batches the whole path into one Multi_get plus one
+   Multi_put. *)
+let remote_frames_report () =
+  let fd, pid = Servsim.Remote_server.fork_server () in
+  let conn = Servsim.Remote.connect_fd ~pid fd in
+  Fun.protect
+    ~finally:(fun () -> Servsim.Remote.close conn)
+    (fun () ->
+      let server = Servsim.Server.create ~remote:conn () in
+      let rng = Crypto.Rng.create 5 in
+      let o =
+        Oram.Path_oram.setup ~name:"rt"
+          { capacity = 256; key_len = 8; payload_len = 8 }
+          server cipher_of_fixture (Crypto.Rng.int rng)
+      in
+      let f0 = Servsim.Remote.frames conn in
+      let t0 = Unix.gettimeofday () in
+      let accesses = 64 in
+      for i = 0 to accesses - 1 do
+        Oram.Path_oram.write o ~key:(Relation.Codec.encode_int i) (Relation.Codec.encode_int i)
+      done;
+      let dt = Unix.gettimeofday () -. t0 in
+      let frames = Servsim.Remote.frames conn - f0 in
+      let v1_frames = 2 * (Oram.Path_oram.levels o + 1) * 4 (* Z = 4 *) in
+      Printf.printf
+        "  remote PathORAM (n = 256): %.1f wire frames per access, %s/access\n\
+        \  (protocol v1 sent %d frames per access — one per path block)\n%!"
+        (float_of_int frames /. float_of_int accesses)
+        (Bench_util.pretty_time (dt /. float_of_int accesses))
+        v1_frames)
+
 let run (_ : Bench_util.opts) =
   Bench_util.header "Bechamel micro-benchmarks (ns per run, OLS fit)";
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
@@ -117,4 +150,6 @@ let run (_ : Bench_util.opts) =
       in
       Printf.printf "  %-42s %14s\n" name (Bench_util.pretty_time (est /. 1e9)))
     (List.sort compare rows);
+  Bench_util.header "Wire protocol v2: batched path I/O";
+  remote_frames_report ();
   Printf.printf "%!"

@@ -76,39 +76,15 @@ let run dataset csv rows seed method_name max_lhs enclave baseline det_baseline 
               Fun.protect
                 ~finally:(fun () -> Servsim.Remote.close conn)
                 (fun () ->
-                  let session =
-                    Core.Session.create ~seed ~remote:conn ~n:(Table.rows table)
-                      ~m:(Table.cols table) ()
-                  in
-                  let db = Core.Enc_db.outsource session table in
-                  let t0 = Unix.gettimeofday () in
-                  let result =
-                    Fdbase.Lattice.discover ~m:(Table.cols table) ~n:(Table.rows table)
-                      ?max_lhs
-                      (Core.Sort_method.oracle session db)
-                  in
-                  let trace = Core.Session.trace session in
-                  let cost = Servsim.Cost.snapshot (Core.Session.cost session) in
-                  {
-                    Core.Protocol.fds = result.Fdbase.Lattice.fds;
-                    sets_checked = result.Fdbase.Lattice.sets_checked;
-                    plan = result.Fdbase.Lattice.plan;
-                    cost;
-                    elapsed_s = Unix.gettimeofday () -. t0;
-                    trace_full = Servsim.Trace.full_digest trace;
-                    trace_shape = Servsim.Trace.shape_digest trace;
-                    trace_count = Servsim.Trace.count trace;
-                    step_round_trips = cost.Servsim.Cost.round_trips;
-                    step_bytes =
-                      cost.Servsim.Cost.bytes_to_server + cost.Servsim.Cost.bytes_to_client;
-                  })
+                  Core.Protocol.discover ~seed ?max_lhs ~remote:conn
+                    (method_of_string method_name) table)
             end
             else Core.Protocol.discover ~seed ?max_lhs (method_of_string method_name) table
           in
           let report = discover_once () in
           Format.printf "Secure FD discovery (%s%s%s): %d minimal FDs.@."
             (if enclave then "enclave " else "")
-            (if remote then "remote-process " else "")
+            (if remote && not enclave then "remote-process " else "")
             (if enclave then "Sort" else method_name)
             (List.length report.Core.Protocol.fds);
           print_fds report.Core.Protocol.fds;

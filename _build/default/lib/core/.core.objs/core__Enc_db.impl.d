@@ -1,1 +1,1 @@
-lib/core/enc_db.ml: Codec Crypto Relation Servsim Session Table
+lib/core/enc_db.ml: Codec Crypto List Relation Servsim Session Table

@@ -1,1 +1,1 @@
-lib/core/sort_backend.ml: Array Bytes Codec Crypto Int Osort Relation Servsim Session String Value
+lib/core/sort_backend.ml: Array Bytes Codec Crypto Int List Osort Relation Servsim Session String Value

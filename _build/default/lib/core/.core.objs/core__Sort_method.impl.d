@@ -1,1 +1,1 @@
-lib/core/sort_method.ml: Array Attrset Compression Enc_db Fdbase Option Osort Relation Session Sort_backend
+lib/core/sort_method.ml: Array Attrset Compression Enc_db Fdbase Fun List Option Osort Relation Session Sort_backend

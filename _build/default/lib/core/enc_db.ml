@@ -15,14 +15,12 @@ let outsource (session : Session.t) table =
   let name = Session.fresh_name session "db" in
   let store = Servsim.Server.create_store session.Session.server name in
   Servsim.Block_store.ensure store (n * m);
-  for row = 0 to n - 1 do
-    for col = 0 to m - 1 do
-      let pt = Codec.encode_value (Table.cell table ~row ~col) in
-      Servsim.Block_store.write store ((row * m) + col)
-        (Crypto.Cell_cipher.encrypt session.Session.cipher pt)
-    done
-  done;
-  Servsim.Cost.round_trip (Session.cost session);
+  (* The whole upload is one Multi_put frame / one round trip. *)
+  Servsim.Block_store.write_many store
+    (List.init (n * m) (fun slot ->
+         let row = slot / m and col = slot mod m in
+         let pt = Codec.encode_value (Table.cell table ~row ~col) in
+         (slot, Crypto.Cell_cipher.encrypt session.Session.cipher pt)));
   { session; store; name; n; m }
 
 let read_cell t ~row ~col =

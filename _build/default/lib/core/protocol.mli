@@ -36,11 +36,24 @@ val modeled_network_seconds : ?rtt_s:float -> ?gbps:float -> report -> float
     add on a network link: [step_round_trips · rtt + step_bytes / rate].
     Defaults model the paper's testbed: 1 Gbps LAN, 0.2 ms RTT.  Add it to
     [elapsed_s] (pure computation) to compare deployments — the paper's
-    client-server runtimes are dominated by this term for Sort. *)
+    client-server runtimes are dominated by this term for Sort.
+
+    Since wire protocol v2, [step_round_trips] counts one trip per wire
+    frame (batched ORAM paths are one frame each way), so this estimate is
+    consistent with the frames an actual remote run performs. *)
 
 val discover :
-  ?seed:int -> ?max_lhs:int -> ?keep_events:bool -> method_ -> Table.t -> report
-(** Run the whole protocol on a fresh session. *)
+  ?seed:int ->
+  ?max_lhs:int ->
+  ?keep_events:bool ->
+  ?remote:Servsim.Remote.t ->
+  method_ ->
+  Table.t ->
+  report
+(** Run the whole protocol on a fresh session.  With [?remote] the
+    server side lives in a forked process and every store operation is a
+    real wire frame (see {!Servsim.Remote}); the report's cost ledger is
+    identical to a local run. *)
 
 val partition_cardinality :
   ?seed:int -> method_ -> Table.t -> Attrset.t -> int * report

@@ -57,8 +57,9 @@ type t = {
   n : int;
   read : int -> elt;
   write : int -> elt -> unit;
+  read_batch : int list -> elt list;
+  write_batch : (int * elt) list -> unit;
   make_worker : int -> (int -> elt) * (int -> elt -> unit);
-  round_trip : unit -> unit;
   client_bytes : int;
   destroy : unit -> unit;
 }
@@ -74,11 +75,22 @@ let encrypted (session : Session.t) ~n =
   let read_with cipher i =
     decode_elt (Crypto.Cell_cipher.decrypt cipher (Servsim.Block_store.read store i))
   in
-  for i = 0 to length - 1 do
-    write_with session.Session.cipher i pad_elt
-  done;
+  let write_batch items =
+    Servsim.Block_store.write_many store
+      (List.map
+         (fun (i, e) ->
+           (i, Crypto.Cell_cipher.encrypt session.Session.cipher (encode_elt e)))
+         items)
+  in
+  let read_batch idxs =
+    List.map
+      (fun c -> decode_elt (Crypto.Cell_cipher.decrypt session.Session.cipher c))
+      (Servsim.Block_store.read_many store idxs)
+  in
+  write_batch (List.init length (fun i -> (i, pad_elt)));
   (* Constant client memory: two decrypted elements plus the key — the
-     paper's O(1)-client-memory claim for Sort (§IV-D(c)). *)
+     paper's O(1)-client-memory claim for Sort (§IV-D(c)).  A
+     compare-exchange batches exactly two elements, never more. *)
   let client_bytes = (2 * elt_width) + 16 in
   Servsim.Cost.client_set (Session.cost session) ~tag:name client_bytes;
   {
@@ -86,11 +98,12 @@ let encrypted (session : Session.t) ~n =
     n;
     read = read_with session.Session.cipher;
     write = write_with session.Session.cipher;
+    read_batch;
+    write_batch;
     make_worker =
       (fun w ->
         let cipher = Session.clone_cipher session ~seed:(0x50D0 + w) in
         (read_with cipher, write_with cipher));
-    round_trip = (fun () -> Servsim.Cost.round_trip (Session.cost session));
     client_bytes;
     destroy =
       (fun () ->
@@ -106,8 +119,9 @@ let enclave ~n =
     n;
     read = (fun i -> arr.(i));
     write = (fun i e -> arr.(i) <- e);
+    read_batch = (fun idxs -> List.map (fun i -> arr.(i)) idxs);
+    write_batch = (fun items -> List.iter (fun (i, e) -> arr.(i) <- e) items);
     make_worker = (fun _ -> ((fun i -> arr.(i)), fun i e -> arr.(i) <- e));
-    round_trip = (fun () -> ());
     client_bytes = length * elt_width;
     destroy = (fun () -> ());
   }

@@ -42,13 +42,16 @@ type t = {
   n : int;  (** number of real elements *)
   read : int -> elt;
   write : int -> elt -> unit;
+  read_batch : int list -> elt list;
+      (** Batched read, one round trip for the whole list (one
+          [Multi_get] frame in remote mode).  A compare-exchange fetches
+          its two slots in a single frame through this. *)
+  write_batch : (int * elt) list -> unit;
+      (** Batched write, one round trip for the whole list (one
+          [Multi_put] frame in remote mode). *)
   make_worker : int -> (int -> elt) * (int -> elt -> unit);
       (** [make_worker w] — thread-private read/write closures for worker
           [w] (own cipher instance; no shared mutable state). *)
-  round_trip : unit -> unit;
-      (** Called by the driver once per protocol message exchange (one
-          compare-exchange, or one linear-pass element): fetches and
-          write-backs batched in one round trip.  No-op in the enclave. *)
   client_bytes : int;  (** client working memory the backend needs *)
   destroy : unit -> unit;
 }

@@ -19,9 +19,21 @@ let network_for kind n =
   | Bitonic -> Osort.Network.bitonic n
   | Odd_even_merge -> Osort.Network.odd_even_merge n
 
-(* One compare-exchange through a (read, write) pair; both slots are
-   always rewritten so the server cannot tell whether a swap happened. *)
-let exchange_with ~compare ~tick read write ~up i j =
+(* One compare-exchange; both slots are always rewritten so the server
+   cannot tell whether a swap happened.  The serial path batches the two
+   fetches into one frame and the two write-backs into another, so an
+   exchange is two round trips on the wire (the ledger is maintained by
+   the block store). *)
+let exchange_batched ~compare ~read_batch ~write_batch ~up i j =
+  match read_batch [ i; j ] with
+  | [ a; b ] ->
+      let lo, hi = if compare a b <= 0 then (a, b) else (b, a) in
+      write_batch (if up then [ (i, lo); (j, hi) ] else [ (i, hi); (j, lo) ])
+  | _ -> assert false
+
+(* Worker variant over thread-private single-slot closures (cost and trace
+   are suspended in multi-domain sections). *)
+let exchange_with ~compare read write ~up i j =
   let a = read i and b = read j in
   let lo, hi = if compare a b <= 0 then (a, b) else (b, a) in
   if up then begin
@@ -31,20 +43,21 @@ let exchange_with ~compare ~tick read write ~up i j =
   else begin
     write i hi;
     write j lo
-  end;
-  tick ()
+  end
 
 let oblivious_sort ?(domains = 1) net backend ~compare =
   if domains <= 1 then
     Osort.Driver.run net
-      ~exchange:(exchange_with ~compare ~tick:backend.round_trip backend.read backend.write)
+      ~exchange:
+        (exchange_batched ~compare ~read_batch:backend.read_batch
+           ~write_batch:backend.write_batch)
   else begin
     let counter = ref 0 in
     Osort.Driver.run_parallel net ~domains ~make_exchange:(fun () ->
         let w = !counter in
         incr counter;
         let read, write = backend.make_worker w in
-        exchange_with ~compare ~tick:ignore read write)
+        exchange_with ~compare read write)
   end
 
 (* Algorithm 3. *)
@@ -52,7 +65,9 @@ let compute ?(network = Bitonic) ?domains backend x =
   let net = network_for network backend.length in
   (* 1. Sort by key_X: equal keys become consecutive. *)
   oblivious_sort ?domains net backend ~compare:compare_by_key;
-  (* 2. Linear pass: replace key_X by its run index (the label). *)
+  (* 2. Linear pass: replace key_X by its run index (the label).  Kept
+     element-at-a-time — O(1) client memory, per §IV-D(c); each element is
+     one fetch frame and one write-back frame. *)
   let tmp = ref Pad in
   let card = ref 0 in
   for i = 0 to backend.n - 1 do
@@ -60,27 +75,24 @@ let compute ?(network = Bitonic) ?domains backend x =
     let flag = i > 0 && compare_skey e.key !tmp <> 0 in
     tmp := e.key;
     if flag then incr card;
-    backend.write i { key = L !card; id = e.id };
-    backend.round_trip ()
+    backend.write i { key = L !card; id = e.id }
   done;
   (* 3. Sort back by r[ID]. *)
   oblivious_sort ?domains net backend ~compare:compare_by_id;
   { attrs = x; backend; card = !card + 1 }
 
 let fill_pads backend ~from =
-  for i = from to backend.length - 1 do
-    backend.write i pad_elt
-  done
+  List.init (backend.length - from) (fun k -> (from + k, pad_elt))
 
 let single ?network ?domains ?backend db col =
   let session = Enc_db.session db in
   let n = session.Session.n in
   let make = Option.value ~default:(fun ~n -> Sort_backend.encrypted session ~n) backend in
   let b = make ~n in
-  for row = 0 to n - 1 do
-    b.write row { key = V (Enc_db.read_cell db ~row ~col); id = row }
-  done;
-  fill_pads b ~from:n;
+  (* One frame for the whole initial load (real rows + pads). *)
+  b.write_batch
+    (List.init n (fun row -> (row, { key = V (Enc_db.read_cell db ~row ~col); id = row }))
+    @ fill_pads b ~from:n);
   compute ?network ?domains b (Attrset.singleton col)
 
 let label_of_row h ~row =
@@ -88,17 +100,26 @@ let label_of_row h ~row =
   | L l -> l
   | V _ | Pad -> invalid_arg "Sort_method.label_of_row: array does not hold labels"
 
-let labels h = Array.init h.backend.n (fun row -> label_of_row h ~row)
+let labels h =
+  (* Whole label array in one Multi_get frame. *)
+  h.backend.read_batch (List.init h.backend.n Fun.id)
+  |> List.map (fun e ->
+         match e.key with
+         | L l -> l
+         | V _ | Pad -> invalid_arg "Sort_method.labels: array does not hold labels")
+  |> Array.of_list
 
 let combine ?network ?domains ?backend session x h1 h2 =
   let n = session.Session.n in
   let make = Option.value ~default:(fun ~n -> Sort_backend.encrypted session ~n) backend in
   let b = make ~n in
-  for row = 0 to n - 1 do
-    let l1 = label_of_row h1 ~row and l2 = label_of_row h2 ~row in
-    b.write row { key = L (Compression.combined_key_int ~n l1 l2); id = row }
-  done;
-  fill_pads b ~from:n;
+  (* Two fetch frames (one per generator) and one write-back frame,
+     instead of 3n single-block exchanges. *)
+  let l1s = labels h1 and l2s = labels h2 in
+  b.write_batch
+    (List.init n (fun row ->
+         (row, { key = L (Compression.combined_key_int ~n l1s.(row) l2s.(row)); id = row }))
+    @ fill_pads b ~from:n);
   compute ?network ?domains b x
 
 let release h = h.backend.destroy ()

@@ -1,1 +1,1 @@
-lib/oram/linear_oram.ml: Array Bytes Crypto Servsim String
+lib/oram/linear_oram.ml: Array Bytes Crypto Fun List Servsim String

@@ -1,1 +1,1 @@
-lib/oram/path_oram.ml: Array Bytes Crypto Hashtbl List Printf Servsim String
+lib/oram/path_oram.ml: Array Bytes Crypto Fun Hashtbl List Printf Servsim String

@@ -1,1 +1,1 @@
-lib/oram/recursive_path_oram.ml: Array Bytes Crypto Hashtbl Int64 List Option Printf Relation Servsim String
+lib/oram/recursive_path_oram.ml: Array Bytes Crypto Fun Hashtbl Int64 List Option Printf Relation Servsim String

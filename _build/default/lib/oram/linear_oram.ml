@@ -33,22 +33,23 @@ let setup ~name cfg server cipher _rand =
   let store = Servsim.Server.create_store server name in
   Servsim.Block_store.ensure store cfg.capacity;
   let dummy = encode_dummy cfg in
-  for i = 0 to cfg.capacity - 1 do
-    Servsim.Block_store.write store i (Crypto.Cell_cipher.encrypt cipher dummy)
-  done;
-  Servsim.Cost.round_trip (Servsim.Server.cost server);
+  Servsim.Block_store.write_many store
+    (List.init cfg.capacity (fun i -> (i, Crypto.Cell_cipher.encrypt cipher dummy)));
   { cfg; store; server; name; cipher; live = 0; accesses = 0 }
 
 (* One full scan: decrypt every slot, apply the logical operation to the
-   matching slot (or claim the first free slot on insert), re-encrypt all. *)
+   matching slot (or claim the first free slot on insert), re-encrypt all.
+   The scan is two batched round trips: one Multi_get for the whole array,
+   one Multi_put to rewrite it. *)
 let access t ~key update =
   if String.length key <> t.cfg.key_len then invalid_arg "Linear_oram.access: bad key length";
   let n = t.cfg.capacity in
-  let plain = Array.make n None in
-  for i = 0 to n - 1 do
-    let c = Servsim.Block_store.read t.store i in
-    plain.(i) <- decode_block t.cfg (Crypto.Cell_cipher.decrypt t.cipher c)
-  done;
+  let plain =
+    Array.of_list
+      (List.map
+         (fun c -> decode_block t.cfg (Crypto.Cell_cipher.decrypt t.cipher c))
+         (Servsim.Block_store.read_many t.store (List.init n Fun.id)))
+  in
   let found = ref None in
   let found_at = ref (-1) in
   Array.iteri
@@ -80,16 +81,15 @@ let access t ~key update =
         t.live <- t.live - 1
       end);
   let dummy = encode_dummy t.cfg in
-  for i = 0 to n - 1 do
-    let pt =
-      match plain.(i) with
-      | None -> dummy
-      | Some (k, payload) -> encode_block t.cfg ~key:k ~payload
-    in
-    Servsim.Block_store.write t.store i (Crypto.Cell_cipher.encrypt t.cipher pt)
-  done;
+  Servsim.Block_store.write_many t.store
+    (List.init n (fun i ->
+         let pt =
+           match plain.(i) with
+           | None -> dummy
+           | Some (k, payload) -> encode_block t.cfg ~key:k ~payload
+         in
+         (i, Crypto.Cell_cipher.encrypt t.cipher pt)));
   t.accesses <- t.accesses + 1;
-  Servsim.Cost.round_trip (Servsim.Server.cost t.server);
   !found
 
 let dummy_access t =

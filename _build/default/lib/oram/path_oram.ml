@@ -72,10 +72,8 @@ let setup ~name cfg server cipher rand_int =
   let store = Servsim.Server.create_store server name in
   Servsim.Block_store.ensure store (buckets * z);
   let dummy = encode_dummy cfg in
-  for slot = 0 to (buckets * z) - 1 do
-    Servsim.Block_store.write store slot (Crypto.Cell_cipher.encrypt cipher dummy)
-  done;
-  Servsim.Cost.round_trip (Servsim.Server.cost server);
+  Servsim.Block_store.write_many store
+    (List.init (buckets * z) (fun slot -> (slot, Crypto.Cell_cipher.encrypt cipher dummy)));
   {
     cfg;
     levels;
@@ -92,22 +90,34 @@ let setup ~name cfg server cipher rand_int =
     accesses = 0;
   }
 
-(* Read every block of the path to [leaf] into the stash. *)
+(* Slots of the path to [leaf], root to leaf — the order the per-slot loop
+   used to visit them, so the trace shape is unchanged. *)
+let path_slots t leaf =
+  List.concat_map
+    (fun lev ->
+      let bucket = node_at t ~leaf ~lev in
+      List.init z (fun s -> (bucket * z) + s))
+    (List.init (t.levels + 1) Fun.id)
+
+(* Read every block of the path to [leaf] into the stash: one batched
+   round trip (a single Multi_get frame in remote mode). *)
 let fetch_path t leaf =
-  for lev = 0 to t.levels do
-    let bucket = node_at t ~leaf ~lev in
-    for s = 0 to z - 1 do
-      let c = Servsim.Block_store.read t.store ((bucket * z) + s) in
+  let cs = Servsim.Block_store.read_many t.store (path_slots t leaf) in
+  List.iter
+    (fun c ->
       let pt = Crypto.Cell_cipher.decrypt t.cipher c in
       match decode_block t.cfg pt with
       | None -> ()
-      | Some (key, payload) -> Hashtbl.replace t.stash key payload
-    done
-  done
+      | Some (key, payload) -> Hashtbl.replace t.stash key payload)
+    cs
 
-(* Greedy eviction along the path to [leaf]: deepest buckets first. *)
+(* Greedy eviction along the path to [leaf]: deepest buckets first.  All
+   slot writes are collected and flushed as one batched round trip (a
+   single Multi_put frame in remote mode), in the same slot order the
+   per-slot loop used, so the trace shape is unchanged. *)
 let evict_path t leaf =
   let dummy = encode_dummy t.cfg in
+  let writes = ref [] in
   for lev = t.levels downto 0 do
     let bucket = node_at t ~leaf ~lev in
     (* Stash blocks whose assigned leaf passes through [bucket]. *)
@@ -130,18 +140,19 @@ let evict_path t leaf =
       (fun i (key, payload) -> blocks.(i) <- encode_block t.cfg ~key ~payload)
       !chosen;
     for s = 0 to z - 1 do
-      Servsim.Block_store.write t.store
-        ((bucket * z) + s)
-        (Crypto.Cell_cipher.encrypt t.cipher blocks.(s))
+      writes := ((bucket * z) + s, Crypto.Cell_cipher.encrypt t.cipher blocks.(s)) :: !writes
     done
-  done
+  done;
+  Servsim.Block_store.write_many t.store (List.rev !writes)
 
 let finish_access t =
   let occupancy = Hashtbl.length t.stash in
   if occupancy > t.max_stash then t.max_stash <- occupancy;
   if occupancy > stash_limit t then t.overflows <- t.overflows + 1;
   t.accesses <- t.accesses + 1;
-  Servsim.Cost.round_trip (Servsim.Server.cost t.server);
+  (* Round trips are counted by the block store: one for the batched
+     fetch, one for the batched evict — exactly the two wire frames a
+     remote access performs. *)
   sync_client_cost t
 
 let access t ~key update =

@@ -54,9 +54,8 @@ let make_tree server cipher ~name ~capacity ~payload_len =
   Servsim.Block_store.ensure store (buckets * z);
   let tree = { store; name; levels; leaves; payload_len; stash = Hashtbl.create 32 } in
   let dummy = String.make (block_pt_len tree) '\000' in
-  for slot = 0 to (buckets * z) - 1 do
-    Servsim.Block_store.write store slot (Crypto.Cell_cipher.encrypt cipher dummy)
-  done;
+  Servsim.Block_store.write_many store
+    (List.init (buckets * z) (fun slot -> (slot, Crypto.Cell_cipher.encrypt cipher dummy)));
   tree
 
 let setup ~name cfg server cipher rand_int =
@@ -81,7 +80,6 @@ let setup ~name cfg server cipher rand_int =
           ~capacity:sizes.(i) ~payload_len)
   in
   let top_size = sizes.(ntrees - 1) in
-  Servsim.Cost.round_trip (Servsim.Server.cost server);
   {
     cfg;
     server;
@@ -109,19 +107,28 @@ let decode_block tree pt =
     let payload = Bytes.of_string (String.sub pt 17 tree.payload_len) in
     Some (id, leaf, payload)
 
+(* Slots of the path to [leaf], root to leaf, in the per-slot loop order. *)
+let path_slots tree leaf =
+  List.concat_map
+    (fun lev ->
+      let bucket = node_at tree ~leaf ~lev in
+      List.init z (fun s -> (bucket * z) + s))
+    (List.init (tree.levels + 1) Fun.id)
+
+(* One batched round trip per path fetch (a single Multi_get frame). *)
 let fetch_path t tree leaf =
-  for lev = 0 to tree.levels do
-    let bucket = node_at tree ~leaf ~lev in
-    for s = 0 to z - 1 do
-      let c = Servsim.Block_store.read tree.store ((bucket * z) + s) in
+  List.iter
+    (fun c ->
       match decode_block tree (Crypto.Cell_cipher.decrypt t.cipher c) with
       | None -> ()
-      | Some (id, l, payload) -> Hashtbl.replace tree.stash id (l, payload)
-    done
-  done
+      | Some (id, l, payload) -> Hashtbl.replace tree.stash id (l, payload))
+    (Servsim.Block_store.read_many tree.store (path_slots tree leaf))
 
+(* One batched round trip per path eviction (a single Multi_put frame),
+   slot order identical to the historical per-slot loop. *)
 let evict_path t tree leaf =
   let dummy = String.make (block_pt_len tree) '\000' in
+  let writes = ref [] in
   for lev = tree.levels downto 0 do
     let bucket = node_at tree ~leaf ~lev in
     let chosen = ref [] in
@@ -140,11 +147,10 @@ let evict_path t tree leaf =
     let blocks = Array.make z dummy in
     List.iteri (fun i (id, l, payload) -> blocks.(i) <- encode_block tree ~id ~leaf:l payload) !chosen;
     for s = 0 to z - 1 do
-      Servsim.Block_store.write tree.store
-        ((bucket * z) + s)
-        (Crypto.Cell_cipher.encrypt t.cipher blocks.(s))
+      writes := ((bucket * z) + s, Crypto.Cell_cipher.encrypt t.cipher blocks.(s)) :: !writes
     done
-  done
+  done;
+  Servsim.Block_store.write_many tree.store (List.rev !writes)
 
 (* Read-and-reassign the position of block [idx] of tree [lvl - 1]:
    returns its old leaf and records [new_leaf].  For lvl = depth the
@@ -199,7 +205,6 @@ let access t ~key update =
       if old <> None then t.live <- t.live - 1;
       Hashtbl.remove data.stash key);
   evict_path t data old_leaf;
-  Servsim.Cost.round_trip (Servsim.Server.cost t.server);
   old
 
 let read t ~key = access t ~key (fun old -> old)

@@ -1,1 +1,1 @@
-lib/servsim/block_store.ml: Array Cost Printf Remote String Trace Wire
+lib/servsim/block_store.ml: Array Cost List Printf Remote String Trace Wire

@@ -1,1 +1,1 @@
-lib/servsim/remote.ml: Int64 Sys Unix Wire
+lib/servsim/remote.ml: Int64 List Printf Sys Unix Wire

@@ -1,1 +1,1 @@
-lib/servsim/remote_server.ml: Array Hashtbl Obj Printf Stdlib String Sys Trace Unix Wire
+lib/servsim/remote_server.ml: Array Hashtbl List Obj Printf Stdlib String Sys Trace Unix Wire

@@ -1,1 +1,1 @@
-lib/servsim/wire.ml: Char Int64 Printf String
+lib/servsim/wire.ml: Char Int64 List Printf String

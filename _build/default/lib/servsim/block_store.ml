@@ -48,7 +48,12 @@ let ensure t n =
         r.lengths <- lengths
       end;
       if n > t.len then ignore (Remote.call r.conn (Wire.Ensure (t.name, n))));
-  if n > t.len then t.len <- n
+  if n > t.len then begin
+    t.len <- n;
+    (* Growing is one wire frame in remote mode; charge the same in the
+       local sim so both ledgers agree. *)
+    if Trace.enabled t.trace then Cost.round_trip t.cost
+  end
 
 let check_bounds t i fname =
   if i < 0 || i >= t.len then
@@ -71,7 +76,8 @@ let read t i =
   in
   if Trace.enabled t.trace then begin
     Trace.record t.trace { store = t.name; op = Trace.Read; addr = i; len = String.length c };
-    Cost.sent_to_client t.cost (String.length c)
+    Cost.sent_to_client t.cost (String.length c);
+    Cost.round_trip t.cost
   end;
   c
 
@@ -94,5 +100,64 @@ let write t i c =
     t.bytes <- t.bytes + delta;
     t.on_resize delta;
     Trace.record t.trace { store = t.name; op = Trace.Write; addr = i; len = String.length c };
-    Cost.sent_to_server t.cost (String.length c)
+    Cost.sent_to_server t.cost (String.length c);
+    Cost.round_trip t.cost
+  end
+
+(* Batched operations: the trace still records one event per block (same
+   order as the equivalent loop of singles, so obliviousness digests are
+   unchanged), but the whole batch is one wire frame / one round trip. *)
+
+let read_many t idxs =
+  List.iter (fun i -> check_bounds t i "read_many") idxs;
+  if idxs = [] then []
+  else begin
+    let cs =
+      match t.storage with
+      | Local_mem s -> List.map (fun i -> s.blocks.(i)) idxs
+      | Remote_conn r -> Remote.multi_get r.conn ~store:t.name idxs
+    in
+    if Trace.enabled t.trace then begin
+      List.iter2
+        (fun i c ->
+          Trace.record t.trace { store = t.name; op = Trace.Read; addr = i; len = String.length c };
+          Cost.sent_to_client t.cost (String.length c))
+        idxs cs;
+      Cost.round_trip t.cost
+    end;
+    cs
+  end
+
+let write_many t items =
+  List.iter (fun (i, _) -> check_bounds t i "write_many") items;
+  if items <> [] then begin
+    let old_lens =
+      match t.storage with
+      | Local_mem s ->
+          List.map
+            (fun (i, c) ->
+              let old = String.length s.blocks.(i) in
+              s.blocks.(i) <- c;
+              old)
+            items
+      | Remote_conn r ->
+          Remote.multi_put r.conn ~store:t.name items;
+          List.map
+            (fun (i, c) ->
+              let old = r.lengths.(i) in
+              r.lengths.(i) <- String.length c;
+              old)
+            items
+    in
+    if Trace.enabled t.trace then begin
+      List.iter2
+        (fun (i, c) old ->
+          let delta = String.length c - old in
+          t.bytes <- t.bytes + delta;
+          t.on_resize delta;
+          Trace.record t.trace { store = t.name; op = Trace.Write; addr = i; len = String.length c };
+          Cost.sent_to_server t.cost (String.length c))
+        items old_lens;
+      Cost.round_trip t.cost
+    end
   end

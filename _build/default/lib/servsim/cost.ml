@@ -5,6 +5,7 @@ type snapshot = {
   server_bytes : int;
   client_peak_bytes : int;
   client_current_bytes : int;
+  client_underflows : int;
 }
 
 type t = {
@@ -14,6 +15,7 @@ type t = {
   mutable server : int;
   mutable client_current : int;
   mutable client_peak : int;
+  mutable underflows : int;
   client_tagged : (string, int) Hashtbl.t;
 }
 
@@ -25,6 +27,7 @@ let create () =
     server = 0;
     client_current = 0;
     client_peak = 0;
+    underflows = 0;
     client_tagged = Hashtbl.create 16;
   }
 
@@ -38,7 +41,12 @@ let client_alloc t n =
   t.client_current <- t.client_current + n;
   bump_peak t
 
-let client_free t n = t.client_current <- max 0 (t.client_current - n)
+let client_free t n =
+  (* Clamp (so one accounting bug cannot poison every later reading) but
+     remember that it happened: a nonzero underflow count means some
+     structure was freed twice or freed larger than it was allocated. *)
+  if n > t.client_current then t.underflows <- t.underflows + 1;
+  t.client_current <- max 0 (t.client_current - n)
 
 let client_set t ~tag n =
   let old = Option.value ~default:0 (Hashtbl.find_opt t.client_tagged tag) in
@@ -56,6 +64,7 @@ let snapshot t =
     server_bytes = t.server;
     client_peak_bytes = t.client_peak;
     client_current_bytes = t.client_current;
+    client_underflows = t.underflows;
   }
 
 let reset_peak t = t.client_peak <- t.client_current

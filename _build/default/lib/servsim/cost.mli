@@ -17,13 +17,22 @@ type snapshot = {
   server_bytes : int;
   client_peak_bytes : int;
   client_current_bytes : int;
+  client_underflows : int;
+      (** Times {!client_free} was asked to free more than was allocated.
+          Always 0 in a correct protocol run; the clamp keeps the ledger
+          usable, this counter keeps the bug visible. *)
 }
 
 val create : unit -> t
 
 val sent_to_server : t -> int -> unit
 val sent_to_client : t -> int -> unit
+
 val round_trip : t -> unit
+(** One client↔server message exchange.  {!Block_store} and {!Server}
+    count one trip per wire frame (batched or single) automatically; only
+    protocol steps that exchange messages outside the block channel (e.g.
+    the enclave FD-check of {!Set_level}) should call this directly. *)
 
 val client_alloc : t -> int -> unit
 val client_free : t -> int -> unit

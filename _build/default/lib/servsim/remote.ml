@@ -2,6 +2,7 @@ type t = {
   ic : in_channel;
   oc : out_channel;
   pid : int option;
+  mutable frames : int;
   mutable closed : bool;
 }
 
@@ -9,14 +10,51 @@ let connect_fd ?pid fd =
   (* A dead peer must surface as an exception on the next call, not as a
      process-killing SIGPIPE. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
-  { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd; pid; closed = false }
+  let t =
+    { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd; pid; frames = 0;
+      closed = false }
+  in
+  (* Version handshake: both sides announce; a stale client against a new
+     server (or vice versa) fails here with a clear error instead of a
+     "bad request tag" mid-session. *)
+  Wire.write_hello t.oc;
+  (match Wire.read_hello t.ic with
+  | v when v = Wire.protocol_version -> ()
+  | v ->
+      raise
+        (Wire.Protocol_error
+           (Printf.sprintf "protocol version mismatch: client speaks %d, server speaks %d"
+              Wire.protocol_version v))
+  | exception End_of_file ->
+      raise (Wire.Protocol_error "server closed the connection during the version handshake"));
+  t
+
+let frames t = t.frames
 
 let call t req =
   if t.closed then raise (Wire.Protocol_error "connection closed");
   Wire.write_request t.oc req;
+  t.frames <- t.frames + 1;
   match Wire.read_response t.ic with
   | Wire.Error msg -> raise (Wire.Protocol_error msg)
   | resp -> resp
+
+let multi_get t ~store idxs =
+  if idxs = [] then []
+  else
+    match call t (Wire.Multi_get (store, idxs)) with
+    | Wire.Values vs ->
+        if List.compare_lengths vs idxs <> 0 then
+          raise (Wire.Protocol_error "Multi_get: value count does not match index count");
+        vs
+    | _ -> raise (Wire.Protocol_error "unexpected response to Multi_get")
+
+let multi_put t ~store items =
+  if items = [] then ()
+  else
+    match call t (Wire.Multi_put (store, items)) with
+    | Wire.Ok -> ()
+    | _ -> raise (Wire.Protocol_error "unexpected response to Multi_put")
 
 let server_digests t =
   match call t Wire.Digest with

@@ -4,11 +4,25 @@ type t
 
 val connect_fd : ?pid:int -> Unix.file_descr -> t
 (** Wrap a connected descriptor (e.g. from {!Remote_server.fork_server});
-    [pid] is reaped on {!close}. *)
+    [pid] is reaped on {!close}.  Performs the one-byte version handshake.
+    @raise Wire.Protocol_error if the server speaks a different protocol
+    version or closes during the handshake. *)
 
 val call : t -> Wire.request -> Wire.response
 (** Synchronous request/response.
     @raise Wire.Protocol_error on an [Error] response. *)
+
+val multi_get : t -> store:string -> int list -> string list
+(** One [Multi_get] frame; values in index order.  No-op (no frame) on the
+    empty list. *)
+
+val multi_put : t -> store:string -> (int * string) list -> unit
+(** One [Multi_put] frame.  No-op (no frame) on the empty list. *)
+
+val frames : t -> int
+(** Number of request/response exchanges performed on this connection so
+    far (the version handshake is not counted).  The round-trip ledger in
+    {!Cost} is asserted against this counter in tests. *)
 
 val digests : t -> full:int64 -> shape:int64 -> count:int -> bool
 (** [digests t ~full ~shape ~count] asks the server for its own trace

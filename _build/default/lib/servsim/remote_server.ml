@@ -61,6 +61,34 @@ let handle st = function
         Trace.record st.trace { Trace.store = name; op = Trace.Write; addr = i; len = String.length c };
         Wire.Ok
       end
+  | Wire.Multi_get (name, idxs) ->
+      let s = find st name in
+      if List.exists (fun i -> i < 0 || i >= s.len) idxs then Wire.Error "index out of bounds"
+      else
+        Wire.Values
+          (List.map
+             (fun i ->
+               let c = s.blocks.(i) in
+               Trace.record st.trace
+                 { Trace.store = name; op = Trace.Read; addr = i; len = String.length c };
+               c)
+             idxs)
+  | Wire.Multi_put (name, items) ->
+      let s = find st name in
+      (* Validate every index before mutating anything: a batch either
+         lands whole or not at all. *)
+      if List.exists (fun (i, _) -> i < 0 || i >= s.len) items then
+        Wire.Error "index out of bounds"
+      else begin
+        List.iter
+          (fun (i, c) ->
+            st.bytes <- st.bytes - String.length s.blocks.(i) + String.length c;
+            s.blocks.(i) <- c;
+            Trace.record st.trace
+              { Trace.store = name; op = Trace.Write; addr = i; len = String.length c })
+          items;
+        Wire.Ok
+      end
   | Wire.Digest ->
       Wire.Digests
         {
@@ -72,18 +100,32 @@ let handle st = function
   | Wire.Bye -> Wire.Ok
 
 let serve ic oc =
-  let st = create_state () in
-  let continue_ = ref true in
-  while !continue_ do
-    match Wire.read_request ic with
-    | Wire.Bye ->
-        Wire.write_response oc Wire.Ok;
-        continue_ := false
-    | req ->
-        let resp = try handle st req with Wire.Protocol_error msg -> Wire.Error msg in
-        Wire.write_response oc resp
-    | exception End_of_file -> continue_ := false
-  done
+  (* Version handshake first: always answer with our own version byte so a
+     mismatched client can report the disagreement, then hang up on
+     mismatch rather than misparse its stream as requests. *)
+  match Wire.read_hello ic with
+  | exception End_of_file -> ()
+  | client_version ->
+      Wire.write_hello oc;
+      if client_version = Wire.protocol_version then begin
+        let st = create_state () in
+        let continue_ = ref true in
+        while !continue_ do
+          match Wire.read_request ic with
+          | Wire.Bye ->
+              Wire.write_response oc Wire.Ok;
+              continue_ := false
+          | req ->
+              let resp = try handle st req with Wire.Protocol_error msg -> Wire.Error msg in
+              Wire.write_response oc resp
+          | exception End_of_file -> continue_ := false
+          | exception Wire.Protocol_error msg ->
+              (* The stream is beyond resync (bad tag, oversized prefix):
+                 report once and hang up. *)
+              (try Wire.write_response oc (Wire.Error ("unrecoverable: " ^ msg)) with _ -> ());
+              continue_ := false
+        done
+      end
 
 let serve_fd fd =
   let ic = Unix.in_channel_of_descr fd and oc = Unix.out_channel_of_descr fd in

@@ -4,6 +4,8 @@ type request =
   | Ensure of string * int
   | Get of string * int
   | Put of string * int * string
+  | Multi_get of string * int list
+  | Multi_put of string * (int * string) list
   | Digest
   | Total_bytes
   | Bye
@@ -11,13 +13,24 @@ type request =
 type response =
   | Ok
   | Value of string
+  | Values of string list
   | Digests of { full : int64; shape : int64; count : int }
   | Bytes_total of int
   | Error of string
 
 exception Protocol_error of string
 
+let protocol_version = 2
+
+(* Hard caps on what a length prefix may claim.  A corrupt or truncated
+   stream must fail with [Protocol_error], not drive [really_input_string]
+   into a multi-gigabyte allocation. *)
+let max_string_len = 1 lsl 26 (* 64 MiB per string *)
+let max_list_len = 1 lsl 24 (* 16M entries per batch *)
+
 let put_u32 oc v =
+  if v < 0 || v > 0xFFFFFFFF then
+    raise (Protocol_error (Printf.sprintf "put_u32: %d out of 32-bit range" v));
   for k = 0 to 3 do
     output_char oc (Char.chr ((v lsr (k * 8)) land 0xff))
   done
@@ -27,7 +40,7 @@ let get_u32 ic =
   for k = 0 to 3 do
     v := !v lor (Char.code (input_char ic) lsl (k * 8))
   done;
-  !v
+  !v land 0xFFFFFFFF
 
 let put_u64 oc v =
   for k = 0 to 7 do
@@ -43,12 +56,38 @@ let get_u64 ic =
   !v
 
 let put_string oc s =
-  put_u32 oc (String.length s);
+  let n = String.length s in
+  if n > max_string_len then
+    raise (Protocol_error (Printf.sprintf "put_string: %d bytes exceeds frame cap %d" n max_string_len));
+  put_u32 oc n;
   output_string oc s
 
 let get_string ic =
   let n = get_u32 ic in
+  if n > max_string_len then
+    raise (Protocol_error (Printf.sprintf "get_string: claimed length %d exceeds frame cap %d" n max_string_len));
   really_input_string ic n
+
+let put_count oc n =
+  if n > max_list_len then
+    raise (Protocol_error (Printf.sprintf "put_count: %d entries exceeds batch cap %d" n max_list_len));
+  put_u32 oc n
+
+let get_count ic =
+  let n = get_u32 ic in
+  if n > max_list_len then
+    raise (Protocol_error (Printf.sprintf "get_count: claimed %d entries exceeds batch cap %d" n max_list_len));
+  n
+
+let get_list ic get_item =
+  let n = get_count ic in
+  List.init n (fun _ -> get_item ic)
+
+let write_hello oc =
+  output_char oc (Char.chr protocol_version);
+  flush oc
+
+let read_hello ic = Char.code (input_char ic)
 
 let write_request oc req =
   (match req with
@@ -71,6 +110,20 @@ let write_request oc req =
       put_string oc s;
       put_u32 oc i;
       put_string oc v
+  | Multi_get (s, idxs) ->
+      output_char oc '\009';
+      put_string oc s;
+      put_count oc (List.length idxs);
+      List.iter (put_u32 oc) idxs
+  | Multi_put (s, items) ->
+      output_char oc '\010';
+      put_string oc s;
+      put_count oc (List.length items);
+      List.iter
+        (fun (i, v) ->
+          put_u32 oc i;
+          put_string oc v)
+        items
   | Digest -> output_char oc '\006'
   | Total_bytes -> output_char oc '\007'
   | Bye -> output_char oc '\008');
@@ -90,6 +143,16 @@ let read_request ic =
       let s = get_string ic in
       let i = get_u32 ic in
       Put (s, i, get_string ic)
+  | '\009' ->
+      let s = get_string ic in
+      Multi_get (s, get_list ic get_u32)
+  | '\010' ->
+      let s = get_string ic in
+      Multi_put
+        ( s,
+          get_list ic (fun ic ->
+              let i = get_u32 ic in
+              (i, get_string ic)) )
   | '\006' -> Digest
   | '\007' -> Total_bytes
   | '\008' -> Bye
@@ -101,6 +164,10 @@ let write_response oc resp =
   | Value v ->
       output_char oc '\101';
       put_string oc v
+  | Values vs ->
+      output_char oc '\105';
+      put_count oc (List.length vs);
+      List.iter (put_string oc) vs
   | Digests { full; shape; count } ->
       output_char oc '\102';
       put_u64 oc full;
@@ -118,6 +185,7 @@ let read_response ic =
   match input_char ic with
   | '\100' -> Ok
   | '\101' -> Value (get_string ic)
+  | '\105' -> Values (get_list ic get_string)
   | '\102' ->
       let full = get_u64 ic in
       let shape = get_u64 ic in

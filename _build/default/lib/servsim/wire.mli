@@ -1,10 +1,16 @@
-(** Wire protocol between the client and a remote server process.
+(** Wire protocol (v2) between the client and a remote server process.
 
     Binary, synchronous request/response over any pair of file
     descriptors (Unix socketpair, TCP socket).  All integers are
     little-endian fixed width; strings are length-prefixed.  The protocol
     carries only what the honest-but-curious server legitimately sees:
-    opaque ciphertext blocks and store bookkeeping. *)
+    opaque ciphertext blocks and store bookkeeping.
+
+    v2 adds batched block operations ([Multi_get]/[Multi_put]/[Values]) —
+    one frame per logical batch, e.g. a whole ORAM path — plus a one-byte
+    version handshake on connect and hard caps on every length prefix so a
+    corrupt stream fails with {!Protocol_error} instead of an unbounded
+    allocation. *)
 
 type request =
   | Create_store of string
@@ -12,6 +18,12 @@ type request =
   | Ensure of string * int
   | Get of string * int
   | Put of string * int * string
+  | Multi_get of string * int list
+      (** Read a batch of slots of one store, in order, in one frame. *)
+  | Multi_put of string * (int * string) list
+      (** Write a batch of (slot, ciphertext) pairs in one frame; applied
+          (and traced server-side) in list order, all-or-nothing with
+          respect to bounds checking. *)
   | Digest  (** ask the server for its own trace digests *)
   | Total_bytes
   | Bye
@@ -19,9 +31,27 @@ type request =
 type response =
   | Ok
   | Value of string
+  | Values of string list  (** answers [Multi_get], same order as the indices *)
   | Digests of { full : int64; shape : int64; count : int }
   | Bytes_total of int
   | Error of string
+
+val protocol_version : int
+(** Current protocol version (2).  Exchanged once per connection:
+    the client sends its version byte, the server always answers with its
+    own, and each side rejects a mismatch with {!Protocol_error}. *)
+
+val max_string_len : int
+(** Upper bound any string length prefix may claim (bytes). *)
+
+val max_list_len : int
+(** Upper bound any batch count prefix may claim (entries). *)
+
+val write_hello : out_channel -> unit
+(** Send the one-byte version preamble. *)
+
+val read_hello : in_channel -> int
+(** Read the peer's version byte. *)
 
 val write_request : out_channel -> request -> unit
 val read_request : in_channel -> request

@@ -1,0 +1,1 @@
+test/suite_wire.ml: Alcotest Char Codec Crypto Fun Int64 Oram QCheck QCheck_alcotest Relation Servsim String Sys Unix

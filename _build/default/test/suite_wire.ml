@@ -1,0 +1,297 @@
+(* Wire protocol v2: property tests for the codec (including the batch
+   frames), malformed-prefix hardening, the version handshake, and
+   remote-vs-local equivalence of a PathORAM workload — same trace shape,
+   same server digests, and a round-trip ledger that matches the actual
+   number of wire frames. *)
+
+open Relation
+
+let with_remote f =
+  let fd, pid = Servsim.Remote_server.fork_server () in
+  let conn = Servsim.Remote.connect_fd ~pid fd in
+  Fun.protect ~finally:(fun () -> Servsim.Remote.close conn) (fun () -> f conn)
+
+(* Codec tests leave half-written frames in [oc]'s buffer; closing the
+   write end while the read end is still open (and SIGPIPE ignored below)
+   keeps the implicit flush from killing the process. *)
+let () = try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()
+
+let with_pipe f =
+  let r, w = Unix.pipe () in
+  let oc = Unix.out_channel_of_descr w and ic = Unix.in_channel_of_descr r in
+  Fun.protect
+    ~finally:(fun () ->
+      close_out_noerr oc;
+      close_in_noerr ic)
+    (fun () -> f ic oc)
+
+(* {2 Codec property tests} *)
+
+let roundtrip_request req =
+  with_pipe (fun ic oc ->
+      Servsim.Wire.write_request oc req;
+      Servsim.Wire.read_request ic = req)
+
+let roundtrip_response resp =
+  with_pipe (fun ic oc ->
+      Servsim.Wire.write_response oc resp;
+      Servsim.Wire.read_response ic = resp)
+
+let request_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun s -> Servsim.Wire.Create_store s) (string_size (0 -- 30));
+        map (fun s -> Servsim.Wire.Drop_store s) (string_size (0 -- 30));
+        map2 (fun s n -> Servsim.Wire.Ensure (s, n)) (string_size (0 -- 20)) (int_bound 100000);
+        map2 (fun s i -> Servsim.Wire.Get (s, i)) (string_size (0 -- 20)) (int_bound 100000);
+        map3
+          (fun s i v -> Servsim.Wire.Put (s, i, v))
+          (string_size (0 -- 20))
+          (int_bound 100000) (string_size (0 -- 200));
+        map2
+          (fun s idxs -> Servsim.Wire.Multi_get (s, idxs))
+          (string_size (0 -- 20))
+          (list_size (0 -- 40) (int_bound 100000));
+        map2
+          (fun s items -> Servsim.Wire.Multi_put (s, items))
+          (string_size (0 -- 20))
+          (list_size (0 -- 40) (pair (int_bound 100000) (string_size (0 -- 50))));
+        return Servsim.Wire.Digest;
+        return Servsim.Wire.Total_bytes;
+      ])
+
+let response_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        return Servsim.Wire.Ok;
+        map (fun v -> Servsim.Wire.Value v) (string_size (0 -- 200));
+        map (fun vs -> Servsim.Wire.Values vs) (list_size (0 -- 40) (string_size (0 -- 60)));
+        map3
+          (fun a b c ->
+            Servsim.Wire.Digests { full = Int64.of_int a; shape = Int64.of_int b; count = c })
+          int int (int_bound 1000000);
+        map (fun n -> Servsim.Wire.Bytes_total n) (int_bound 1000000);
+        map (fun m -> Servsim.Wire.Error m) (string_size (0 -- 50));
+      ])
+
+let qcheck_request_roundtrip =
+  QCheck.Test.make ~name:"wire v2 request roundtrip" ~count:300 (QCheck.make request_gen)
+    roundtrip_request
+
+let qcheck_response_roundtrip =
+  QCheck.Test.make ~name:"wire v2 response roundtrip" ~count:300 (QCheck.make response_gen)
+    roundtrip_response
+
+(* {2 Malformed / hostile prefixes} *)
+
+let raises_protocol_error f =
+  match f () with
+  | _ -> false
+  | exception Servsim.Wire.Protocol_error _ -> true
+
+let put_u32_raw oc v =
+  for k = 0 to 3 do
+    output_char oc (Char.chr ((v lsr (k * 8)) land 0xff))
+  done
+
+let test_huge_string_prefix () =
+  (* A Create_store whose length prefix claims more than the frame cap
+     must fail with Protocol_error, not feed really_input_string a
+     near-4GiB allocation. *)
+  with_pipe (fun ic oc ->
+      output_char oc '\001';
+      put_u32_raw oc 0xFFFFFFFF;
+      flush oc;
+      Alcotest.(check bool) "oversized string prefix rejected" true
+        (raises_protocol_error (fun () -> Servsim.Wire.read_request ic)))
+
+let test_huge_list_prefix () =
+  with_pipe (fun ic oc ->
+      output_char oc '\009';
+      (* store name "s" *)
+      put_u32_raw oc 1;
+      output_char oc 's';
+      (* batch count beyond the cap *)
+      put_u32_raw oc (Servsim.Wire.max_list_len + 1);
+      flush oc;
+      Alcotest.(check bool) "oversized batch count rejected" true
+        (raises_protocol_error (fun () -> Servsim.Wire.read_request ic)))
+
+let test_put_u32_range () =
+  with_pipe (fun _ic oc ->
+      Alcotest.(check bool) "negative int rejected" true
+        (raises_protocol_error (fun () ->
+             Servsim.Wire.write_request oc (Servsim.Wire.Get ("s", -1))));
+      Alcotest.(check bool) "int above 32 bits rejected" true
+        (raises_protocol_error (fun () ->
+             Servsim.Wire.write_request oc (Servsim.Wire.Ensure ("s", 1 lsl 40)))))
+
+let test_bad_tag () =
+  with_pipe (fun ic oc ->
+      output_char oc '\042';
+      flush oc;
+      Alcotest.(check bool) "bad request tag rejected" true
+        (raises_protocol_error (fun () -> Servsim.Wire.read_request ic)))
+
+(* {2 Version handshake} *)
+
+let test_hello_roundtrip () =
+  with_pipe (fun ic oc ->
+      Servsim.Wire.write_hello oc;
+      Alcotest.(check int) "hello carries current version" Servsim.Wire.protocol_version
+        (Servsim.Wire.read_hello ic))
+
+let test_client_rejects_version_mismatch () =
+  (* Fake server endpoint: pre-buffer a wrong version byte in the peer's
+     direction, then connect — the handshake must fail loudly. *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let oc_b = Unix.out_channel_of_descr b in
+  output_char oc_b '\001';
+  flush oc_b;
+  Alcotest.(check bool) "mismatched server version rejected" true
+    (raises_protocol_error (fun () -> Servsim.Remote.connect_fd a));
+  close_out_noerr oc_b;
+  (try Unix.close a with Unix.Unix_error _ -> ())
+
+let test_server_rejects_version_mismatch () =
+  (* A stale client against a new server: the server answers with its own
+     version byte (so the client can diagnose) and hangs up instead of
+     misreading the stream as requests. *)
+  let fd, pid = Servsim.Remote_server.fork_server () in
+  let oc = Unix.out_channel_of_descr fd and ic = Unix.in_channel_of_descr fd in
+  output_char oc '\077';
+  flush oc;
+  Alcotest.(check int) "server announces its version" Servsim.Wire.protocol_version
+    (Servsim.Wire.read_hello ic);
+  Alcotest.(check bool) "server hangs up after mismatch" true
+    (match input_char ic with
+    | _ -> false
+    | exception End_of_file -> true);
+  close_out_noerr oc;
+  ignore (try Unix.waitpid [] pid with Unix.Unix_error _ -> (0, Unix.WEXITED 0))
+
+(* {2 Batch frames end-to-end} *)
+
+let test_multi_roundtrip_server () =
+  with_remote (fun conn ->
+      ignore (Servsim.Remote.call conn (Servsim.Wire.Create_store "s"));
+      ignore (Servsim.Remote.call conn (Servsim.Wire.Ensure ("s", 8)));
+      Servsim.Remote.multi_put conn ~store:"s" [ (0, "a"); (3, "bb"); (7, "ccc") ];
+      Alcotest.(check (list string)) "multi_get returns in index order" [ "ccc"; "a"; "bb"; "" ]
+        (Servsim.Remote.multi_get conn ~store:"s" [ 7; 0; 3; 5 ]);
+      (* All-or-nothing: one bad index fails the whole batch... *)
+      Alcotest.(check bool) "multi_put out of bounds rejected" true
+        (raises_protocol_error (fun () ->
+             Servsim.Remote.multi_put conn ~store:"s" [ (1, "x"); (99, "y") ]));
+      (* ...and leaves the valid slots untouched. *)
+      Alcotest.(check (list string)) "no partial application" [ "" ]
+        (Servsim.Remote.multi_get conn ~store:"s" [ 1 ]);
+      match Servsim.Remote.call conn Servsim.Wire.Total_bytes with
+      | Servsim.Wire.Bytes_total n -> Alcotest.(check int) "server bytes" 6 n
+      | _ -> Alcotest.fail "total")
+
+(* {2 Remote vs local equivalence + honest round-trip ledger} *)
+
+let oram_workload server =
+  let cipher = Crypto.Cell_cipher.create (String.make 16 'K') in
+  let rng = Crypto.Rng.create 11 in
+  let o =
+    Oram.Path_oram.setup ~name:"o" { capacity = 32; key_len = 8; payload_len = 8 } server cipher
+      (Crypto.Rng.int rng)
+  in
+  for i = 0 to 15 do
+    Oram.Path_oram.write o ~key:(Codec.encode_int i) (Codec.encode_int (i * 7))
+  done;
+  for i = 0 to 15 do
+    ignore (Oram.Path_oram.read o ~key:(Codec.encode_int i))
+  done;
+  o
+
+let test_remote_local_equivalence () =
+  let digest_of server =
+    let trace = Servsim.Server.trace server in
+    ( Servsim.Trace.full_digest trace,
+      Servsim.Trace.shape_digest trace,
+      Servsim.Trace.count trace,
+      Servsim.Cost.snapshot (Servsim.Server.cost server) )
+  in
+  (* Local run. *)
+  let local_server = Servsim.Server.create () in
+  ignore (oram_workload local_server);
+  let lf, ls, lc, lcost = digest_of local_server in
+  (* Remote run, same seeds. *)
+  with_remote (fun conn ->
+      let server = Servsim.Server.create ~remote:conn () in
+      ignore (oram_workload server);
+      let rf, rs, rc, rcost = digest_of server in
+      Alcotest.(check int64) "identical full trace digest" lf rf;
+      Alcotest.(check int64) "identical trace shape" ls rs;
+      Alcotest.(check int) "identical trace count" lc rc;
+      Alcotest.(check int) "identical round-trip ledger" lcost.Servsim.Cost.round_trips
+        rcost.Servsim.Cost.round_trips;
+      Alcotest.(check int) "no client-memory underflows" 0
+        rcost.Servsim.Cost.client_underflows;
+      (* The adversary's own recording agrees with the client's mirror. *)
+      Alcotest.(check bool) "server digests match client mirror" true
+        (Servsim.Remote.digests conn ~full:rf ~shape:rs ~count:rc))
+
+let test_frames_match_ledger () =
+  with_remote (fun conn ->
+      let server = Servsim.Server.create ~remote:conn () in
+      let cipher = Crypto.Cell_cipher.create (String.make 16 'K') in
+      let rng = Crypto.Rng.create 3 in
+      let trips () =
+        (Servsim.Cost.snapshot (Servsim.Server.cost server)).Servsim.Cost.round_trips
+      in
+      let f0 = Servsim.Remote.frames conn and t0 = trips () in
+      let o =
+        Oram.Path_oram.setup ~name:"o" { capacity = 16; key_len = 8; payload_len = 8 } server
+          cipher (Crypto.Rng.int rng)
+      in
+      let f1 = Servsim.Remote.frames conn and t1 = trips () in
+      (* Setup = Create_store + Ensure + one Multi_put of every slot. *)
+      Alcotest.(check int) "setup wire frames" 3 (f1 - f0);
+      Alcotest.(check int) "setup ledger matches frames" (f1 - f0) (t1 - t0);
+      Oram.Path_oram.write o ~key:(Codec.encode_int 1) (Codec.encode_int 42);
+      let f2 = Servsim.Remote.frames conn and t2 = trips () in
+      (* One logical access = one Multi_get + one Multi_put, nothing else. *)
+      Alcotest.(check int) "access is exactly 2 wire frames" 2 (f2 - f1);
+      Alcotest.(check int) "access ledger matches frames" (f2 - f1) (t2 - t1);
+      ignore (Oram.Path_oram.read o ~key:(Codec.encode_int 1));
+      let f3 = Servsim.Remote.frames conn and t3 = trips () in
+      Alcotest.(check int) "read access is exactly 2 wire frames" 2 (f3 - f2);
+      Alcotest.(check int) "read ledger matches frames" (f3 - f2) (t3 - t2))
+
+(* {2 Cost underflow counter} *)
+
+let test_cost_underflow_counter () =
+  let c = Servsim.Cost.create () in
+  Servsim.Cost.client_alloc c 10;
+  Servsim.Cost.client_free c 4;
+  Alcotest.(check int) "no underflow on balanced free" 0
+    (Servsim.Cost.snapshot c).Servsim.Cost.client_underflows;
+  Servsim.Cost.client_free c 10;
+  let s = Servsim.Cost.snapshot c in
+  Alcotest.(check int) "over-free detected" 1 s.Servsim.Cost.client_underflows;
+  Alcotest.(check int) "ledger still clamped at zero" 0 s.Servsim.Cost.client_current_bytes
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_request_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_response_roundtrip;
+    Alcotest.test_case "huge string prefix" `Quick test_huge_string_prefix;
+    Alcotest.test_case "huge list prefix" `Quick test_huge_list_prefix;
+    Alcotest.test_case "put_u32 range check" `Quick test_put_u32_range;
+    Alcotest.test_case "bad tag" `Quick test_bad_tag;
+    Alcotest.test_case "hello roundtrip" `Quick test_hello_roundtrip;
+    Alcotest.test_case "client rejects version mismatch" `Quick
+      test_client_rejects_version_mismatch;
+    Alcotest.test_case "server rejects version mismatch" `Quick
+      test_server_rejects_version_mismatch;
+    Alcotest.test_case "multi get/put end-to-end" `Quick test_multi_roundtrip_server;
+    Alcotest.test_case "remote-local equivalence" `Quick test_remote_local_equivalence;
+    Alcotest.test_case "frames match ledger" `Quick test_frames_match_ledger;
+    Alcotest.test_case "cost underflow counter" `Quick test_cost_underflow_counter;
+  ]

@@ -17,6 +17,7 @@ let () =
       ("recursive-oram", Suite_recursive_oram.suite);
       ("approx", Suite_approx.suite);
       ("remote", Suite_remote.suite);
+      ("wire", Suite_wire.suite);
       ("omap", Suite_omap.suite);
       ("fastfds", Suite_fastfds.suite);
       ("lm-oram", Suite_lm_oram.suite);

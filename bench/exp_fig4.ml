@@ -10,8 +10,9 @@ open Relation
    report both the measured computation time and the modeled deployment
    time = computation + round_trips * RTT + bytes / bandwidth (see
    EXPERIMENTS.md).  The modeled column is what reproduces the paper's
-   ordering: Sort performs ~(n/2) log^2 n sequential exchanges, each a
-   round trip, whereas the ORAM methods make only ~3n accesses. *)
+   ordering: Sort performs ~(n/2) log^2 n sequential exchanges, each
+   two wire frames (one batched fetch, one batched write-back), whereas
+   the ORAM methods make only ~3n accesses of two frames each. *)
 
 let measure method_ table x =
   let _, r = Protocol.partition_cardinality method_ table x in

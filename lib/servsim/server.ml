@@ -33,6 +33,8 @@ let create_store t name =
   in
   let store = Block_store.create ~name ~trace:t.trace ~on_resize ?remote:t.remote t.cost in
   Hashtbl.replace t.stores name store;
+  (* One wire frame in remote mode; charged identically in the local sim. *)
+  if Trace.enabled t.trace then Cost.round_trip t.cost;
   store
 
 let find_store t name =
@@ -49,6 +51,7 @@ let drop_store t name =
       | None -> ());
       t.bytes <- t.bytes - Block_store.size_bytes s;
       sync_cost t;
+      if Trace.enabled t.trace then Cost.round_trip t.cost;
       Hashtbl.remove t.stores name
 
 let total_bytes t = t.bytes
