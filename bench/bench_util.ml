@@ -7,7 +7,10 @@
    sweeps.  Shapes, not absolute numbers, are the reproduction target;
    see EXPERIMENTS.md. *)
 
-type opts = { full : bool }
+type opts = {
+  full : bool; (* larger sweeps *)
+  smoke : bool; (* tiny sizes: exercise every harness path in seconds *)
+}
 
 let time f =
   let t0 = Unix.gettimeofday () in

@@ -103,7 +103,7 @@ let tests =
    process.  v1 sent one synchronous frame per block — 2·(levels+1)·Z of
    them per access; v2 batches the whole path into one Multi_get plus one
    Multi_put. *)
-let remote_frames_report () =
+let remote_frames_report ~accesses () =
   let fd, pid = Servsim.Remote_server.fork_server () in
   let conn = Servsim.Remote.connect_fd ~pid fd in
   Fun.protect
@@ -118,7 +118,6 @@ let remote_frames_report () =
       in
       let f0 = Servsim.Remote.frames conn in
       let t0 = Unix.gettimeofday () in
-      let accesses = 64 in
       for i = 0 to accesses - 1 do
         Oram.Path_oram.write o ~key:(Relation.Codec.encode_int i) (Relation.Codec.encode_int i)
       done;
@@ -132,9 +131,127 @@ let remote_frames_report () =
         (Bench_util.pretty_time (dt /. float_of_int accesses))
         v1_frames)
 
-let run (_ : Bench_util.opts) =
+(* {2 Crypto fast path}
+
+   Measured with a plain timing loop rather than Bechamel so the report
+   can also include per-operation allocation (minor words), and emitted
+   as machine-readable BENCH_crypto.json so the perf trajectory is
+   tracked across PRs.  The acceptance bar for the T-table rewrite is
+   >= 4x AES-128 block throughput over [Aes128.Reference]. *)
+
+let measure ~iters f =
+  f ();
+  (* warm-up: table/page faults out of the timed region *)
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  ( dt /. float_of_int iters,
+    (Gc.minor_words () -. w0) /. float_of_int iters )
+
+let mb_per_s ~bytes ns = float_of_int bytes /. (ns /. 1e9) /. 1048576.0
+
+let crypto_report (opts : Bench_util.opts) =
+  (* Smoke mode shrinks every loop ~200x: same code paths, seconds total. *)
+  let it n = if opts.Bench_util.smoke then max 100 (n / 200) else n in
+  let raw_key = String.init 16 (fun i -> Char.chr (i * 11 land 0xff)) in
+  let src = Bytes.init 16 (fun i -> Char.chr (i * 7 land 0xff)) in
+  let dst = Bytes.create 16 in
+  (* AES block: T-table fast path vs byte-wise reference. *)
+  let k = Crypto.Aes128.expand raw_key in
+  let tt_ns, tt_words =
+    let f () = Crypto.Aes128.encrypt_block k ~src ~src_off:0 ~dst ~dst_off:0 in
+    let s, w = measure ~iters:(it 2_000_000) f in
+    (s *. 1e9, w)
+  in
+  let kr = Crypto.Aes128.Reference.expand raw_key in
+  let ref_ns =
+    let f () = Crypto.Aes128.Reference.encrypt_block kr ~src ~src_off:0 ~dst ~dst_off:0 in
+    let s, _ = measure ~iters:(it 100_000) f in
+    s *. 1e9
+  in
+  let speedup = ref_ns /. tt_ns in
+  (* CBC$ cell: encrypt+decrypt of one 24-byte cell (a Sort element /
+     typical attribute value after encoding). *)
+  let cell = Crypto.Cell_cipher.create raw_key in
+  let cell_pt = String.init 24 (fun i -> Char.chr (i * 5 land 0xff)) in
+  let cell_ns, cell_words =
+    let f () = ignore (Crypto.Cell_cipher.decrypt cell (Crypto.Cell_cipher.encrypt cell cell_pt)) in
+    let s, w = measure ~iters:(it 200_000) f in
+    (s *. 1e9, w)
+  in
+  (* Bulk path: one PathORAM path at n = 256 is Z*(L+1) = 36 cells of 48
+     ciphertext bytes; encrypt_many + decrypt_many of the whole batch. *)
+  let path_cells = 36 in
+  let path_pt_len = 17 in
+  (* 1 + 8 + 8, the ORAM block layout at key_len = payload_len = 8 *)
+  let path_pts = List.init path_cells (fun i -> String.make path_pt_len (Char.chr (i land 0xff))) in
+  let path_ns =
+    let f () =
+      ignore (Crypto.Cell_cipher.decrypt_many cell (Crypto.Cell_cipher.encrypt_many cell path_pts))
+    in
+    let s, _ = measure ~iters:(it 20_000) f in
+    s *. 1e9
+  in
+  let path_ct_bytes = path_cells * Crypto.Cell_cipher.ciphertext_len ~plaintext_len:path_pt_len in
+  Printf.printf "  %-42s %10.1f ns/block  %8.1f MB/s  %5.1f minor words/op\n"
+    "aes128-block/t-table" tt_ns (mb_per_s ~bytes:16 tt_ns) tt_words;
+  Printf.printf "  %-42s %10.1f ns/block  %8.1f MB/s\n" "aes128-block/reference" ref_ns
+    (mb_per_s ~bytes:16 ref_ns);
+  Printf.printf "  %-42s %10.2fx\n" "t-table speedup vs reference" speedup;
+  Printf.printf "  %-42s %10.1f ns/cell   %8.1f MB/s  %5.1f minor words/op\n"
+    "cbc-cell/encrypt+decrypt (24 B)" cell_ns
+    (mb_per_s ~bytes:(2 * Crypto.Cell_cipher.ciphertext_len ~plaintext_len:24) cell_ns)
+    cell_words;
+  Printf.printf "  %-42s %10.1f ns/cell   %8.1f MB/s\n"
+    (Printf.sprintf "bulk-path/%d-cell enc+dec" path_cells)
+    (path_ns /. float_of_int path_cells)
+    (mb_per_s ~bytes:(2 * path_ct_bytes) path_ns);
+  (* Machine-readable trajectory record (overwritten on every run). *)
+  let oc = open_out "BENCH_crypto.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"sfdd-bench-crypto/1\",\n\
+    \  \"smoke\": %b,\n\
+    \  \"aes_block\": {\n\
+    \    \"ttable_ns_per_block\": %.2f,\n\
+    \    \"ttable_mb_per_s\": %.2f,\n\
+    \    \"ttable_minor_words_per_block\": %.3f,\n\
+    \    \"reference_ns_per_block\": %.2f,\n\
+    \    \"reference_mb_per_s\": %.2f,\n\
+    \    \"speedup_vs_reference\": %.2f\n\
+    \  },\n\
+    \  \"cbc_cell\": {\n\
+    \    \"plaintext_bytes\": 24,\n\
+    \    \"encrypt_decrypt_ns_per_cell\": %.2f,\n\
+    \    \"mb_per_s\": %.2f,\n\
+    \    \"minor_words_per_op\": %.3f\n\
+    \  },\n\
+    \  \"bulk_path\": {\n\
+    \    \"cells\": %d,\n\
+    \    \"plaintext_bytes_per_cell\": %d,\n\
+    \    \"encrypt_decrypt_ns_per_cell\": %.2f,\n\
+    \    \"mb_per_s\": %.2f\n\
+    \  }\n\
+     }\n"
+    opts.Bench_util.smoke tt_ns (mb_per_s ~bytes:16 tt_ns) tt_words ref_ns
+    (mb_per_s ~bytes:16 ref_ns)
+    speedup cell_ns
+    (mb_per_s ~bytes:(2 * Crypto.Cell_cipher.ciphertext_len ~plaintext_len:24) cell_ns)
+    cell_words path_cells path_pt_len
+    (path_ns /. float_of_int path_cells)
+    (mb_per_s ~bytes:(2 * path_ct_bytes) path_ns);
+  close_out oc;
+  Printf.printf "  (written to BENCH_crypto.json)\n%!"
+
+let run (opts : Bench_util.opts) =
+  Bench_util.header "Crypto fast path (T-table AES + allocation-free cells)";
+  crypto_report opts;
   Bench_util.header "Bechamel micro-benchmarks (ns per run, OLS fit)";
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let quota = if opts.Bench_util.smoke then 0.05 else 0.5 in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None () in
   let instances = Instance.[ monotonic_clock ] in
   let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"sfdd" tests) in
   let ols =
@@ -151,5 +268,5 @@ let run (_ : Bench_util.opts) =
       Printf.printf "  %-42s %14s\n" name (Bench_util.pretty_time (est /. 1e9)))
     (List.sort compare rows);
   Bench_util.header "Wire protocol v2: batched path I/O";
-  remote_frames_report ();
+  remote_frames_report ~accesses:(if opts.Bench_util.smoke then 8 else 64) ();
   Printf.printf "%!"

@@ -4,7 +4,8 @@
      dune exec bench/main.exe                 # all experiments, scaled sizes
      dune exec bench/main.exe -- fig4 fig7    # a subset
      dune exec bench/main.exe -- --full       # larger sweeps (slower)
-     dune exec bench/main.exe -- micro        # Bechamel micro-benchmarks *)
+     dune exec bench/main.exe -- micro        # Bechamel micro-benchmarks
+     dune exec bench/main.exe -- micro --smoke  # seconds-long harness check *)
 
 let experiments =
   [
@@ -24,7 +25,7 @@ let default_set =
   [ "table1"; "table2"; "table3"; "fig4"; "fig5"; "fig6a"; "fig6b"; "fig7"; "ablation"; "micro" ]
 
 let usage () =
-  prerr_endline "usage: main.exe [--full] [experiment ...]";
+  prerr_endline "usage: main.exe [--full] [--smoke] [experiment ...]";
   prerr_endline "experiments:";
   List.iter (fun (n, d, _) -> Printf.eprintf "  %-8s %s\n" n d) experiments;
   exit 2
@@ -32,14 +33,15 @@ let usage () =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let full = List.mem "--full" args in
-  let names = List.filter (fun a -> a <> "--full") args in
+  let smoke = List.mem "--smoke" args in
+  let names = List.filter (fun a -> a <> "--full" && a <> "--smoke") args in
   let names = if names = [] then default_set else names in
   List.iter
     (fun a ->
       if a = "--help" || a = "-h" || not (List.mem_assoc a (List.map (fun (n, d, f) -> (n, (d, f))) experiments))
       then usage ())
     names;
-  let opts = { Bench_util.full } in
+  let opts = { Bench_util.full; smoke } in
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun name ->

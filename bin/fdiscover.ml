@@ -90,9 +90,10 @@ let run dataset csv rows seed method_name max_lhs enclave baseline det_baseline 
           print_fds report.Core.Protocol.fds;
           if verbose then begin
             Format.printf "@.%a@." Servsim.Cost.pp_snapshot report.Core.Protocol.cost;
-            Format.printf "elapsed: %.3f s, trace: %d accesses, shape digest %016Lx@."
+            Format.printf
+              "elapsed: %.3f s, trace: %d accesses, shape digest %016Lx, full digest %016Lx@."
               report.Core.Protocol.elapsed_s report.Core.Protocol.trace_count
-              report.Core.Protocol.trace_shape
+              report.Core.Protocol.trace_shape report.Core.Protocol.trace_full
           end;
           `Ok ()
     end

@@ -15,12 +15,16 @@ let outsource (session : Session.t) table =
   let name = Session.fresh_name session "db" in
   let store = Servsim.Server.create_store session.Session.server name in
   Servsim.Block_store.ensure store (n * m);
-  (* The whole upload is one Multi_put frame / one round trip. *)
+  (* The whole upload is one bulk cipher call and one Multi_put frame /
+     round trip. *)
+  let pts =
+    List.init (n * m) (fun slot ->
+        Codec.encode_value (Table.cell table ~row:(slot / m) ~col:(slot mod m)))
+  in
   Servsim.Block_store.write_many store
-    (List.init (n * m) (fun slot ->
-         let row = slot / m and col = slot mod m in
-         let pt = Codec.encode_value (Table.cell table ~row ~col) in
-         (slot, Crypto.Cell_cipher.encrypt session.Session.cipher pt)));
+    (List.mapi
+       (fun slot ct -> (slot, ct))
+       (Crypto.Cell_cipher.encrypt_many session.Session.cipher pts));
   { session; store; name; n; m }
 
 let read_cell t ~row ~col =

@@ -76,16 +76,17 @@ let encrypted (session : Session.t) ~n =
     decode_elt (Crypto.Cell_cipher.decrypt cipher (Servsim.Block_store.read store i))
   in
   let write_batch items =
+    let cts =
+      Crypto.Cell_cipher.encrypt_many session.Session.cipher
+        (List.map (fun (_, e) -> encode_elt e) items)
+    in
     Servsim.Block_store.write_many store
-      (List.map
-         (fun (i, e) ->
-           (i, Crypto.Cell_cipher.encrypt session.Session.cipher (encode_elt e)))
-         items)
+      (List.map2 (fun (i, _) ct -> (i, ct)) items cts)
   in
   let read_batch idxs =
-    List.map
-      (fun c -> decode_elt (Crypto.Cell_cipher.decrypt session.Session.cipher c))
-      (Servsim.Block_store.read_many store idxs)
+    List.map decode_elt
+      (Crypto.Cell_cipher.decrypt_many session.Session.cipher
+         (Servsim.Block_store.read_many store idxs))
   in
   write_batch (List.init length (fun i -> (i, pad_elt)));
   (* Constant client memory: two decrypted elements plus the key — the

@@ -1,13 +1,22 @@
 (** From-scratch AES-128 block cipher (FIPS-197).
 
-    The S-box and its inverse are derived programmatically from the GF(2^8)
-    multiplicative inverse and the Rijndael affine transform, so there is no
-    hand-typed 256-entry table to get wrong.  Verified against the FIPS-197
-    appendix-B vector and the NIST AESAVS known-answer vectors in the test
-    suite. *)
+    The default implementation is a 32-bit T-table (fused-round) cipher:
+    four 256-entry word tables per direction collapse SubBytes, ShiftRows
+    and MixColumns into table lookups and xors, the key schedule is
+    word-based, and the round state lives in a per-key preallocated scratch
+    — a block operation performs no allocation.  The S-box and its inverse
+    are still derived programmatically from the GF(2^8) multiplicative
+    inverse and the Rijndael affine transform (and the T-tables from them),
+    so there is no hand-typed 256-entry table to get wrong.  Verified
+    against the FIPS-197 appendix vectors, the full NIST AESAVS
+    GFSbox/KeySbox/VarTxt known-answer sets, a 1000-iteration Monte Carlo
+    chain, and differentially against {!Reference} in the test suite. *)
 
 type key
-(** An expanded AES-128 key schedule (11 round keys). *)
+(** An expanded AES-128 key schedule (11 round keys for each direction),
+    plus a preallocated round-state scratch.  Because of the scratch a [key]
+    must not be used from two domains concurrently — clone the cipher per
+    worker instead (as [Sort_backend.make_worker] does). *)
 
 val block_size : int
 (** Size of an AES block in bytes (16). *)
@@ -18,7 +27,24 @@ val expand : string -> key
 
 val encrypt_block : key -> src:Bytes.t -> src_off:int -> dst:Bytes.t -> dst_off:int -> unit
 (** Encrypt one 16-byte block of [src] at [src_off] into [dst] at [dst_off].
-    [src] and [dst] may be the same buffer at the same offset. *)
+    [src] and [dst] may be the same buffer at the same offset.
+    @raise Invalid_argument if either 16-byte range is out of bounds. *)
 
 val decrypt_block : key -> src:Bytes.t -> src_off:int -> dst:Bytes.t -> dst_off:int -> unit
 (** Inverse of {!encrypt_block}. *)
+
+(** The original byte-at-a-time FIPS-197 transcription, kept as the
+    differential-testing oracle for the T-table fast path.  Same behaviour,
+    an order of magnitude slower; do not use outside tests/benchmarks. *)
+module Reference : sig
+  type key
+
+  val expand : string -> key
+  (** @raise Invalid_argument if the raw key is not exactly 16 bytes. *)
+
+  val encrypt_block :
+    key -> src:Bytes.t -> src_off:int -> dst:Bytes.t -> dst_off:int -> unit
+
+  val decrypt_block :
+    key -> src:Bytes.t -> src_off:int -> dst:Bytes.t -> dst_off:int -> unit
+end

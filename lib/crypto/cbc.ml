@@ -1,53 +1,80 @@
-let pad plaintext =
-  let n = String.length plaintext in
-  let k = 16 - (n mod 16) in
-  let out = Bytes.create (n + k) in
-  Bytes.blit_string plaintext 0 out 0 n;
-  Bytes.fill out n k (Char.chr k);
-  out
+(* AES-128-CBC.
 
-let unpad buf =
-  let n = Bytes.length buf in
-  if n = 0 then invalid_arg "Cbc.decrypt: empty input";
-  let k = Char.code (Bytes.get buf (n - 1)) in
-  if k = 0 || k > 16 || k > n then invalid_arg "Cbc.decrypt: bad padding";
-  for i = n - k to n - 1 do
-    if Char.code (Bytes.get buf i) <> k then invalid_arg "Cbc.decrypt: bad padding"
-  done;
-  Bytes.sub_string buf 0 (n - k)
+   The block primitives ([encrypt_blocks]/[decrypt_blocks]) operate on
+   caller-owned buffers and allocate nothing; the string API (PKCS#7
+   [encrypt]/[decrypt]) is a thin wrapper that allocates exactly the output
+   buffer.  [Cell_cipher] drives the block primitives directly so that a
+   whole cell — IV, body and padding — is assembled in one buffer. *)
 
-let xor_into dst off block =
+(* dst[off..off+15] ^= srcb[src_off..src_off+15]; the ranges may belong to
+   the same buffer as long as they do not overlap. *)
+let xor16 dst off srcb src_off =
   for i = 0 to 15 do
-    Bytes.set dst (off + i)
-      (Char.chr (Char.code (Bytes.get dst (off + i)) lxor Char.code (Bytes.get block i)))
+    Bytes.unsafe_set dst (off + i)
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get dst (off + i))
+         lxor Char.code (Bytes.unsafe_get srcb (src_off + i))))
   done
+
+let check_range name b off len =
+  if off < 0 || len < 0 || off + len > Bytes.length b then
+    invalid_arg
+      (Printf.sprintf "Cbc.%s: range [%d, %d) out of bounds" name off (off + len))
+
+let encrypt_blocks key buf ~iv_off ~off ~nblocks =
+  check_range "encrypt_blocks" buf iv_off 16;
+  check_range "encrypt_blocks" buf off (16 * nblocks);
+  for k = 0 to nblocks - 1 do
+    let o = off + (16 * k) in
+    (* Chain from the IV for the first block, then from the previous
+       ciphertext block, which encrypt-in-place left just behind us. *)
+    xor16 buf o buf (if k = 0 then iv_off else o - 16);
+    Aes128.encrypt_block key ~src:buf ~src_off:o ~dst:buf ~dst_off:o
+  done
+
+let decrypt_blocks key ~src ~src_off ~iv ~iv_off ~dst ~dst_off ~nblocks =
+  check_range "decrypt_blocks" src src_off (16 * nblocks);
+  check_range "decrypt_blocks" iv iv_off 16;
+  check_range "decrypt_blocks" dst dst_off (16 * nblocks);
+  for k = 0 to nblocks - 1 do
+    let so = src_off + (16 * k) and do_ = dst_off + (16 * k) in
+    Aes128.decrypt_block key ~src ~src_off:so ~dst ~dst_off:do_;
+    if k = 0 then xor16 dst do_ iv iv_off else xor16 dst do_ src (so - 16)
+  done
+
+(* PKCS#7: validate the padding of the [len]-byte plaintext at [buf.(off)]
+   and return the unpadded length.  Shared by [decrypt] and
+   [Cell_cipher.decrypt_to]. *)
+let unpad_len buf ~off ~len =
+  if len = 0 then invalid_arg "Cbc.decrypt: empty input";
+  let k = Char.code (Bytes.get buf (off + len - 1)) in
+  if k = 0 || k > 16 || k > len then invalid_arg "Cbc.decrypt: bad padding";
+  for i = len - k to len - 1 do
+    if Char.code (Bytes.get buf (off + i)) <> k then
+      invalid_arg "Cbc.decrypt: bad padding"
+  done;
+  len - k
 
 let encrypt key ~iv plaintext =
   if String.length iv <> 16 then invalid_arg "Cbc.encrypt: iv must be 16 bytes";
-  let buf = pad plaintext in
-  let prev = Bytes.of_string iv in
-  let n = Bytes.length buf in
-  let off = ref 0 in
-  while !off < n do
-    xor_into buf !off prev;
-    Aes128.encrypt_block key ~src:buf ~src_off:!off ~dst:buf ~dst_off:!off;
-    Bytes.blit buf !off prev 0 16;
-    off := !off + 16
-  done;
-  Bytes.to_string buf
+  let n = String.length plaintext in
+  let k = 16 - (n mod 16) in
+  (* iv scratch ‖ padded body; only the body is returned. *)
+  let buf = Bytes.create (16 + n + k) in
+  Bytes.blit_string iv 0 buf 0 16;
+  Bytes.blit_string plaintext 0 buf 16 n;
+  Bytes.fill buf (16 + n) k (Char.chr k);
+  encrypt_blocks key buf ~iv_off:0 ~off:16 ~nblocks:((n + k) / 16);
+  Bytes.sub_string buf 16 (n + k)
 
 let decrypt key ~iv ciphertext =
   let n = String.length ciphertext in
-  if n = 0 || n mod 16 <> 0 then invalid_arg "Cbc.decrypt: length must be a positive multiple of 16";
+  if n = 0 || n mod 16 <> 0 then
+    invalid_arg "Cbc.decrypt: length must be a positive multiple of 16";
   if String.length iv <> 16 then invalid_arg "Cbc.decrypt: iv must be 16 bytes";
-  let src = Bytes.of_string ciphertext in
+  let src = Bytes.unsafe_of_string ciphertext in
   let out = Bytes.create n in
-  let prev = Bytes.of_string iv in
-  let off = ref 0 in
-  while !off < n do
-    Aes128.decrypt_block key ~src ~src_off:!off ~dst:out ~dst_off:!off;
-    xor_into out !off prev;
-    Bytes.blit src !off prev 0 16;
-    off := !off + 16
-  done;
-  unpad out
+  decrypt_blocks key ~src ~src_off:0
+    ~iv:(Bytes.unsafe_of_string iv)
+    ~iv_off:0 ~dst:out ~dst_off:0 ~nblocks:(n / 16);
+  Bytes.sub_string out 0 (unpad_len out ~off:0 ~len:n)

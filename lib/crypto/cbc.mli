@@ -1,7 +1,12 @@
 (** AES-128-CBC with PKCS#7 padding.
 
     The IV is supplied by the caller; {!Cell_cipher} layers fresh random IVs
-    on top to obtain CBC$ (semantic security under chosen-plaintext attack). *)
+    on top to obtain CBC$ (semantic security under chosen-plaintext attack).
+
+    The [_blocks] primitives are the allocation-free fast path: they operate
+    on caller-owned buffers at explicit offsets, so {!Cell_cipher} can
+    assemble IV ‖ body ‖ padding in a single output buffer.  The string API
+    remains for small one-off uses (e.g. [Det_encryption]). *)
 
 val encrypt : Aes128.key -> iv:string -> string -> string
 (** [encrypt key ~iv plaintext] CBC-encrypts [plaintext] (any length) with
@@ -11,3 +16,28 @@ val encrypt : Aes128.key -> iv:string -> string -> string
 val decrypt : Aes128.key -> iv:string -> string -> string
 (** Inverse of {!encrypt}.  @raise Invalid_argument on malformed input or
     padding. *)
+
+val encrypt_blocks : Aes128.key -> Bytes.t -> iv_off:int -> off:int -> nblocks:int -> unit
+(** [encrypt_blocks key buf ~iv_off ~off ~nblocks] CBC-encrypts the
+    [16*nblocks] bytes of [buf] at [off] in place, chaining from the 16-byte
+    IV already present in [buf] at [iv_off].  No padding is added: the
+    caller lays out (and pads) the buffer.  Allocates nothing.
+    @raise Invalid_argument if either range is out of bounds. *)
+
+val decrypt_blocks :
+  Aes128.key ->
+  src:Bytes.t -> src_off:int ->
+  iv:Bytes.t -> iv_off:int ->
+  dst:Bytes.t -> dst_off:int ->
+  nblocks:int -> unit
+(** [decrypt_blocks] is the inverse of {!encrypt_blocks}: it decrypts
+    [16*nblocks] bytes of [src] at [src_off] into [dst] at [dst_off],
+    chaining from [iv] at [iv_off].  [dst] must not overlap the [src]
+    ciphertext (previous ciphertext blocks are re-read for the xor chain);
+    [iv] may alias [src] (as it does for a cell, where the IV precedes the
+    body).  No padding is removed.  Allocates nothing. *)
+
+val unpad_len : Bytes.t -> off:int -> len:int -> int
+(** [unpad_len buf ~off ~len] validates the PKCS#7 padding of the [len]-byte
+    plaintext at [buf.(off)] and returns the unpadded length.
+    @raise Invalid_argument on bad padding. *)

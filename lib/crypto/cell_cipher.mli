@@ -4,7 +4,14 @@
     This is the cell-level encryption the paper assumes for the outsourced
     database (§II-A): every attribute value of every record is encrypted
     individually, and the client re-encrypts on every write so the server
-    never sees a repeated ciphertext. *)
+    never sees a repeated ciphertext.
+
+    The cipher carries preallocated scratch (IV buffer, round state inside
+    the AES key, a decrypt buffer), so a [t] must not be shared between
+    domains — clone one per worker, as [Sort_backend.make_worker] does.
+    Encrypting a cell performs exactly one allocation (the ciphertext);
+    the bulk [_many] entry points let the ORAM layers push a whole path or
+    exchange batch through the cipher in one call. *)
 
 type t
 
@@ -19,6 +26,27 @@ val encrypt : t -> string -> string
 
 val decrypt : t -> string -> string
 (** Inverse of {!encrypt}.  @raise Invalid_argument on malformed input. *)
+
+val encrypt_to : t -> string -> Bytes.t -> int -> int
+(** [encrypt_to t plaintext dst dst_off] writes the whole cell (IV ‖
+    CBC body ‖ padding, encrypted in place) into [dst] at [dst_off] and
+    returns its length, [ciphertext_len ~plaintext_len].  Consumes the same
+    IV randomness as {!encrypt} and produces identical bytes.
+    @raise Invalid_argument if the output range is out of bounds. *)
+
+val decrypt_to : t -> string -> Bytes.t -> int -> int
+(** [decrypt_to t ciphertext dst dst_off] decrypts the cell body into [dst]
+    at [dst_off] and returns the plaintext length (padding validated and
+    stripped; [dst] must have room for the padded body, i.e. ciphertext
+    length - 16).  @raise Invalid_argument on malformed input. *)
+
+val encrypt_many : t -> string list -> string list
+(** [encrypt_many t pts] encrypts each plaintext in order; equivalent to
+    [List.map (encrypt t)] (same IV stream, same ciphertexts). *)
+
+val decrypt_many : t -> string list -> string list
+(** [decrypt_many t cts] decrypts each cell in order through a shared
+    scratch buffer: one allocation per cell instead of four. *)
 
 val ciphertext_len : plaintext_len:int -> int
 (** Length of the ciphertext produced for a plaintext of the given length

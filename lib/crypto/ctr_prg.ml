@@ -1,6 +1,11 @@
+(* Keystream is produced four AES blocks at a time through the T-table fast
+   path; counters are consumed in the same order as the old one-block
+   refill, so the byte stream is unchanged. *)
+let refill_len = 64
+
 type t = {
   key : Aes128.key;
-  block : Bytes.t; (* current keystream block *)
+  block : Bytes.t; (* current keystream chunk (4 AES blocks) *)
   ctr : Bytes.t; (* 16-byte big-endian counter *)
   mutable used : int; (* bytes of [block] already consumed *)
 }
@@ -8,9 +13,9 @@ type t = {
 let create seed_key =
   {
     key = Aes128.expand seed_key;
-    block = Bytes.create 16;
+    block = Bytes.create refill_len;
     ctr = Bytes.make 16 '\000';
-    used = 16;
+    used = refill_len;
   }
 
 let bump_counter ctr =
@@ -24,12 +29,14 @@ let bump_counter ctr =
   go 15
 
 let refill t =
-  bump_counter t.ctr;
-  Aes128.encrypt_block t.key ~src:t.ctr ~src_off:0 ~dst:t.block ~dst_off:0;
+  for b = 0 to (refill_len / 16) - 1 do
+    bump_counter t.ctr;
+    Aes128.encrypt_block t.key ~src:t.ctr ~src_off:0 ~dst:t.block ~dst_off:(16 * b)
+  done;
   t.used <- 0
 
 let next_byte t =
-  if t.used >= 16 then refill t;
+  if t.used >= refill_len then refill t;
   let b = Char.code (Bytes.get t.block t.used) in
   t.used <- t.used + 1;
   b
@@ -52,8 +59,14 @@ let int t bound =
   go ()
 
 let fill_bytes t b =
-  for i = 0 to Bytes.length b - 1 do
-    Bytes.set b i (Char.chr (next_byte t))
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    if t.used >= refill_len then refill t;
+    let take = min (refill_len - t.used) (n - !off) in
+    Bytes.blit t.block t.used b !off take;
+    t.used <- t.used + take;
+    off := !off + take
   done
 
 let bytes t n =

@@ -33,8 +33,8 @@ let setup ~name cfg server cipher _rand =
   let store = Servsim.Server.create_store server name in
   Servsim.Block_store.ensure store cfg.capacity;
   let dummy = encode_dummy cfg in
-  Servsim.Block_store.write_many store
-    (List.init cfg.capacity (fun i -> (i, Crypto.Cell_cipher.encrypt cipher dummy)));
+  let cts = Crypto.Cell_cipher.encrypt_many cipher (List.init cfg.capacity (fun _ -> dummy)) in
+  Servsim.Block_store.write_many store (List.mapi (fun slot ct -> (slot, ct)) cts);
   { cfg; store; server; name; cipher; live = 0; accesses = 0 }
 
 (* One full scan: decrypt every slot, apply the logical operation to the
@@ -46,9 +46,9 @@ let access t ~key update =
   let n = t.cfg.capacity in
   let plain =
     Array.of_list
-      (List.map
-         (fun c -> decode_block t.cfg (Crypto.Cell_cipher.decrypt t.cipher c))
-         (Servsim.Block_store.read_many t.store (List.init n Fun.id)))
+      (List.map (decode_block t.cfg)
+         (Crypto.Cell_cipher.decrypt_many t.cipher
+            (Servsim.Block_store.read_many t.store (List.init n Fun.id))))
   in
   let found = ref None in
   let found_at = ref (-1) in
@@ -81,14 +81,14 @@ let access t ~key update =
         t.live <- t.live - 1
       end);
   let dummy = encode_dummy t.cfg in
+  let pts =
+    List.init n (fun i ->
+        match plain.(i) with
+        | None -> dummy
+        | Some (k, payload) -> encode_block t.cfg ~key:k ~payload)
+  in
   Servsim.Block_store.write_many t.store
-    (List.init n (fun i ->
-         let pt =
-           match plain.(i) with
-           | None -> dummy
-           | Some (k, payload) -> encode_block t.cfg ~key:k ~payload
-         in
-         (i, Crypto.Cell_cipher.encrypt t.cipher pt)));
+    (List.mapi (fun i ct -> (i, ct)) (Crypto.Cell_cipher.encrypt_many t.cipher pts));
   t.accesses <- t.accesses + 1;
   !found
 

@@ -72,8 +72,8 @@ let setup ~name cfg server cipher rand_int =
   let store = Servsim.Server.create_store server name in
   Servsim.Block_store.ensure store (buckets * z);
   let dummy = encode_dummy cfg in
-  Servsim.Block_store.write_many store
-    (List.init (buckets * z) (fun slot -> (slot, Crypto.Cell_cipher.encrypt cipher dummy)));
+  let cts = Crypto.Cell_cipher.encrypt_many cipher (List.init (buckets * z) (fun _ -> dummy)) in
+  Servsim.Block_store.write_many store (List.mapi (fun slot ct -> (slot, ct)) cts);
   {
     cfg;
     levels;
@@ -100,16 +100,16 @@ let path_slots t leaf =
     (List.init (t.levels + 1) Fun.id)
 
 (* Read every block of the path to [leaf] into the stash: one batched
-   round trip (a single Multi_get frame in remote mode). *)
+   round trip (a single Multi_get frame in remote mode) and one bulk
+   cipher call for the whole path. *)
 let fetch_path t leaf =
   let cs = Servsim.Block_store.read_many t.store (path_slots t leaf) in
   List.iter
-    (fun c ->
-      let pt = Crypto.Cell_cipher.decrypt t.cipher c in
+    (fun pt ->
       match decode_block t.cfg pt with
       | None -> ()
       | Some (key, payload) -> Hashtbl.replace t.stash key payload)
-    cs
+    (Crypto.Cell_cipher.decrypt_many t.cipher cs)
 
 (* Greedy eviction along the path to [leaf]: deepest buckets first.  All
    slot writes are collected and flushed as one batched round trip (a
@@ -117,7 +117,8 @@ let fetch_path t leaf =
    per-slot loop used, so the trace shape is unchanged. *)
 let evict_path t leaf =
   let dummy = encode_dummy t.cfg in
-  let writes = ref [] in
+  let slots = ref [] in
+  let pts = ref [] in
   for lev = t.levels downto 0 do
     let bucket = node_at t ~leaf ~lev in
     (* Stash blocks whose assigned leaf passes through [bucket]. *)
@@ -140,10 +141,15 @@ let evict_path t leaf =
       (fun i (key, payload) -> blocks.(i) <- encode_block t.cfg ~key ~payload)
       !chosen;
     for s = 0 to z - 1 do
-      writes := ((bucket * z) + s, Crypto.Cell_cipher.encrypt t.cipher blocks.(s)) :: !writes
+      slots := ((bucket * z) + s) :: !slots;
+      pts := blocks.(s) :: !pts
     done
   done;
-  Servsim.Block_store.write_many t.store (List.rev !writes)
+  (* [List.rev] restores push order — the order the per-slot loop used to
+     encrypt and write — so the IV stream and the trace are both
+     unchanged; the whole path is one cipher call and one round trip. *)
+  let cts = Crypto.Cell_cipher.encrypt_many t.cipher (List.rev !pts) in
+  Servsim.Block_store.write_many t.store (List.combine (List.rev !slots) cts)
 
 let finish_access t =
   let occupancy = Hashtbl.length t.stash in

@@ -54,8 +54,8 @@ let make_tree server cipher ~name ~capacity ~payload_len =
   Servsim.Block_store.ensure store (buckets * z);
   let tree = { store; name; levels; leaves; payload_len; stash = Hashtbl.create 32 } in
   let dummy = String.make (block_pt_len tree) '\000' in
-  Servsim.Block_store.write_many store
-    (List.init (buckets * z) (fun slot -> (slot, Crypto.Cell_cipher.encrypt cipher dummy)));
+  let cts = Crypto.Cell_cipher.encrypt_many cipher (List.init (buckets * z) (fun _ -> dummy)) in
+  Servsim.Block_store.write_many store (List.mapi (fun slot ct -> (slot, ct)) cts);
   tree
 
 let setup ~name cfg server cipher rand_int =
@@ -115,20 +115,23 @@ let path_slots tree leaf =
       List.init z (fun s -> (bucket * z) + s))
     (List.init (tree.levels + 1) Fun.id)
 
-(* One batched round trip per path fetch (a single Multi_get frame). *)
+(* One batched round trip per path fetch (a single Multi_get frame) and
+   one bulk cipher call for the whole path. *)
 let fetch_path t tree leaf =
   List.iter
-    (fun c ->
-      match decode_block tree (Crypto.Cell_cipher.decrypt t.cipher c) with
+    (fun pt ->
+      match decode_block tree pt with
       | None -> ()
       | Some (id, l, payload) -> Hashtbl.replace tree.stash id (l, payload))
-    (Servsim.Block_store.read_many tree.store (path_slots tree leaf))
+    (Crypto.Cell_cipher.decrypt_many t.cipher
+       (Servsim.Block_store.read_many tree.store (path_slots tree leaf)))
 
 (* One batched round trip per path eviction (a single Multi_put frame),
    slot order identical to the historical per-slot loop. *)
 let evict_path t tree leaf =
   let dummy = String.make (block_pt_len tree) '\000' in
-  let writes = ref [] in
+  let slots = ref [] in
+  let pts = ref [] in
   for lev = tree.levels downto 0 do
     let bucket = node_at tree ~leaf ~lev in
     let chosen = ref [] in
@@ -147,10 +150,14 @@ let evict_path t tree leaf =
     let blocks = Array.make z dummy in
     List.iteri (fun i (id, l, payload) -> blocks.(i) <- encode_block tree ~id ~leaf:l payload) !chosen;
     for s = 0 to z - 1 do
-      writes := ((bucket * z) + s, Crypto.Cell_cipher.encrypt t.cipher blocks.(s)) :: !writes
+      slots := ((bucket * z) + s) :: !slots;
+      pts := blocks.(s) :: !pts
     done
   done;
-  Servsim.Block_store.write_many tree.store (List.rev !writes)
+  (* [List.rev] restores push order — the order the per-slot loop used to
+     encrypt and write — so the IV stream and the trace are unchanged. *)
+  let cts = Crypto.Cell_cipher.encrypt_many t.cipher (List.rev !pts) in
+  Servsim.Block_store.write_many tree.store (List.combine (List.rev !slots) cts)
 
 (* Read-and-reassign the position of block [idx] of tree [lvl - 1]:
    returns its old leaf and records [new_leaf].  For lvl = depth the

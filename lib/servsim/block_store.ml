@@ -6,6 +6,7 @@ type storage =
 
 type t = {
   name : string;
+  tname : Trace.name; (* interned once; the recorder folds it per event *)
   trace : Trace.t;
   cost : Cost.t;
   on_resize : int -> unit; (* notify owner of byte-count delta *)
@@ -24,7 +25,7 @@ let create ~name ~trace ~on_resize ?remote cost =
     | Some conn -> Remote_conn { conn; lengths = Array.make 16 0 }
     | None -> Local_mem { blocks = Array.make 16 "" }
   in
-  { name; trace; cost; on_resize; storage; len = 0; bytes = 0 }
+  { name; tname = Trace.name name; trace; cost; on_resize; storage; len = 0; bytes = 0 }
 
 let grow_pow2 cur n =
   let cap = ref (max 16 cur) in
@@ -61,6 +62,18 @@ let check_bounds t i fname =
       (Printf.sprintf "Block_store.%s: index %d out of bounds (store %s, len %d)" fname i
          t.name t.len)
 
+(* Store size is state, not cost: the byte ledger must stay accurate even
+   while the trace (and with it cost accounting) is suspended, or
+   [size_bytes]/[Server.total_bytes] go stale across multi-domain
+   sections.  The [delta <> 0] guard keeps the parallel sort workers —
+   whose exchanges rewrite fixed-width cells, so delta is always 0 — from
+   contending on the owner's shared counter. *)
+let resize t delta =
+  if delta <> 0 then begin
+    t.bytes <- t.bytes + delta;
+    t.on_resize delta
+  end
+
 (* When the trace is disabled (multi-domain sections), cost accounting is
    suspended too: the shared counters would otherwise bounce between the
    domains' caches and serialise the workers. *)
@@ -75,7 +88,7 @@ let read t i =
         | _ -> raise (Wire.Protocol_error "unexpected response to Get"))
   in
   if Trace.enabled t.trace then begin
-    Trace.record t.trace { store = t.name; op = Trace.Read; addr = i; len = String.length c };
+    Trace.record_name t.trace t.tname Trace.Read ~addr:i ~len:(String.length c);
     Cost.sent_to_client t.cost (String.length c);
     Cost.round_trip t.cost
   end;
@@ -95,11 +108,9 @@ let write t i c =
         r.lengths.(i) <- String.length c;
         old
   in
+  resize t (String.length c - old_len);
   if Trace.enabled t.trace then begin
-    let delta = String.length c - old_len in
-    t.bytes <- t.bytes + delta;
-    t.on_resize delta;
-    Trace.record t.trace { store = t.name; op = Trace.Write; addr = i; len = String.length c };
+    Trace.record_name t.trace t.tname Trace.Write ~addr:i ~len:(String.length c);
     Cost.sent_to_server t.cost (String.length c);
     Cost.round_trip t.cost
   end
@@ -120,7 +131,7 @@ let read_many t idxs =
     if Trace.enabled t.trace then begin
       List.iter2
         (fun i c ->
-          Trace.record t.trace { store = t.name; op = Trace.Read; addr = i; len = String.length c };
+          Trace.record_name t.trace t.tname Trace.Read ~addr:i ~len:(String.length c);
           Cost.sent_to_client t.cost (String.length c))
         idxs cs;
       Cost.round_trip t.cost
@@ -149,15 +160,13 @@ let write_many t items =
               old)
             items
     in
+    List.iter2 (fun (_, c) old -> resize t (String.length c - old)) items old_lens;
     if Trace.enabled t.trace then begin
-      List.iter2
-        (fun (i, c) old ->
-          let delta = String.length c - old in
-          t.bytes <- t.bytes + delta;
-          t.on_resize delta;
-          Trace.record t.trace { store = t.name; op = Trace.Write; addr = i; len = String.length c };
+      List.iter
+        (fun (i, c) ->
+          Trace.record_name t.trace t.tname Trace.Write ~addr:i ~len:(String.length c);
           Cost.sent_to_server t.cost (String.length c))
-        items old_lens;
+        items;
       Cost.round_trip t.cost
     end
   end

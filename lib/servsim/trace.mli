@@ -24,9 +24,22 @@ type event = { store : string; op : op; addr : int; len : int }
 
 type t
 
+type name
+(** A store name interned for the recording fast path: its bytes are
+    pre-split so the per-event fold does no string traversal setup and the
+    hot recorder allocates nothing. *)
+
 val create : ?keep_events:bool -> unit -> t
 
+val name : string -> name
+(** [name s] interns [s]; build once per store, not per event. *)
+
 val record : t -> event -> unit
+
+val record_name : t -> name -> op -> addr:int -> len:int -> unit
+(** [record_name t nm op ~addr ~len] is [record t { store; op; addr; len }]
+    with the store name pre-interned — bit-identical digests, no per-event
+    allocation (unless [keep_events] retention is on). *)
 
 val mark : t -> string -> unit
 (** [mark t label] folds a phase label into both digests.  Use it to

@@ -27,22 +27,64 @@ let test_fips197_appendix_c () =
   Aes128.decrypt_block k ~src:dst ~src_off:0 ~dst:back ~dst_off:0;
   Alcotest.(check string) "decrypt" (Hex.encode pt) (Hex.encode (Bytes.to_string back))
 
-(* NIST AESAVS key known-answer vectors (GFSbox, first entries). *)
+(* Run one AESAVS entry through the fast path (encrypt + invert) and the
+   byte-wise Reference oracle, so every known answer also cross-checks the
+   two implementations. *)
+let check_kat_entry ~key ~pt ~expect label =
+  let k = Aes128.expand key in
+  let kr = Aes128.Reference.expand key in
+  let src = Bytes.of_string pt in
+  let ct = Bytes.create 16 and back = Bytes.create 16 in
+  Aes128.encrypt_block k ~src ~src_off:0 ~dst:ct ~dst_off:0;
+  Alcotest.(check string) label expect (Hex.encode (Bytes.to_string ct));
+  Aes128.decrypt_block k ~src:ct ~src_off:0 ~dst:back ~dst_off:0;
+  Alcotest.(check string) (label ^ " inverse") (Hex.encode pt)
+    (Hex.encode (Bytes.to_string back));
+  Aes128.Reference.encrypt_block kr ~src ~src_off:0 ~dst:ct ~dst_off:0;
+  Alcotest.(check string) (label ^ " ref") expect (Hex.encode (Bytes.to_string ct));
+  Aes128.Reference.decrypt_block kr ~src:ct ~src_off:0 ~dst:back ~dst_off:0;
+  Alcotest.(check string) (label ^ " ref inverse") (Hex.encode pt)
+    (Hex.encode (Bytes.to_string back))
+
+(* Full NIST AESAVS known-answer sets (appendices B-D of the AESAVS). *)
 let test_aesavs_gfsbox () =
-  let k = Aes128.expand (Hex.decode "00000000000000000000000000000000") in
-  let cases =
-    [
-      ("f34481ec3cc627bacd5dc3fb08f273e6", "0336763e966d92595a567cc9ce537f5e");
-      ("9798c4640bad75c7c3227db910174e72", "a9a1631bf4996954ebc093957b234589");
-      ("96ab5c2ff612d9dfaae8c31f30c42168", "ff4f8391a6a40ca5b25d23bedd44a597");
-    ]
-  in
+  let zero_key = String.make 16 '\000' in
   List.iter
-    (fun (pt, expect) ->
-      let dst = Bytes.create 16 in
-      Aes128.encrypt_block k ~src:(Bytes.of_string (Hex.decode pt)) ~src_off:0 ~dst ~dst_off:0;
-      Alcotest.(check string) pt expect (Hex.encode (Bytes.to_string dst)))
-    cases
+    (fun (pt, expect) -> check_kat_entry ~key:zero_key ~pt:(Hex.decode pt) ~expect pt)
+    Aes_kat.gfsbox
+
+let test_aesavs_keysbox () =
+  let zero_pt = String.make 16 '\000' in
+  List.iter
+    (fun (key, expect) -> check_kat_entry ~key:(Hex.decode key) ~pt:zero_pt ~expect key)
+    Aes_kat.keysbox
+
+let test_aesavs_vartxt () =
+  let zero_key = String.make 16 '\000' in
+  List.iter
+    (fun (pt, expect) -> check_kat_entry ~key:zero_key ~pt:(Hex.decode pt) ~expect pt)
+    Aes_kat.vartxt
+
+(* CAVP-style Monte Carlo: 1000 chained encryptions; the expected final
+   ciphertext was generated with an independent AES implementation
+   validated against FIPS-197 and SP 800-38A.  Run on both the fast path
+   and the Reference oracle. *)
+let test_monte_carlo () =
+  let key = Hex.decode "000102030405060708090a0b0c0d0e0f" in
+  let seed = Hex.decode "00112233445566778899aabbccddeeff" in
+  let expect = "b7449c8da15defeb78dbc57ea81db8ee" in
+  let k = Aes128.expand key in
+  let buf = Bytes.of_string seed in
+  for _ = 1 to 1000 do
+    Aes128.encrypt_block k ~src:buf ~src_off:0 ~dst:buf ~dst_off:0
+  done;
+  Alcotest.(check string) "MCT(1000)" expect (Hex.encode (Bytes.to_string buf));
+  let kr = Aes128.Reference.expand key in
+  let buf = Bytes.of_string seed in
+  for _ = 1 to 1000 do
+    Aes128.Reference.encrypt_block kr ~src:buf ~src_off:0 ~dst:buf ~dst_off:0
+  done;
+  Alcotest.(check string) "MCT(1000) ref" expect (Hex.encode (Bytes.to_string buf))
 
 let test_encrypt_decrypt_random_blocks () =
   let rng = Rng.create 42 in
@@ -160,6 +202,101 @@ let test_rng_uniformity_coarse () =
     (fun c -> Alcotest.(check bool) "bucket balanced" true (c > 700 && c < 1300))
     buckets
 
+(* The block primitives must produce/consume exactly the same bytes as the
+   string API they replaced. *)
+let test_cbc_blocks_match_string_api () =
+  let key = Hex.decode "2b7e151628aed2a6abf7158809cf4f3c" in
+  let k = Aes128.expand key in
+  let iv = String.init 16 (fun i -> Char.chr (17 * i land 0xff)) in
+  List.iter
+    (fun len ->
+      let pt = String.init len (fun i -> Char.chr ((i * 13) land 0xff)) in
+      let expect = Cbc.encrypt k ~iv pt in
+      (* encrypt_blocks over a hand-laid-out iv ‖ padded-body buffer *)
+      let pad = 16 - (len mod 16) in
+      let buf = Bytes.create (16 + len + pad) in
+      Bytes.blit_string iv 0 buf 0 16;
+      Bytes.blit_string pt 0 buf 16 len;
+      Bytes.fill buf (16 + len) pad (Char.chr pad);
+      Cbc.encrypt_blocks k buf ~iv_off:0 ~off:16 ~nblocks:((len + pad) / 16);
+      Alcotest.(check string)
+        (Printf.sprintf "encrypt_blocks len %d" len)
+        (Hex.encode expect)
+        (Hex.encode (Bytes.sub_string buf 16 (len + pad)));
+      let out = Bytes.create (len + pad) in
+      Cbc.decrypt_blocks k
+        ~src:(Bytes.unsafe_of_string expect)
+        ~src_off:0
+        ~iv:(Bytes.unsafe_of_string iv)
+        ~iv_off:0 ~dst:out ~dst_off:0
+        ~nblocks:((len + pad) / 16);
+      let n = Cbc.unpad_len out ~off:0 ~len:(len + pad) in
+      Alcotest.(check string)
+        (Printf.sprintf "decrypt_blocks len %d" len)
+        pt (Bytes.sub_string out 0 n))
+    [ 0; 1; 15; 16; 17; 31; 32; 33; 100 ]
+
+(* encrypt_to/decrypt_to at a nonzero offset must equal the string API. *)
+let test_cell_to_offsets () =
+  let mk () = Cell_cipher.create (String.make 16 'K') in
+  List.iter
+    (fun len ->
+      let pt = String.init len (fun i -> Char.chr ((i * 31) land 0xff)) in
+      let expect = Cell_cipher.encrypt (mk ()) pt in
+      let ctlen = Cell_cipher.ciphertext_len ~plaintext_len:len in
+      let buf = Bytes.make (ctlen + 7) 'z' in
+      let wrote = Cell_cipher.encrypt_to (mk ()) pt buf 7 in
+      Alcotest.(check int) "encrypt_to length" ctlen wrote;
+      Alcotest.(check string)
+        (Printf.sprintf "encrypt_to len %d" len)
+        (Hex.encode expect)
+        (Hex.encode (Bytes.sub_string buf 7 ctlen));
+      let out = Bytes.make (ctlen - 16 + 3) '\000' in
+      let n = Cell_cipher.decrypt_to (mk ()) expect out 3 in
+      Alcotest.(check string)
+        (Printf.sprintf "decrypt_to len %d" len)
+        pt (Bytes.sub_string out 3 n))
+    [ 0; 1; 15; 16; 17; 31; 32; 33 ]
+
+(* The bulk entry points must consume the same IV stream and produce the
+   same bytes as a sequence of single calls on an identically-keyed
+   cipher. *)
+let test_cell_many_match_singles () =
+  let pts = [ ""; "a"; String.make 15 'b'; String.make 16 'c'; String.make 33 'd' ] in
+  let singles = List.map (Cell_cipher.encrypt (Cell_cipher.create (String.make 16 'M'))) pts in
+  let bulk = Cell_cipher.encrypt_many (Cell_cipher.create (String.make 16 'M')) pts in
+  List.iter2
+    (fun a b -> Alcotest.(check string) "encrypt_many" (Hex.encode a) (Hex.encode b))
+    singles bulk;
+  let c = Cell_cipher.create (String.make 16 'M') in
+  List.iter2
+    (fun pt ct -> Alcotest.(check string) "decrypt_many" pt ct)
+    pts
+    (Cell_cipher.decrypt_many c bulk)
+
+let test_cell_decrypt_rejects_malformed () =
+  let c = Cell_cipher.create (String.make 16 'K') in
+  List.iter
+    (fun ct ->
+      match Cell_cipher.decrypt c ct with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "accepted malformed ciphertext of length %d" (String.length ct))
+    [ ""; "short"; String.make 31 'x'; String.make 40 'y' ]
+
+let qcheck_ttable_vs_reference =
+  QCheck.Test.make ~name:"T-table vs Reference (random key/block)" ~count:300
+    QCheck.(pair (string_of_size (Gen.return 16)) (string_of_size (Gen.return 16)))
+    (fun (key, pt) ->
+      let k = Aes128.expand key in
+      let kr = Aes128.Reference.expand key in
+      let src = Bytes.of_string pt in
+      let a = Bytes.create 16 and b = Bytes.create 16 in
+      Aes128.encrypt_block k ~src ~src_off:0 ~dst:a ~dst_off:0;
+      Aes128.Reference.encrypt_block kr ~src ~src_off:0 ~dst:b ~dst_off:0;
+      let enc_ok = Bytes.equal a b in
+      Aes128.decrypt_block k ~src:a ~src_off:0 ~dst:b ~dst_off:0;
+      enc_ok && Bytes.equal b src)
+
 let qcheck_cbc_roundtrip =
   QCheck.Test.make ~name:"cbc roundtrip (arbitrary strings)" ~count:200
     QCheck.(string_of_size Gen.(0 -- 200))
@@ -180,18 +317,28 @@ let suite =
     Alcotest.test_case "FIPS-197 appendix B" `Quick test_fips197_appendix_b;
     Alcotest.test_case "FIPS-197 appendix C" `Quick test_fips197_appendix_c;
     Alcotest.test_case "NIST AESAVS GFSbox" `Quick test_aesavs_gfsbox;
+    Alcotest.test_case "NIST AESAVS KeySbox" `Quick test_aesavs_keysbox;
+    Alcotest.test_case "NIST AESAVS VarTxt" `Quick test_aesavs_vartxt;
+    Alcotest.test_case "Monte Carlo 1000 iterations" `Quick test_monte_carlo;
     Alcotest.test_case "random block roundtrips" `Quick test_encrypt_decrypt_random_blocks;
     Alcotest.test_case "key length validation" `Quick test_key_length_checked;
     Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip;
     Alcotest.test_case "CBC roundtrip lengths" `Quick test_cbc_roundtrip_lengths;
     Alcotest.test_case "CBC NIST SP800-38A" `Quick test_cbc_nist_vector;
     Alcotest.test_case "CBC bad padding" `Quick test_cbc_bad_padding_rejected;
+    Alcotest.test_case "CBC block primitives match string API" `Quick
+      test_cbc_blocks_match_string_api;
+    Alcotest.test_case "cell encrypt_to/decrypt_to offsets" `Quick test_cell_to_offsets;
+    Alcotest.test_case "cell bulk APIs match singles" `Quick test_cell_many_match_singles;
+    Alcotest.test_case "cell decrypt rejects malformed" `Quick
+      test_cell_decrypt_rejects_malformed;
     Alcotest.test_case "cell cipher semantic security shape" `Quick test_cell_cipher_semantic;
     Alcotest.test_case "cell cipher length prediction" `Quick test_cell_cipher_lengths;
     Alcotest.test_case "CTR PRG determinism" `Quick test_ctr_prg_deterministic;
     Alcotest.test_case "rng range" `Quick test_rng_range;
     Alcotest.test_case "rng split independence" `Quick test_rng_split_independent;
     Alcotest.test_case "rng coarse uniformity" `Quick test_rng_uniformity_coarse;
+    QCheck_alcotest.to_alcotest qcheck_ttable_vs_reference;
     QCheck_alcotest.to_alcotest qcheck_cbc_roundtrip;
     QCheck_alcotest.to_alcotest qcheck_cell_roundtrip;
   ]

@@ -266,6 +266,67 @@ let test_frames_match_ledger () =
 
 (* {2 Cost underflow counter} *)
 
+(* Pinned FNV-1a digest vectors, computed independently (64-bit FNV-1a
+   over the documented event serialisation: store bytes, then op tag,
+   addr, len as 8 little-endian bytes each; addr excluded from the shape).
+   Guards the digest encoding itself: the unboxed two-half fold must stay
+   bit-compatible with plain 64-bit FNV-1a, and [record_name] with
+   [record], or historical cross-run comparisons silently break. *)
+let test_trace_digest_pinned () =
+  let run record_via =
+    let t = Servsim.Trace.create () in
+    let ev store op addr len = record_via t store op addr len in
+    ev "db-1" Servsim.Trace.Read 0 48;
+    ev "db-1" Servsim.Trace.Write 3 48;
+    ev "sort-2" Servsim.Trace.Read 7 33;
+    Servsim.Trace.mark t "phase";
+    ev "sort-2" Servsim.Trace.Write 123456789 64;
+    (Servsim.Trace.full_digest t, Servsim.Trace.shape_digest t, Servsim.Trace.count t)
+  in
+  let check_pins label (full, shape, count) =
+    Alcotest.(check int64) (label ^ " full") 0xca7865772a5e97cdL full;
+    Alcotest.(check int64) (label ^ " shape") 0xfe3271136782973dL shape;
+    Alcotest.(check int) (label ^ " count") 4 count
+  in
+  check_pins "record"
+    (run (fun t store op addr len ->
+         Servsim.Trace.record t { Servsim.Trace.store; op; addr; len }));
+  check_pins "record_name"
+    (run (fun t store op addr len ->
+         Servsim.Trace.record_name t (Servsim.Trace.name store) op ~addr ~len))
+
+let qcheck_trace_record_name_equiv =
+  let event_gen =
+    QCheck.Gen.(
+      quad (oneofl [ "db"; "s-1"; "a much longer store name" ])
+        (oneofl [ Servsim.Trace.Read; Servsim.Trace.Write ])
+        (int_bound 1_000_000) (int_bound 4096))
+  in
+  QCheck.Test.make ~name:"record_name digests equal record digests" ~count:100
+    (QCheck.make QCheck.Gen.(list_size (1 -- 40) event_gen))
+    (fun events ->
+      let a = Servsim.Trace.create () in
+      List.iter
+        (fun (store, op, addr, len) ->
+          Servsim.Trace.record a { Servsim.Trace.store; op; addr; len })
+        events;
+      let b = Servsim.Trace.create () in
+      let names = Hashtbl.create 4 in
+      List.iter
+        (fun (store, op, addr, len) ->
+          let nm =
+            match Hashtbl.find_opt names store with
+            | Some nm -> nm
+            | None ->
+                let nm = Servsim.Trace.name store in
+                Hashtbl.add names store nm;
+                nm
+          in
+          Servsim.Trace.record_name b nm op ~addr ~len)
+        events;
+      Int64.equal (Servsim.Trace.full_digest a) (Servsim.Trace.full_digest b)
+      && Int64.equal (Servsim.Trace.shape_digest a) (Servsim.Trace.shape_digest b))
+
 let test_cost_underflow_counter () =
   let c = Servsim.Cost.create () in
   Servsim.Cost.client_alloc c 10;
@@ -294,4 +355,6 @@ let suite =
     Alcotest.test_case "remote-local equivalence" `Quick test_remote_local_equivalence;
     Alcotest.test_case "frames match ledger" `Quick test_frames_match_ledger;
     Alcotest.test_case "cost underflow counter" `Quick test_cost_underflow_counter;
+    Alcotest.test_case "trace digests pinned" `Quick test_trace_digest_pinned;
+    QCheck_alcotest.to_alcotest qcheck_trace_record_name_equiv;
   ]
