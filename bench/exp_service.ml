@@ -1,0 +1,181 @@
+(* Service load harness: throughput and latency of the multi-tenant
+   daemon under concurrent clients.
+
+   The daemon and every load client run as separate OS processes so the
+   measurement crosses real Unix-domain sockets and the daemon's select
+   loop, not in-process function calls.  OCaml 5 forbids [Unix.fork]
+   once domains have run, so children are [Unix.create_process] re-execs
+   of this very benchmark binary with hidden argv modes
+   ([service-daemon] / [service-client]) dispatched in [main] before
+   normal argument parsing.
+
+   Emits BENCH_service.json: ops/s and service-latency percentiles for
+   each client count. *)
+
+let block = String.make 64 '\xAB'
+
+(* {2 Child: daemon} *)
+
+let daemon_main path =
+  let daemon =
+    Service.Daemon.create
+      { Service.Daemon.default_config with unix_path = Some path; max_conns = 64 }
+  in
+  Service.Daemon.install_stop_signals daemon;
+  Service.Daemon.run daemon;
+  0
+
+(* {2 Child: load client}
+
+   Connects into its own namespace, performs [ops] Put/Get exchanges
+   recording per-op wall-clock latency, asserts the server-side
+   per-session ledger agrees with its own frame counter, and writes
+   "<elapsed_s>\n<lat_us> <lat_us> ...\n" to [out]. *)
+
+let client_main path namespace ops out =
+  let open Servsim in
+  (* The daemon may still be binding its socket: retry briefly. *)
+  let rec connect tries =
+    match Remote.connect_unix ~namespace path with
+    | conn -> conn
+    | exception (Unix.Unix_error _ | Wire.Protocol_error _) when tries > 0 ->
+        Unix.sleepf 0.05;
+        connect (tries - 1)
+  in
+  let conn = connect 100 in
+  let expect_ok = function
+    | Wire.Ok -> ()
+    | r -> failwith (match r with Wire.Error e -> e | _ -> "unexpected response")
+  in
+  (* Tenant state persists across connections; start each round clean. *)
+  expect_ok (Remote.call conn (Wire.Drop_store "bench"));
+  expect_ok (Remote.call conn (Wire.Create_store "bench"));
+  expect_ok (Remote.call conn (Wire.Ensure ("bench", 64)));
+  let lats = Array.make ops 0. in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to ops - 1 do
+    let u0 = Unix.gettimeofday () in
+    (match Remote.call conn (if i land 1 = 0 then Wire.Put ("bench", i mod 64, block)
+                             else Wire.Get ("bench", i mod 64)) with
+    | Wire.Ok | Wire.Value _ -> ()
+    | _ -> failwith "unexpected response");
+    lats.(i) <- Unix.gettimeofday () -. u0
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let stats = Remote.stats conn in
+  if stats.Wire.frames <> Remote.frames conn then
+    failwith
+      (Printf.sprintf "ledger mismatch: server %d, client %d" stats.Wire.frames
+         (Remote.frames conn));
+  Remote.close conn;
+  let oc = open_out out in
+  Printf.fprintf oc "%.6f\n" elapsed;
+  Array.iter (fun l -> Printf.fprintf oc "%d " (int_of_float (l *. 1e6))) lats;
+  output_char oc '\n';
+  close_out oc;
+  0
+
+(* {2 Parent: orchestration} *)
+
+let spawn args =
+  Unix.create_process Sys.executable_name
+    (Array.append [| Sys.executable_name |] args)
+    Unix.stdin Unix.stdout Unix.stderr
+
+let wait_exit pid what =
+  match snd (Unix.waitpid [] pid) with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED c -> failwith (Printf.sprintf "%s exited %d" what c)
+  | Unix.WSIGNALED s -> failwith (Printf.sprintf "%s killed by signal %d" what s)
+  | Unix.WSTOPPED _ -> failwith (what ^ " stopped")
+
+let read_client_file file =
+  let ic = open_in file in
+  let elapsed = float_of_string (String.trim (input_line ic)) in
+  let lats =
+    input_line ic |> String.split_on_char ' '
+    |> List.filter_map (fun s -> if s = "" then None else Some (float_of_string s))
+  in
+  close_in ic;
+  (elapsed, lats)
+
+let run_round ~path ~clients ~ops =
+  let outs =
+    List.init clients (fun i -> Filename.temp_file (Printf.sprintf "svc%d" i) ".lat")
+  in
+  (* One fresh namespace per (round, client): the server's cost ledger is
+     per-tenant and outlives connections, and each client asserts it
+     against its own per-connection frame counter — exact only on a
+     tenant's first connection. *)
+  let pids =
+    List.mapi
+      (fun i out ->
+        spawn
+          [|
+            "service-client"; path;
+            Printf.sprintf "round%02d-tenant-%02d" clients i;
+            string_of_int ops; out;
+          |])
+      outs
+  in
+  List.iteri (fun i pid -> wait_exit pid (Printf.sprintf "client %d" i)) pids;
+  let per_client = List.map read_client_file outs in
+  List.iter Sys.remove outs;
+  let wall = List.fold_left (fun m (e, _) -> max m e) 0. per_client in
+  let lats = List.concat_map snd per_client in
+  let p50, p95, p99 = Service.Metrics.percentiles lats in
+  let total_ops = clients * ops in
+  (float_of_int total_ops /. wall, p50, p95, p99)
+
+let run (opts : Bench_util.opts) =
+  Bench_util.header "SERVICE: multi-tenant daemon under concurrent load";
+  let ops = if opts.smoke then 200 else 2000 in
+  let counts = if opts.full then [ 1; 2; 4; 8; 16 ] else [ 1; 2; 8 ] in
+  let path = Filename.temp_file "fdserved-bench" ".sock" in
+  Sys.remove path;
+  let daemon_pid = spawn [| "service-daemon"; path |] in
+  let rec await tries =
+    if not (Sys.file_exists path) then
+      if tries = 0 then failwith "daemon did not come up"
+      else begin
+        Unix.sleepf 0.05;
+        await (tries - 1)
+      end
+  in
+  await 100;
+  let series =
+    Fun.protect
+      ~finally:(fun () ->
+        (* Graceful drain must work: SIGTERM, then a clean exit. *)
+        Unix.kill daemon_pid Sys.sigterm;
+        wait_exit daemon_pid "daemon")
+      (fun () ->
+        List.map
+          (fun clients ->
+            let ops_s, p50, p95, p99 = run_round ~path ~clients ~ops in
+            Printf.printf
+              "  %2d client(s) x %d ops: %8.0f ops/s   p50 %5.0f us   p95 %5.0f us   p99 %5.0f us\n%!"
+              clients ops ops_s p50 p95 p99;
+            (clients, ops_s, p50, p95, p99))
+          counts)
+  in
+  let oc = open_out "BENCH_service.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"schema\": \"sfdd-bench-service/1\",\n\
+    \  \"smoke\": %b,\n\
+    \  \"transport\": \"unix-domain socket\",\n\
+    \  \"ops_per_client\": %d,\n\
+    \  \"series\": [\n"
+    opts.smoke ops;
+  List.iteri
+    (fun i (clients, ops_s, p50, p95, p99) ->
+      Printf.fprintf oc
+        "    { \"clients\": %d, \"ops_per_s\": %.0f, \"p50_us\": %.0f, \"p95_us\": %.0f, \
+         \"p99_us\": %.0f }%s\n"
+        clients ops_s p50 p95 p99
+        (if i = List.length series - 1 then "" else ","))
+    series;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "  (written to BENCH_service.json)\n%!"

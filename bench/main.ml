@@ -19,16 +19,28 @@ let experiments =
     ("fig7", "Ex-ORAM insertion/deletion", Exp_fig7.run);
     ("ablation", "baseline frontier, recursive ORAM, compression", Exp_ablation.run);
     ("micro", "Bechamel micro-benchmarks", Exp_micro.run);
+    ("service", "multi-tenant daemon load harness", Exp_service.run);
   ]
 
 let default_set =
-  [ "table1"; "table2"; "table3"; "fig4"; "fig5"; "fig6a"; "fig6b"; "fig7"; "ablation"; "micro" ]
+  [ "table1"; "table2"; "table3"; "fig4"; "fig5"; "fig6a"; "fig6b"; "fig7"; "ablation"; "micro";
+    "service" ]
 
 let usage () =
   prerr_endline "usage: main.exe [--full] [--smoke] [experiment ...]";
   prerr_endline "experiments:";
   List.iter (fun (n, d, _) -> Printf.eprintf "  %-8s %s\n" n d) experiments;
   exit 2
+
+(* Hidden re-exec entry points: the service harness runs its daemon and
+   load clients as child processes of this same binary, because
+   [Unix.fork] is unavailable once OCaml 5 domains have run. *)
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "service-daemon" :: path :: _ -> exit (Exp_service.daemon_main path)
+  | _ :: "service-client" :: path :: ns :: ops :: out :: _ ->
+      exit (Exp_service.client_main path ns (int_of_string ops) out)
+  | _ -> ()
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -1,0 +1,128 @@
+(* fdserved: the multi-tenant oblivious block-service daemon.
+
+     fdserved --unix /tmp/fdd.sock
+     fdserved --tcp 127.0.0.1:7144 --max-conns 128 --idle-timeout 60
+     fdserved --selftest        # loopback smoke test, exits 0 on success *)
+
+open Cmdliner
+
+let parse_tcp s =
+  match String.rindex_opt s ':' with
+  | None -> invalid_arg (Printf.sprintf "--tcp %S: expected HOST:PORT" s)
+  | Some i ->
+      let host = String.sub s 0 i in
+      let port = int_of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+      (host, port)
+
+let serve unix_path tcp max_conns idle_timeout drain_grace verbose =
+  let log = if verbose then fun msg -> Printf.eprintf "fdserved: %s\n%!" msg else ignore in
+  let cfg =
+    {
+      Service.Daemon.unix_path;
+      tcp = Option.map parse_tcp tcp;
+      max_conns;
+      idle_timeout;
+      drain_grace;
+      log;
+    }
+  in
+  let daemon = Service.Daemon.create cfg in
+  Service.Daemon.install_stop_signals daemon;
+  (match Service.Daemon.tcp_port daemon with
+  | Some port -> Printf.printf "fdserved: listening on tcp port %d\n%!" port
+  | None -> ());
+  (match unix_path with
+  | Some path -> Printf.printf "fdserved: listening on unix socket %s\n%!" path
+  | None -> ());
+  Service.Daemon.run daemon;
+  `Ok ()
+
+(* Loopback smoke test: daemon in a background thread on a fresh Unix
+   socket, two clients in disjoint namespaces doing real block traffic,
+   then a graceful drain.  Used from `dune runtest`. *)
+let selftest () =
+  let path = Filename.temp_file "fdserved" ".sock" in
+  Sys.remove path;
+  let daemon =
+    Service.Daemon.create
+      { Service.Daemon.default_config with unix_path = Some path; drain_grace = 10. }
+  in
+  let th = Thread.create Service.Daemon.run daemon in
+  let fail fmt = Printf.ksprintf (fun m -> failwith ("selftest: " ^ m)) fmt in
+  let check name cond = if not cond then fail "%s" name in
+  Fun.protect
+    ~finally:(fun () ->
+      Service.Daemon.stop daemon;
+      Thread.join th)
+    (fun () ->
+      let open Servsim in
+      let a = Remote.connect_unix ~namespace:"alice" path in
+      let b = Remote.connect_unix ~namespace:"bob" path in
+      Remote.ping a;
+      Remote.ping b;
+      let setup conn fill =
+        check "create" (Remote.call conn (Wire.Create_store "blocks") = Wire.Ok);
+        check "ensure" (Remote.call conn (Wire.Ensure ("blocks", 8)) = Wire.Ok);
+        check "put" (Remote.call conn (Wire.Put ("blocks", 3, String.make 64 fill)) = Wire.Ok)
+      in
+      setup a 'A';
+      setup b 'B';
+      check "tenant isolation"
+        (Remote.call a (Wire.Get ("blocks", 3)) <> Remote.call b (Wire.Get ("blocks", 3)));
+      let stats = Remote.stats a in
+      check "stats frames" (stats.Wire.frames = Remote.frames a);
+      check "stats sessions" (stats.Wire.sessions = 2);
+      Remote.close b;
+      (* b is gone; a must still be served. *)
+      check "a alive after b closed"
+        (Remote.call a (Wire.Get ("blocks", 3)) = Wire.Value (String.make 64 'A'));
+      Remote.close a);
+  check "drained" (Service.Daemon.live_conns daemon = 0);
+  print_endline "fdserved selftest: OK";
+  `Ok ()
+
+let run unix_path tcp max_conns idle_timeout drain_grace verbose do_selftest =
+  try
+    if do_selftest then selftest ()
+    else if unix_path = None && tcp = None then
+      `Error (true, "need at least one of --unix / --tcp (or --selftest)")
+    else serve unix_path tcp max_conns idle_timeout drain_grace verbose
+  with
+  | Failure msg | Invalid_argument msg -> `Error (false, msg)
+  | Unix.Unix_error (e, fn, arg) ->
+      `Error (false, Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e))
+
+let cmd =
+  let unix_path =
+    Arg.(value & opt (some string) None & info [ "unix" ] ~docv:"PATH"
+         ~doc:"Serve on a Unix-domain socket at $(docv).")
+  in
+  let tcp =
+    Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT"
+         ~doc:"Serve on TCP at $(docv) (port 0 picks an ephemeral port).")
+  in
+  let max_conns =
+    Arg.(value & opt int 64 & info [ "max-conns" ] ~docv:"N"
+         ~doc:"Reject connections beyond $(docv) concurrent clients.")
+  in
+  let idle_timeout =
+    Arg.(value & opt float 0. & info [ "idle-timeout" ] ~docv:"SECONDS"
+         ~doc:"Close connections idle for more than $(docv) seconds (0 disables).")
+  in
+  let drain_grace =
+    Arg.(value & opt float 5. & info [ "drain-grace" ] ~docv:"SECONDS"
+         ~doc:"Keep serving live connections for up to $(docv) seconds after SIGTERM.")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log connection events.") in
+  let do_selftest =
+    Arg.(value & flag & info [ "selftest" ]
+         ~doc:"Run a loopback smoke test (daemon + two clients) and exit.")
+  in
+  let info_ =
+    Cmd.info "fdserved" ~doc:"Multi-tenant oblivious block-service daemon"
+  in
+  Cmd.v info_
+    Term.(ret (const run $ unix_path $ tcp $ max_conns $ idle_timeout $ drain_grace
+               $ verbose $ do_selftest))
+
+let () = exit (Cmd.eval cmd)

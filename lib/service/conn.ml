@@ -1,0 +1,153 @@
+open Servsim
+
+type phase =
+  | Handshake (* awaiting the client's version byte *)
+  | Await_hello (* version agreed; first request must be Hello *)
+  | Serving of Session.tenant
+  | Closing (* flush pending output, then close *)
+
+type t = {
+  fd : Unix.file_descr;
+  id : int;
+  peer : string;
+  decoder : Frame_decoder.t;
+  out : Buffer.t;
+  mutable out_off : int; (* bytes of [out] already written to the socket *)
+  mutable phase : phase;
+  mutable last_active : float;
+}
+
+type ctx = {
+  registry : Session.registry;
+  metrics : Metrics.t;
+  live_sessions : unit -> int;
+}
+
+let create ~id ~peer ~now fd =
+  {
+    fd;
+    id;
+    peer;
+    decoder = Frame_decoder.create ();
+    out = Buffer.create 512;
+    out_off = 0;
+    phase = Handshake;
+    last_active = now;
+  }
+
+let fd t = t.fd
+let peer t = t.peer
+let last_active t = t.last_active
+let touch t ~now = t.last_active <- now
+
+let pending_output t = Buffer.length t.out - t.out_off
+let wants_write t = pending_output t > 0
+let closing t = match t.phase with Closing -> true | _ -> false
+
+(* Fully flushed and told to close: the daemon may drop the fd. *)
+let finished t = closing t && not (wants_write t)
+
+let namespace t =
+  match t.phase with Serving tenant -> Some tenant.Session.namespace | _ -> None
+
+let respond t resp =
+  Wire.write_response_sink (Wire.buffer_sink t.out) resp;
+  Buffer.length t.out
+
+let build_stats ctx (tenant : Session.tenant) =
+  let c = Cost.snapshot (Handler.cost tenant.Session.handler) in
+  let summ = Metrics.ns_summary ctx.metrics tenant.Session.namespace in
+  let us s = min 0xFFFFFFFF (int_of_float (s *. 1e6)) in
+  Wire.Stats_reply
+    {
+      uptime_us = Int64.of_float (Metrics.uptime_s ctx.metrics *. 1e6);
+      sessions = ctx.live_sessions ();
+      frames = c.Cost.round_trips;
+      bytes_in = c.Cost.bytes_to_server;
+      bytes_out = c.Cost.bytes_to_client;
+      p50_us = us summ.Metrics.p50_s;
+      p95_us = us summ.Metrics.p95_s;
+      p99_us = us summ.Metrics.p99_s;
+    }
+
+let handle_request ctx t req ~req_bytes =
+  match t.phase with
+  | Handshake | Closing -> assert false (* not reachable from [on_bytes] *)
+  | Await_hello -> (
+      match req with
+      | Wire.Hello "" ->
+          ignore (respond t (Wire.Error "empty namespace"));
+          t.phase <- Closing
+      | Wire.Hello ns ->
+          t.phase <- Serving (Session.attach ctx.registry ns);
+          ignore (respond t Wire.Ok)
+      | _ ->
+          ignore (respond t (Wire.Error "expected Hello to establish a session"));
+          t.phase <- Closing)
+  | Serving tenant ->
+      let h = tenant.Session.handler in
+      let counted = Handler.counted req in
+      if counted then Handler.account_request h ~bytes:req_bytes;
+      let t0 = Unix.gettimeofday () in
+      let resp =
+        match req with
+        | Wire.Hello _ -> Wire.Error "already in a session"
+        | Wire.Stats -> build_stats ctx tenant
+        | Wire.Bye ->
+            t.phase <- Closing;
+            Wire.Ok
+        | req -> ( try Handler.handle h req with Wire.Protocol_error msg -> Wire.Error msg)
+      in
+      let before = Buffer.length t.out in
+      let after = respond t resp in
+      let resp_bytes = after - before in
+      if counted then begin
+        Handler.account_response h ~bytes:resp_bytes;
+        Metrics.record ctx.metrics ~namespace:tenant.Session.namespace ~bytes_in:req_bytes
+          ~bytes_out:resp_bytes
+          ~latency_s:(Unix.gettimeofday () -. t0)
+      end
+
+let rec drain_requests ctx t =
+  match t.phase with
+  | Closing | Handshake -> ()
+  | Await_hello | Serving _ -> (
+      match Frame_decoder.next t.decoder with
+      | None -> ()
+      | Some (req, req_bytes) ->
+          handle_request ctx t req ~req_bytes;
+          drain_requests ctx t
+      | exception Wire.Protocol_error msg ->
+          (* This connection's stream is beyond resync.  Report once and
+             close it — only it; every other connection keeps its own
+             decoder and session untouched. *)
+          ignore (respond t (Wire.Error ("unrecoverable: " ^ msg)));
+          t.phase <- Closing)
+
+(* A chunk of bytes arrived from the socket. *)
+let on_bytes ctx t bytes ~len ~now =
+  t.last_active <- now;
+  let off = ref 0 in
+  (match t.phase with
+  | Handshake when len > 0 ->
+      let client_version = Char.code (Bytes.get bytes 0) in
+      off := 1;
+      (* Always answer with our own version byte so a mismatched client
+         can report the disagreement, then hang up on mismatch. *)
+      Buffer.add_char t.out (Char.chr Wire.protocol_version);
+      if client_version = Wire.protocol_version then t.phase <- Await_hello
+      else t.phase <- Closing
+  | _ -> ());
+  if not (closing t) && len - !off > 0 then
+    Frame_decoder.feed t.decoder bytes ~off:!off ~len:(len - !off);
+  drain_requests ctx t
+
+(* The daemon flushed [n] bytes of pending output. *)
+let wrote t n =
+  t.out_off <- t.out_off + n;
+  if t.out_off >= Buffer.length t.out then begin
+    Buffer.clear t.out;
+    t.out_off <- 0
+  end
+
+let output t = (Buffer.to_bytes t.out, t.out_off)

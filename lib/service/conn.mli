@@ -1,0 +1,47 @@
+(** Per-connection state machine: version handshake, session
+    establishment, incremental frame reassembly, request dispatch and
+    response buffering.  Pure with respect to the socket — the daemon
+    owns every syscall and feeds bytes in / shovels bytes out — which
+    keeps the machine unit-testable and the failure domain of one
+    connection strictly its own. *)
+
+type t
+
+type ctx = {
+  registry : Session.registry;
+  metrics : Metrics.t;
+  live_sessions : unit -> int;
+}
+
+val create : id:int -> peer:string -> now:float -> Unix.file_descr -> t
+
+val fd : t -> Unix.file_descr
+val peer : t -> string
+
+val on_bytes : ctx -> t -> bytes -> len:int -> now:float -> unit
+(** Feed a received chunk; parses and serves every complete frame,
+    appending responses to the output buffer.  A malformed stream turns
+    into one final [Error] response and the closing state — it never
+    raises. *)
+
+val wants_write : t -> bool
+val pending_output : t -> int
+
+val output : t -> bytes * int
+(** [(buf, off)]: the pending output is [buf[off ..]].  Report progress
+    with {!wrote}. *)
+
+val wrote : t -> int -> unit
+
+val closing : t -> bool
+(** The connection should accept no further input ([Bye], handshake
+    mismatch, or protocol error). *)
+
+val finished : t -> bool
+(** Closing and fully flushed: drop the descriptor. *)
+
+val namespace : t -> string option
+(** The session's namespace, once established. *)
+
+val last_active : t -> float
+val touch : t -> now:float -> unit

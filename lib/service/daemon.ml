@@ -1,0 +1,278 @@
+type config = {
+  unix_path : string option;
+  tcp : (string * int) option; (* bind address, port (0 = ephemeral) *)
+  max_conns : int;
+  idle_timeout : float; (* seconds; <= 0 disables *)
+  drain_grace : float; (* seconds to keep serving after a stop request *)
+  log : string -> unit;
+}
+
+let default_config =
+  {
+    unix_path = None;
+    tcp = None;
+    max_conns = 64;
+    idle_timeout = 0.;
+    drain_grace = 5.;
+    log = ignore;
+  }
+
+type t = {
+  cfg : config;
+  registry : Session.registry;
+  metrics : Metrics.t;
+  mutable listeners : Unix.file_descr list;
+  conns : (Unix.file_descr, Conn.t) Hashtbl.t;
+  stop_r : Unix.file_descr;
+  stop_w : Unix.file_descr;
+  mutable tcp_port : int option;
+  mutable draining : bool;
+  mutable drain_deadline : float;
+  mutable running : bool;
+  mutable next_id : int;
+  read_buf : bytes;
+}
+
+let rec retry_intr f =
+  match f () with v -> v | exception Unix.Unix_error (Unix.EINTR, _, _) -> retry_intr f
+
+let logf t fmt = Printf.ksprintf t.cfg.log fmt
+
+(* Reading a connection whose responses the client refuses to drain would
+   grow the output buffer without bound; past this high-water mark we
+   stop reading from it until the client catches up. *)
+let out_hwm = 8 * 1024 * 1024
+
+let listen_unix path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 128;
+  Unix.set_nonblock fd;
+  fd
+
+let listen_tcp addr port =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string addr, port));
+  Unix.listen fd 128;
+  Unix.set_nonblock fd;
+  let bound_port =
+    match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> port
+  in
+  (fd, bound_port)
+
+let create cfg =
+  if cfg.unix_path = None && cfg.tcp = None then
+    invalid_arg "Daemon.create: need at least one of unix_path / tcp";
+  let listeners = ref [] in
+  let tcp_port = ref None in
+  (match cfg.unix_path with
+  | Some path -> listeners := listen_unix path :: !listeners
+  | None -> ());
+  (match cfg.tcp with
+  | Some (addr, port) ->
+      let fd, bound = listen_tcp addr port in
+      tcp_port := Some bound;
+      listeners := fd :: !listeners
+  | None -> ());
+  let stop_r, stop_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock stop_r;
+  Unix.set_nonblock stop_w;
+  {
+    cfg;
+    registry = Session.create ();
+    metrics = Metrics.create ();
+    listeners = !listeners;
+    conns = Hashtbl.create 32;
+    stop_r;
+    stop_w;
+    tcp_port = !tcp_port;
+    draining = false;
+    drain_deadline = infinity;
+    running = true;
+    next_id = 0;
+    read_buf = Bytes.create 65536;
+  }
+
+let metrics t = t.metrics
+let registry t = t.registry
+let tcp_port t = t.tcp_port
+let live_conns t = Hashtbl.length t.conns
+
+(* Safe from a signal handler or another thread: one byte down the
+   self-pipe wakes the select loop, which drains the pipe and starts the
+   graceful drain. *)
+let stop t =
+  try ignore (Unix.write t.stop_w (Bytes.of_string "s") 0 1)
+  with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE | Unix.EBADF), _, _) -> ()
+
+let install_stop_signals t =
+  let handler = Sys.Signal_handle (fun _ -> stop t) in
+  (try Sys.set_signal Sys.sigterm handler with Invalid_argument _ -> ());
+  (try Sys.set_signal Sys.sigint handler with Invalid_argument _ -> ())
+
+let ctx t =
+  { Conn.registry = t.registry; metrics = t.metrics; live_sessions = (fun () -> live_conns t) }
+
+let peer_string = function
+  | Unix.ADDR_UNIX _ -> "unix"
+  | Unix.ADDR_INET (a, p) -> Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+
+let close_conn t conn reason =
+  let fd = Conn.fd conn in
+  if Hashtbl.mem t.conns fd then begin
+    Hashtbl.remove t.conns fd;
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Metrics.on_close t.metrics;
+    logf t "conn %s closed (%s)" (Conn.peer conn) reason
+  end
+
+let flush_conn t conn =
+  let rec go () =
+    if Conn.wants_write conn then begin
+      let buf, off = Conn.output conn in
+      match Unix.write (Conn.fd conn) buf off (Bytes.length buf - off) with
+      | n ->
+          Conn.wrote conn n;
+          go ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error _ -> close_conn t conn "write error"
+    end
+  in
+  go ();
+  if Conn.finished conn then close_conn t conn "bye"
+
+let read_conn t conn ~now =
+  let rec go () =
+    match Unix.read (Conn.fd conn) t.read_buf 0 (Bytes.length t.read_buf) with
+    | 0 ->
+        (* EOF — possibly mid-frame.  Only this connection dies; its
+           tenant's state stays consistent because partial frames are
+           never dispatched. *)
+        close_conn t conn "eof"
+    | n ->
+        Conn.on_bytes (ctx t) conn t.read_buf ~len:n ~now;
+        if Hashtbl.mem t.conns (Conn.fd conn) && not (Conn.closing conn) then go ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error _ -> close_conn t conn "read error"
+  in
+  (try go ()
+   with e ->
+     (* One connection's failure must never take the daemon down. *)
+     logf t "conn %s: unexpected %s" (Conn.peer conn) (Printexc.to_string e);
+     close_conn t conn "internal error");
+  if Hashtbl.mem t.conns (Conn.fd conn) then flush_conn t conn
+
+let accept_all t lfd ~now =
+  let rec go () =
+    match Unix.accept ~cloexec:true lfd with
+    | fd, addr ->
+        Unix.set_nonblock fd;
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+        if live_conns t >= t.cfg.max_conns then begin
+          (* Over the cap: turn the connection away before it can speak.
+             The client sees EOF during its version handshake. *)
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Metrics.on_reject t.metrics;
+          logf t "conn %s rejected (cap %d)" (peer_string addr) t.cfg.max_conns
+        end
+        else begin
+          t.next_id <- t.next_id + 1;
+          let conn = Conn.create ~id:t.next_id ~peer:(peer_string addr) ~now fd in
+          Hashtbl.replace t.conns fd conn;
+          Metrics.on_accept t.metrics;
+          logf t "conn %s accepted (#%d, %d live)" (peer_string addr) t.next_id (live_conns t)
+        end;
+        go ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  go ()
+
+let start_drain t =
+  if not t.draining then begin
+    t.draining <- true;
+    t.drain_deadline <- Unix.gettimeofday () +. t.cfg.drain_grace;
+    List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) t.listeners;
+    t.listeners <- [];
+    logf t "drain: stopped accepting; %d connection(s) live" (live_conns t)
+  end
+
+let sweep_idle t ~now =
+  if t.cfg.idle_timeout > 0. then begin
+    let idle =
+      Hashtbl.fold
+        (fun _ conn acc ->
+          if now -. Conn.last_active conn > t.cfg.idle_timeout then conn :: acc else acc)
+        t.conns []
+    in
+    List.iter (fun conn -> close_conn t conn "idle timeout") idle
+  end
+
+let step t =
+  let now = Unix.gettimeofday () in
+  sweep_idle t ~now;
+  if t.draining && (live_conns t = 0 || now > t.drain_deadline) then begin
+    Hashtbl.fold (fun _ c acc -> c :: acc) t.conns []
+    |> List.iter (fun c -> close_conn t c "drain deadline");
+    t.running <- false
+  end
+  else begin
+    let conn_fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) t.conns [] in
+    let readable_conns =
+      List.filter
+        (fun fd ->
+          let conn = Hashtbl.find t.conns fd in
+          (not (Conn.closing conn)) && Conn.pending_output conn < out_hwm)
+        conn_fds
+    in
+    let rds = (t.stop_r :: t.listeners) @ readable_conns in
+    let wrs = List.filter (fun fd -> Conn.wants_write (Hashtbl.find t.conns fd)) conn_fds in
+    match retry_intr (fun () -> Unix.select rds wrs [] 0.25) with
+    | rd_ready, wr_ready, _ ->
+        if List.mem t.stop_r rd_ready then begin
+          let b = Bytes.create 16 in
+          (try
+             while Unix.read t.stop_r b 0 16 > 0 do
+               ()
+             done
+           with Unix.Unix_error _ -> ());
+          start_drain t
+        end;
+        let now = Unix.gettimeofday () in
+        List.iter
+          (fun fd ->
+            if List.mem fd t.listeners then accept_all t fd ~now
+            else
+              match Hashtbl.find_opt t.conns fd with
+              | Some conn -> read_conn t conn ~now
+              | None -> ())
+          rd_ready;
+        List.iter
+          (fun fd ->
+            match Hashtbl.find_opt t.conns fd with
+            | Some conn -> flush_conn t conn
+            | None -> ())
+          wr_ready
+  end
+
+let run t =
+  logf t "serving (max %d connections)" t.cfg.max_conns;
+  while t.running do
+    step t
+  done;
+  (* Final cleanup: listeners are already gone if we drained; close
+     whatever remains and remove the Unix socket path. *)
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) t.listeners;
+  t.listeners <- [];
+  Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] |> List.iter (fun c -> close_conn t c "shutdown");
+  (try Unix.close t.stop_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.stop_w with Unix.Unix_error _ -> ());
+  (match t.cfg.unix_path with
+  | Some path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | None -> ());
+  logf t "stopped"

@@ -1,0 +1,57 @@
+(** The event-driven block-service daemon.
+
+    One [Unix.select] loop serves every listener and connection:
+    non-blocking accepts, incremental per-connection frame reassembly
+    (via {!Conn} / {!Frame_decoder}), buffered writes with a
+    high-water-mark backpressure guard, a connection cap enforced at
+    accept time, an optional idle timeout, and a graceful drain on
+    {!stop} (close listeners, keep serving live connections up to the
+    configured grace period).
+
+    All descriptors are close-on-exec; every read/write/accept retries
+    on [EINTR].  One misbehaving connection — malformed frames, a
+    mid-frame disconnect, an unexpected exception — loses only itself:
+    its tenant's state stays consistent because partial frames never
+    dispatch, and every other connection keeps its own decoder and
+    session. *)
+
+type config = {
+  unix_path : string option;  (** serve on this Unix-domain socket path *)
+  tcp : (string * int) option;
+      (** serve on TCP [(bind_address, port)]; port 0 picks an ephemeral
+          port, reported by {!tcp_port} *)
+  max_conns : int;  (** accept-and-close beyond this many live connections *)
+  idle_timeout : float;  (** close idle connections after this many seconds; <= 0 disables *)
+  drain_grace : float;  (** seconds to keep serving live connections after {!stop} *)
+  log : string -> unit;  (** receives one line per connection event *)
+}
+
+val default_config : config
+(** No listeners (callers must set at least one), [max_conns = 64], idle
+    timeout disabled, 5 s drain grace, silent log. *)
+
+type t
+
+val create : config -> t
+(** Bind and listen on the configured endpoints.  Raises
+    [Invalid_argument] if neither [unix_path] nor [tcp] is set, and
+    [Unix.Unix_error] if binding fails. *)
+
+val run : t -> unit
+(** Serve until a graceful drain completes.  Closes every descriptor and
+    unlinks the Unix socket path before returning. *)
+
+val stop : t -> unit
+(** Request a graceful drain.  Async-signal-safe and thread-safe: it
+    writes one byte to a self-pipe watched by the select loop. *)
+
+val install_stop_signals : t -> unit
+(** Route SIGTERM and SIGINT to {!stop}. *)
+
+val metrics : t -> Metrics.t
+val registry : t -> Session.registry
+
+val tcp_port : t -> int option
+(** The actually-bound TCP port (useful with port 0). *)
+
+val live_conns : t -> int

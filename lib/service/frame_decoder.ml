@@ -1,0 +1,29 @@
+type t = {
+  buf : Buffer.t; (* unconsumed bytes, frame-aligned at offset 0 *)
+  mutable stuck_at : int;
+      (* buffer length at the last Incomplete parse; skip re-parsing
+         until more bytes arrive *)
+}
+
+let create () = { buf = Buffer.create 256; stuck_at = -1 }
+
+let feed t bytes ~off ~len = Buffer.add_subbytes t.buf bytes off len
+
+let pending_bytes t = Buffer.length t.buf
+
+let next t =
+  if Buffer.length t.buf = 0 || Buffer.length t.buf = t.stuck_at then None
+  else begin
+    let s = Buffer.contents t.buf in
+    let pos = ref 0 in
+    match Servsim.Wire.read_request_src (Servsim.Wire.string_source s pos) with
+    | req ->
+        let consumed = !pos in
+        Buffer.clear t.buf;
+        Buffer.add_substring t.buf s consumed (String.length s - consumed);
+        t.stuck_at <- -1;
+        Some (req, consumed)
+    | exception Servsim.Wire.Incomplete ->
+        t.stuck_at <- String.length s;
+        None
+  end

@@ -1,0 +1,26 @@
+(** Incremental request-frame reassembly for non-blocking connections.
+
+    Bytes arrive from the socket in arbitrary chunks; {!feed} appends
+    them and {!next} parses complete frames off the front using the
+    {!Servsim.Wire} codec over a {!Servsim.Wire.string_source}.  A frame
+    that has not fully arrived parses to [Incomplete] internally and
+    {!next} answers [None] — the decoder remembers the buffer length and
+    will not re-attempt until more bytes arrive, so a slow-trickling
+    large frame costs one parse attempt per received chunk, not per
+    byte. *)
+
+type t
+
+val create : unit -> t
+
+val feed : t -> bytes -> off:int -> len:int -> unit
+
+val next : t -> (Servsim.Wire.request * int) option
+(** The next complete request and its exact encoded size in bytes, or
+    [None] if no complete frame has arrived yet.
+    @raise Servsim.Wire.Protocol_error if the stream is malformed (bad
+    tag, oversized prefix) — the connection is beyond resync and should
+    be dropped, without affecting any other connection. *)
+
+val pending_bytes : t -> int
+(** Bytes buffered but not yet consumed by a complete frame. *)

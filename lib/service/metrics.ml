@@ -1,0 +1,94 @@
+let reservoir_size = 4096
+
+type ns = {
+  mutable frames : int;
+  mutable bytes_in : int;
+  mutable bytes_out : int;
+  lat : float array; (* ring of the most recent service latencies, seconds *)
+  mutable lat_n : int; (* total latencies ever recorded *)
+}
+
+type t = {
+  started : float;
+  tbl : (string, ns) Hashtbl.t;
+  mutable accepted : int;
+  mutable rejected : int;
+  mutable live : int;
+}
+
+let create () =
+  { started = Unix.gettimeofday (); tbl = Hashtbl.create 16; accepted = 0; rejected = 0; live = 0 }
+
+let uptime_s t = Unix.gettimeofday () -. t.started
+
+let on_accept t =
+  t.accepted <- t.accepted + 1;
+  t.live <- t.live + 1
+
+let on_close t = t.live <- max 0 (t.live - 1)
+let on_reject t = t.rejected <- t.rejected + 1
+let live t = t.live
+let accepted t = t.accepted
+let rejected t = t.rejected
+
+let find_ns t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some ns -> ns
+  | None ->
+      let ns = { frames = 0; bytes_in = 0; bytes_out = 0; lat = Array.make reservoir_size 0.; lat_n = 0 } in
+      Hashtbl.replace t.tbl name ns;
+      ns
+
+let record t ~namespace ~bytes_in ~bytes_out ~latency_s =
+  let ns = find_ns t namespace in
+  ns.frames <- ns.frames + 1;
+  ns.bytes_in <- ns.bytes_in + bytes_in;
+  ns.bytes_out <- ns.bytes_out + bytes_out;
+  ns.lat.(ns.lat_n mod reservoir_size) <- latency_s;
+  ns.lat_n <- ns.lat_n + 1
+
+let namespaces t = Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [] |> List.sort compare
+
+(* Nearest-rank percentile over a sorted array. *)
+let percentile_sorted a q =
+  let n = Array.length a in
+  if n = 0 then 0.
+  else begin
+    let rank = int_of_float (ceil (q *. float_of_int n)) in
+    a.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+let percentiles xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  (percentile_sorted a 0.50, percentile_sorted a 0.95, percentile_sorted a 0.99)
+
+type summary = {
+  frames : int;
+  bytes_in : int;
+  bytes_out : int;
+  samples : int;
+  p50_s : float;
+  p95_s : float;
+  p99_s : float;
+}
+
+let empty_summary =
+  { frames = 0; bytes_in = 0; bytes_out = 0; samples = 0; p50_s = 0.; p95_s = 0.; p99_s = 0. }
+
+let ns_summary t name =
+  match Hashtbl.find_opt t.tbl name with
+  | None -> empty_summary
+  | Some ns ->
+      let n = min ns.lat_n reservoir_size in
+      let a = Array.sub ns.lat 0 n in
+      Array.sort compare a;
+      {
+        frames = ns.frames;
+        bytes_in = ns.bytes_in;
+        bytes_out = ns.bytes_out;
+        samples = n;
+        p50_s = percentile_sorted a 0.50;
+        p95_s = percentile_sorted a 0.95;
+        p99_s = percentile_sorted a 0.99;
+      }

@@ -1,0 +1,47 @@
+(** Daemon-wide service metrics: connection counts, per-namespace frame
+    and byte counters, and a bounded reservoir of recent service
+    latencies from which p50/p95/p99 are computed on demand.
+
+    "Service latency" is the time from a fully reassembled request frame
+    to its serialised response — the server-side cost of one frame,
+    excluding network and client think time. *)
+
+type t
+
+val create : unit -> t
+
+val uptime_s : t -> float
+
+val on_accept : t -> unit
+val on_close : t -> unit
+
+val on_reject : t -> unit
+(** A connection turned away at the connection cap. *)
+
+val live : t -> int
+val accepted : t -> int
+val rejected : t -> int
+
+val record :
+  t -> namespace:string -> bytes_in:int -> bytes_out:int -> latency_s:float -> unit
+(** Account one served frame to [namespace]. *)
+
+val namespaces : t -> string list
+
+type summary = {
+  frames : int;
+  bytes_in : int;
+  bytes_out : int;
+  samples : int;  (** latency samples currently in the reservoir *)
+  p50_s : float;
+  p95_s : float;
+  p99_s : float;
+}
+
+val ns_summary : t -> string -> summary
+(** Zeros for a namespace that has served nothing. *)
+
+val percentiles : float list -> float * float * float
+(** Nearest-rank (p50, p95, p99) of an unsorted sample; (0,0,0) on the
+    empty list.  Shared with the load harness so bench and daemon agree
+    on the definition. *)

@@ -1,0 +1,17 @@
+type tenant = { namespace : string; handler : Servsim.Handler.state }
+
+type registry = { tbl : (string, tenant) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 16 }
+
+let attach reg namespace =
+  match Hashtbl.find_opt reg.tbl namespace with
+  | Some tenant -> tenant
+  | None ->
+      let tenant = { namespace; handler = Servsim.Handler.create_state () } in
+      Hashtbl.replace reg.tbl namespace tenant;
+      tenant
+
+let find reg namespace = Hashtbl.find_opt reg.tbl namespace
+let count reg = Hashtbl.length reg.tbl
+let namespaces reg = Hashtbl.fold (fun k _ acc -> k :: acc) reg.tbl [] |> List.sort compare

@@ -1,0 +1,22 @@
+(** Tenant sessions: the namespace → server-state registry.
+
+    A [Hello ns] binds a connection to the tenant named [ns].  Each
+    tenant owns one {!Servsim.Handler.state} — its ciphertext stores,
+    its access-pattern trace, and its cost ledger — so nothing an
+    adversarial or buggy tenant does can perturb another tenant's
+    digests or accounting.  Tenant state survives disconnects: a client
+    that reconnects with the same namespace finds its stores (this is a
+    database service, not a cache). *)
+
+type tenant = { namespace : string; handler : Servsim.Handler.state }
+
+type registry
+
+val create : unit -> registry
+
+val attach : registry -> string -> tenant
+(** Find the tenant, creating it on first [Hello]. *)
+
+val find : registry -> string -> tenant option
+val count : registry -> int
+val namespaces : registry -> string list

@@ -1,0 +1,148 @@
+type store = { mutable blocks : string array; mutable len : int }
+
+type state = {
+  stores : (string, store) Hashtbl.t;
+  trace : Trace.t;
+  cost : Cost.t;
+  started : float;
+  mutable bytes : int;
+}
+
+let create_state () =
+  {
+    stores = Hashtbl.create 32;
+    trace = Trace.create ();
+    cost = Cost.create ();
+    started = Unix.gettimeofday ();
+    bytes = 0;
+  }
+
+let trace st = st.trace
+let cost st = st.cost
+let total_bytes st = st.bytes
+let started st = st.started
+
+(* Session-level frames ([Hello] before the session exists, and the
+   version byte) are connection setup, not served requests: the client's
+   [Remote.frames] counter skips them, so the server-side ledger must
+   too, or the frames == ledger invariant breaks. *)
+let counted = function Wire.Hello _ -> false | _ -> true
+
+let account_request st ~bytes =
+  Cost.round_trip st.cost;
+  Cost.sent_to_server st.cost bytes
+
+let account_response st ~bytes =
+  Cost.sent_to_client st.cost bytes;
+  Cost.set_server_bytes st.cost st.bytes
+
+let find st name =
+  match Hashtbl.find_opt st.stores name with
+  | Some s -> s
+  | None -> raise (Wire.Protocol_error ("no such store: " ^ name))
+
+let ensure s n =
+  if n > Array.length s.blocks then begin
+    let cap = ref (max 16 (Array.length s.blocks)) in
+    while !cap < n do
+      cap := !cap * 2
+    done;
+    let blocks = Array.make !cap "" in
+    Array.blit s.blocks 0 blocks 0 s.len;
+    s.blocks <- blocks
+  end;
+  if n > s.len then s.len <- n
+
+(* Fallback [Stats] answer for serving modes that do not sample service
+   latencies (the legacy one-client fork server): the session ledger is
+   still exact, the percentiles are reported as 0. *)
+let basic_stats st =
+  let c = Cost.snapshot st.cost in
+  Wire.Stats_reply
+    {
+      uptime_us = Int64.of_float ((Unix.gettimeofday () -. st.started) *. 1e6);
+      sessions = 1;
+      frames = c.Cost.round_trips;
+      bytes_in = c.Cost.bytes_to_server;
+      bytes_out = c.Cost.bytes_to_client;
+      p50_us = 0;
+      p95_us = 0;
+      p99_us = 0;
+    }
+
+let handle st = function
+  | Wire.Create_store name ->
+      if Hashtbl.mem st.stores name then Wire.Error ("store exists: " ^ name)
+      else begin
+        Hashtbl.replace st.stores name { blocks = Array.make 16 ""; len = 0 };
+        Wire.Ok
+      end
+  | Wire.Drop_store name ->
+      (match Hashtbl.find_opt st.stores name with
+      | None -> ()
+      | Some s ->
+          for i = 0 to s.len - 1 do
+            st.bytes <- st.bytes - String.length s.blocks.(i)
+          done;
+          Hashtbl.remove st.stores name);
+      Wire.Ok
+  | Wire.Ensure (name, n) ->
+      ensure (find st name) n;
+      Wire.Ok
+  | Wire.Get (name, i) ->
+      let s = find st name in
+      if i < 0 || i >= s.len then Wire.Error "index out of bounds"
+      else begin
+        let c = s.blocks.(i) in
+        Trace.record st.trace { Trace.store = name; op = Trace.Read; addr = i; len = String.length c };
+        Wire.Value c
+      end
+  | Wire.Put (name, i, c) ->
+      let s = find st name in
+      if i < 0 || i >= s.len then Wire.Error "index out of bounds"
+      else begin
+        st.bytes <- st.bytes - String.length s.blocks.(i) + String.length c;
+        s.blocks.(i) <- c;
+        Trace.record st.trace { Trace.store = name; op = Trace.Write; addr = i; len = String.length c };
+        Wire.Ok
+      end
+  | Wire.Multi_get (name, idxs) ->
+      let s = find st name in
+      if List.exists (fun i -> i < 0 || i >= s.len) idxs then Wire.Error "index out of bounds"
+      else
+        Wire.Values
+          (List.map
+             (fun i ->
+               let c = s.blocks.(i) in
+               Trace.record st.trace
+                 { Trace.store = name; op = Trace.Read; addr = i; len = String.length c };
+               c)
+             idxs)
+  | Wire.Multi_put (name, items) ->
+      let s = find st name in
+      (* Validate every index before mutating anything: a batch either
+         lands whole or not at all. *)
+      if List.exists (fun (i, _) -> i < 0 || i >= s.len) items then
+        Wire.Error "index out of bounds"
+      else begin
+        List.iter
+          (fun (i, c) ->
+            st.bytes <- st.bytes - String.length s.blocks.(i) + String.length c;
+            s.blocks.(i) <- c;
+            Trace.record st.trace
+              { Trace.store = name; op = Trace.Write; addr = i; len = String.length c })
+          items;
+        Wire.Ok
+      end
+  | Wire.Digest ->
+      Wire.Digests
+        {
+          full = Trace.full_digest st.trace;
+          shape = Trace.shape_digest st.trace;
+          count = Trace.count st.trace;
+        }
+  | Wire.Total_bytes -> Wire.Bytes_total st.bytes
+  | Wire.Hello _ -> Wire.Ok
+  | Wire.Ping -> Wire.Pong
+  | Wire.Stats -> basic_stats st
+  | Wire.Bye -> Wire.Ok

@@ -1,0 +1,48 @@
+(** Server-side request dispatch, shared by every serving mode.
+
+    One [state] is one tenant session: the ciphertext stores of a single
+    namespace, the access-pattern {!Trace} recorded where the adversary
+    sits, and a per-session {!Cost} ledger (round trips and bytes on the
+    wire).  The legacy one-client fork server ({!Remote_server}) owns
+    exactly one; the multi-tenant daemon ([Service.Daemon]) keeps one per
+    namespace, so no accounting or trace state is ever shared across
+    tenants. *)
+
+type state
+
+val create_state : unit -> state
+
+val handle : state -> Wire.request -> Wire.response
+(** Dispatch one request against this session's stores.  Store ops,
+    [Digest] and [Total_bytes] are served from the session state;
+    [Ping] answers [Pong]; [Hello] and [Bye] answer [Ok] (connection
+    lifecycle is the serving loop's job); [Stats] answers the session
+    ledger with zero latency percentiles — serving modes that sample
+    latencies (the daemon) intercept [Stats] and answer with real
+    percentiles instead.
+    @raise Wire.Protocol_error e.g. on access to a store that does not
+    exist (serving loops turn this into an [Error] response). *)
+
+val counted : Wire.request -> bool
+(** Whether the frame counts toward the session's round-trip ledger.
+    [Hello] (and the version byte, which never reaches the dispatcher)
+    are connection setup and uncounted — mirroring the client's
+    [Remote.frames]. *)
+
+val account_request : state -> bytes:int -> unit
+(** Charge one served request frame to the session ledger: one round
+    trip plus [bytes] received.  Call before dispatching, so a [Stats]
+    request observes itself in [frames] exactly like the client's
+    [Remote.frames] counter does. *)
+
+val account_response : state -> bytes:int -> unit
+(** Charge the response bytes and refresh the server-storage gauge. *)
+
+val trace : state -> Trace.t
+val cost : state -> Cost.t
+
+val total_bytes : state -> int
+(** Current ciphertext bytes held across this session's stores. *)
+
+val started : state -> float
+(** [Unix.gettimeofday] at session creation. *)

@@ -6,7 +6,12 @@ type t = {
   mutable closed : bool;
 }
 
-let connect_fd ?pid fd =
+let default_namespace = "default"
+
+let rec retry_intr f =
+  match f () with v -> v | exception Unix.Unix_error (Unix.EINTR, _, _) -> retry_intr f
+
+let connect_fd ?pid ?(namespace = default_namespace) fd =
   (* A dead peer must surface as an exception on the next call, not as a
      process-killing SIGPIPE. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -27,7 +32,45 @@ let connect_fd ?pid fd =
               Wire.protocol_version v))
   | exception End_of_file ->
       raise (Wire.Protocol_error "server closed the connection during the version handshake"));
+  (* Session establishment: bind the connection to a store namespace.
+     Connection setup like the version byte, so not counted in [frames]. *)
+  Wire.write_request t.oc (Wire.Hello namespace);
+  (match Wire.read_response t.ic with
+  | Wire.Ok -> ()
+  | Wire.Error msg -> raise (Wire.Protocol_error ("session rejected: " ^ msg))
+  | _ -> raise (Wire.Protocol_error "unexpected response to Hello")
+  | exception End_of_file ->
+      raise (Wire.Protocol_error "server closed the connection during session setup"));
   t
+
+let connect_unix ?namespace path =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try retry_intr (fun () -> Unix.connect fd (Unix.ADDR_UNIX path))
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  connect_fd ?namespace fd
+
+let connect_tcp ?namespace ~host ~port () =
+  let addr =
+    match Unix.inet_addr_of_string host with
+    | a -> a
+    | exception Failure _ -> (
+        match Unix.gethostbyname host with
+        | { Unix.h_addr_list = [||]; _ } -> raise (Wire.Protocol_error ("no address for " ^ host))
+        | h -> h.Unix.h_addr_list.(0)
+        | exception Not_found -> raise (Wire.Protocol_error ("unknown host " ^ host)))
+  in
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     retry_intr (fun () -> Unix.connect fd (Unix.ADDR_INET (addr, port)));
+     (* One small synchronous frame per round trip: Nagle only adds
+        latency here. *)
+     (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ())
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  connect_fd ?namespace fd
 
 let frames t = t.frames
 
@@ -56,6 +99,16 @@ let multi_put t ~store items =
     | Wire.Ok -> ()
     | _ -> raise (Wire.Protocol_error "unexpected response to Multi_put")
 
+let ping t =
+  match call t Wire.Ping with
+  | Wire.Pong -> ()
+  | _ -> raise (Wire.Protocol_error "unexpected response to Ping")
+
+let stats t =
+  match call t Wire.Stats with
+  | Wire.Stats_reply s -> s
+  | _ -> raise (Wire.Protocol_error "unexpected response to Stats")
+
 let server_digests t =
   match call t Wire.Digest with
   | Wire.Digests { full; shape; count } -> (full, shape, count)
@@ -72,6 +125,7 @@ let close t =
     close_out_noerr t.oc;
     (* ic shares the fd; closing oc closed it. *)
     match t.pid with
-    | Some pid -> ignore (try Unix.waitpid [] pid with Unix.Unix_error _ -> (0, Unix.WEXITED 0))
+    | Some pid ->
+        ignore (try retry_intr (fun () -> Unix.waitpid [] pid) with Unix.Unix_error _ -> (0, Unix.WEXITED 0))
     | None -> ()
   end

@@ -2,11 +2,23 @@
 
 type t
 
-val connect_fd : ?pid:int -> Unix.file_descr -> t
+val connect_fd : ?pid:int -> ?namespace:string -> Unix.file_descr -> t
 (** Wrap a connected descriptor (e.g. from {!Remote_server.fork_server});
-    [pid] is reaped on {!close}.  Performs the one-byte version handshake.
+    [pid] is reaped on {!close}.  Performs the one-byte version handshake
+    and then binds the connection to [namespace] (default ["default"])
+    with a [Hello] frame — an isolated store namespace with its own
+    server-side trace and cost ledgers when the peer is the multi-tenant
+    daemon.  Neither setup exchange is counted in {!frames}.
     @raise Wire.Protocol_error if the server speaks a different protocol
-    version or closes during the handshake. *)
+    version, rejects the session, or closes during setup. *)
+
+val connect_unix : ?namespace:string -> string -> t
+(** [connect_unix path] connects to a daemon listening on a Unix-domain
+    socket at [path], then behaves as {!connect_fd}. *)
+
+val connect_tcp : ?namespace:string -> host:string -> port:int -> unit -> t
+(** [connect_tcp ~host ~port ()] connects over TCP (numeric address or
+    hostname; [TCP_NODELAY] is set), then behaves as {!connect_fd}. *)
 
 val call : t -> Wire.request -> Wire.response
 (** Synchronous request/response.
@@ -19,10 +31,20 @@ val multi_get : t -> store:string -> int list -> string list
 val multi_put : t -> store:string -> (int * string) list -> unit
 (** One [Multi_put] frame.  No-op (no frame) on the empty list. *)
 
+val ping : t -> unit
+(** One [Ping]/[Pong] exchange (counted in {!frames}). *)
+
+val stats : t -> Wire.stats
+(** The server's view of this session: frames served (its round-trip
+    ledger, which must equal {!frames}), bytes, service-latency
+    percentiles, uptime, live session count. *)
+
 val frames : t -> int
 (** Number of request/response exchanges performed on this connection so
-    far (the version handshake is not counted).  The round-trip ledger in
-    {!Cost} is asserted against this counter in tests. *)
+    far (the version handshake and the [Hello] session setup are not
+    counted).  The round-trip ledger in {!Cost} is asserted against this
+    counter in tests, and the server's own per-session ledger — reported
+    by {!stats} — must match it too. *)
 
 val digests : t -> full:int64 -> shape:int64 -> count:int -> bool
 (** [digests t ~full ~shape ~count] asks the server for its own trace

@@ -1,104 +1,3 @@
-type store = { mutable blocks : string array; mutable len : int }
-
-type state = {
-  stores : (string, store) Hashtbl.t;
-  trace : Trace.t;
-  mutable bytes : int;
-}
-
-let create_state () = { stores = Hashtbl.create 32; trace = Trace.create (); bytes = 0 }
-
-let find st name =
-  match Hashtbl.find_opt st.stores name with
-  | Some s -> s
-  | None -> raise (Wire.Protocol_error ("no such store: " ^ name))
-
-let ensure s n =
-  if n > Array.length s.blocks then begin
-    let cap = ref (max 16 (Array.length s.blocks)) in
-    while !cap < n do
-      cap := !cap * 2
-    done;
-    let blocks = Array.make !cap "" in
-    Array.blit s.blocks 0 blocks 0 s.len;
-    s.blocks <- blocks
-  end;
-  if n > s.len then s.len <- n
-
-let handle st = function
-  | Wire.Create_store name ->
-      if Hashtbl.mem st.stores name then Wire.Error ("store exists: " ^ name)
-      else begin
-        Hashtbl.replace st.stores name { blocks = Array.make 16 ""; len = 0 };
-        Wire.Ok
-      end
-  | Wire.Drop_store name ->
-      (match Hashtbl.find_opt st.stores name with
-      | None -> ()
-      | Some s ->
-          for i = 0 to s.len - 1 do
-            st.bytes <- st.bytes - String.length s.blocks.(i)
-          done;
-          Hashtbl.remove st.stores name);
-      Wire.Ok
-  | Wire.Ensure (name, n) ->
-      ensure (find st name) n;
-      Wire.Ok
-  | Wire.Get (name, i) ->
-      let s = find st name in
-      if i < 0 || i >= s.len then Wire.Error "index out of bounds"
-      else begin
-        let c = s.blocks.(i) in
-        Trace.record st.trace { Trace.store = name; op = Trace.Read; addr = i; len = String.length c };
-        Wire.Value c
-      end
-  | Wire.Put (name, i, c) ->
-      let s = find st name in
-      if i < 0 || i >= s.len then Wire.Error "index out of bounds"
-      else begin
-        st.bytes <- st.bytes - String.length s.blocks.(i) + String.length c;
-        s.blocks.(i) <- c;
-        Trace.record st.trace { Trace.store = name; op = Trace.Write; addr = i; len = String.length c };
-        Wire.Ok
-      end
-  | Wire.Multi_get (name, idxs) ->
-      let s = find st name in
-      if List.exists (fun i -> i < 0 || i >= s.len) idxs then Wire.Error "index out of bounds"
-      else
-        Wire.Values
-          (List.map
-             (fun i ->
-               let c = s.blocks.(i) in
-               Trace.record st.trace
-                 { Trace.store = name; op = Trace.Read; addr = i; len = String.length c };
-               c)
-             idxs)
-  | Wire.Multi_put (name, items) ->
-      let s = find st name in
-      (* Validate every index before mutating anything: a batch either
-         lands whole or not at all. *)
-      if List.exists (fun (i, _) -> i < 0 || i >= s.len) items then
-        Wire.Error "index out of bounds"
-      else begin
-        List.iter
-          (fun (i, c) ->
-            st.bytes <- st.bytes - String.length s.blocks.(i) + String.length c;
-            s.blocks.(i) <- c;
-            Trace.record st.trace
-              { Trace.store = name; op = Trace.Write; addr = i; len = String.length c })
-          items;
-        Wire.Ok
-      end
-  | Wire.Digest ->
-      Wire.Digests
-        {
-          full = Trace.full_digest st.trace;
-          shape = Trace.shape_digest st.trace;
-          count = Trace.count st.trace;
-        }
-  | Wire.Total_bytes -> Wire.Bytes_total st.bytes
-  | Wire.Bye -> Wire.Ok
-
 let serve ic oc =
   (* Version handshake first: always answer with our own version byte so a
      mismatched client can report the disagreement, then hang up on
@@ -108,22 +7,28 @@ let serve ic oc =
   | client_version ->
       Wire.write_hello oc;
       if client_version = Wire.protocol_version then begin
-        let st = create_state () in
+        let st = Handler.create_state () in
         let continue_ = ref true in
         while !continue_ do
           match Wire.read_request ic with
-          | Wire.Bye ->
-              Wire.write_response oc Wire.Ok;
-              continue_ := false
-          | req ->
-              let resp = try handle st req with Wire.Protocol_error msg -> Wire.Error msg in
-              Wire.write_response oc resp
           | exception End_of_file -> continue_ := false
           | exception Wire.Protocol_error msg ->
               (* The stream is beyond resync (bad tag, oversized prefix):
                  report once and hang up. *)
               (try Wire.write_response oc (Wire.Error ("unrecoverable: " ^ msg)) with _ -> ());
               continue_ := false
+          | req ->
+              let counted = Handler.counted req in
+              if counted then Handler.account_request st ~bytes:(Wire.request_size req);
+              let resp =
+                match req with
+                | Wire.Bye ->
+                    continue_ := false;
+                    Wire.Ok
+                | req -> ( try Handler.handle st req with Wire.Protocol_error msg -> Wire.Error msg)
+              in
+              Wire.write_response oc resp;
+              if counted then Handler.account_response st ~bytes:(Wire.response_size resp)
         done
       end
 
@@ -143,9 +48,15 @@ let maybe_serve_child () =
       (try serve_fd fd with _ -> ());
       Stdlib.exit 0
 
+let rec retry_intr f =
+  match f () with v -> v | exception Unix.Unix_error (Unix.EINTR, _, _) -> retry_intr f
+
 let fork_server () =
   let parent_fd, child_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  match Unix.fork () with
+  (* The parent's endpoint must never leak into re-exec'd children (ours
+     below, or any other exec this process performs later). *)
+  Unix.set_close_on_exec parent_fd;
+  match retry_intr Unix.fork with
   | 0 ->
       Unix.close parent_fd;
       (try serve_fd child_fd with _ -> ());
@@ -158,7 +69,9 @@ let fork_server () =
          program instead, with the child endpoint's descriptor number in
          the environment (the process re-enters through
          {!maybe_serve_child}, which the hosting executable must call at
-         startup). *)
+         startup).  [child_fd] is the one descriptor that must survive
+         the exec. *)
+      Unix.clear_close_on_exec child_fd;
       let fd_int : int = Obj.magic child_fd in
       let env =
         Array.append (Unix.environment ())

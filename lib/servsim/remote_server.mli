@@ -1,9 +1,13 @@
-(** The server process S: a request loop over the {!Wire} protocol.
+(** The legacy one-client server process S: a blocking request loop over
+    the {!Wire} protocol, one session per process.
 
-    Holds the ciphertext stores and its own access-pattern {!Trace} —
-    the adversary's view recorded where the adversary actually sits.
-    Run it in a forked child over a socketpair ({!serve_fd}) or embed the
-    loop in any process with connected channels ({!serve}). *)
+    Dispatch lives in {!Handler} (shared with the multi-tenant daemon in
+    [Service.Daemon]); this module only owns the blocking channel loop
+    and the fork/socketpair plumbing.  The session holds the ciphertext
+    stores, its access-pattern {!Trace} — the adversary's view recorded
+    where the adversary actually sits — and a per-session {!Cost}
+    ledger.  Run it in a forked child over a socketpair ({!serve_fd}) or
+    embed the loop in any process with connected channels ({!serve}). *)
 
 val serve : in_channel -> out_channel -> unit
 (** Serve requests until [Bye] or EOF. *)

@@ -1,4 +1,5 @@
 type request =
+  | Hello of string
   | Create_store of string
   | Drop_store of string
   | Ensure of string * int
@@ -8,7 +9,20 @@ type request =
   | Multi_put of string * (int * string) list
   | Digest
   | Total_bytes
+  | Ping
+  | Stats
   | Bye
+
+type stats = {
+  uptime_us : int64;
+  sessions : int;
+  frames : int;
+  bytes_in : int;
+  bytes_out : int;
+  p50_us : int;
+  p95_us : int;
+  p99_us : int;
+}
 
 type response =
   | Ok
@@ -16,72 +30,134 @@ type response =
   | Values of string list
   | Digests of { full : int64; shape : int64; count : int }
   | Bytes_total of int
+  | Pong
+  | Stats_reply of stats
   | Error of string
 
 exception Protocol_error of string
+exception Incomplete
 
-let protocol_version = 2
+let protocol_version = 3
 
 (* Hard caps on what a length prefix may claim.  A corrupt or truncated
-   stream must fail with [Protocol_error], not drive [really_input_string]
-   into a multi-gigabyte allocation. *)
+   stream must fail with [Protocol_error], not drive the reader into a
+   multi-gigabyte allocation. *)
 let max_string_len = 1 lsl 26 (* 64 MiB per string *)
 let max_list_len = 1 lsl 24 (* 16M entries per batch *)
+let max_namespace_len = 64
 
-let put_u32 oc v =
+(* {2 Sinks and sources}
+
+   The codec is written once against these two records; channels, byte
+   buffers and raw strings are all just instances.  The daemon's
+   non-blocking connection loop parses requests from a reassembly buffer
+   with [string_source] (which raises {!Incomplete} when the frame has
+   not fully arrived yet) and serialises responses into a [Buffer.t] with
+   [buffer_sink] — no blocking [really_input_string] on the server side. *)
+
+type sink = { put_char : char -> unit; put_str : string -> unit }
+type source = { get_char : unit -> char; get_exact : int -> string }
+
+let channel_sink oc = { put_char = output_char oc; put_str = output_string oc }
+let buffer_sink b = { put_char = Buffer.add_char b; put_str = Buffer.add_string b }
+
+let counting_sink n =
+  { put_char = (fun _ -> incr n); put_str = (fun s -> n := !n + String.length s) }
+
+let channel_source ic =
+  { get_char = (fun () -> input_char ic); get_exact = (fun n -> really_input_string ic n) }
+
+let string_source s pos =
+  {
+    get_char =
+      (fun () ->
+        if !pos >= String.length s then raise Incomplete
+        else begin
+          let c = s.[!pos] in
+          incr pos;
+          c
+        end);
+    get_exact =
+      (fun n ->
+        if !pos + n > String.length s then raise Incomplete
+        else begin
+          let r = String.sub s !pos n in
+          pos := !pos + n;
+          r
+        end);
+  }
+
+let put_u32 k v =
   if v < 0 || v > 0xFFFFFFFF then
     raise (Protocol_error (Printf.sprintf "put_u32: %d out of 32-bit range" v));
-  for k = 0 to 3 do
-    output_char oc (Char.chr ((v lsr (k * 8)) land 0xff))
+  for i = 0 to 3 do
+    k.put_char (Char.chr ((v lsr (i * 8)) land 0xff))
   done
 
-let get_u32 ic =
+let get_u32 src =
   let v = ref 0 in
-  for k = 0 to 3 do
-    v := !v lor (Char.code (input_char ic) lsl (k * 8))
+  for i = 0 to 3 do
+    v := !v lor (Char.code (src.get_char ()) lsl (i * 8))
   done;
   !v land 0xFFFFFFFF
 
-let put_u64 oc v =
-  for k = 0 to 7 do
-    output_char oc (Char.chr (Int64.to_int (Int64.shift_right_logical v (k * 8)) land 0xff))
+let put_u64 k v =
+  for i = 0 to 7 do
+    k.put_char (Char.chr (Int64.to_int (Int64.shift_right_logical v (i * 8)) land 0xff))
   done
 
-let get_u64 ic =
+let get_u64 src =
   let v = ref 0L in
-  for k = 0 to 7 do
-    let b = Int64.of_int (Char.code (input_char ic)) in
-    v := Int64.logor !v (Int64.shift_left b (k * 8))
+  for i = 0 to 7 do
+    let b = Int64.of_int (Char.code (src.get_char ())) in
+    v := Int64.logor !v (Int64.shift_left b (i * 8))
   done;
   !v
 
-let put_string oc s =
+let put_string k s =
   let n = String.length s in
   if n > max_string_len then
     raise (Protocol_error (Printf.sprintf "put_string: %d bytes exceeds frame cap %d" n max_string_len));
-  put_u32 oc n;
-  output_string oc s
+  put_u32 k n;
+  k.put_str s
 
-let get_string ic =
-  let n = get_u32 ic in
+let get_string src =
+  let n = get_u32 src in
   if n > max_string_len then
     raise (Protocol_error (Printf.sprintf "get_string: claimed length %d exceeds frame cap %d" n max_string_len));
-  really_input_string ic n
+  src.get_exact n
 
-let put_count oc n =
+let put_count k n =
   if n > max_list_len then
     raise (Protocol_error (Printf.sprintf "put_count: %d entries exceeds batch cap %d" n max_list_len));
-  put_u32 oc n
+  put_u32 k n
 
-let get_count ic =
-  let n = get_u32 ic in
+let get_count src =
+  let n = get_u32 src in
   if n > max_list_len then
     raise (Protocol_error (Printf.sprintf "get_count: claimed %d entries exceeds batch cap %d" n max_list_len));
   n
 
-let get_list ic get_item =
-  let n = get_count ic in
-  List.init n (fun _ -> get_item ic)
+let get_list src get_item =
+  let n = get_count src in
+  List.init n (fun _ -> get_item src)
+
+let put_namespace k ns =
+  if String.length ns > max_namespace_len then
+    raise
+      (Protocol_error
+         (Printf.sprintf "put_namespace: %d bytes exceeds namespace cap %d" (String.length ns)
+            max_namespace_len));
+  put_string k ns
+
+let get_namespace src =
+  let ns = get_string src in
+  if String.length ns > max_namespace_len then
+    raise
+      (Protocol_error
+         (Printf.sprintf "get_namespace: %d bytes exceeds namespace cap %d" (String.length ns)
+            max_namespace_len));
+  ns
 
 let write_hello oc =
   output_char oc (Char.chr protocol_version);
@@ -89,108 +165,160 @@ let write_hello oc =
 
 let read_hello ic = Char.code (input_char ic)
 
-let write_request oc req =
-  (match req with
+let write_request_sink k req =
+  match req with
   | Create_store s ->
-      output_char oc '\001';
-      put_string oc s
+      k.put_char '\001';
+      put_string k s
   | Drop_store s ->
-      output_char oc '\002';
-      put_string oc s
+      k.put_char '\002';
+      put_string k s
   | Ensure (s, n) ->
-      output_char oc '\003';
-      put_string oc s;
-      put_u32 oc n
+      k.put_char '\003';
+      put_string k s;
+      put_u32 k n
   | Get (s, i) ->
-      output_char oc '\004';
-      put_string oc s;
-      put_u32 oc i
+      k.put_char '\004';
+      put_string k s;
+      put_u32 k i
   | Put (s, i, v) ->
-      output_char oc '\005';
-      put_string oc s;
-      put_u32 oc i;
-      put_string oc v
+      k.put_char '\005';
+      put_string k s;
+      put_u32 k i;
+      put_string k v
   | Multi_get (s, idxs) ->
-      output_char oc '\009';
-      put_string oc s;
-      put_count oc (List.length idxs);
-      List.iter (put_u32 oc) idxs
+      k.put_char '\009';
+      put_string k s;
+      put_count k (List.length idxs);
+      List.iter (put_u32 k) idxs
   | Multi_put (s, items) ->
-      output_char oc '\010';
-      put_string oc s;
-      put_count oc (List.length items);
+      k.put_char '\010';
+      put_string k s;
+      put_count k (List.length items);
       List.iter
         (fun (i, v) ->
-          put_u32 oc i;
-          put_string oc v)
+          put_u32 k i;
+          put_string k v)
         items
-  | Digest -> output_char oc '\006'
-  | Total_bytes -> output_char oc '\007'
-  | Bye -> output_char oc '\008');
-  flush oc
+  | Hello ns ->
+      k.put_char '\011';
+      put_namespace k ns
+  | Ping -> k.put_char '\012'
+  | Stats -> k.put_char '\013'
+  | Digest -> k.put_char '\006'
+  | Total_bytes -> k.put_char '\007'
+  | Bye -> k.put_char '\008'
 
-let read_request ic =
-  match input_char ic with
-  | '\001' -> Create_store (get_string ic)
-  | '\002' -> Drop_store (get_string ic)
+let read_request_src src =
+  match src.get_char () with
+  | '\001' -> Create_store (get_string src)
+  | '\002' -> Drop_store (get_string src)
   | '\003' ->
-      let s = get_string ic in
-      Ensure (s, get_u32 ic)
+      let s = get_string src in
+      Ensure (s, get_u32 src)
   | '\004' ->
-      let s = get_string ic in
-      Get (s, get_u32 ic)
+      let s = get_string src in
+      Get (s, get_u32 src)
   | '\005' ->
-      let s = get_string ic in
-      let i = get_u32 ic in
-      Put (s, i, get_string ic)
+      let s = get_string src in
+      let i = get_u32 src in
+      Put (s, i, get_string src)
   | '\009' ->
-      let s = get_string ic in
-      Multi_get (s, get_list ic get_u32)
+      let s = get_string src in
+      Multi_get (s, get_list src get_u32)
   | '\010' ->
-      let s = get_string ic in
+      let s = get_string src in
       Multi_put
         ( s,
-          get_list ic (fun ic ->
-              let i = get_u32 ic in
-              (i, get_string ic)) )
+          get_list src (fun src ->
+              let i = get_u32 src in
+              (i, get_string src)) )
+  | '\011' -> Hello (get_namespace src)
+  | '\012' -> Ping
+  | '\013' -> Stats
   | '\006' -> Digest
   | '\007' -> Total_bytes
   | '\008' -> Bye
   | c -> raise (Protocol_error (Printf.sprintf "bad request tag %d" (Char.code c)))
 
-let write_response oc resp =
-  (match resp with
-  | Ok -> output_char oc '\100'
+let write_response_sink k resp =
+  match resp with
+  | Ok -> k.put_char '\100'
   | Value v ->
-      output_char oc '\101';
-      put_string oc v
+      k.put_char '\101';
+      put_string k v
   | Values vs ->
-      output_char oc '\105';
-      put_count oc (List.length vs);
-      List.iter (put_string oc) vs
+      k.put_char '\105';
+      put_count k (List.length vs);
+      List.iter (put_string k) vs
   | Digests { full; shape; count } ->
-      output_char oc '\102';
-      put_u64 oc full;
-      put_u64 oc shape;
-      put_u32 oc count
+      k.put_char '\102';
+      put_u64 k full;
+      put_u64 k shape;
+      put_u32 k count
   | Bytes_total n ->
-      output_char oc '\103';
-      put_u32 oc n
+      k.put_char '\103';
+      put_u32 k n
+  | Pong -> k.put_char '\106'
+  | Stats_reply s ->
+      k.put_char '\107';
+      put_u64 k s.uptime_us;
+      put_u32 k s.sessions;
+      put_u64 k (Int64.of_int s.frames);
+      put_u64 k (Int64.of_int s.bytes_in);
+      put_u64 k (Int64.of_int s.bytes_out);
+      put_u32 k s.p50_us;
+      put_u32 k s.p95_us;
+      put_u32 k s.p99_us
   | Error msg ->
-      output_char oc '\104';
-      put_string oc msg);
+      k.put_char '\104';
+      put_string k msg
+
+let read_response_src src =
+  match src.get_char () with
+  | '\100' -> Ok
+  | '\101' -> Value (get_string src)
+  | '\105' -> Values (get_list src get_string)
+  | '\102' ->
+      let full = get_u64 src in
+      let shape = get_u64 src in
+      let count = get_u32 src in
+      Digests { full; shape; count }
+  | '\103' -> Bytes_total (get_u32 src)
+  | '\106' -> Pong
+  | '\107' ->
+      let uptime_us = get_u64 src in
+      let sessions = get_u32 src in
+      let frames = Int64.to_int (get_u64 src) in
+      let bytes_in = Int64.to_int (get_u64 src) in
+      let bytes_out = Int64.to_int (get_u64 src) in
+      let p50_us = get_u32 src in
+      let p95_us = get_u32 src in
+      let p99_us = get_u32 src in
+      Stats_reply { uptime_us; sessions; frames; bytes_in; bytes_out; p50_us; p95_us; p99_us }
+  | '\104' -> Error (get_string src)
+  | c -> raise (Protocol_error (Printf.sprintf "bad response tag %d" (Char.code c)))
+
+let write_request oc req =
+  write_request_sink (channel_sink oc) req;
   flush oc
 
-let read_response ic =
-  match input_char ic with
-  | '\100' -> Ok
-  | '\101' -> Value (get_string ic)
-  | '\105' -> Values (get_list ic get_string)
-  | '\102' ->
-      let full = get_u64 ic in
-      let shape = get_u64 ic in
-      let count = get_u32 ic in
-      Digests { full; shape; count }
-  | '\103' -> Bytes_total (get_u32 ic)
-  | '\104' -> Error (get_string ic)
-  | c -> raise (Protocol_error (Printf.sprintf "bad response tag %d" (Char.code c)))
+let read_request ic = read_request_src (channel_source ic)
+
+let write_response oc resp =
+  write_response_sink (channel_sink oc) resp;
+  flush oc
+
+let read_response ic = read_response_src (channel_source ic)
+
+(* Canonical encoded sizes; the codec is deterministic so this equals the
+   number of bytes the frame occupies on the wire. *)
+let request_size req =
+  let n = ref 0 in
+  write_request_sink (counting_sink n) req;
+  !n
+
+let response_size resp =
+  let n = ref 0 in
+  write_response_sink (counting_sink n) resp;
+  !n

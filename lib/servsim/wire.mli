@@ -1,18 +1,25 @@
-(** Wire protocol (v2) between the client and a remote server process.
+(** Wire protocol (v3) between the client and a remote server process.
 
     Binary, synchronous request/response over any pair of file
-    descriptors (Unix socketpair, TCP socket).  All integers are
-    little-endian fixed width; strings are length-prefixed.  The protocol
-    carries only what the honest-but-curious server legitimately sees:
-    opaque ciphertext blocks and store bookkeeping.
+    descriptors (Unix socketpair, Unix-domain socket, TCP socket).  All
+    integers are little-endian fixed width; strings are length-prefixed.
+    The protocol carries only what the honest-but-curious server
+    legitimately sees: opaque ciphertext blocks and store bookkeeping.
 
-    v2 adds batched block operations ([Multi_get]/[Multi_put]/[Values]) —
-    one frame per logical batch, e.g. a whole ORAM path — plus a one-byte
-    version handshake on connect and hard caps on every length prefix so a
-    corrupt stream fails with {!Protocol_error} instead of an unbounded
-    allocation. *)
+    v2 added batched block operations ([Multi_get]/[Multi_put]/[Values])
+    plus a one-byte version handshake and hard caps on every length
+    prefix.  v3 adds multi-tenant session establishment ([Hello] with a
+    namespace), liveness ([Ping]/[Pong]) and service introspection
+    ([Stats]/[Stats_reply]), and re-expresses the codec over pluggable
+    {!sink}/{!source} records so the same code drives blocking channels
+    and the daemon's incremental, non-blocking frame reassembly. *)
 
 type request =
+  | Hello of string
+      (** Establish the session: bind this connection to an isolated
+          store namespace.  Sent once, immediately after the version
+          handshake; part of connection setup, so neither side counts it
+          as a request frame. *)
   | Create_store of string
   | Drop_store of string
   | Ensure of string * int
@@ -26,7 +33,24 @@ type request =
           respect to bounds checking. *)
   | Digest  (** ask the server for its own trace digests *)
   | Total_bytes
+  | Ping  (** liveness probe; answered with [Pong] *)
+  | Stats  (** per-session service statistics; answered with [Stats_reply] *)
   | Bye
+
+type stats = {
+  uptime_us : int64;  (** server uptime, microseconds *)
+  sessions : int;  (** currently connected clients, server-wide *)
+  frames : int;
+      (** request frames served in this session (its round-trip ledger);
+          [Hello] and the version byte are connection setup and excluded *)
+  bytes_in : int;  (** request bytes received in this session *)
+  bytes_out : int;
+      (** response bytes sent in this session, excluding the in-flight
+          [Stats_reply] itself *)
+  p50_us : int;  (** service-latency percentiles for this session's *)
+  p95_us : int;  (** namespace, microseconds; 0 when the serving mode *)
+  p99_us : int;  (** does not sample latencies (legacy fork server) *)
+}
 
 type response =
   | Ok
@@ -34,18 +58,44 @@ type response =
   | Values of string list  (** answers [Multi_get], same order as the indices *)
   | Digests of { full : int64; shape : int64; count : int }
   | Bytes_total of int
+  | Pong
+  | Stats_reply of stats
   | Error of string
 
 val protocol_version : int
-(** Current protocol version (2).  Exchanged once per connection:
+(** Current protocol version (3).  Exchanged once per connection:
     the client sends its version byte, the server always answers with its
-    own, and each side rejects a mismatch with {!Protocol_error}. *)
+    own, and each side rejects a mismatch — a v2 peer fails the handshake
+    cleanly instead of misparsing the stream mid-session. *)
 
 val max_string_len : int
 (** Upper bound any string length prefix may claim (bytes). *)
 
 val max_list_len : int
 (** Upper bound any batch count prefix may claim (entries). *)
+
+val max_namespace_len : int
+(** Upper bound on a [Hello] namespace length (bytes). *)
+
+(** {2 Sinks and sources}
+
+    The codec is written once against these records.  [string_source]
+    raises {!Incomplete} (not [Protocol_error]) when it runs off the end
+    of the buffer: the frame is merely not fully received yet, and the
+    caller should retry once more bytes arrive. *)
+
+type sink = { put_char : char -> unit; put_str : string -> unit }
+type source = { get_char : unit -> char; get_exact : int -> string }
+
+val channel_sink : out_channel -> sink
+val buffer_sink : Buffer.t -> sink
+
+val channel_source : in_channel -> source
+(** Blocking source; raises [End_of_file] on a closed peer. *)
+
+val string_source : string -> int ref -> source
+(** [string_source s pos] reads from [s] starting at [!pos], advancing
+    [pos] as it consumes.  @raise Incomplete when [s] is exhausted. *)
 
 val write_hello : out_channel -> unit
 (** Send the one-byte version preamble. *)
@@ -58,4 +108,22 @@ val read_request : in_channel -> request
 val write_response : out_channel -> response -> unit
 val read_response : in_channel -> response
 
+val write_request_sink : sink -> request -> unit
+(** Like {!write_request} but into any sink, and without the flush. *)
+
+val read_request_src : source -> request
+
+val write_response_sink : sink -> response -> unit
+val read_response_src : source -> response
+
+val request_size : request -> int
+(** Exact encoded size of the frame in bytes (the codec is canonical). *)
+
+val response_size : response -> int
+
 exception Protocol_error of string
+(** The stream is malformed beyond recovery (bad tag, oversized prefix,
+    out-of-range integer). *)
+
+exception Incomplete
+(** Raised only by {!string_source}: the frame has not fully arrived. *)

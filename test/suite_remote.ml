@@ -161,6 +161,9 @@ let qcheck_wire_request_roundtrip =
             (fun s i v -> Servsim.Wire.Put (s, i, v))
             (string_size (0 -- 20))
             (int_bound 100000) (string_size (0 -- 200));
+          map (fun ns -> Servsim.Wire.Hello ns) (string_size (0 -- 40));
+          return Servsim.Wire.Ping;
+          return Servsim.Wire.Stats;
           return Servsim.Wire.Digest;
           return Servsim.Wire.Total_bytes;
         ])
@@ -180,6 +183,7 @@ let qcheck_wire_response_roundtrip =
               Servsim.Wire.Digests { full = Int64.of_int a; shape = Int64.of_int b; count = c })
             int int (int_bound 1000000);
           map (fun n -> Servsim.Wire.Bytes_total n) (int_bound 1000000);
+          return Servsim.Wire.Pong;
           map (fun m -> Servsim.Wire.Error m) (string_size (0 -- 50));
         ])
   in

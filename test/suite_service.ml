@@ -1,0 +1,318 @@
+(* The multi-tenant daemon: an in-process [Service.Daemon] on a Unix
+   socket (run in a background thread), exercised by real client
+   connections.  Checks per-tenant isolation — concurrent discover runs
+   produce server-side trace digests bit-identical to a single-client
+   run — plus the frames == per-session-ledger invariant, fault
+   isolation (mid-frame disconnects, malformed frames, a v2 client),
+   the connection cap, the idle timeout, and graceful drain. *)
+
+let with_daemon ?(max_conns = 64) ?(idle_timeout = 0.) f =
+  let path = Filename.temp_file "svc-test" ".sock" in
+  Sys.remove path;
+  let daemon =
+    Service.Daemon.create
+      { Service.Daemon.default_config with unix_path = Some path; max_conns; idle_timeout }
+  in
+  let th = Thread.create Service.Daemon.run daemon in
+  Fun.protect
+    ~finally:(fun () ->
+      Service.Daemon.stop daemon;
+      Thread.join th)
+    (fun () -> f path daemon)
+
+let with_client ?namespace path f =
+  let conn = Servsim.Remote.connect_unix ?namespace path in
+  Fun.protect ~finally:(fun () -> try Servsim.Remote.close conn with _ -> ()) (fun () -> f conn)
+
+(* A raw (non-[Remote]) connection, for speaking out of protocol. *)
+let raw_connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let discover_fds conn table =
+  let r = Core.Protocol.discover ~seed:99 ~remote:conn Core.Protocol.Sort table in
+  String.concat ";" (List.map (Format.asprintf "%a" Fdbase.Fd.pp) r.Core.Protocol.fds)
+
+(* {2 Tenant isolation under concurrency} *)
+
+let test_concurrent_tenants_match_single_client () =
+  let table = Datasets.Examples.fig1 () in
+  (* Reference: one daemon, one client, one tenant. *)
+  let ref_fds = ref "" and ref_digests = ref (0L, 0L, 0) in
+  with_daemon (fun path _ ->
+      with_client ~namespace:"solo" path (fun conn ->
+          ref_fds := discover_fds conn table;
+          ref_digests := Servsim.Remote.server_digests conn));
+  (* Two tenants running the same protocol concurrently on one daemon:
+     each tenant's server-side trace must be bit-identical to the
+     single-client run — neither client can even see that the other
+     exists in its own adversary view. *)
+  with_daemon (fun path _ ->
+      let run ns out_fds out_digests () =
+        with_client ~namespace:ns path (fun conn ->
+            out_fds := discover_fds conn table;
+            out_digests := Servsim.Remote.server_digests conn)
+      in
+      let a_fds = ref "" and a_dig = ref (0L, 0L, 0) in
+      let b_fds = ref "" and b_dig = ref (0L, 0L, 0) in
+      let ta = Thread.create (run "alice" a_fds a_dig) () in
+      let tb = Thread.create (run "bob" b_fds b_dig) () in
+      Thread.join ta;
+      Thread.join tb;
+      Alcotest.(check string) "alice finds the same FDs" !ref_fds !a_fds;
+      Alcotest.(check string) "bob finds the same FDs" !ref_fds !b_fds;
+      let f0, s0, c0 = !ref_digests in
+      let check_digests who (f, s, c) =
+        Alcotest.(check int64) (who ^ " full digest") f0 f;
+        Alcotest.(check int64) (who ^ " shape digest") s0 s;
+        Alcotest.(check int) (who ^ " trace count") c0 c
+      in
+      check_digests "alice" !a_dig;
+      check_digests "bob" !b_dig)
+
+let test_tenant_state_survives_reconnect () =
+  with_daemon (fun path _ ->
+      with_client ~namespace:"durable" path (fun conn ->
+          ignore (Servsim.Remote.call conn (Servsim.Wire.Create_store "s"));
+          ignore (Servsim.Remote.call conn (Servsim.Wire.Ensure ("s", 4)));
+          ignore (Servsim.Remote.call conn (Servsim.Wire.Put ("s", 1, "kept"))));
+      with_client ~namespace:"durable" path (fun conn ->
+          match Servsim.Remote.call conn (Servsim.Wire.Get ("s", 1)) with
+          | Servsim.Wire.Value v -> Alcotest.(check string) "value survives" "kept" v
+          | _ -> Alcotest.fail "get after reconnect");
+      (* ...but another namespace sees none of it. *)
+      with_client ~namespace:"stranger" path (fun conn ->
+          Alcotest.(check bool) "other tenant has no store" true
+            (match Servsim.Remote.call conn (Servsim.Wire.Get ("s", 1)) with
+            | exception Servsim.Wire.Protocol_error _ -> true
+            | _ -> false)))
+
+(* {2 Session accounting} *)
+
+let test_frames_match_session_ledger () =
+  with_daemon (fun path _ ->
+      with_client ~namespace:"ledger" path (fun conn ->
+          ignore (Servsim.Remote.call conn (Servsim.Wire.Create_store "s"));
+          ignore (Servsim.Remote.call conn (Servsim.Wire.Ensure ("s", 8)));
+          for i = 0 to 7 do
+            ignore (Servsim.Remote.call conn (Servsim.Wire.Put ("s", i, "x")))
+          done;
+          Servsim.Remote.ping conn;
+          let stats = Servsim.Remote.stats conn in
+          Alcotest.(check int) "server ledger equals client frames"
+            (Servsim.Remote.frames conn) stats.Servsim.Wire.frames;
+          (* A second look must observe the first Stats exchange too. *)
+          let stats2 = Servsim.Remote.stats conn in
+          Alcotest.(check int) "still equal after Stats itself"
+            (Servsim.Remote.frames conn) stats2.Servsim.Wire.frames;
+          Alcotest.(check bool) "sampled latency percentiles are ordered" true
+            (stats2.Servsim.Wire.p50_us <= stats2.Servsim.Wire.p95_us
+            && stats2.Servsim.Wire.p95_us <= stats2.Servsim.Wire.p99_us)))
+
+(* {2 Fault isolation} *)
+
+let test_mid_frame_disconnect_leaves_others_served () =
+  with_daemon (fun path _ ->
+      with_client ~namespace:"survivor" path (fun conn ->
+          ignore (Servsim.Remote.call conn (Servsim.Wire.Create_store "s"));
+          ignore (Servsim.Remote.call conn (Servsim.Wire.Ensure ("s", 2)));
+          (* A second client dies mid-frame: version byte, Hello, then a
+             Put whose length prefix is cut short by an abrupt close. *)
+          let fd, ic, oc = raw_connect path in
+          output_char oc (Char.chr Servsim.Wire.protocol_version);
+          flush oc;
+          Alcotest.(check int) "handshake answered" Servsim.Wire.protocol_version
+            (Char.code (input_char ic));
+          Servsim.Wire.write_request oc (Servsim.Wire.Hello "victim");
+          (match Servsim.Wire.read_response ic with
+          | Servsim.Wire.Ok -> ()
+          | _ -> Alcotest.fail "hello");
+          output_string oc "\005\002";
+          flush oc;
+          Unix.close fd;
+          (* The survivor is still served by the same daemon. *)
+          ignore (Servsim.Remote.call conn (Servsim.Wire.Put ("s", 0, "alive")));
+          match Servsim.Remote.call conn (Servsim.Wire.Get ("s", 0)) with
+          | Servsim.Wire.Value v -> Alcotest.(check string) "served after kill" "alive" v
+          | _ -> Alcotest.fail "get"))
+
+let test_malformed_frame_closes_only_offender () =
+  with_daemon (fun path _ ->
+      with_client ~namespace:"bystander" path (fun conn ->
+          let fd, ic, oc = raw_connect path in
+          output_char oc (Char.chr Servsim.Wire.protocol_version);
+          flush oc;
+          ignore (input_char ic);
+          Servsim.Wire.write_request oc (Servsim.Wire.Hello "hostile");
+          (match Servsim.Wire.read_response ic with
+          | Servsim.Wire.Ok -> ()
+          | _ -> Alcotest.fail "hello");
+          (* An unknown tag is beyond resync: the daemon must answer one
+             final Error and hang up on this connection only. *)
+          output_char oc '\042';
+          flush oc;
+          (match Servsim.Wire.read_response ic with
+          | Servsim.Wire.Error _ -> ()
+          | _ -> Alcotest.fail "expected Error for bad tag");
+          Alcotest.(check bool) "offender hung up" true
+            (match input_char ic with
+            | _ -> false
+            | exception End_of_file -> true);
+          Unix.close fd;
+          Servsim.Remote.ping conn))
+
+let test_hello_required_first () =
+  with_daemon (fun path _ ->
+      let fd, ic, oc = raw_connect path in
+      output_char oc (Char.chr Servsim.Wire.protocol_version);
+      flush oc;
+      ignore (input_char ic);
+      Servsim.Wire.write_request oc Servsim.Wire.Ping;
+      (match Servsim.Wire.read_response ic with
+      | Servsim.Wire.Error _ -> ()
+      | _ -> Alcotest.fail "expected Error before Hello");
+      Alcotest.(check bool) "connection closed" true
+        (match input_char ic with _ -> false | exception End_of_file -> true);
+      Unix.close fd)
+
+let test_v2_handshake_rejected () =
+  with_daemon (fun path _ ->
+      let fd, ic, oc = raw_connect path in
+      output_char oc '\002';
+      flush oc;
+      (* The daemon announces its own version so the stale client can
+         diagnose the mismatch, then hangs up. *)
+      Alcotest.(check int) "daemon announces v3" Servsim.Wire.protocol_version
+        (Char.code (input_char ic));
+      Alcotest.(check bool) "then hangs up" true
+        (match input_char ic with _ -> false | exception End_of_file -> true);
+      Unix.close fd)
+
+(* {2 Robustness: cap, idle timeout, drain} *)
+
+let test_connection_cap () =
+  with_daemon ~max_conns:2 (fun path _ ->
+      with_client ~namespace:"one" path (fun _c1 ->
+          with_client ~namespace:"two" path (fun _c2 ->
+              Alcotest.(check bool) "third connection turned away" true
+                (match Servsim.Remote.connect_unix ~namespace:"three" path with
+                | conn ->
+                    Servsim.Remote.close conn;
+                    false
+                | exception _ -> true))))
+
+let test_idle_timeout () =
+  with_daemon ~idle_timeout:0.3 (fun path _ ->
+      with_client ~namespace:"sleepy" path (fun conn ->
+          Servsim.Remote.ping conn;
+          Unix.sleepf 1.2;
+          Alcotest.(check bool) "idle connection was closed" true
+            (match Servsim.Remote.ping conn with
+            | () -> false
+            | exception _ -> true)))
+
+let test_graceful_drain () =
+  let path = Filename.temp_file "svc-test" ".sock" in
+  Sys.remove path;
+  let daemon =
+    Service.Daemon.create { Service.Daemon.default_config with unix_path = Some path }
+  in
+  let th = Thread.create Service.Daemon.run daemon in
+  let conn = Servsim.Remote.connect_unix ~namespace:"draining" path in
+  ignore (Servsim.Remote.call conn (Servsim.Wire.Create_store "s"));
+  Service.Daemon.stop daemon;
+  (* Already-connected clients keep being served during the drain... *)
+  ignore (Servsim.Remote.call conn (Servsim.Wire.Ensure ("s", 2)));
+  Servsim.Remote.ping conn;
+  (* ...and once the last one leaves, the daemon exits. *)
+  Servsim.Remote.close conn;
+  Thread.join th;
+  Alcotest.(check bool) "socket path removed" false (Sys.file_exists path);
+  Alcotest.(check int) "no live connections" 0 (Service.Daemon.live_conns daemon)
+
+let test_tcp_listener () =
+  let daemon =
+    Service.Daemon.create
+      { Service.Daemon.default_config with tcp = Some ("127.0.0.1", 0) }
+  in
+  let port =
+    match Service.Daemon.tcp_port daemon with Some p -> p | None -> Alcotest.fail "no port"
+  in
+  let th = Thread.create Service.Daemon.run daemon in
+  Fun.protect
+    ~finally:(fun () ->
+      Service.Daemon.stop daemon;
+      Thread.join th)
+    (fun () ->
+      let conn = Servsim.Remote.connect_tcp ~namespace:"tcp" ~host:"127.0.0.1" ~port () in
+      Servsim.Remote.ping conn;
+      ignore (Servsim.Remote.call conn (Servsim.Wire.Create_store "s"));
+      ignore (Servsim.Remote.call conn (Servsim.Wire.Ensure ("s", 1)));
+      ignore (Servsim.Remote.call conn (Servsim.Wire.Put ("s", 0, "over tcp")));
+      (match Servsim.Remote.call conn (Servsim.Wire.Get ("s", 0)) with
+      | Servsim.Wire.Value v -> Alcotest.(check string) "tcp roundtrip" "over tcp" v
+      | _ -> Alcotest.fail "get");
+      Servsim.Remote.close conn)
+
+(* {2 Frame decoder unit tests (byte-at-a-time reassembly)} *)
+
+let test_decoder_byte_at_a_time () =
+  let req = Servsim.Wire.Put ("store", 7, String.make 100 'z') in
+  let buf = Buffer.create 64 in
+  Servsim.Wire.write_request_sink (Servsim.Wire.buffer_sink buf) req;
+  let encoded = Buffer.to_bytes buf in
+  let dec = Service.Frame_decoder.create () in
+  let got = ref None in
+  Bytes.iter
+    (fun c ->
+      Alcotest.(check bool) "no frame before last byte" true (!got = None);
+      Service.Frame_decoder.feed dec (Bytes.make 1 c) ~off:0 ~len:1;
+      match Service.Frame_decoder.next dec with
+      | Some (r, n) -> got := Some (r, n)
+      | None -> ())
+    encoded;
+  match !got with
+  | Some (r, n) ->
+      Alcotest.(check bool) "frame decoded" true (r = req);
+      Alcotest.(check int) "consumed exactly the frame" (Bytes.length encoded) n;
+      Alcotest.(check int) "no residue" 0 (Service.Frame_decoder.pending_bytes dec)
+  | None -> Alcotest.fail "frame never completed"
+
+let test_decoder_pipelined_frames () =
+  let reqs =
+    [ Servsim.Wire.Ping; Servsim.Wire.Get ("a", 1); Servsim.Wire.Put ("b", 2, "vv");
+      Servsim.Wire.Stats ]
+  in
+  let buf = Buffer.create 64 in
+  List.iter (fun r -> Servsim.Wire.write_request_sink (Servsim.Wire.buffer_sink buf) r) reqs;
+  let dec = Service.Frame_decoder.create () in
+  Service.Frame_decoder.feed dec (Buffer.to_bytes buf) ~off:0 ~len:(Buffer.length buf);
+  let rec drain acc =
+    match Service.Frame_decoder.next dec with
+    | Some (r, _) -> drain (r :: acc)
+    | None -> List.rev acc
+  in
+  Alcotest.(check bool) "all pipelined frames decoded in order" true (drain [] = reqs)
+
+let suite =
+  [
+    Alcotest.test_case "concurrent tenants match single-client digests" `Quick
+      test_concurrent_tenants_match_single_client;
+    Alcotest.test_case "tenant state survives reconnect" `Quick
+      test_tenant_state_survives_reconnect;
+    Alcotest.test_case "frames match per-session ledger" `Quick
+      test_frames_match_session_ledger;
+    Alcotest.test_case "mid-frame disconnect isolated" `Quick
+      test_mid_frame_disconnect_leaves_others_served;
+    Alcotest.test_case "malformed frame isolated" `Quick
+      test_malformed_frame_closes_only_offender;
+    Alcotest.test_case "hello required first" `Quick test_hello_required_first;
+    Alcotest.test_case "v2 handshake rejected" `Quick test_v2_handshake_rejected;
+    Alcotest.test_case "connection cap" `Quick test_connection_cap;
+    Alcotest.test_case "idle timeout" `Slow test_idle_timeout;
+    Alcotest.test_case "graceful drain" `Quick test_graceful_drain;
+    Alcotest.test_case "tcp listener" `Quick test_tcp_listener;
+    Alcotest.test_case "decoder byte-at-a-time" `Quick test_decoder_byte_at_a_time;
+    Alcotest.test_case "decoder pipelined frames" `Quick test_decoder_pipelined_frames;
+  ]

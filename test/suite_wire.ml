@@ -1,8 +1,8 @@
-(* Wire protocol v2: property tests for the codec (including the batch
-   frames), malformed-prefix hardening, the version handshake, and
-   remote-vs-local equivalence of a PathORAM workload — same trace shape,
-   same server digests, and a round-trip ledger that matches the actual
-   number of wire frames. *)
+(* Wire protocol v3: property tests for the codec (including the batch
+   and session frames), malformed-prefix hardening, the version
+   handshake, and remote-vs-local equivalence of a PathORAM workload —
+   same trace shape, same server digests, and a round-trip ledger that
+   matches the actual number of wire frames. *)
 
 open Relation
 
@@ -57,9 +57,32 @@ let request_gen =
           (fun s items -> Servsim.Wire.Multi_put (s, items))
           (string_size (0 -- 20))
           (list_size (0 -- 40) (pair (int_bound 100000) (string_size (0 -- 50))));
+        map (fun ns -> Servsim.Wire.Hello ns) (string_size (0 -- 40));
+        return Servsim.Wire.Ping;
+        return Servsim.Wire.Stats;
         return Servsim.Wire.Digest;
         return Servsim.Wire.Total_bytes;
       ])
+
+let stats_gen =
+  QCheck.Gen.(
+    map
+      (fun ((uptime, sessions, frames), (bytes_in, bytes_out), (p50, p95, p99)) ->
+        Servsim.Wire.Stats_reply
+          {
+            uptime_us = Int64.of_int uptime;
+            sessions;
+            frames;
+            bytes_in;
+            bytes_out;
+            p50_us = p50;
+            p95_us = p95;
+            p99_us = p99;
+          })
+      (triple
+         (triple (int_bound 1000000000) (int_bound 1000) (int_bound 1000000))
+         (pair (int_bound 1000000) (int_bound 1000000))
+         (triple (int_bound 100000) (int_bound 100000) (int_bound 100000))))
 
 let response_gen =
   QCheck.Gen.(
@@ -73,15 +96,17 @@ let response_gen =
             Servsim.Wire.Digests { full = Int64.of_int a; shape = Int64.of_int b; count = c })
           int int (int_bound 1000000);
         map (fun n -> Servsim.Wire.Bytes_total n) (int_bound 1000000);
+        return Servsim.Wire.Pong;
+        stats_gen;
         map (fun m -> Servsim.Wire.Error m) (string_size (0 -- 50));
       ])
 
 let qcheck_request_roundtrip =
-  QCheck.Test.make ~name:"wire v2 request roundtrip" ~count:300 (QCheck.make request_gen)
+  QCheck.Test.make ~name:"wire v3 request roundtrip" ~count:300 (QCheck.make request_gen)
     roundtrip_request
 
 let qcheck_response_roundtrip =
-  QCheck.Test.make ~name:"wire v2 response roundtrip" ~count:300 (QCheck.make response_gen)
+  QCheck.Test.make ~name:"wire v3 response roundtrip" ~count:300 (QCheck.make response_gen)
     roundtrip_response
 
 (* {2 Malformed / hostile prefixes} *)
@@ -133,6 +158,23 @@ let test_bad_tag () =
       output_char oc '\042';
       flush oc;
       Alcotest.(check bool) "bad request tag rejected" true
+        (raises_protocol_error (fun () -> Servsim.Wire.read_request ic)))
+
+let test_oversized_namespace () =
+  let long = String.make (Servsim.Wire.max_namespace_len + 1) 'n' in
+  (* Separate pipes: the rejected write leaves a half-written frame (the
+     tag byte) buffered in [oc], which would corrupt a later read. *)
+  with_pipe (fun _ic oc ->
+      Alcotest.(check bool) "oversized namespace rejected on write" true
+        (raises_protocol_error (fun () ->
+             Servsim.Wire.write_request oc (Servsim.Wire.Hello long))));
+  (* And a hostile peer sending one on the wire is rejected on read. *)
+  with_pipe (fun ic oc ->
+      output_char oc '\011';
+      put_u32_raw oc (String.length long);
+      output_string oc long;
+      flush oc;
+      Alcotest.(check bool) "oversized namespace rejected on read" true
         (raises_protocol_error (fun () -> Servsim.Wire.read_request ic)))
 
 (* {2 Version handshake} *)
@@ -346,6 +388,7 @@ let suite =
     Alcotest.test_case "huge list prefix" `Quick test_huge_list_prefix;
     Alcotest.test_case "put_u32 range check" `Quick test_put_u32_range;
     Alcotest.test_case "bad tag" `Quick test_bad_tag;
+    Alcotest.test_case "oversized namespace" `Quick test_oversized_namespace;
     Alcotest.test_case "hello roundtrip" `Quick test_hello_roundtrip;
     Alcotest.test_case "client rejects version mismatch" `Quick
       test_client_rejects_version_mismatch;

@@ -24,4 +24,5 @@ let () =
       ("failure", Suite_failure.suite);
       ("bucket-sort", Suite_bucket_sort.suite);
       ("edge", Suite_edge.suite);
+      ("service", Suite_service.suite);
     ]
