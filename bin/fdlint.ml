@@ -1,0 +1,83 @@
+(* fdlint — static analysis over the project's own sources.
+
+   Parses every .ml/.mli under the root with compiler-libs and enforces
+   the project rules R1..R7 (see `fdlint --list-rules` and DESIGN.md
+   §11).  Exit codes: 0 clean, 1 findings, 2 usage/config error. *)
+
+let usage = "usage: fdlint [--root DIR] [--config FILE] [--list-rules] [--smoke] [options]"
+
+let () =
+  let root = ref "." in
+  let config_path = ref "" in
+  let list_rules = ref false in
+  let smoke = ref false in
+  let quiet = ref false in
+  let disabled = ref [] in
+  let only = ref [] in
+  let spec =
+    [
+      ("--root", Arg.Set_string root, "DIR  tree to lint (default: .)");
+      ("--config", Arg.Set_string config_path, "FILE  config file (default: ROOT/.fdlint)");
+      ("--list-rules", Arg.Set list_rules, "  describe every rule and exit");
+      ("--smoke", Arg.Set smoke, "  self-test: check each rule fires on its builtin positive");
+      ("--disable", Arg.String (fun r -> disabled := r :: !disabled), "RULE  turn a rule off");
+      ("--only", Arg.String (fun r -> only := r :: !only), "RULE  run only the named rule(s)");
+      ("--quiet", Arg.Set quiet, "  print nothing; communicate through the exit code");
+    ]
+  in
+  Arg.parse spec
+    (fun a ->
+      prerr_endline ("fdlint: unexpected argument " ^ a);
+      exit 2)
+    usage;
+  let selected =
+    Lint.Rules.all
+    |> List.filter (fun r -> not (List.exists (fun s -> Lint.Rule.spec_matches s r) !disabled))
+    |> List.filter (fun r ->
+           !only = [] || List.exists (fun s -> Lint.Rule.spec_matches s r) !only)
+  in
+  if !list_rules then begin
+    List.iter
+      (fun (r : Lint.Rule.t) ->
+        Printf.printf "%s %-22s %s\n" r.id r.name r.doc;
+        List.iter
+          (fun (tag, p) ->
+            Printf.printf "   scope%s: %s\n" (if tag = "" then "" else " (" ^ tag ^ ")") p)
+          r.scope;
+        List.iter
+          (fun (tag, p) ->
+            Printf.printf "   allow%s: %s\n" (if tag = "" then "" else " (" ^ tag ^ ")") p)
+          r.allow)
+      selected;
+    exit 0
+  end;
+  if !smoke then begin
+    let failed = ref 0 in
+    List.iter
+      (fun (r : Lint.Rule.t) ->
+        let ok = Lint.Driver.smoke r in
+        if not ok then incr failed;
+        if not !quiet then
+          Printf.printf "%s %-22s %s\n" r.id r.name (if ok then "fires" else "SILENT"))
+      selected;
+    if not !quiet then
+      Printf.printf "fdlint --smoke: %d/%d rules fire\n"
+        (List.length selected - !failed)
+        (List.length selected);
+    exit (if !failed > 0 then 1 else 0)
+  end;
+  let config_file =
+    if !config_path <> "" then !config_path else Filename.concat !root ".fdlint"
+  in
+  match Lint.Config.load config_file with
+  | Error e ->
+      prerr_endline ("fdlint: " ^ e);
+      exit 2
+  | Ok config ->
+      let findings, nfiles = Lint.Driver.lint_tree ~config ~rules:selected ~root:!root () in
+      if not !quiet then begin
+        List.iter (fun f -> print_endline (Lint.Finding.to_string f)) findings;
+        Printf.printf "fdlint: %d finding(s) in %d file(s) scanned\n" (List.length findings)
+          nfiles
+      end;
+      exit (if findings <> [] then 1 else 0)

@@ -1,0 +1,14 @@
+(** Log source for the secure-FD core; enable with
+    [Logs.Src.set_level Core.Log.src (Some Logs.Debug)] or via the CLI's
+    [--debug] flag.
+
+    Rule R4 (no-raw-output-in-lib) requires every diagnostic inside
+    [lib/] to flow through this module rather than [Printf.printf] and
+    friends, so library output is levelled, capturable and silent by
+    default. *)
+
+val src : Logs.src
+
+val debug : 'a Logs.log
+val info : 'a Logs.log
+val warn : 'a Logs.log

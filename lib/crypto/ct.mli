@@ -1,0 +1,14 @@
+(** Constant-time comparisons for secret material.
+
+    [String.equal]/[Bytes.equal] (and polymorphic [=]) return at the
+    first differing byte, so an attacker timing, say, tag verification
+    learns how long a matching prefix it has guessed.  These variants
+    always scan every byte — the running time depends only on the
+    lengths, which the leakage model [L(DB)] already discloses.  Rule R6
+    (constant-time-crypto) rejects variable-time comparisons on key,
+    tag, and ciphertext material inside [lib/crypto]; use these instead.
+
+    A length mismatch still returns early: lengths are public. *)
+
+val equal : string -> string -> bool
+val equal_bytes : bytes -> bytes -> bool

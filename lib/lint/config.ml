@@ -1,0 +1,48 @@
+type t = {
+  disabled : string list;
+  allows : (string * string * string) list;
+  scopes : (string * string * string) list;
+  excludes : string list;
+}
+
+let default = { disabled = []; allows = []; scopes = []; excludes = [] }
+
+let strip_comment line =
+  match String.index_opt line '#' with None -> line | Some i -> String.sub line 0 i
+
+let words line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let parse content =
+  let err lineno msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+  let lines = String.split_on_char '\n' content in
+  let rec go acc lineno = function
+    | [] -> Ok acc
+    | line :: rest -> (
+        match words (strip_comment line) with
+        | [] -> go acc (lineno + 1) rest
+        | [ "disable"; rule ] -> go { acc with disabled = rule :: acc.disabled } (lineno + 1) rest
+        | [ "enable"; rule ] ->
+            go
+              { acc with disabled = List.filter (fun r -> not (String.equal r rule)) acc.disabled }
+              (lineno + 1) rest
+        | [ "allow"; spec; prefix ] ->
+            let rule, tag = Rule.split_spec spec in
+            go { acc with allows = (rule, tag, prefix) :: acc.allows } (lineno + 1) rest
+        | [ "scope"; spec; prefix ] ->
+            let rule, tag = Rule.split_spec spec in
+            go { acc with scopes = (rule, tag, prefix) :: acc.scopes } (lineno + 1) rest
+        | [ "exclude"; prefix ] -> go { acc with excludes = prefix :: acc.excludes } (lineno + 1) rest
+        | directive :: _ -> err lineno ("unknown or malformed directive: " ^ directive))
+  in
+  go default 1 lines
+
+let load path =
+  if not (Sys.file_exists path) then Ok default
+  else
+    match In_channel.with_open_bin path In_channel.input_all with
+    | content -> (
+        match parse content with Ok c -> Ok c | Error e -> Error (path ^ ": " ^ e))
+    | exception Sys_error e -> Error e

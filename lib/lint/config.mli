@@ -1,0 +1,29 @@
+(** The checked-in [.fdlint] configuration.
+
+    Line-based; [#] starts a comment.  Directives:
+    {v
+    disable <rule>                  turn a rule off everywhere
+    enable <rule>                   undo an earlier disable
+    allow <rule>[:<tag>] <prefix>   drop the rule's findings under a path
+    scope <rule>[:<tag>] <prefix>   additionally restrict where a
+                                    (sub-)check applies (additive with the
+                                    rule's built-in scope)
+    exclude <prefix>                do not lint files under a path at all
+    v}
+    [<rule>] is an id ("R2"), a rule name ("no-unsafe-casts") or ["*"];
+    prefixes match whole path components relative to the linted root. *)
+
+type t = {
+  disabled : string list;
+  allows : (string * string * string) list;  (** rule spec, tag ("" = any), prefix *)
+  scopes : (string * string * string) list;  (** rule spec, tag ("" = any), prefix *)
+  excludes : string list;
+}
+
+val default : t
+
+(** Parse the content of a config file. *)
+val parse : string -> (t, string) result
+
+(** Read and parse [path]; a missing file yields {!default}. *)
+val load : string -> (t, string) result

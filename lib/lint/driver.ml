@@ -1,0 +1,140 @@
+let parse_error_rule = "parse-error"
+
+(* ------------------------------------------------------------------ *)
+(* Scope / allow / suppression filtering                               *)
+
+let enabled (config : Config.t) rules =
+  List.filter
+    (fun r -> not (List.exists (fun spec -> Rule.spec_matches spec r) config.disabled))
+    rules
+
+let config_entries rule entries =
+  List.filter_map
+    (fun (spec, tag, prefix) -> if Rule.spec_matches spec rule then Some (tag, prefix) else None)
+    entries
+
+let in_scope (config : Config.t) (rule : Rule.t) ~tag ~path =
+  let entries = rule.scope @ config_entries rule config.scopes in
+  let matching = List.filter (fun (t, _) -> t = "" || String.equal t tag) entries in
+  matching = [] || List.exists (fun (_, p) -> Rule.path_matches ~prefix:p path) matching
+
+let allowed (config : Config.t) (rule : Rule.t) ~tag ~path =
+  let entries = rule.allow @ config_entries rule config.allows in
+  List.exists
+    (fun (t, p) -> (t = "" || String.equal t tag) && Rule.path_matches ~prefix:p path)
+    entries
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+
+let parse_ast ~path content =
+  let lexbuf = Lexing.from_string content in
+  Lexing.set_filename lexbuf path;
+  if Filename.check_suffix path ".mli" then Rule.Intf (Parse.interface lexbuf)
+  else Rule.Impl (Parse.implementation lexbuf)
+
+let parse_failure ~path exn =
+  let loc, detail =
+    match exn with
+    | Syntaxerr.Error e -> (
+        ( Syntaxerr.location_of_error e,
+          match Location.error_of_exn exn with
+          | Some (`Ok report) -> Format.asprintf "%a" Location.print_report report
+          | Some `Already_displayed | None -> Printexc.to_string exn ))
+    | Lexer.Error (_, loc) -> (loc, Printexc.to_string exn)
+    | _ -> (Location.in_file path, Printexc.to_string exn)
+  in
+  let detail = String.map (function '\n' -> ' ' | c -> c) detail in
+  Finding.of_loc ~path ~rule:parse_error_rule loc detail
+
+(* ------------------------------------------------------------------ *)
+(* Per-file lint                                                       *)
+
+let ast_findings config rules ~path ast =
+  let raw = ref [] in
+  List.iter
+    (fun (r : Rule.t) ->
+      match r.check with
+      | Rule.Tree _ -> ()
+      | Rule.Ast f ->
+          let report loc ?(tag = "") msg = raw := (loc, r, tag, msg) :: !raw in
+          f { Rule.path; ast; report })
+    rules;
+  let regions = Suppress.collect ast in
+  List.filter_map
+    (fun ((loc : Location.t), rule, tag, msg) ->
+      if
+        in_scope config rule ~tag ~path
+        && (not (allowed config rule ~tag ~path))
+        && not (Suppress.suppressed regions rule ~tag ~off:loc.loc_start.pos_cnum)
+      then Some (Finding.of_loc ~path ~rule:rule.Rule.name ~tag loc msg)
+      else None)
+    !raw
+
+let lint_string ?(config = Config.default) ?(rules = Rules.all) ~path content =
+  match parse_ast ~path content with
+  | ast -> ast_findings config (enabled config rules) ~path ast |> List.sort_uniq Finding.compare
+  | exception exn -> [ parse_failure ~path exn ]
+
+(* ------------------------------------------------------------------ *)
+(* Tree lint                                                           *)
+
+let tree_findings config rules files =
+  let acc = ref [] in
+  List.iter
+    (fun (r : Rule.t) ->
+      match r.check with
+      | Rule.Ast _ -> ()
+      | Rule.Tree f ->
+          let report ~path ?(tag = "") msg =
+            if in_scope config r ~tag ~path && not (allowed config r ~tag ~path) then
+              acc := Finding.v ~path ~line:1 ~col:0 ~rule:r.Rule.name ~tag msg :: !acc
+          in
+          f ~files ~report)
+    rules;
+  !acc
+
+let list_files ~root ~excludes =
+  let acc = ref [] in
+  let rec go rel abs =
+    let entries = Sys.readdir abs in
+    Array.sort String.compare entries;
+    Array.iter
+      (fun name ->
+        if String.length name > 0 && name.[0] <> '.' && name.[0] <> '_' then begin
+          let rel' = if rel = "" then name else rel ^ "/" ^ name in
+          let abs' = Filename.concat abs name in
+          if not (List.exists (fun p -> Rule.path_matches ~prefix:p rel') excludes) then
+            if Sys.is_directory abs' then go rel' abs'
+            else if Filename.check_suffix name ".ml" || Filename.check_suffix name ".mli" then
+              acc := rel' :: !acc
+        end)
+      entries
+  in
+  go "" root;
+  List.rev !acc
+
+let lint_file ?(config = Config.default) ?(rules = Rules.all) ~root path =
+  let abs = Filename.concat root path in
+  match In_channel.with_open_bin abs In_channel.input_all with
+  | content -> lint_string ~config ~rules ~path content
+  | exception Sys_error e -> [ Finding.v ~path ~line:1 ~col:0 ~rule:parse_error_rule e ]
+
+let lint_tree ?(config = Config.default) ?(rules = Rules.all) ~root () =
+  let rules = enabled config rules in
+  let files = list_files ~root ~excludes:config.Config.excludes in
+  let per_file = List.concat_map (fun p -> lint_file ~config ~rules ~root p) files in
+  let tree = tree_findings config rules files in
+  (List.sort_uniq Finding.compare (per_file @ tree), List.length files)
+
+(* ------------------------------------------------------------------ *)
+(* Smoke                                                               *)
+
+let smoke (r : Rule.t) =
+  match r.smoke with
+  | Rule.Smoke_code { path; code } ->
+      lint_string ~rules:[ r ] ~path code
+      |> List.exists (fun f -> String.equal f.Finding.rule r.Rule.name)
+  | Rule.Smoke_files files ->
+      tree_findings Config.default [ r ] files
+      |> List.exists (fun f -> String.equal f.Finding.rule r.Rule.name)

@@ -1,0 +1,31 @@
+(** Orchestration: file discovery, parsing with [compiler-libs], running
+    the rule set, and filtering findings through the three suppression
+    layers (built-in + config scopes, built-in + config allows, and
+    per-site [[\@lint.allow]] attributes). *)
+
+(** Rule name used for findings produced by files that fail to parse. *)
+val parse_error_rule : string
+
+(** Lint one file's content under a (possibly virtual) tree-relative
+    [path] — the path determines which scoped rules apply.  Only AST
+    rules run. *)
+val lint_string :
+  ?config:Config.t -> ?rules:Rule.t list -> path:string -> string -> Finding.t list
+
+(** Lint the file at [root ^ "/" ^ path]. *)
+val lint_file :
+  ?config:Config.t -> ?rules:Rule.t list -> root:string -> string -> Finding.t list
+
+(** All lintable files under [root] (tree-relative, sorted): [.ml]/[.mli]
+    files, skipping dot- and underscore-prefixed directories ([_build],
+    [.git], ...) and the config's [exclude] prefixes. *)
+val list_files : root:string -> excludes:string list -> string list
+
+(** Lint a whole tree (AST rules per file + tree rules over the file
+    list).  Returns the sorted findings and the number of files
+    scanned. *)
+val lint_tree :
+  ?config:Config.t -> ?rules:Rule.t list -> root:string -> unit -> Finding.t list * int
+
+(** Run a rule's built-in positive snippet; [true] iff the rule fires. *)
+val smoke : Rule.t -> bool

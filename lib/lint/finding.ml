@@ -1,0 +1,29 @@
+type t = {
+  path : string;
+  line : int;
+  col : int;
+  rule : string;
+  tag : string;
+  msg : string;
+}
+
+let v ~path ~line ~col ~rule ?(tag = "") msg = { path; line; col; rule; tag; msg }
+
+let of_loc ~path ~rule ?tag (loc : Location.t) msg =
+  let p = loc.loc_start in
+  v ~path ~line:p.pos_lnum ~col:(p.pos_cnum - p.pos_bol) ~rule ?tag msg
+
+let compare a b =
+  let c = String.compare a.path b.path in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = String.compare a.rule b.rule in
+        if c <> 0 then c else String.compare a.msg b.msg
+
+let to_string f = Printf.sprintf "%s:%d:%d [%s] %s" f.path f.line f.col f.rule f.msg

@@ -1,0 +1,20 @@
+(** A single lint finding, reported as [file:line:col [rule-id] message]. *)
+
+type t = {
+  path : string;  (** tree-relative, '/'-separated *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, as the compiler prints them *)
+  rule : string;  (** stable rule name, e.g. ["no-unsafe-casts"] *)
+  tag : string;  (** sub-check within the rule, [""] if none *)
+  msg : string;
+}
+
+val v : path:string -> line:int -> col:int -> rule:string -> ?tag:string -> string -> t
+
+(** Position taken from the location's start. *)
+val of_loc : path:string -> rule:string -> ?tag:string -> Location.t -> string -> t
+
+(** Orders by (path, line, col, rule, msg) — the emission order of [fdlint]. *)
+val compare : t -> t -> int
+
+val to_string : t -> string

@@ -1,0 +1,42 @@
+type ast = Impl of Parsetree.structure | Intf of Parsetree.signature
+
+type ctx = {
+  path : string;
+  ast : ast;
+  report : Location.t -> ?tag:string -> string -> unit;
+}
+
+type tree_report = path:string -> ?tag:string -> string -> unit
+
+type check = Ast of (ctx -> unit) | Tree of (files:string list -> report:tree_report -> unit)
+
+type smoke = Smoke_code of { path : string; code : string } | Smoke_files of string list
+
+type t = {
+  id : string;
+  name : string;
+  doc : string;
+  scope : (string * string) list;
+  allow : (string * string) list;
+  check : check;
+  smoke : smoke;
+}
+
+(* "R2", "no-unsafe-casts" and "*" all select a rule; a ":tag" suffix
+   narrows a directive to one sub-check of it. *)
+let spec_matches spec t =
+  spec = "*" || String.equal spec t.id || String.equal spec t.name
+
+let split_spec spec =
+  match String.index_opt spec ':' with
+  | None -> (spec, "")
+  | Some i -> (String.sub spec 0 i, String.sub spec (i + 1) (String.length spec - i - 1))
+
+(* [prefix] matches [path] on whole '/'-separated components, so
+   "lib/cry" does not accidentally cover "lib/crypto/". *)
+let path_matches ~prefix path =
+  let lp = String.length prefix and l = String.length path in
+  lp = 0
+  || (lp <= l
+      && String.equal prefix (String.sub path 0 lp)
+      && (prefix.[lp - 1] = '/' || lp = l || path.[lp] = '/'))

@@ -1,0 +1,50 @@
+(** A lint rule: an id ("R1"), a stable name ("no-ambient-randomness"),
+    scoping defaults, and either a per-file AST check or a whole-tree
+    check (for rules about the file set itself, like mli-completeness). *)
+
+type ast = Impl of Parsetree.structure | Intf of Parsetree.signature
+
+type ctx = {
+  path : string;  (** tree-relative path of the file being linted *)
+  ast : ast;
+  report : Location.t -> ?tag:string -> string -> unit;
+}
+
+type tree_report = path:string -> ?tag:string -> string -> unit
+
+type check =
+  | Ast of (ctx -> unit)  (** run once per parsed file *)
+  | Tree of (files:string list -> report:tree_report -> unit)
+      (** run once over the relative paths of every linted file *)
+
+(** Built-in self-test input for [fdlint --smoke]: a snippet (with the
+    virtual path that puts it in the rule's scope) or a file list on
+    which the rule must produce at least one finding. *)
+type smoke = Smoke_code of { path : string; code : string } | Smoke_files of string list
+
+type t = {
+  id : string;  (** "R1".."R7" *)
+  name : string;  (** the rule-id used in reports and [\@lint.allow] *)
+  doc : string;
+  scope : (string * string) list;
+      (** (tag, path-prefix) pairs restricting where findings survive; tag
+          [""] applies to every sub-check.  A tag with no entry at all is
+          unrestricted. *)
+  allow : (string * string) list;
+      (** (tag, path-prefix) pairs where findings are dropped by default *)
+  check : check;
+  smoke : smoke;
+}
+
+(** [spec_matches spec t] — does a config/CLI rule spec ("R2", the rule
+    name, or "*") select this rule? *)
+val spec_matches : string -> t -> bool
+
+(** Split ["R2:bytes-unsafe"] into [("R2", "bytes-unsafe")]; no colon
+    means an empty (match-any) tag. *)
+val split_spec : string -> string * string
+
+(** Component-aware prefix test: ["lib/crypto/"] and ["lib/crypto"] both
+    match ["lib/crypto/ct.ml"], but ["lib/cry"] does not.  The empty
+    prefix matches everything. *)
+val path_matches : prefix:string -> string -> bool

@@ -1,0 +1,8 @@
+(** The project rule set (R1..R7).  See DESIGN.md §11 for each rule's
+    rationale against the leakage model [L(DB) = {Size(DB), FD(DB)}]. *)
+
+(** In registry order R1..R7. *)
+val all : Rule.t list
+
+(** Look a rule up by id ("R3") or name ("mli-completeness"). *)
+val find : string -> Rule.t option

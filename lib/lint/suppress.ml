@@ -1,0 +1,89 @@
+type region = { specs : string list; start_off : int; end_off : int }
+
+let split_specs s =
+  String.split_on_char ',' s
+  |> List.concat_map (String.split_on_char ' ')
+  |> List.filter (fun w -> w <> "")
+
+let payload_specs (attr : Parsetree.attribute) =
+  match attr.attr_payload with
+  | PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+      Some (split_specs s)
+  | _ -> None
+
+let is_allow (attr : Parsetree.attribute) = String.equal attr.attr_name.txt "lint.allow"
+
+let of_attrs ~(loc : Location.t) attrs acc =
+  List.fold_left
+    (fun acc attr ->
+      if is_allow attr then
+        match payload_specs attr with
+        | Some specs ->
+            { specs; start_off = loc.loc_start.pos_cnum; end_off = loc.loc_end.pos_cnum } :: acc
+        | None -> acc
+      else acc)
+    acc attrs
+
+let whole_file attrs acc =
+  List.fold_left
+    (fun acc attr ->
+      if is_allow attr then
+        match payload_specs attr with
+        | Some specs -> { specs; start_off = 0; end_off = max_int } :: acc
+        | None -> acc
+      else acc)
+    acc attrs
+
+let collect ast =
+  let acc = ref [] in
+  let default = Ast_iterator.default_iterator in
+  let it =
+    {
+      default with
+      expr =
+        (fun self e ->
+          acc := of_attrs ~loc:e.Parsetree.pexp_loc e.pexp_attributes !acc;
+          default.expr self e);
+      value_binding =
+        (fun self vb ->
+          acc := of_attrs ~loc:vb.Parsetree.pvb_loc vb.pvb_attributes !acc;
+          default.value_binding self vb);
+      module_binding =
+        (fun self mb ->
+          acc := of_attrs ~loc:mb.Parsetree.pmb_loc mb.pmb_attributes !acc;
+          default.module_binding self mb);
+      structure_item =
+        (fun self si ->
+          (match si.Parsetree.pstr_desc with
+          | Pstr_attribute attr -> acc := whole_file [ attr ] !acc
+          | _ -> ());
+          default.structure_item self si);
+      signature_item =
+        (fun self si ->
+          (match si.Parsetree.psig_desc with
+          | Psig_attribute attr -> acc := whole_file [ attr ] !acc
+          | _ -> ());
+          default.signature_item self si);
+    }
+  in
+  (match ast with
+  | Rule.Impl str -> it.structure it str
+  | Rule.Intf sg -> it.signature it sg);
+  !acc
+
+let suppressed regions (rule : Rule.t) ~tag ~off =
+  let spec_hits spec =
+    let r, t = Rule.split_spec spec in
+    Rule.spec_matches r rule && (t = "" || String.equal t tag)
+  in
+  List.exists
+    (fun { specs; start_off; end_off } ->
+      off >= start_off && off <= end_off && List.exists spec_hits specs)
+    regions

@@ -1,0 +1,15 @@
+(** Per-site suppressions: a [[\@lint.allow "rule-id"]] attribute on an
+    expression, a [[\@\@lint.allow "rule-id"]] on a value or module
+    binding, or a floating [[\@\@\@lint.allow "rule-id"]] (whole file)
+    silences the named rules inside the attributed node.  The payload may
+    name several rules, separated by spaces or commas, each optionally
+    narrowed to a sub-check with [":tag"]. *)
+
+type region = { specs : string list; start_off : int; end_off : int }
+
+(** All suppression regions of a parsed file, as byte-offset ranges. *)
+val collect : Rule.ast -> region list
+
+(** Is a finding of [rule]/[tag] whose location starts at byte offset
+    [off] covered by one of [regions]? *)
+val suppressed : region list -> Rule.t -> tag:string -> off:int -> bool

@@ -36,6 +36,22 @@ type t = {
 let rec retry_intr f =
   match f () with v -> v | exception Unix.Unix_error (Unix.EINTR, _, _) -> retry_intr f
 
+(* EINTR-retrying syscall wrappers — the only sites in [lib/service]
+   allowed to touch raw Unix I/O (rule R5, eintr-discipline).  Only
+   EINTR is retried: in this non-blocking event loop EAGAIN/EWOULDBLOCK
+   mean "come back on the next select round" and stay with the caller. *)
+let read_retry fd buf off len = retry_intr (fun () -> Unix.read fd buf off len)
+[@@lint.allow "eintr-discipline"]
+
+let write_retry fd buf off len = retry_intr (fun () -> Unix.write fd buf off len)
+[@@lint.allow "eintr-discipline"]
+
+let accept_retry ?cloexec fd = retry_intr (fun () -> Unix.accept ?cloexec fd)
+[@@lint.allow "eintr-discipline"]
+
+let select_retry rds wrs exs timeout = retry_intr (fun () -> Unix.select rds wrs exs timeout)
+[@@lint.allow "eintr-discipline"]
+
 let logf t fmt = Printf.ksprintf t.cfg.log fmt
 
 (* Reading a connection whose responses the client refuses to drain would
@@ -104,7 +120,7 @@ let live_conns t = Hashtbl.length t.conns
    self-pipe wakes the select loop, which drains the pipe and starts the
    graceful drain. *)
 let stop t =
-  try ignore (Unix.write t.stop_w (Bytes.of_string "s") 0 1)
+  try ignore (write_retry t.stop_w (Bytes.of_string "s") 0 1)
   with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE | Unix.EBADF), _, _) -> ()
 
 let install_stop_signals t =
@@ -132,11 +148,10 @@ let flush_conn t conn =
   let rec go () =
     if Conn.wants_write conn then begin
       let buf, off = Conn.output conn in
-      match Unix.write (Conn.fd conn) buf off (Bytes.length buf - off) with
+      match write_retry (Conn.fd conn) buf off (Bytes.length buf - off) with
       | n ->
           Conn.wrote conn n;
           go ()
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
       | exception Unix.Unix_error _ -> close_conn t conn "write error"
     end
@@ -146,7 +161,7 @@ let flush_conn t conn =
 
 let read_conn t conn ~now =
   let rec go () =
-    match Unix.read (Conn.fd conn) t.read_buf 0 (Bytes.length t.read_buf) with
+    match read_retry (Conn.fd conn) t.read_buf 0 (Bytes.length t.read_buf) with
     | 0 ->
         (* EOF — possibly mid-frame.  Only this connection dies; its
            tenant's state stays consistent because partial frames are
@@ -155,7 +170,6 @@ let read_conn t conn ~now =
     | n ->
         Conn.on_bytes (ctx t) conn t.read_buf ~len:n ~now;
         if Hashtbl.mem t.conns (Conn.fd conn) && not (Conn.closing conn) then go ()
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
     | exception Unix.Unix_error _ -> close_conn t conn "read error"
   in
@@ -168,7 +182,7 @@ let read_conn t conn ~now =
 
 let accept_all t lfd ~now =
   let rec go () =
-    match Unix.accept ~cloexec:true lfd with
+    match accept_retry ~cloexec:true lfd with
     | fd, addr ->
         Unix.set_nonblock fd;
         (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
@@ -187,7 +201,6 @@ let accept_all t lfd ~now =
           logf t "conn %s accepted (#%d, %d live)" (peer_string addr) t.next_id (live_conns t)
         end;
         go ()
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
     | exception Unix.Unix_error _ -> ()
   in
@@ -232,12 +245,12 @@ let step t =
     in
     let rds = (t.stop_r :: t.listeners) @ readable_conns in
     let wrs = List.filter (fun fd -> Conn.wants_write (Hashtbl.find t.conns fd)) conn_fds in
-    match retry_intr (fun () -> Unix.select rds wrs [] 0.25) with
+    match select_retry rds wrs [] 0.25 with
     | rd_ready, wr_ready, _ ->
         if List.mem t.stop_r rd_ready then begin
           let b = Bytes.create 16 in
           (try
-             while Unix.read t.stop_r b 0 16 > 0 do
+             while read_retry t.stop_r b 0 16 > 0 do
                ()
              done
            with Unix.Unix_error _ -> ());

@@ -1,3 +1,12 @@
+(* A socket endpoint that must survive [exec] is identified to the
+   re-executed child by its raw descriptor number: on POSIX, OCaml's
+   abstract [Unix.file_descr] *is* that int.  These two casts are the
+   only sanctioned descriptor<->int conversions in the tree; keeping
+   them as one audited pair is what lets rule R2 (no-unsafe-casts) stay
+   on everywhere else. *)
+let fd_of_int : int -> Unix.file_descr = fun n -> Obj.magic n [@@lint.allow "no-unsafe-casts"]
+let int_of_fd : Unix.file_descr -> int = fun fd -> Obj.magic fd [@@lint.allow "no-unsafe-casts"]
+
 let serve ic oc =
   (* Version handshake first: always answer with our own version byte so a
      mismatched client can report the disagreement, then hang up on
@@ -15,7 +24,8 @@ let serve ic oc =
           | exception Wire.Protocol_error msg ->
               (* The stream is beyond resync (bad tag, oversized prefix):
                  report once and hang up. *)
-              (try Wire.write_response oc (Wire.Error ("unrecoverable: " ^ msg)) with _ -> ());
+              ((try Wire.write_response oc (Wire.Error ("unrecoverable: " ^ msg)) with _ -> ())
+              [@lint.allow "exception-hygiene"] (* best-effort: peer may be gone *));
               continue_ := false
           | req ->
               let counted = Handler.counted req in
@@ -44,8 +54,9 @@ let maybe_serve_child () =
   | Some s ->
       (* We are the re-executed server child: the socket descriptor was
          inherited across exec under this number. *)
-      let fd : Unix.file_descr = Obj.magic (int_of_string s) in
-      (try serve_fd fd with _ -> ());
+      let fd = fd_of_int (int_of_string s) in
+      ((try serve_fd fd with _ -> ())
+      [@lint.allow "exception-hygiene"] (* the child must reach exit 0 *));
       Stdlib.exit 0
 
 let rec retry_intr f =
@@ -59,7 +70,8 @@ let fork_server () =
   match retry_intr Unix.fork with
   | 0 ->
       Unix.close parent_fd;
-      (try serve_fd child_fd with _ -> ());
+      ((try serve_fd child_fd with _ -> ())
+      [@lint.allow "exception-hygiene"] (* the child must reach exit 0 *));
       Stdlib.exit 0
   | pid ->
       Unix.close child_fd;
@@ -72,10 +84,9 @@ let fork_server () =
          startup).  [child_fd] is the one descriptor that must survive
          the exec. *)
       Unix.clear_close_on_exec child_fd;
-      let fd_int : int = Obj.magic child_fd in
       let env =
         Array.append (Unix.environment ())
-          [| Printf.sprintf "%s=%d" serve_fd_env fd_int |]
+          [| Printf.sprintf "%s=%d" serve_fd_env (int_of_fd child_fd) |]
       in
       let pid =
         Unix.create_process_env Sys.executable_name

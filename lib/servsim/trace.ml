@@ -51,10 +51,13 @@ let fold_int d v =
     fold_byte d ((v lsr (shift * 8)) land 0xff)
   done
 
+(* Digesting is on the hot path of every simulated access; the loop
+   bound is the one bounds check. *)
 let fold_string d s =
   for i = 0 to String.length s - 1 do
     fold_byte d (Char.code (String.unsafe_get s i))
   done
+[@@lint.allow "no-unsafe-casts"]
 
 let fold_codes d (a : int array) =
   for i = 0 to Array.length a - 1 do

@@ -1,0 +1,4 @@
+(* fdlint-fixture path=lib/datasets/gen.ml expect=none *)
+(* lib/datasets is on R1's built-in allowlist: dataset generators may
+   use ambient randomness. *)
+let roll () = Random.int 6

@@ -1,0 +1,3 @@
+(* fdlint-fixture path=lib/core/seeded.ml expect=no-ambient-randomness *)
+let roll () = Random.int 6
+let rng () = Rng.create (int_of_float (Unix.time ()))

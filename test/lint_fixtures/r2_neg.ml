@@ -1,0 +1,3 @@
+(* fdlint-fixture path=lib/oram/casts.ml expect=none *)
+let f x = Obj.magic x [@@lint.allow "no-unsafe-casts"]
+let h b = Bytes.unsafe_get b 0 [@@lint.allow "no-unsafe-casts:bytes-unsafe"]

@@ -1,0 +1,4 @@
+(* fdlint-fixture path=lib/oram/casts.ml expect=no-unsafe-casts *)
+let f x = Obj.magic x
+let g x = Marshal.to_string x []
+let h b = Bytes.unsafe_get b 0

@@ -1,0 +1,3 @@
+module type S = sig
+  val answer : int
+end

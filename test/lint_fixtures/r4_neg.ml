@@ -1,0 +1,4 @@
+(* fdlint-fixture path=bin/report.ml expect=none *)
+(* R4 only applies under lib/; executables may print. *)
+let () = Printf.printf "%d\n" 1
+let warn () = print_endline "careful"

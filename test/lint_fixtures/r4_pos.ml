@@ -1,0 +1,3 @@
+(* fdlint-fixture path=lib/fdbase/noisy.ml expect=no-raw-output-in-lib *)
+let () = Printf.printf "%d\n" 1
+let warn () = print_endline "careful"

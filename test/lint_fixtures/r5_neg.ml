@@ -1,0 +1,8 @@
+(* fdlint-fixture path=lib/service/io.ml expect=none *)
+let rec retry_intr f =
+  match f () with v -> v | exception Unix.Unix_error (Unix.EINTR, _, _) -> retry_intr f
+
+let read_retry fd b off len = retry_intr (fun () -> Unix.read fd b off len)
+[@@lint.allow "eintr-discipline"]
+
+let read_all fd b = read_retry fd b 0 (Bytes.length b)

@@ -1,0 +1,9 @@
+(* fdlint-fixture path=lib/servsim/wire.ml expect=none *)
+exception Protocol_error of string
+
+let parse_tag = function
+  | 1 -> `Get
+  | 2 -> `Put
+  | t -> raise (Protocol_error ("bad tag " ^ string_of_int t))
+
+let ignore_eof f = try f () with End_of_file -> ()

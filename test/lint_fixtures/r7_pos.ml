@@ -1,0 +1,4 @@
+(* fdlint-fixture path=lib/servsim/wire.ml expect=exception-hygiene *)
+let parse_tag = function 1 -> `Get | 2 -> `Put | _ -> failwith "bad tag"
+let first b = if Bytes.length b = 0 then assert false else Bytes.get b 0
+let ignore_errors f = try f () with _ -> ()

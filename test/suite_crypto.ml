@@ -225,9 +225,9 @@ let test_cbc_blocks_match_string_api () =
         (Hex.encode (Bytes.sub_string buf 16 (len + pad)));
       let out = Bytes.create (len + pad) in
       Cbc.decrypt_blocks k
-        ~src:(Bytes.unsafe_of_string expect)
+        ~src:(Bytes.unsafe_of_string expect [@lint.allow "no-unsafe-casts"])
         ~src_off:0
-        ~iv:(Bytes.unsafe_of_string iv)
+        ~iv:(Bytes.unsafe_of_string iv [@lint.allow "no-unsafe-casts"])
         ~iv_off:0 ~dst:out ~dst_off:0
         ~nblocks:((len + pad) / 16);
       let n = Cbc.unpad_len out ~off:0 ~len:(len + pad) in
@@ -312,6 +312,38 @@ let qcheck_cell_roundtrip =
       let c = Cell_cipher.create (String.make 16 'w') in
       String.equal pt (Cell_cipher.decrypt c (Cell_cipher.encrypt c pt)))
 
+(* Ct.equal must agree with the variable-time library equality on
+   every input pair — it only changes *how long* the answer takes, never
+   the answer. *)
+let qcheck_ct_equal_agrees =
+  QCheck.Test.make ~name:"Ct.equal agrees with Bytes.equal" ~count:500
+    QCheck.(pair (string_of_size Gen.(0 -- 64)) (string_of_size Gen.(0 -- 64)))
+    (fun (a, b) ->
+      let direct = Crypto.Ct.equal a b = String.equal a b in
+      let as_bytes =
+        Crypto.Ct.equal_bytes (Bytes.of_string a) (Bytes.of_string b)
+        = Bytes.equal (Bytes.of_string a) (Bytes.of_string b)
+      in
+      (* Also exercise the all-but-last-byte-equal corner, where a lazy
+         implementation would bail early. *)
+      let tweaked =
+        let b' = Bytes.of_string a in
+        if Bytes.length b' = 0 then true
+        else begin
+          let last = Bytes.length b' - 1 in
+          Bytes.set b' last (Char.chr (Char.code (Bytes.get b' last) lxor 1));
+          not (Crypto.Ct.equal a (Bytes.to_string b'))
+        end
+      in
+      direct && as_bytes && tweaked)
+
+let test_ct_equal_basics () =
+  Alcotest.(check bool) "empty equal" true (Crypto.Ct.equal "" "");
+  Alcotest.(check bool) "equal" true (Crypto.Ct.equal "secret-tag" "secret-tag");
+  Alcotest.(check bool) "first byte differs" false (Crypto.Ct.equal "Xecret" "secret");
+  Alcotest.(check bool) "last byte differs" false (Crypto.Ct.equal "secreT" "secret");
+  Alcotest.(check bool) "length differs" false (Crypto.Ct.equal "secret" "secret!")
+
 let suite =
   [
     Alcotest.test_case "FIPS-197 appendix B" `Quick test_fips197_appendix_b;
@@ -338,7 +370,9 @@ let suite =
     Alcotest.test_case "rng range" `Quick test_rng_range;
     Alcotest.test_case "rng split independence" `Quick test_rng_split_independent;
     Alcotest.test_case "rng coarse uniformity" `Quick test_rng_uniformity_coarse;
+    Alcotest.test_case "Ct.equal basics" `Quick test_ct_equal_basics;
     QCheck_alcotest.to_alcotest qcheck_ttable_vs_reference;
     QCheck_alcotest.to_alcotest qcheck_cbc_roundtrip;
     QCheck_alcotest.to_alcotest qcheck_cell_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_ct_equal_agrees;
   ]

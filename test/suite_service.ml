@@ -22,7 +22,10 @@ let with_daemon ?(max_conns = 64) ?(idle_timeout = 0.) f =
 
 let with_client ?namespace path f =
   let conn = Servsim.Remote.connect_unix ?namespace path in
-  Fun.protect ~finally:(fun () -> try Servsim.Remote.close conn with _ -> ()) (fun () -> f conn)
+  Fun.protect
+    ~finally:(fun () ->
+      ((try Servsim.Remote.close conn with _ -> ()) [@lint.allow "exception-hygiene"]))
+    (fun () -> f conn)
 
 (* A raw (non-[Remote]) connection, for speaking out of protocol. *)
 let raw_connect path =

@@ -25,4 +25,5 @@ let () =
       ("bucket-sort", Suite_bucket_sort.suite);
       ("edge", Suite_edge.suite);
       ("service", Suite_service.suite);
+      ("lint", Suite_lint.suite);
     ]
