@@ -10,16 +10,19 @@
    normal argument parsing.
 
    Emits BENCH_service.json: ops/s and service-latency percentiles for
-   each client count. *)
+   each (worker domains x client count) point.  The speedup from the
+   domains axis only shows on a multicore host; [host_cores] is recorded
+   alongside so a flat sweep on a 1-core box reads as parity, not a
+   regression (EXPERIMENTS.md). *)
 
 let block = String.make 64 '\xAB'
 
 (* {2 Child: daemon} *)
 
-let daemon_main path =
+let daemon_main path domains =
   let daemon =
     Service.Daemon.create
-      { Service.Daemon.default_config with unix_path = Some path; max_conns = 64 }
+      { Service.Daemon.default_config with unix_path = Some path; max_conns = 64; domains }
   in
   Service.Daemon.install_stop_signals daemon;
   Service.Daemon.run daemon;
@@ -99,21 +102,22 @@ let read_client_file file =
   close_in ic;
   (elapsed, lats)
 
-let run_round ~path ~clients ~ops =
+let run_round ~path ~domains ~clients ~ops =
   let outs =
     List.init clients (fun i -> Filename.temp_file (Printf.sprintf "svc%d" i) ".lat")
   in
   (* One fresh namespace per (round, client): the server's cost ledger is
      per-tenant and outlives connections, and each client asserts it
      against its own per-connection frame counter — exact only on a
-     tenant's first connection. *)
+     tenant's first connection.  (Each domains point gets a fresh daemon
+     process, so namespaces may repeat across the outer sweep.) *)
   let pids =
     List.mapi
       (fun i out ->
         spawn
           [|
             "service-client"; path;
-            Printf.sprintf "round%02d-tenant-%02d" clients i;
+            Printf.sprintf "d%02d-round%02d-tenant-%02d" domains clients i;
             string_of_int ops; out;
           |])
       outs
@@ -127,13 +131,13 @@ let run_round ~path ~clients ~ops =
   let total_ops = clients * ops in
   (float_of_int total_ops /. wall, p50, p95, p99)
 
-let run (opts : Bench_util.opts) =
-  Bench_util.header "SERVICE: multi-tenant daemon under concurrent load";
-  let ops = if opts.smoke then 200 else 2000 in
-  let counts = if opts.full then [ 1; 2; 4; 8; 16 ] else [ 1; 2; 8 ] in
+(* One daemon process per domains setting; the client sweep runs against
+   it, then SIGTERM — the graceful drain across every worker domain is
+   part of what the harness exercises. *)
+let sweep_domain ~domains ~counts ~ops =
   let path = Filename.temp_file "fdserved-bench" ".sock" in
   Sys.remove path;
-  let daemon_pid = spawn [| "service-daemon"; path |] in
+  let daemon_pid = spawn [| "service-daemon"; path; string_of_int domains |] in
   let rec await tries =
     if not (Sys.file_exists path) then
       if tries = 0 then failwith "daemon did not come up"
@@ -143,37 +147,47 @@ let run (opts : Bench_util.opts) =
       end
   in
   await 100;
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.kill daemon_pid Sys.sigterm;
+      wait_exit daemon_pid "daemon")
+    (fun () ->
+      List.map
+        (fun clients ->
+          let ops_s, p50, p95, p99 = run_round ~path ~domains ~clients ~ops in
+          Printf.printf
+            "  %d domain(s) x %2d client(s) x %d ops: %8.0f ops/s   p50 %5.0f us   \
+             p95 %5.0f us   p99 %5.0f us\n%!"
+            domains clients ops ops_s p50 p95 p99;
+          (domains, clients, ops_s, p50, p95, p99))
+        counts)
+
+let run (opts : Bench_util.opts) =
+  Bench_util.header "SERVICE: multi-tenant daemon under concurrent load";
+  let ops = if opts.smoke then 200 else 2000 in
+  let counts = if opts.full then [ 1; 2; 4; 8; 16 ] else [ 1; 2; 8 ] in
+  let domain_counts = if opts.full then [ 1; 2; 4 ] else [ 1; 2 ] in
   let series =
-    Fun.protect
-      ~finally:(fun () ->
-        (* Graceful drain must work: SIGTERM, then a clean exit. *)
-        Unix.kill daemon_pid Sys.sigterm;
-        wait_exit daemon_pid "daemon")
-      (fun () ->
-        List.map
-          (fun clients ->
-            let ops_s, p50, p95, p99 = run_round ~path ~clients ~ops in
-            Printf.printf
-              "  %2d client(s) x %d ops: %8.0f ops/s   p50 %5.0f us   p95 %5.0f us   p99 %5.0f us\n%!"
-              clients ops ops_s p50 p95 p99;
-            (clients, ops_s, p50, p95, p99))
-          counts)
+    List.concat_map (fun domains -> sweep_domain ~domains ~counts ~ops) domain_counts
   in
   let oc = open_out "BENCH_service.json" in
   Printf.fprintf oc
     "{\n\
-    \  \"schema\": \"sfdd-bench-service/1\",\n\
+    \  \"schema\": \"sfdd-bench-service/2\",\n\
     \  \"smoke\": %b,\n\
     \  \"transport\": \"unix-domain socket\",\n\
+    \  \"host_cores\": %d,\n\
     \  \"ops_per_client\": %d,\n\
     \  \"series\": [\n"
-    opts.smoke ops;
+    opts.smoke
+    (Domain.recommended_domain_count ())
+    ops;
   List.iteri
-    (fun i (clients, ops_s, p50, p95, p99) ->
+    (fun i (domains, clients, ops_s, p50, p95, p99) ->
       Printf.fprintf oc
-        "    { \"clients\": %d, \"ops_per_s\": %.0f, \"p50_us\": %.0f, \"p95_us\": %.0f, \
-         \"p99_us\": %.0f }%s\n"
-        clients ops_s p50 p95 p99
+        "    { \"domains\": %d, \"clients\": %d, \"ops_per_s\": %.0f, \"p50_us\": %.0f, \
+         \"p95_us\": %.0f, \"p99_us\": %.0f }%s\n"
+        domains clients ops_s p50 p95 p99
         (if i = List.length series - 1 then "" else ","))
     series;
   Printf.fprintf oc "  ]\n}\n";

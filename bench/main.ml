@@ -37,7 +37,8 @@ let usage () =
    [Unix.fork] is unavailable once OCaml 5 domains have run. *)
 let () =
   match Array.to_list Sys.argv with
-  | _ :: "service-daemon" :: path :: _ -> exit (Exp_service.daemon_main path)
+  | _ :: "service-daemon" :: path :: domains :: _ ->
+      exit (Exp_service.daemon_main path (int_of_string domains))
   | _ :: "service-client" :: path :: ns :: ops :: out :: _ ->
       exit (Exp_service.client_main path ns (int_of_string ops) out)
   | _ -> ()

@@ -2,6 +2,7 @@
 
      fdserved --unix /tmp/fdd.sock
      fdserved --tcp 127.0.0.1:7144 --max-conns 128 --idle-timeout 60
+     fdserved --unix /tmp/fdd.sock --domains 8   # 8 worker domains
      fdserved --selftest        # loopback smoke test, exits 0 on success *)
 
 open Cmdliner
@@ -14,7 +15,7 @@ let parse_tcp s =
       let port = int_of_string (String.sub s (i + 1) (String.length s - i - 1)) in
       (host, port)
 
-let serve unix_path tcp max_conns idle_timeout drain_grace verbose =
+let serve unix_path tcp max_conns idle_timeout drain_grace domains verbose =
   let log = if verbose then fun msg -> Printf.eprintf "fdserved: %s\n%!" msg else ignore in
   let cfg =
     {
@@ -23,6 +24,7 @@ let serve unix_path tcp max_conns idle_timeout drain_grace verbose =
       max_conns;
       idle_timeout;
       drain_grace;
+      domains = max 1 domains;
       log;
     }
   in
@@ -34,18 +36,24 @@ let serve unix_path tcp max_conns idle_timeout drain_grace verbose =
   (match unix_path with
   | Some path -> Printf.printf "fdserved: listening on unix socket %s\n%!" path
   | None -> ());
+  Printf.printf "fdserved: %d worker domain(s)\n%!" (Service.Daemon.domains daemon);
   Service.Daemon.run daemon;
   `Ok ()
 
 (* Loopback smoke test: daemon in a background thread on a fresh Unix
    socket, two clients in disjoint namespaces doing real block traffic,
-   then a graceful drain.  Used from `dune runtest`. *)
-let selftest () =
+   then a graceful drain.  Run once single-domain and once with two
+   worker domains so `dune runtest` exercises the sharded path.  Used
+   from `dune runtest`. *)
+let selftest_with ~domains =
   let path = Filename.temp_file "fdserved" ".sock" in
   Sys.remove path;
   let daemon =
     Service.Daemon.create
-      { Service.Daemon.default_config with unix_path = Some path; drain_grace = 10. }
+      { Service.Daemon.default_config with
+        unix_path = Some path;
+        drain_grace = 10.;
+        domains }
   in
   let th = Thread.create Service.Daemon.run daemon in
   let fail fmt = Printf.ksprintf (fun m -> failwith ("selftest: " ^ m)) fmt in
@@ -78,15 +86,20 @@ let selftest () =
         (Remote.call a (Wire.Get ("blocks", 3)) = Wire.Value (String.make 64 'A'));
       Remote.close a);
   check "drained" (Service.Daemon.live_conns daemon = 0);
-  print_endline "fdserved selftest: OK";
+  Printf.printf "fdserved selftest (domains=%d): OK\n%!" domains
+
+let selftest domains =
+  selftest_with ~domains:1;
+  (* The sharded path: acceptor + worker domains with fd handoff. *)
+  selftest_with ~domains:(max 2 domains);
   `Ok ()
 
-let run unix_path tcp max_conns idle_timeout drain_grace verbose do_selftest =
+let run unix_path tcp max_conns idle_timeout drain_grace domains verbose do_selftest =
   try
-    if do_selftest then selftest ()
+    if do_selftest then selftest domains
     else if unix_path = None && tcp = None then
       `Error (true, "need at least one of --unix / --tcp (or --selftest)")
-    else serve unix_path tcp max_conns idle_timeout drain_grace verbose
+    else serve unix_path tcp max_conns idle_timeout drain_grace domains verbose
   with
   | Failure msg | Invalid_argument msg -> `Error (false, msg)
   | Unix.Unix_error (e, fn, arg) ->
@@ -113,6 +126,12 @@ let cmd =
     Arg.(value & opt float 5. & info [ "drain-grace" ] ~docv:"SECONDS"
          ~doc:"Keep serving live connections for up to $(docv) seconds after SIGTERM.")
   in
+  let domains =
+    Arg.(value & opt int (Domain.recommended_domain_count ())
+         & info [ "domains" ] ~docv:"N"
+         ~doc:"Shard tenants over $(docv) worker domains (1 = single-domain \
+               event loop, the default on single-core hosts).")
+  in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log connection events.") in
   let do_selftest =
     Arg.(value & flag & info [ "selftest" ]
@@ -123,6 +142,6 @@ let cmd =
   in
   Cmd.v info_
     Term.(ret (const run $ unix_path $ tcp $ max_conns $ idle_timeout $ drain_grace
-               $ verbose $ do_selftest))
+               $ domains $ verbose $ do_selftest))
 
 let () = exit (Cmd.eval cmd)

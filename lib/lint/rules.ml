@@ -1,4 +1,4 @@
-(* The project's rule set, R1..R7.  Every check is purely syntactic
+(* The project's rule set, R1..R8.  Every check is purely syntactic
    (Parsetree only, no typing), so rules about *values* — e.g. "is this
    comparison on key material?" — are name heuristics; DESIGN.md §11
    documents each rule's rationale and the limits of its detector. *)
@@ -238,6 +238,18 @@ let r7_check ctx =
       | _ -> ())
 
 (* ------------------------------------------------------------------ *)
+(* R8 — domain-hygiene                                                 *)
+
+let r8_check ctx =
+  walk ctx (fun e ->
+      match e.Parsetree.pexp_desc with
+      | Pexp_ident { txt; _ } when String.equal (norm (lid_str txt)) "Domain.spawn" ->
+          ctx.Rule.report e.pexp_loc
+            "Domain.spawn outside the sanctioned parallel runtimes; oblivious client-side \
+             code must stay sequential (see .fdlint for the allowed scopes)"
+      | _ -> ())
+
+(* ------------------------------------------------------------------ *)
 
 let all : Rule.t list =
   [
@@ -330,6 +342,20 @@ let all : Rule.t list =
       check = Ast r7_check;
       smoke =
         Smoke_code { path = "lib/servsim/wire.ml"; code = "let f () = failwith \"boom\"\n" };
+    };
+    {
+      id = "R8";
+      name = "domain-hygiene";
+      doc =
+        "Domain.spawn anywhere except the sanctioned parallel runtimes (the sharded service \
+         daemon and the oblivious-sort worker pool, allowed via the checked-in .fdlint): \
+         accidental parallelism in client-side oblivious code can reorder the access trace \
+         and silently break digest reproducibility.";
+      scope = [];
+      allow = [];
+      check = Ast r8_check;
+      smoke =
+        Smoke_code { path = "lib/core/smoke.ml"; code = "let start f = Domain.spawn f\n" };
     };
   ]
 

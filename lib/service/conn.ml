@@ -3,6 +3,7 @@ open Servsim
 type phase =
   | Handshake (* awaiting the client's version byte *)
   | Await_hello (* version agreed; first request must be Hello *)
+  | Routed of string (* Hello accepted; awaiting attach on the owning worker *)
   | Serving of Session.tenant
   | Closing (* flush pending output, then close *)
 
@@ -50,6 +51,8 @@ let finished t = closing t && not (wants_write t)
 let namespace t =
   match t.phase with Serving tenant -> Some tenant.Session.namespace | _ -> None
 
+let routed_namespace t = match t.phase with Routed ns -> Some ns | _ -> None
+
 let respond t resp =
   Wire.write_response_sink (Wire.buffer_sink t.out) resp;
   Buffer.length t.out
@@ -70,56 +73,38 @@ let build_stats ctx (tenant : Session.tenant) =
       p99_us = us summ.Metrics.p99_s;
     }
 
-let handle_request ctx t req ~req_bytes =
-  match t.phase with
-  | Handshake | Closing ->
-      (* Not reachable: [drain_requests] only dispatches in Await_hello /
-         Serving.  The R7 bare-failure check is suppressed here because
-         this is an internal invariant, not a codec decision point. *)
-      (assert false [@lint.allow "exception-hygiene"])
-  | Await_hello -> (
-      match req with
-      | Wire.Hello "" ->
-          ignore (respond t (Wire.Error "empty namespace"));
-          t.phase <- Closing
-      | Wire.Hello ns ->
-          t.phase <- Serving (Session.attach ctx.registry ns);
-          ignore (respond t Wire.Ok)
-      | _ ->
-          ignore (respond t (Wire.Error "expected Hello to establish a session"));
-          t.phase <- Closing)
-  | Serving tenant ->
-      let h = tenant.Session.handler in
-      let counted = Handler.counted req in
-      if counted then Handler.account_request h ~bytes:req_bytes;
-      let t0 = Unix.gettimeofday () in
-      let resp =
-        match req with
-        | Wire.Hello _ -> Wire.Error "already in a session"
-        | Wire.Stats -> build_stats ctx tenant
-        | Wire.Bye ->
-            t.phase <- Closing;
-            Wire.Ok
-        | req -> ( try Handler.handle h req with Wire.Protocol_error msg -> Wire.Error msg)
-      in
-      let before = Buffer.length t.out in
-      let after = respond t resp in
-      let resp_bytes = after - before in
-      if counted then begin
-        Handler.account_response h ~bytes:resp_bytes;
-        Metrics.record ctx.metrics ~namespace:tenant.Session.namespace ~bytes_in:req_bytes
-          ~bytes_out:resp_bytes
-          ~latency_s:(Unix.gettimeofday () -. t0)
-      end
+let handle_request ctx t tenant req ~req_bytes =
+  let h = tenant.Session.handler in
+  let counted = Handler.counted req in
+  if counted then Handler.account_request h ~bytes:req_bytes;
+  let t0 = Unix.gettimeofday () in
+  let resp =
+    match req with
+    | Wire.Hello _ -> Wire.Error "already in a session"
+    | Wire.Stats -> build_stats ctx tenant
+    | Wire.Bye ->
+        t.phase <- Closing;
+        Wire.Ok
+    | req -> ( try Handler.handle h req with Wire.Protocol_error msg -> Wire.Error msg)
+  in
+  let before = Buffer.length t.out in
+  let after = respond t resp in
+  let resp_bytes = after - before in
+  if counted then begin
+    Handler.account_response h ~bytes:resp_bytes;
+    Metrics.record ctx.metrics ~namespace:tenant.Session.namespace ~bytes_in:req_bytes
+      ~bytes_out:resp_bytes
+      ~latency_s:(Unix.gettimeofday () -. t0)
+  end
 
 let rec drain_requests ctx t =
   match t.phase with
-  | Closing | Handshake -> ()
-  | Await_hello | Serving _ -> (
+  | Closing | Handshake | Await_hello | Routed _ -> ()
+  | Serving tenant -> (
       match Frame_decoder.next t.decoder with
       | None -> ()
       | Some (req, req_bytes) ->
-          handle_request ctx t req ~req_bytes;
+          handle_request ctx t tenant req ~req_bytes;
           drain_requests ctx t
       | exception Wire.Protocol_error msg ->
           (* This connection's stream is beyond resync.  Report once and
@@ -128,8 +113,32 @@ let rec drain_requests ctx t =
           ignore (respond t (Wire.Error ("unrecoverable: " ^ msg)));
           t.phase <- Closing)
 
-(* A chunk of bytes arrived from the socket. *)
-let on_bytes ctx t bytes ~len ~now =
+(* The handshake and [Hello] run on the acceptor, before the connection
+   has an owning worker — so this stage must not need a registry or
+   metrics.  A valid [Hello ns] parks the connection in [Routed ns]
+   (with the [Ok] already buffered) and leaves any pipelined frames in
+   the decoder for the worker to serve after {!attach}. *)
+let on_hello t =
+  match t.phase with
+  | Handshake | Routed _ | Serving _ | Closing -> ()
+  | Await_hello -> (
+      match Frame_decoder.next t.decoder with
+      | None -> ()
+      | Some (Wire.Hello "", _) ->
+          ignore (respond t (Wire.Error "empty namespace"));
+          t.phase <- Closing
+      | Some (Wire.Hello ns, _) ->
+          t.phase <- Routed ns;
+          ignore (respond t Wire.Ok)
+      | Some (_, _) ->
+          ignore (respond t (Wire.Error "expected Hello to establish a session"));
+          t.phase <- Closing
+      | exception Wire.Protocol_error msg ->
+          ignore (respond t (Wire.Error ("unrecoverable: " ^ msg)));
+          t.phase <- Closing)
+
+(* A chunk of bytes arrived on a connection the acceptor still owns. *)
+let on_bytes_pre t bytes ~len ~now =
   t.last_active <- now;
   let off = ref 0 in
   (match t.phase with
@@ -144,6 +153,22 @@ let on_bytes ctx t bytes ~len ~now =
   | _ -> ());
   if not (closing t) && len - !off > 0 then
     Frame_decoder.feed t.decoder bytes ~off:!off ~len:(len - !off);
+  on_hello t
+
+(* The owning worker takes over a [Routed] connection: bind the tenant
+   in the worker's shard-local registry and serve any frames the client
+   pipelined behind its [Hello]. *)
+let attach ctx t =
+  match t.phase with
+  | Routed ns ->
+      t.phase <- Serving (Session.attach ctx.registry ns);
+      drain_requests ctx t
+  | Handshake | Await_hello | Serving _ | Closing -> ()
+
+(* A chunk of bytes arrived from the socket of an attached connection. *)
+let on_bytes ctx t bytes ~len ~now =
+  t.last_active <- now;
+  if len > 0 then Frame_decoder.feed t.decoder bytes ~off:0 ~len;
   drain_requests ctx t
 
 (* The daemon flushed [n] bytes of pending output. *)

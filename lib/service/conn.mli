@@ -3,7 +3,17 @@
     response buffering.  Pure with respect to the socket — the daemon
     owns every syscall and feeds bytes in / shovels bytes out — which
     keeps the machine unit-testable and the failure domain of one
-    connection strictly its own. *)
+    connection strictly its own.
+
+    The machine runs in two stages so the daemon can shard connections
+    across worker domains.  The {e pre-session} stage
+    ({!on_bytes_pre}) — version handshake and the mandatory first
+    [Hello] — needs no registry or metrics and runs on the acceptor; a
+    valid [Hello ns] parks the connection in a routed state carrying
+    its namespace.  The owning worker then calls {!attach} to bind the
+    tenant in its shard-local registry, after which {!on_bytes} serves
+    request frames.  With one worker the two stages run back-to-back on
+    the same loop and the observable byte stream is identical. *)
 
 type t
 
@@ -18,11 +28,27 @@ val create : id:int -> peer:string -> now:float -> Unix.file_descr -> t
 val fd : t -> Unix.file_descr
 val peer : t -> string
 
+val on_bytes_pre : t -> bytes -> len:int -> now:float -> unit
+(** Feed a received chunk during the pre-session stage: handles the
+    version byte and the first frame (which must be [Hello]).  On a
+    valid [Hello ns] the connection becomes routed ([Ok] buffered,
+    {!routed_namespace} returns [Some ns]) and any pipelined frames
+    stay queued in the decoder until {!attach}.  Never raises. *)
+
+val routed_namespace : t -> string option
+(** [Some ns] once the pre-session stage has accepted [Hello ns] and
+    the connection awaits {!attach} by its owning worker. *)
+
+val attach : ctx -> t -> unit
+(** Bind a routed connection to its tenant in [ctx.registry] and serve
+    any frames already queued behind the [Hello].  No-op in any other
+    phase. *)
+
 val on_bytes : ctx -> t -> bytes -> len:int -> now:float -> unit
-(** Feed a received chunk; parses and serves every complete frame,
-    appending responses to the output buffer.  A malformed stream turns
-    into one final [Error] response and the closing state — it never
-    raises. *)
+(** Feed a received chunk to an attached connection; parses and serves
+    every complete frame, appending responses to the output buffer.  A
+    malformed stream turns into one final [Error] response and the
+    closing state — it never raises. *)
 
 val wants_write : t -> bool
 val pending_output : t -> int
@@ -41,7 +67,7 @@ val finished : t -> bool
 (** Closing and fully flushed: drop the descriptor. *)
 
 val namespace : t -> string option
-(** The session's namespace, once established. *)
+(** The session's namespace, once established ({!attach} done). *)
 
 val last_active : t -> float
 val touch : t -> now:float -> unit

@@ -4,6 +4,7 @@ type config = {
   max_conns : int;
   idle_timeout : float; (* seconds; <= 0 disables *)
   drain_grace : float; (* seconds to keep serving after a stop request *)
+  domains : int; (* worker event loops; 1 = serve on the acceptor loop itself *)
   log : string -> unit;
 }
 
@@ -14,15 +15,39 @@ let default_config =
     max_conns = 64;
     idle_timeout = 0.;
     drain_grace = 5.;
+    domains = 1;
     log = ignore;
   }
 
-type t = {
-  cfg : config;
+(* One worker domain: an independent select loop exclusively owning its
+   shard of tenants.  Everything on the per-frame hot path — [conns],
+   [registry], [metrics], [read_buf] — is touched only by the owning
+   domain, so serving needs no locks; the mutex guards only the cold
+   handoff/drain mailbox, entered when the acceptor wakes us through the
+   self-pipe. *)
+type worker = {
+  w_idx : int;
   registry : Session.registry;
   metrics : Metrics.t;
-  mutable listeners : Unix.file_descr list;
   conns : (Unix.file_descr, Conn.t) Hashtbl.t;
+  mu : Mutex.t; (* guards [inbox] and [drain_req] *)
+  inbox : Conn.t Queue.t; (* authenticated connections handed off by the acceptor *)
+  mutable drain_req : bool;
+  wake_r : Unix.file_descr; (* self-pipe: handoff and shutdown wakeups *)
+  wake_w : Unix.file_descr;
+  read_buf : bytes;
+  mutable draining : bool;
+  mutable drain_deadline : float;
+  mutable w_running : bool;
+}
+
+type t = {
+  cfg : config;
+  workers : worker array;
+  accept_metrics : Metrics.t; (* accept/reject counters; frame metrics are per-worker *)
+  live : int Atomic.t; (* connections across the acceptor and every worker *)
+  mutable listeners : Unix.file_descr list;
+  pre : (Unix.file_descr, Conn.t) Hashtbl.t; (* pre-session conns, acceptor-owned *)
   stop_r : Unix.file_descr;
   stop_w : Unix.file_descr;
   mutable tcp_port : int option;
@@ -78,9 +103,30 @@ let listen_tcp addr port =
   in
   (fd, bound_port)
 
+let make_worker w_idx =
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  {
+    w_idx;
+    registry = Session.create ();
+    metrics = Metrics.create ();
+    conns = Hashtbl.create 32;
+    mu = Mutex.create ();
+    inbox = Queue.create ();
+    drain_req = false;
+    wake_r;
+    wake_w;
+    read_buf = Bytes.create 65536;
+    draining = false;
+    drain_deadline = infinity;
+    w_running = true;
+  }
+
 let create cfg =
   if cfg.unix_path = None && cfg.tcp = None then
     invalid_arg "Daemon.create: need at least one of unix_path / tcp";
+  if cfg.domains < 1 then invalid_arg "Daemon.create: domains must be >= 1";
   let listeners = ref [] in
   let tcp_port = ref None in
   (match cfg.unix_path with
@@ -97,10 +143,11 @@ let create cfg =
   Unix.set_nonblock stop_w;
   {
     cfg;
-    registry = Session.create ();
-    metrics = Metrics.create ();
+    workers = Array.init cfg.domains make_worker;
+    accept_metrics = Metrics.create ();
+    live = Atomic.make 0;
     listeners = !listeners;
-    conns = Hashtbl.create 32;
+    pre = Hashtbl.create 32;
     stop_r;
     stop_w;
     tcp_port = !tcp_port;
@@ -111,14 +158,24 @@ let create cfg =
     read_buf = Bytes.create 65536;
   }
 
-let metrics t = t.metrics
-let registry t = t.registry
+(* With one worker there is no domain to hand off to: the acceptor loop
+   serves worker 0's connections itself, exactly like the single-loop
+   daemon this design grew out of. *)
+let inline t = Array.length t.workers = 1
+
+let domains t = Array.length t.workers
+let metrics t = t.accept_metrics
+let worker_metrics t = Array.to_list (Array.map (fun w -> w.metrics) t.workers)
+let registries t = Array.to_list (Array.map (fun w -> w.registry) t.workers)
 let tcp_port t = t.tcp_port
-let live_conns t = Hashtbl.length t.conns
+let live_conns t = Atomic.get t.live
+let shard_of t ns = Session.shard ~shards:(Array.length t.workers) ns
+
+let ns_summary t ns = Metrics.ns_summary t.workers.(shard_of t ns).metrics ns
 
 (* Safe from a signal handler or another thread: one byte down the
-   self-pipe wakes the select loop, which drains the pipe and starts the
-   graceful drain. *)
+   self-pipe wakes the acceptor loop, which drains the pipe and starts
+   the graceful drain. *)
 let stop t =
   try ignore (write_retry t.stop_w (Bytes.of_string "s") 0 1)
   with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE | Unix.EBADF), _, _) -> ()
@@ -128,23 +185,45 @@ let install_stop_signals t =
   (try Sys.set_signal Sys.sigterm handler with Invalid_argument _ -> ());
   (try Sys.set_signal Sys.sigint handler with Invalid_argument _ -> ())
 
-let ctx t =
-  { Conn.registry = t.registry; metrics = t.metrics; live_sessions = (fun () -> live_conns t) }
+(* A full pipe is fine: an unread wake byte is already pending, so the
+   worker will wake regardless. *)
+let wake w =
+  try ignore (write_retry w.wake_w (Bytes.of_string "w") 0 1)
+  with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE | Unix.EBADF), _, _) -> ()
+
+let drain_pipe fd =
+  let b = Bytes.create 16 in
+  try
+    while read_retry fd b 0 16 > 0 do
+      ()
+    done
+  with Unix.Unix_error _ -> ()
+
+let w_ctx t (w : worker) =
+  {
+    Conn.registry = w.registry;
+    metrics = w.metrics;
+    live_sessions = (fun () -> Atomic.get t.live);
+  }
 
 let peer_string = function
   | Unix.ADDR_UNIX _ -> "unix"
   | Unix.ADDR_INET (a, p) -> Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
 
-let close_conn t conn reason =
+(* {2 Connection service, shared by the acceptor (pre-session table) and
+   every worker (its own shard table)} *)
+
+let close_conn t conns metrics conn reason =
   let fd = Conn.fd conn in
-  if Hashtbl.mem t.conns fd then begin
-    Hashtbl.remove t.conns fd;
+  if Hashtbl.mem conns fd then begin
+    Hashtbl.remove conns fd;
     (try Unix.close fd with Unix.Unix_error _ -> ());
-    Metrics.on_close t.metrics;
+    Atomic.decr t.live;
+    Metrics.on_close metrics;
     logf t "conn %s closed (%s)" (Conn.peer conn) reason
   end
 
-let flush_conn t conn =
+let flush_conn t conns metrics conn =
   let rec go () =
     if Conn.wants_write conn then begin
       let buf, off = Conn.output conn in
@@ -153,32 +232,123 @@ let flush_conn t conn =
           Conn.wrote conn n;
           go ()
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
-      | exception Unix.Unix_error _ -> close_conn t conn "write error"
+      | exception Unix.Unix_error _ -> close_conn t conns metrics conn "write error"
     end
   in
   go ();
-  if Conn.finished conn then close_conn t conn "bye"
+  if Conn.finished conn then close_conn t conns metrics conn "bye"
 
-let read_conn t conn ~now =
+let read_conn t (w : worker) conn ~now =
   let rec go () =
-    match read_retry (Conn.fd conn) t.read_buf 0 (Bytes.length t.read_buf) with
+    match read_retry (Conn.fd conn) w.read_buf 0 (Bytes.length w.read_buf) with
     | 0 ->
         (* EOF — possibly mid-frame.  Only this connection dies; its
            tenant's state stays consistent because partial frames are
            never dispatched. *)
-        close_conn t conn "eof"
+        close_conn t w.conns w.metrics conn "eof"
     | n ->
-        Conn.on_bytes (ctx t) conn t.read_buf ~len:n ~now;
-        if Hashtbl.mem t.conns (Conn.fd conn) && not (Conn.closing conn) then go ()
+        Conn.on_bytes (w_ctx t w) conn w.read_buf ~len:n ~now;
+        if Hashtbl.mem w.conns (Conn.fd conn) && not (Conn.closing conn) then go ()
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
-    | exception Unix.Unix_error _ -> close_conn t conn "read error"
+    | exception Unix.Unix_error _ -> close_conn t w.conns w.metrics conn "read error"
   in
   (try go ()
    with e ->
      (* One connection's failure must never take the daemon down. *)
      logf t "conn %s: unexpected %s" (Conn.peer conn) (Printexc.to_string e);
-     close_conn t conn "internal error");
-  if Hashtbl.mem t.conns (Conn.fd conn) then flush_conn t conn
+     close_conn t w.conns w.metrics conn "internal error");
+  if Hashtbl.mem w.conns (Conn.fd conn) then flush_conn t w.conns w.metrics conn
+
+(* Adopt an authenticated connection into a worker's shard: bind its
+   tenant in the shard-local registry, serve any frames pipelined behind
+   the Hello, and flush the buffered handshake + Ok. *)
+let adopt t (w : worker) conn ~now =
+  Hashtbl.replace w.conns (Conn.fd conn) conn;
+  Conn.touch conn ~now;
+  Conn.attach (w_ctx t w) conn;
+  flush_conn t w.conns w.metrics conn
+
+let sweep_idle t conns metrics ~now =
+  if t.cfg.idle_timeout > 0. then begin
+    let idle =
+      Hashtbl.fold
+        (fun _ conn acc ->
+          if now -. Conn.last_active conn > t.cfg.idle_timeout then conn :: acc else acc)
+        conns []
+    in
+    List.iter (fun conn -> close_conn t conns metrics conn "idle timeout") idle
+  end
+
+let close_all t conns metrics reason =
+  Hashtbl.fold (fun _ c acc -> c :: acc) conns []
+  |> List.iter (fun c -> close_conn t conns metrics c reason)
+
+(* {2 Select plumbing}
+
+   The timeout is derived from the nearest deadline actually pending —
+   the drain grace and/or the earliest idle-connection expiry — rather
+   than a fixed polling interval: an idle daemon blocks in select
+   indefinitely (self-pipes deliver stop and handoff wakeups), and a
+   loaded one wakes exactly when the next timeout is due. *)
+let nearest_deadline t ~draining ~drain_deadline tbls =
+  let d = if draining then drain_deadline else infinity in
+  if t.cfg.idle_timeout <= 0. then d
+  else
+    List.fold_left
+      (fun d tbl ->
+        Hashtbl.fold
+          (fun _ conn d -> Float.min d (Conn.last_active conn +. t.cfg.idle_timeout))
+          tbl d)
+      d tbls
+
+let timeout_of_deadline d ~now = if d = infinity then -1. else Float.max 0. (d -. now)
+
+let conn_sets conns =
+  Hashtbl.fold
+    (fun fd conn (rds, wrs) ->
+      let rds =
+        if (not (Conn.closing conn)) && Conn.pending_output conn < out_hwm then fd :: rds
+        else rds
+      in
+      let wrs = if Conn.wants_write conn then fd :: wrs else wrs in
+      (rds, wrs))
+    conns ([], [])
+
+(* {2 The acceptor} *)
+
+let route t conn ns ~now =
+  Hashtbl.remove t.pre (Conn.fd conn);
+  let w = t.workers.(shard_of t ns) in
+  if inline t then adopt t w conn ~now
+  else begin
+    Mutex.protect w.mu (fun () -> Queue.push conn w.inbox);
+    wake w
+  end
+
+let read_pre t conn ~now =
+  let rec go () =
+    match read_retry (Conn.fd conn) t.read_buf 0 (Bytes.length t.read_buf) with
+    | 0 -> close_conn t t.pre t.accept_metrics conn "eof"
+    | n ->
+        Conn.on_bytes_pre conn t.read_buf ~len:n ~now;
+        if
+          Hashtbl.mem t.pre (Conn.fd conn)
+          && (not (Conn.closing conn))
+          && Conn.routed_namespace conn = None
+        then go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error _ -> close_conn t t.pre t.accept_metrics conn "read error"
+  in
+  (try go ()
+   with e ->
+     logf t "conn %s: unexpected %s" (Conn.peer conn) (Printexc.to_string e);
+     close_conn t t.pre t.accept_metrics conn "internal error");
+  if Hashtbl.mem t.pre (Conn.fd conn) then
+    match Conn.routed_namespace conn with
+    | Some ns when not (Conn.closing conn) ->
+        logf t "conn %s -> namespace %S (worker %d)" (Conn.peer conn) ns (shard_of t ns);
+        route t conn ns ~now
+    | _ -> flush_conn t t.pre t.accept_metrics conn
 
 let accept_all t lfd ~now =
   let rec go () =
@@ -186,19 +356,21 @@ let accept_all t lfd ~now =
     | fd, addr ->
         Unix.set_nonblock fd;
         (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
-        if live_conns t >= t.cfg.max_conns then begin
+        if Atomic.get t.live >= t.cfg.max_conns then begin
           (* Over the cap: turn the connection away before it can speak.
              The client sees EOF during its version handshake. *)
           (try Unix.close fd with Unix.Unix_error _ -> ());
-          Metrics.on_reject t.metrics;
+          Metrics.on_reject t.accept_metrics;
           logf t "conn %s rejected (cap %d)" (peer_string addr) t.cfg.max_conns
         end
         else begin
           t.next_id <- t.next_id + 1;
           let conn = Conn.create ~id:t.next_id ~peer:(peer_string addr) ~now fd in
-          Hashtbl.replace t.conns fd conn;
-          Metrics.on_accept t.metrics;
-          logf t "conn %s accepted (#%d, %d live)" (peer_string addr) t.next_id (live_conns t)
+          Hashtbl.replace t.pre fd conn;
+          Atomic.incr t.live;
+          Metrics.on_accept t.accept_metrics;
+          logf t "conn %s accepted (#%d, %d live)" (peer_string addr) t.next_id
+            (Atomic.get t.live)
         end;
         go ()
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
@@ -206,83 +378,167 @@ let accept_all t lfd ~now =
   in
   go ()
 
-let start_drain t =
+let start_drain t ~now =
   if not t.draining then begin
     t.draining <- true;
-    t.drain_deadline <- Unix.gettimeofday () +. t.cfg.drain_grace;
+    t.drain_deadline <- now +. t.cfg.drain_grace;
     List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) t.listeners;
     t.listeners <- [];
-    logf t "drain: stopped accepting; %d connection(s) live" (live_conns t)
+    if inline t then begin
+      let w = t.workers.(0) in
+      w.draining <- true;
+      w.drain_deadline <- t.drain_deadline
+    end
+    else
+      Array.iter
+        (fun w ->
+          Mutex.protect w.mu (fun () -> w.drain_req <- true);
+          wake w)
+        t.workers;
+    logf t "drain: stopped accepting; %d connection(s) live" (Atomic.get t.live)
   end
 
-let sweep_idle t ~now =
-  if t.cfg.idle_timeout > 0. then begin
-    let idle =
-      Hashtbl.fold
-        (fun _ conn acc ->
-          if now -. Conn.last_active conn > t.cfg.idle_timeout then conn :: acc else acc)
-        t.conns []
-    in
-    List.iter (fun conn -> close_conn t conn "idle timeout") idle
-  end
-
-let step t =
+(* One round of the acceptor loop.  When [inline t], this is also worker
+   0's loop: its connections join the same select and are served on this
+   domain, making a 1-domain daemon behaviorally the familiar
+   single-loop one. *)
+let acceptor_step t =
   let now = Unix.gettimeofday () in
-  sweep_idle t ~now;
-  if t.draining && (live_conns t = 0 || now > t.drain_deadline) then begin
-    Hashtbl.fold (fun _ c acc -> c :: acc) t.conns []
-    |> List.iter (fun c -> close_conn t c "drain deadline");
+  let w0 = t.workers.(0) in
+  sweep_idle t t.pre t.accept_metrics ~now;
+  if inline t then sweep_idle t w0.conns w0.metrics ~now;
+  let done_ =
+    t.draining
+    && (Atomic.get t.live = 0
+       || now > t.drain_deadline
+       || ((not (inline t)) && Hashtbl.length t.pre = 0))
+  in
+  if done_ then begin
+    close_all t t.pre t.accept_metrics "drain deadline";
+    if inline t then close_all t w0.conns w0.metrics "drain deadline";
     t.running <- false
   end
   else begin
-    let conn_fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) t.conns [] in
-    let readable_conns =
-      List.filter
-        (fun fd ->
-          let conn = Hashtbl.find t.conns fd in
-          (not (Conn.closing conn)) && Conn.pending_output conn < out_hwm)
-        conn_fds
+    let pre_rds, pre_wrs = conn_sets t.pre in
+    let w0_rds, w0_wrs = if inline t then conn_sets w0.conns else ([], []) in
+    let rds = (t.stop_r :: t.listeners) @ pre_rds @ w0_rds in
+    let wrs = pre_wrs @ w0_wrs in
+    let tbls = if inline t then [ t.pre; w0.conns ] else [ t.pre ] in
+    let deadline =
+      nearest_deadline t ~draining:t.draining ~drain_deadline:t.drain_deadline tbls
     in
-    let rds = (t.stop_r :: t.listeners) @ readable_conns in
-    let wrs = List.filter (fun fd -> Conn.wants_write (Hashtbl.find t.conns fd)) conn_fds in
-    match select_retry rds wrs [] 0.25 with
+    match select_retry rds wrs [] (timeout_of_deadline deadline ~now) with
     | rd_ready, wr_ready, _ ->
         if List.mem t.stop_r rd_ready then begin
-          let b = Bytes.create 16 in
-          (try
-             while read_retry t.stop_r b 0 16 > 0 do
-               ()
-             done
-           with Unix.Unix_error _ -> ());
-          start_drain t
+          drain_pipe t.stop_r;
+          start_drain t ~now:(Unix.gettimeofday ())
         end;
         let now = Unix.gettimeofday () in
         List.iter
           (fun fd ->
             if List.mem fd t.listeners then accept_all t fd ~now
             else
-              match Hashtbl.find_opt t.conns fd with
-              | Some conn -> read_conn t conn ~now
-              | None -> ())
+              match Hashtbl.find_opt t.pre fd with
+              | Some conn -> read_pre t conn ~now
+              | None -> (
+                  match if inline t then Hashtbl.find_opt w0.conns fd else None with
+                  | Some conn -> read_conn t w0 conn ~now
+                  | None -> ()))
           rd_ready;
         List.iter
           (fun fd ->
-            match Hashtbl.find_opt t.conns fd with
-            | Some conn -> flush_conn t conn
+            match Hashtbl.find_opt t.pre fd with
+            | Some conn -> flush_conn t t.pre t.accept_metrics conn
+            | None -> (
+                match if inline t then Hashtbl.find_opt w0.conns fd else None with
+                | Some conn -> flush_conn t w0.conns w0.metrics conn
+                | None -> ()))
+          wr_ready
+  end
+
+(* {2 Worker loops (only spawned when domains > 1)} *)
+
+let worker_mailbox t (w : worker) ~now =
+  drain_pipe w.wake_r;
+  let adopted, drain_req =
+    Mutex.protect w.mu (fun () ->
+        let xs = List.of_seq (Queue.to_seq w.inbox) in
+        Queue.clear w.inbox;
+        (xs, w.drain_req))
+  in
+  List.iter (fun conn -> adopt t w conn ~now) adopted;
+  if drain_req && not w.draining then begin
+    w.draining <- true;
+    w.drain_deadline <- now +. t.cfg.drain_grace
+  end
+
+let worker_step t (w : worker) =
+  let now = Unix.gettimeofday () in
+  sweep_idle t w.conns w.metrics ~now;
+  if w.draining && (Hashtbl.length w.conns = 0 || now > w.drain_deadline) then begin
+    close_all t w.conns w.metrics "drain deadline";
+    w.w_running <- false
+  end
+  else begin
+    let rds, wrs = conn_sets w.conns in
+    let deadline =
+      nearest_deadline t ~draining:w.draining ~drain_deadline:w.drain_deadline [ w.conns ]
+    in
+    match select_retry (w.wake_r :: rds) wrs [] (timeout_of_deadline deadline ~now) with
+    | rd_ready, wr_ready, _ ->
+        let now = Unix.gettimeofday () in
+        if List.mem w.wake_r rd_ready then worker_mailbox t w ~now;
+        List.iter
+          (fun fd ->
+            match Hashtbl.find_opt w.conns fd with
+            | Some conn -> read_conn t w conn ~now
+            | None -> ())
+          rd_ready;
+        List.iter
+          (fun fd ->
+            match Hashtbl.find_opt w.conns fd with
+            | Some conn -> flush_conn t w.conns w.metrics conn
             | None -> ())
           wr_ready
   end
 
+let worker_loop t (w : worker) =
+  while w.w_running do
+    worker_step t w
+  done
+
 let run t =
-  logf t "serving (max %d connections)" t.cfg.max_conns;
+  logf t "serving (max %d connections, %d worker domain(s))" t.cfg.max_conns
+    (Array.length t.workers);
+  let spawned =
+    if inline t then [||]
+    else Array.map (fun w -> Domain.spawn (fun () -> worker_loop t w)) t.workers
+  in
   while t.running do
-    step t
+    acceptor_step t
   done;
+  Array.iter Domain.join spawned;
   (* Final cleanup: listeners are already gone if we drained; close
      whatever remains and remove the Unix socket path. *)
   List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) t.listeners;
   t.listeners <- [];
-  Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] |> List.iter (fun c -> close_conn t c "shutdown");
+  close_all t t.pre t.accept_metrics "shutdown";
+  Array.iter
+    (fun w ->
+      close_all t w.conns w.metrics "shutdown";
+      (* A connection routed after its worker passed the drain deadline
+         never left the mailbox; with every domain joined and the
+         acceptor loop done, nobody pushes anymore — close them here so
+         neither the fd nor the live count leaks. *)
+      Queue.iter
+        (fun conn ->
+          (try Unix.close (Conn.fd conn) with Unix.Unix_error _ -> ());
+          Atomic.decr t.live)
+        w.inbox;
+      Queue.clear w.inbox;
+      (try Unix.close w.wake_r with Unix.Unix_error _ -> ());
+      (try Unix.close w.wake_w with Unix.Unix_error _ -> ()))
+    t.workers;
   (try Unix.close t.stop_r with Unix.Unix_error _ -> ());
   (try Unix.close t.stop_w with Unix.Unix_error _ -> ());
   (match t.cfg.unix_path with

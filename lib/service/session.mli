@@ -20,3 +20,10 @@ val attach : registry -> string -> tenant
 val find : registry -> string -> tenant option
 val count : registry -> int
 val namespaces : registry -> string list
+
+val shard : shards:int -> string -> int
+(** [shard ~shards ns] is the worker index in [0 .. shards-1] that owns
+    tenant [ns] — a deterministic FNV-1a hash, so every connection that
+    says [Hello ns] lands on the same worker (and the same shard-local
+    registry) for the life of the daemon, and the assignment is
+    reproducible across runs.  Always [0] when [shards <= 1]. *)

@@ -1,11 +1,15 @@
 type store = { mutable blocks : string array; mutable len : int }
 
+let reservoir_size = 1024
+
 type state = {
   stores : (string, store) Hashtbl.t;
   trace : Trace.t;
   cost : Cost.t;
   started : float;
   mutable bytes : int;
+  lat : float array; (* ring of the most recent service latencies, seconds *)
+  mutable lat_n : int; (* total latencies ever recorded *)
 }
 
 let create_state () =
@@ -15,6 +19,8 @@ let create_state () =
     cost = Cost.create ();
     started = Unix.gettimeofday ();
     bytes = 0;
+    lat = Array.make reservoir_size 0.;
+    lat_n = 0;
   }
 
 let trace st = st.trace
@@ -36,6 +42,22 @@ let account_response st ~bytes =
   Cost.sent_to_client st.cost bytes;
   Cost.set_server_bytes st.cost st.bytes
 
+let record_latency st s =
+  st.lat.(st.lat_n mod reservoir_size) <- s;
+  st.lat_n <- st.lat_n + 1
+
+(* Nearest-rank percentiles over the reservoir; (0, 0, 0) before any
+   latency has been recorded. *)
+let latency_percentiles st =
+  let n = min st.lat_n reservoir_size in
+  if n = 0 then (0., 0., 0.)
+  else begin
+    let a = Array.sub st.lat 0 n in
+    Array.sort compare a;
+    let pick q = a.(max 0 (min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1))) in
+    (pick 0.50, pick 0.95, pick 0.99)
+  end
+
 let find st name =
   match Hashtbl.find_opt st.stores name with
   | Some s -> s
@@ -53,11 +75,14 @@ let ensure s n =
   end;
   if n > s.len then s.len <- n
 
-(* Fallback [Stats] answer for serving modes that do not sample service
-   latencies (the legacy one-client fork server): the session ledger is
-   still exact, the percentiles are reported as 0. *)
+(* [Stats] answer for serving modes without daemon-side metrics (the
+   legacy one-client fork server): the session ledger is exact and the
+   percentiles come from the session's own latency reservoir — real
+   numbers as long as the serving loop calls {!record_latency}. *)
 let basic_stats st =
   let c = Cost.snapshot st.cost in
+  let p50, p95, p99 = latency_percentiles st in
+  let us s = min 0xFFFFFFFF (int_of_float (s *. 1e6)) in
   Wire.Stats_reply
     {
       uptime_us = Int64.of_float ((Unix.gettimeofday () -. st.started) *. 1e6);
@@ -65,9 +90,9 @@ let basic_stats st =
       frames = c.Cost.round_trips;
       bytes_in = c.Cost.bytes_to_server;
       bytes_out = c.Cost.bytes_to_client;
-      p50_us = 0;
-      p95_us = 0;
-      p99_us = 0;
+      p50_us = us p50;
+      p95_us = us p95;
+      p99_us = us p99;
     }
 
 let handle st = function

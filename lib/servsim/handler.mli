@@ -17,9 +17,9 @@ val handle : state -> Wire.request -> Wire.response
     [Digest] and [Total_bytes] are served from the session state;
     [Ping] answers [Pong]; [Hello] and [Bye] answer [Ok] (connection
     lifecycle is the serving loop's job); [Stats] answers the session
-    ledger with zero latency percentiles — serving modes that sample
-    latencies (the daemon) intercept [Stats] and answer with real
-    percentiles instead.
+    ledger plus the percentiles of this session's latency reservoir
+    (see {!record_latency}) — the daemon intercepts [Stats] and answers
+    from its per-namespace metrics instead.
     @raise Wire.Protocol_error e.g. on access to a store that does not
     exist (serving loops turn this into an [Error] response). *)
 
@@ -37,6 +37,17 @@ val account_request : state -> bytes:int -> unit
 
 val account_response : state -> bytes:int -> unit
 (** Charge the response bytes and refresh the server-storage gauge. *)
+
+val record_latency : state -> float -> unit
+(** Push one service latency (seconds, request fully parsed → response
+    written) into the session's bounded reservoir.  Serving loops that
+    dispatch through {!handle} directly (the fork server) call this so
+    [Stats] reports real percentiles; the daemon samples into its own
+    per-namespace {i Metrics} instead. *)
+
+val latency_percentiles : state -> float * float * float
+(** Nearest-rank (p50, p95, p99) in seconds over the reservoir;
+    [(0., 0., 0.)] before any sample. *)
 
 val trace : state -> Trace.t
 val cost : state -> Cost.t

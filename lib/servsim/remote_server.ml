@@ -30,6 +30,7 @@ let serve ic oc =
           | req ->
               let counted = Handler.counted req in
               if counted then Handler.account_request st ~bytes:(Wire.request_size req);
+              let t0 = Unix.gettimeofday () in
               let resp =
                 match req with
                 | Wire.Bye ->
@@ -38,7 +39,15 @@ let serve ic oc =
                 | req -> ( try Handler.handle st req with Wire.Protocol_error msg -> Wire.Error msg)
               in
               Wire.write_response oc resp;
-              if counted then Handler.account_response st ~bytes:(Wire.response_size resp)
+              if counted then begin
+                Handler.account_response st ~bytes:(Wire.response_size resp);
+                (* Sampled after the flush so [Stats] answers with the
+                   same request→response-on-the-wire measure the daemon
+                   reports; the [Stats] frame itself is counted in the
+                   ledger but (like the daemon) observes only the
+                   latencies of the frames before it. *)
+                Handler.record_latency st (Unix.gettimeofday () -. t0)
+              end
         done
       end
 

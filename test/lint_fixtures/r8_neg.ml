@@ -1,0 +1,3 @@
+(* fdlint-fixture path=lib/core/parallel.ml expect=none *)
+let recommended () = Domain.recommended_domain_count ()
+let self_id () = Domain.self ()

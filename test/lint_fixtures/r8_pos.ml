@@ -1,0 +1,2 @@
+(* fdlint-fixture path=lib/core/parallel.ml expect=domain-hygiene *)
+let spawn_all fs = List.map (fun f -> Domain.spawn f) fs

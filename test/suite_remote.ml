@@ -129,6 +129,40 @@ let test_ex_oram_dynamic_over_wire () =
       Ex_oram_method.delete h ~row:2;
       Alcotest.(check int) "card after second delete" 1 (Ex_oram_method.cardinality h))
 
+(* The fork server answers [Stats] with percentiles from its own latency
+   reservoir — real measurements, not the zeros it used to report. *)
+let test_fork_server_latency_percentiles () =
+  with_remote (fun conn ->
+      ignore (Servsim.Remote.call conn (Servsim.Wire.Create_store "s"));
+      ignore (Servsim.Remote.call conn (Servsim.Wire.Ensure ("s", 8)));
+      (* Large payloads so every dispatch is reliably >= 1 us once
+         rounded to the wire's microsecond resolution. *)
+      let big = String.make 65536 'p' in
+      for i = 0 to 99 do
+        ignore (Servsim.Remote.call conn (Servsim.Wire.Put ("s", i mod 8, big)))
+      done;
+      let stats = Servsim.Remote.stats conn in
+      Alcotest.(check bool) "percentiles ordered" true
+        (stats.Servsim.Wire.p50_us <= stats.Servsim.Wire.p95_us
+        && stats.Servsim.Wire.p95_us <= stats.Servsim.Wire.p99_us);
+      Alcotest.(check bool) "p99 is a real measurement" true
+        (stats.Servsim.Wire.p99_us > 0))
+
+(* The reservoir itself, deterministically: nearest-rank percentiles
+   over a known sample set, and ring-buffer overwrite past capacity. *)
+let test_latency_reservoir_nearest_rank () =
+  let st = Servsim.Handler.create_state () in
+  let z50, z95, z99 = Servsim.Handler.latency_percentiles st in
+  Alcotest.(check (triple (float 0.) (float 0.) (float 0.)))
+    "empty reservoir reports zeros" (0., 0., 0.) (z50, z95, z99);
+  (* 1..100 in shuffled order: nearest-rank pk = k for n = 100. *)
+  let xs = Array.init 100 (fun i -> float_of_int (((i * 37) mod 100) + 1)) in
+  Array.iter (fun x -> Servsim.Handler.record_latency st x) xs;
+  let p50, p95, p99 = Servsim.Handler.latency_percentiles st in
+  Alcotest.(check (float 1e-9)) "p50 of 1..100" 50. p50;
+  Alcotest.(check (float 1e-9)) "p95 of 1..100" 95. p95;
+  Alcotest.(check (float 1e-9)) "p99 of 1..100" 99. p99
+
 (* Property tests for the wire codec itself (through a pipe). *)
 let roundtrip_request req =
   let r, w = Unix.pipe () in
@@ -201,4 +235,8 @@ let suite =
     Alcotest.test_case "full protocol over wire" `Quick test_full_protocol_over_wire;
     Alcotest.test_case "server-side obliviousness" `Quick test_remote_obliviousness_server_side;
     Alcotest.test_case "ex-oram dynamic over wire" `Quick test_ex_oram_dynamic_over_wire;
+    Alcotest.test_case "fork server reports latency percentiles" `Quick
+      test_fork_server_latency_percentiles;
+    Alcotest.test_case "latency reservoir nearest-rank" `Quick
+      test_latency_reservoir_nearest_rank;
   ]

@@ -6,12 +6,16 @@
    isolation (mid-frame disconnects, malformed frames, a v2 client),
    the connection cap, the idle timeout, and graceful drain. *)
 
-let with_daemon ?(max_conns = 64) ?(idle_timeout = 0.) f =
+let with_daemon ?(max_conns = 64) ?(idle_timeout = 0.) ?(domains = 1) f =
   let path = Filename.temp_file "svc-test" ".sock" in
   Sys.remove path;
   let daemon =
     Service.Daemon.create
-      { Service.Daemon.default_config with unix_path = Some path; max_conns; idle_timeout }
+      { Service.Daemon.default_config with
+        unix_path = Some path;
+        max_conns;
+        idle_timeout;
+        domains }
   in
   let th = Thread.create Service.Daemon.run daemon in
   Fun.protect
@@ -258,6 +262,122 @@ let test_tcp_listener () =
       | _ -> Alcotest.fail "get");
       Servsim.Remote.close conn)
 
+(* {2 Namespace-sharded worker domains} *)
+
+let test_shard_deterministic () =
+  List.iter
+    (fun shards ->
+      List.iter
+        (fun ns ->
+          let s = Service.Session.shard ~shards ns in
+          Alcotest.(check bool)
+            (Printf.sprintf "shard %S/%d in range" ns shards)
+            true
+            (s >= 0 && s < max 1 shards);
+          Alcotest.(check int)
+            (Printf.sprintf "shard %S/%d stable" ns shards)
+            s
+            (Service.Session.shard ~shards ns))
+        [ ""; "alice"; "bob"; "a-rather-long-namespace-name"; "\x00\xff" ])
+    [ 1; 2; 3; 4; 7; 16 ];
+  Alcotest.(check int) "single shard is always 0" 0
+    (Service.Session.shard ~shards:1 "anything")
+
+(* The acceptance bar for the sharded daemon: per-tenant digests under
+   concurrent multi-namespace load on N worker domains are bit-identical
+   to the single-domain daemon (which in turn matches a solo client, per
+   [test_concurrent_tenants_match_single_client]).  Obliviousness is a
+   per-tenant property; how tenants are spread over domains must be
+   invisible in every adversary view. *)
+let test_multidomain_digests_match_single_domain () =
+  let table = Datasets.Examples.fig1 () in
+  let namespaces = [ "tenant-a"; "tenant-b"; "tenant-c" ] in
+  let run_daemon ~domains =
+    with_daemon ~domains (fun path _ ->
+        let results =
+          List.map
+            (fun ns ->
+              let fds = ref "" and dig = ref (0L, 0L, 0) in
+              let th =
+                Thread.create
+                  (fun () ->
+                    with_client ~namespace:ns path (fun conn ->
+                        fds := discover_fds conn table;
+                        dig := Servsim.Remote.server_digests conn))
+                  ()
+              in
+              (ns, fds, dig, th))
+            namespaces
+        in
+        List.map
+          (fun (ns, fds, dig, th) ->
+            Thread.join th;
+            (ns, !fds, !dig))
+          results)
+  in
+  let single = run_daemon ~domains:1 in
+  let sharded = run_daemon ~domains:3 in
+  List.iter2
+    (fun (ns, fds1, (f1, s1, c1)) (_, fdsn, (fn, sn, cn)) ->
+      Alcotest.(check string) (ns ^ " FDs identical") fds1 fdsn;
+      Alcotest.(check int64) (ns ^ " full digest bit-identical") f1 fn;
+      Alcotest.(check int64) (ns ^ " shape digest bit-identical") s1 sn;
+      Alcotest.(check int) (ns ^ " trace count identical") c1 cn)
+    single sharded
+
+let test_same_namespace_lands_on_same_worker () =
+  with_daemon ~domains:3 (fun path daemon ->
+      (* Two live connections plus a later reconnect, all saying
+         [Hello "pinned"]: one tenant, one worker, one registry entry. *)
+      with_client ~namespace:"pinned" path (fun c1 ->
+          with_client ~namespace:"pinned" path (fun c2 ->
+              ignore (Servsim.Remote.call c1 (Servsim.Wire.Create_store "s"));
+              ignore (Servsim.Remote.call c1 (Servsim.Wire.Ensure ("s", 2)));
+              ignore (Servsim.Remote.call c1 (Servsim.Wire.Put ("s", 0, "via c1")));
+              (* c2 sees c1's write: same tenant state, same worker. *)
+              match Servsim.Remote.call c2 (Servsim.Wire.Get ("s", 0)) with
+              | Servsim.Wire.Value v ->
+                  Alcotest.(check string) "shared session state" "via c1" v
+              | _ -> Alcotest.fail "get via second connection"));
+      with_client ~namespace:"pinned" path (fun c3 ->
+          match Servsim.Remote.call c3 (Servsim.Wire.Get ("s", 0)) with
+          | Servsim.Wire.Value v ->
+              Alcotest.(check string) "state survives reconnect" "via c1" v
+          | _ -> Alcotest.fail "get after reconnect");
+      let owner = Service.Daemon.shard_of daemon "pinned" in
+      List.iteri
+        (fun i reg ->
+          let here = Service.Session.find reg "pinned" <> None in
+          Alcotest.(check bool)
+            (Printf.sprintf "tenant on worker %d" i)
+            (i = owner) here)
+        (Service.Daemon.registries daemon))
+
+let test_multidomain_graceful_drain () =
+  let path = Filename.temp_file "svc-test" ".sock" in
+  Sys.remove path;
+  let daemon =
+    Service.Daemon.create
+      { Service.Daemon.default_config with unix_path = Some path; domains = 2 }
+  in
+  let th = Thread.create Service.Daemon.run daemon in
+  let a = Servsim.Remote.connect_unix ~namespace:"drain-a" path in
+  let b = Servsim.Remote.connect_unix ~namespace:"drain-b" path in
+  ignore (Servsim.Remote.call a (Servsim.Wire.Create_store "s"));
+  Service.Daemon.stop daemon;
+  (* Connected clients on every worker keep being served during the
+     drain... *)
+  ignore (Servsim.Remote.call a (Servsim.Wire.Ensure ("s", 2)));
+  Servsim.Remote.ping a;
+  Servsim.Remote.ping b;
+  Servsim.Remote.close a;
+  Servsim.Remote.close b;
+  (* ...and [run] only returns after [Domain.join] on both workers, so
+     [Thread.join] returning proves every domain exited. *)
+  Thread.join th;
+  Alcotest.(check bool) "socket path removed" false (Sys.file_exists path);
+  Alcotest.(check int) "no live connections anywhere" 0 (Service.Daemon.live_conns daemon)
+
 (* {2 Frame decoder unit tests (byte-at-a-time reassembly)} *)
 
 let test_decoder_byte_at_a_time () =
@@ -316,6 +436,12 @@ let suite =
     Alcotest.test_case "idle timeout" `Slow test_idle_timeout;
     Alcotest.test_case "graceful drain" `Quick test_graceful_drain;
     Alcotest.test_case "tcp listener" `Quick test_tcp_listener;
+    Alcotest.test_case "namespace shard deterministic" `Quick test_shard_deterministic;
+    Alcotest.test_case "multi-domain digests match single-domain" `Quick
+      test_multidomain_digests_match_single_domain;
+    Alcotest.test_case "same namespace lands on same worker" `Quick
+      test_same_namespace_lands_on_same_worker;
+    Alcotest.test_case "multi-domain graceful drain" `Quick test_multidomain_graceful_drain;
     Alcotest.test_case "decoder byte-at-a-time" `Quick test_decoder_byte_at_a_time;
     Alcotest.test_case "decoder pipelined frames" `Quick test_decoder_pipelined_frames;
   ]
