@@ -1,0 +1,168 @@
+(* Durable-store churn harness: the disk-backed daemon serving a tenant
+   working set 10x its resident cache, so nearly every [Hello] is a cold
+   attach — snapshot the LRU victim out, rehydrate the newcomer from its
+   snapshot + journal.  This is the cost model of the outsourced setting
+   with many clients: the server keeps hot sessions in memory and pages
+   cold ciphertext stores to disk.
+
+   The daemon runs in-process (one worker domain, a background thread)
+   because the measured work — segment framing, snapshot writes,
+   recovery replay — is server-side disk traffic; the socket hop is kept
+   so the request path is the production one.
+
+   Emits BENCH_store.json: steady-state ops/s, per-op service latency
+   percentiles, and the cold-attach (rehydration) latency distribution. *)
+
+let block_len = 64
+let block = String.make block_len '\xCD'
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let tmp_dir prefix =
+  let path = Filename.temp_file prefix "" in
+  Sys.remove path;
+  Unix.mkdir path 0o700;
+  path
+
+let with_store_daemon ~max_resident ~data_dir f =
+  let path = Filename.temp_file "store-bench" ".sock" in
+  Sys.remove path;
+  let daemon =
+    Service.Daemon.create
+      { Service.Daemon.default_config with
+        unix_path = Some path;
+        max_conns = 16;
+        domains = 1;
+        data_dir = Some data_dir;
+        max_resident }
+  in
+  let th = Thread.create Service.Daemon.run daemon in
+  let rec await tries =
+    if not (Sys.file_exists path) then
+      if tries = 0 then failwith "store bench daemon did not come up"
+      else begin
+        Unix.sleepf 0.02;
+        await (tries - 1)
+      end
+  in
+  await 200;
+  Fun.protect
+    ~finally:(fun () ->
+      Service.Daemon.stop daemon;
+      Thread.join th)
+    (fun () -> f path)
+
+let ns_of i = Printf.sprintf "store-tenant-%03d" i
+
+let expect_ok = function
+  | Servsim.Wire.Ok -> ()
+  | Servsim.Wire.Error e -> failwith e
+  | _ -> failwith "unexpected response"
+
+(* Seed every tenant's store once: [blocks] Puts through a fresh
+   session.  With the cap at [max_resident] this already runs the
+   eviction path [tenants - max_resident] times. *)
+let seed ~path ~tenants ~blocks =
+  for i = 0 to tenants - 1 do
+    let conn = Servsim.Remote.connect_unix ~namespace:(ns_of i) path in
+    expect_ok (Servsim.Remote.call conn (Servsim.Wire.Create_store "s"));
+    expect_ok (Servsim.Remote.call conn (Servsim.Wire.Ensure ("s", blocks)));
+    for b = 0 to blocks - 1 do
+      expect_ok (Servsim.Remote.call conn (Servsim.Wire.Put ("s", b, block)))
+    done;
+    Servsim.Remote.close conn
+  done
+
+(* One cold visit: connect (forcing rehydration — the round-robin order
+   guarantees this tenant left the cache [tenants - 1] attaches ago),
+   then a short burst of Get/Put ops.  Returns the attach latency and
+   the per-op latencies. *)
+let visit ~path ~ns ~blocks ~ops_per_visit =
+  let a0 = Unix.gettimeofday () in
+  let conn = Servsim.Remote.connect_unix ~namespace:ns path in
+  let attach_s = Unix.gettimeofday () -. a0 in
+  let lats = Array.make ops_per_visit 0. in
+  for o = 0 to ops_per_visit - 1 do
+    let u0 = Unix.gettimeofday () in
+    (match
+       Servsim.Remote.call conn
+         (if o land 1 = 0 then Servsim.Wire.Get ("s", o mod blocks)
+          else Servsim.Wire.Put ("s", o mod blocks, block))
+     with
+    | Servsim.Wire.Ok | Servsim.Wire.Value _ -> ()
+    | _ -> failwith "unexpected response");
+    lats.(o) <- Unix.gettimeofday () -. u0
+  done;
+  Servsim.Remote.close conn;
+  (attach_s, Array.to_list lats)
+
+let run (opts : Bench_util.opts) =
+  Bench_util.header "STORE: disk-backed tenants, working set 10x resident cache";
+  let max_resident = if opts.full then 16 else 4 in
+  let tenants = 10 * max_resident in
+  let blocks = if opts.full then 64 else 32 in
+  let rounds = if opts.full then 5 else 2 in
+  let ops_per_visit = 16 in
+  let data_dir = tmp_dir "sfdd-bench-store" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf data_dir)
+    (fun () ->
+      let attach_lats = ref [] and op_lats = ref [] in
+      let wall =
+        with_store_daemon ~max_resident ~data_dir (fun path ->
+            seed ~path ~tenants ~blocks;
+            let t0 = Unix.gettimeofday () in
+            for _round = 1 to rounds do
+              for i = 0 to tenants - 1 do
+                let attach_s, lats =
+                  visit ~path ~ns:(ns_of i) ~blocks ~ops_per_visit
+                in
+                attach_lats := attach_s :: !attach_lats;
+                op_lats := List.rev_append lats !op_lats
+              done
+            done;
+            Unix.gettimeofday () -. t0)
+      in
+      let visits = rounds * tenants in
+      let total_ops = visits * ops_per_visit in
+      let p50, p95, p99 = Service.Metrics.percentiles !op_lats in
+      let a50, a95, a99 = Service.Metrics.percentiles !attach_lats in
+      let us x = x *. 1e6 in
+      Printf.printf
+        "  %d tenants / %d resident x %d rounds: %8.0f ops/s   op p50 %5.0f us  p99 \
+         %5.0f us   cold attach p50 %6.0f us  p99 %6.0f us\n\
+         %!"
+        tenants max_resident rounds
+        (float_of_int total_ops /. wall)
+        (us p50) (us p99) (us a50) (us a99);
+      let oc = open_out "BENCH_store.json" in
+      Printf.fprintf oc
+        "{\n\
+        \  \"schema\": \"sfdd-bench-store/1\",\n\
+        \  \"smoke\": %b,\n\
+        \  \"transport\": \"unix-domain socket\",\n\
+        \  \"tenants\": %d,\n\
+        \  \"max_resident\": %d,\n\
+        \  \"blocks_per_tenant\": %d,\n\
+        \  \"block_bytes\": %d,\n\
+        \  \"rounds\": %d,\n\
+        \  \"ops_per_visit\": %d,\n\
+        \  \"ops_per_s\": %.0f,\n\
+        \  \"op_p50_us\": %.0f,\n\
+        \  \"op_p95_us\": %.0f,\n\
+        \  \"op_p99_us\": %.0f,\n\
+        \  \"cold_attach_p50_us\": %.0f,\n\
+        \  \"cold_attach_p95_us\": %.0f,\n\
+        \  \"cold_attach_p99_us\": %.0f\n\
+         }\n"
+        opts.smoke tenants max_resident blocks block_len rounds ops_per_visit
+        (float_of_int total_ops /. wall)
+        (us p50) (us p95) (us p99) (us a50) (us a95) (us a99);
+      close_out oc;
+      Printf.printf "  (written to BENCH_store.json)\n%!")

@@ -20,11 +20,12 @@ let experiments =
     ("ablation", "baseline frontier, recursive ORAM, compression", Exp_ablation.run);
     ("micro", "Bechamel micro-benchmarks", Exp_micro.run);
     ("service", "multi-tenant daemon load harness", Exp_service.run);
+    ("store", "disk-backed tenant store churn harness", Exp_store.run);
   ]
 
 let default_set =
   [ "table1"; "table2"; "table3"; "fig4"; "fig5"; "fig6a"; "fig6b"; "fig7"; "ablation"; "micro";
-    "service" ]
+    "service"; "store" ]
 
 let usage () =
   prerr_endline "usage: main.exe [--full] [--smoke] [experiment ...]";

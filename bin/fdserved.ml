@@ -15,7 +15,8 @@ let parse_tcp s =
       let port = int_of_string (String.sub s (i + 1) (String.length s - i - 1)) in
       (host, port)
 
-let serve unix_path tcp max_conns idle_timeout drain_grace domains verbose =
+let serve unix_path tcp max_conns idle_timeout drain_grace domains data_dir max_resident
+    verbose =
   let log = if verbose then fun msg -> Printf.eprintf "fdserved: %s\n%!" msg else ignore in
   let cfg =
     {
@@ -25,6 +26,8 @@ let serve unix_path tcp max_conns idle_timeout drain_grace domains verbose =
       idle_timeout;
       drain_grace;
       domains = max 1 domains;
+      data_dir;
+      max_resident;
       log;
     }
   in
@@ -37,6 +40,12 @@ let serve unix_path tcp max_conns idle_timeout drain_grace domains verbose =
   | Some path -> Printf.printf "fdserved: listening on unix socket %s\n%!" path
   | None -> ());
   Printf.printf "fdserved: %d worker domain(s)\n%!" (Service.Daemon.domains daemon);
+  (match data_dir with
+  | Some dir ->
+      Printf.printf "fdserved: durable tenant state under %s%s\n%!" dir
+        (if max_resident > 0 then Printf.sprintf " (max %d resident per worker)" max_resident
+         else "")
+  | None -> ());
   Service.Daemon.run daemon;
   `Ok ()
 
@@ -88,18 +97,107 @@ let selftest_with ~domains =
   check "drained" (Service.Daemon.live_conns daemon = 0);
   Printf.printf "fdserved selftest (domains=%d): OK\n%!" domains
 
+(* Persistence smoke test: the same op sequence served (a) by one
+   uninterrupted in-memory daemon across a client reconnect and (b) by a
+   disk-backed daemon that is gracefully restarted between the two
+   connections.  Digests, trace count and the server-side frame ledger
+   must be bit-identical — restart must be invisible. *)
+let selftest_persist () =
+  let open Servsim in
+  let fail fmt = Printf.ksprintf (fun m -> failwith ("selftest-persist: " ^ m)) fmt in
+  let check name cond = if not cond then fail "%s" name in
+  let fresh_path suffix =
+    let p = Filename.temp_file "fdserved" suffix in
+    Sys.remove p;
+    p
+  in
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+        Unix.rmdir path
+      end
+      else Sys.remove path
+  in
+  let batch_a conn =
+    check "create" (Remote.call conn (Wire.Create_store "blocks") = Wire.Ok);
+    check "ensure" (Remote.call conn (Wire.Ensure ("blocks", 16)) = Wire.Ok);
+    for i = 0 to 15 do
+      check "put" (Remote.call conn (Wire.Put ("blocks", i, String.make 48 'p')) = Wire.Ok)
+    done;
+    check "get" (Remote.call conn (Wire.Get ("blocks", 7)) = Wire.Value (String.make 48 'p'))
+  in
+  let batch_b conn =
+    for i = 0 to 15 do
+      check "put2" (Remote.call conn (Wire.Put ("blocks", i, String.make 32 'q')) = Wire.Ok)
+    done;
+    check "get2" (Remote.call conn (Wire.Get ("blocks", 3)) = Wire.Value (String.make 32 'q'));
+    let stats = Remote.stats conn in
+    let digests = Remote.server_digests conn in
+    (digests, stats.Wire.frames)
+  in
+  let with_daemon ~data_dir f =
+    let path = fresh_path ".sock" in
+    let daemon =
+      Service.Daemon.create
+        { Service.Daemon.default_config with
+          unix_path = Some path;
+          drain_grace = 10.;
+          data_dir }
+    in
+    let th = Thread.create Service.Daemon.run daemon in
+    Fun.protect
+      ~finally:(fun () ->
+        Service.Daemon.stop daemon;
+        Thread.join th)
+      (fun () -> f path)
+  in
+  (* Reference: one daemon, two sequential connections. *)
+  let reference =
+    with_daemon ~data_dir:None (fun path ->
+        let c1 = Remote.connect_unix ~namespace:"tenant" path in
+        batch_a c1;
+        Remote.close c1;
+        let c2 = Remote.connect_unix ~namespace:"tenant" path in
+        let r = batch_b c2 in
+        Remote.close c2;
+        r)
+  in
+  (* Disk-backed: same ops, but the daemon restarts between connections. *)
+  let data_dir = fresh_path ".data" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf data_dir)
+    (fun () ->
+      with_daemon ~data_dir:(Some data_dir) (fun path ->
+          let c1 = Remote.connect_unix ~namespace:"tenant" path in
+          batch_a c1;
+          Remote.close c1);
+      let recovered =
+        with_daemon ~data_dir:(Some data_dir) (fun path ->
+            let c2 = Remote.connect_unix ~namespace:"tenant" path in
+            let r = batch_b c2 in
+            Remote.close c2;
+            r)
+      in
+      check "digests and ledger survive restart" (recovered = reference));
+  Printf.printf "fdserved selftest (persistence): OK\n%!"
+
 let selftest domains =
   selftest_with ~domains:1;
   (* The sharded path: acceptor + worker domains with fd handoff. *)
   selftest_with ~domains:(max 2 domains);
+  selftest_persist ();
   `Ok ()
 
-let run unix_path tcp max_conns idle_timeout drain_grace domains verbose do_selftest =
+let run unix_path tcp max_conns idle_timeout drain_grace domains data_dir max_resident verbose
+    do_selftest =
   try
     if do_selftest then selftest domains
     else if unix_path = None && tcp = None then
       `Error (true, "need at least one of --unix / --tcp (or --selftest)")
-    else serve unix_path tcp max_conns idle_timeout drain_grace domains verbose
+    else
+      serve unix_path tcp max_conns idle_timeout drain_grace domains data_dir max_resident
+        verbose
   with
   | Failure msg | Invalid_argument msg -> `Error (false, msg)
   | Unix.Unix_error (e, fn, arg) ->
@@ -132,6 +230,17 @@ let cmd =
          ~doc:"Shard tenants over $(docv) worker domains (1 = single-domain \
                event loop, the default on single-core hosts).")
   in
+  let data_dir =
+    Arg.(value & opt (some string) None & info [ "data-dir" ] ~docv:"PATH"
+         ~doc:"Persist tenant state (snapshot + write-ahead journal per namespace) under \
+               $(docv); tenants survive daemon restarts with bit-identical digests and \
+               ledgers.  Without it, tenant state is in-memory only.")
+  in
+  let max_resident =
+    Arg.(value & opt int 0 & info [ "max-resident" ] ~docv:"N"
+         ~doc:"With --data-dir: keep at most $(docv) tenants in memory per worker, \
+               LRU-evicting cold ones to disk (0 disables eviction).")
+  in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log connection events.") in
   let do_selftest =
     Arg.(value & flag & info [ "selftest" ]
@@ -142,6 +251,6 @@ let cmd =
   in
   Cmd.v info_
     Term.(ret (const run $ unix_path $ tcp $ max_conns $ idle_timeout $ drain_grace
-               $ domains $ verbose $ do_selftest))
+               $ domains $ data_dir $ max_resident $ verbose $ do_selftest))
 
 let () = exit (Cmd.eval cmd)

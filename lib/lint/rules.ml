@@ -1,4 +1,4 @@
-(* The project's rule set, R1..R8.  Every check is purely syntactic
+(* The project's rule set, R1..R9.  Every check is purely syntactic
    (Parsetree only, no typing), so rules about *values* — e.g. "is this
    comparison on key material?" — are name heuristics; DESIGN.md §11
    documents each rule's rationale and the limits of its detector. *)
@@ -250,6 +250,35 @@ let r8_check ctx =
       | _ -> ())
 
 (* ------------------------------------------------------------------ *)
+(* R9 — durability-hygiene                                             *)
+
+let durable_write_fns =
+  [
+    "open_out";
+    "open_out_bin";
+    "open_out_gen";
+    "Out_channel.open_bin";
+    "Out_channel.open_text";
+    "Out_channel.open_gen";
+    "Out_channel.with_open_bin";
+    "Out_channel.with_open_text";
+    "Out_channel.with_open_gen";
+    "Unix.openfile";
+    "Unix.rename";
+    "Sys.rename";
+  ]
+
+let r9_check ctx =
+  walk ctx (fun e ->
+      match e.Parsetree.pexp_desc with
+      | Pexp_ident { txt; _ } when List.mem (norm (lid_str txt)) durable_write_fns ->
+          ctx.Rule.report e.pexp_loc
+            (lid_str txt
+           ^ ": direct file creation/rename outside Store.Fsio; durable state must go \
+              through the fsync'd tmp-rename helpers")
+      | _ -> ())
+
+(* ------------------------------------------------------------------ *)
 
 let all : Rule.t list =
   [
@@ -356,6 +385,20 @@ let all : Rule.t list =
       check = Ast r8_check;
       smoke =
         Smoke_code { path = "lib/core/smoke.ml"; code = "let start f = Domain.spawn f\n" };
+    };
+    {
+      id = "R9";
+      name = "durability-hygiene";
+      doc =
+        "Opening files for writing or renaming them anywhere in lib/ outside Store.Fsio \
+         bypasses the fsync-then-rename discipline the crash-recovery story rests on: a \
+         bare open_out/Unix.rename can leave torn or unsynced state that recovery then \
+         trusts.  lib/store/fsio.ml is the one audited site (lib/relation/csv.ml's \
+         user-facing CSV export is also allowed — exported reports are not durable state).";
+      scope = [ ("", "lib/") ];
+      allow = [ ("", "lib/store/fsio.ml"); ("", "lib/relation/csv.ml") ];
+      check = Ast r9_check;
+      smoke = Smoke_code { path = "lib/store/tenant.ml"; code = "let f p = open_out_bin p\n" };
     };
   ]
 

@@ -1,7 +1,7 @@
-(** The project rule set (R1..R7).  See DESIGN.md §11 for each rule's
+(** The project rule set (R1..R9).  See DESIGN.md §11 for each rule's
     rationale against the leakage model [L(DB) = {Size(DB), FD(DB)}]. *)
 
-(** In registry order R1..R7. *)
+(** In registry order R1..R9. *)
 val all : Rule.t list
 
 (** Look a rule up by id ("R3") or name ("mli-completeness"). *)

@@ -15,6 +15,9 @@ type t = {
   out : Buffer.t;
   mutable out_off : int; (* bytes of [out] already written to the socket *)
   mutable phase : phase;
+  mutable bound : Session.tenant option;
+      (* set at [attach] and kept through [Closing], so the daemon can
+         release the tenant's pin when the connection finally closes *)
   mutable last_active : float;
 }
 
@@ -33,6 +36,7 @@ let create ~id ~peer ~now fd =
     out = Buffer.create 512;
     out_off = 0;
     phase = Handshake;
+    bound = None;
     last_active = now;
   }
 
@@ -50,6 +54,8 @@ let finished t = closing t && not (wants_write t)
 
 let namespace t =
   match t.phase with Serving tenant -> Some tenant.Session.namespace | _ -> None
+
+let tenant t = t.bound
 
 let routed_namespace t = match t.phase with Routed ns -> Some ns | _ -> None
 
@@ -91,6 +97,10 @@ let handle_request ctx t tenant req ~req_bytes =
   let after = respond t resp in
   let resp_bytes = after - before in
   if counted then begin
+    (* Journal after dispatch so a request the handler rejected mid-way
+       is still recorded exactly as served: replay reproduces the same
+       dispatch, the same response, the same accounting. *)
+    Session.journal ctx.registry tenant req;
     Handler.account_response h ~bytes:resp_bytes;
     Metrics.record ctx.metrics ~namespace:tenant.Session.namespace ~bytes_in:req_bytes
       ~bytes_out:resp_bytes
@@ -161,7 +171,9 @@ let on_bytes_pre t bytes ~len ~now =
 let attach ctx t =
   match t.phase with
   | Routed ns ->
-      t.phase <- Serving (Session.attach ctx.registry ns);
+      let tenant = Session.attach ctx.registry ns in
+      t.bound <- Some tenant;
+      t.phase <- Serving tenant;
       drain_requests ctx t
   | Handshake | Await_hello | Serving _ | Closing -> ()
 

@@ -69,5 +69,10 @@ val finished : t -> bool
 val namespace : t -> string option
 (** The session's namespace, once established ({!attach} done). *)
 
+val tenant : t -> Session.tenant option
+(** The tenant bound at {!attach}, if any — still available in the
+    closing phase, so the daemon can release the tenant's pin exactly
+    when it drops the descriptor. *)
+
 val last_active : t -> float
 val touch : t -> now:float -> unit

@@ -5,6 +5,8 @@ type config = {
   idle_timeout : float; (* seconds; <= 0 disables *)
   drain_grace : float; (* seconds to keep serving after a stop request *)
   domains : int; (* worker event loops; 1 = serve on the acceptor loop itself *)
+  data_dir : string option; (* root of per-tenant durable images; None = in-memory *)
+  max_resident : int; (* LRU tenant cap per worker registry; <= 0 disables *)
   log : string -> unit;
 }
 
@@ -16,6 +18,8 @@ let default_config =
     idle_timeout = 0.;
     drain_grace = 5.;
     domains = 1;
+    data_dir = None;
+    max_resident = 0;
     log = ignore;
   }
 
@@ -103,14 +107,28 @@ let listen_tcp addr port =
   in
   (fd, bound_port)
 
-let make_worker w_idx =
+let make_worker cfg w_idx =
   let wake_r, wake_w = Unix.pipe ~cloexec:true () in
   Unix.set_nonblock wake_r;
   Unix.set_nonblock wake_w;
+  let metrics = Metrics.create () in
+  (* Evicting a tenant also folds away its metrics entry, so tenant
+     churn cannot grow the per-namespace table without bound. *)
+  let registry =
+    Session.create
+      ~config:
+        {
+          Session.default_config with
+          data_dir = cfg.data_dir;
+          max_resident = cfg.max_resident;
+          on_evict = Metrics.evict_ns metrics;
+        }
+      ()
+  in
   {
     w_idx;
-    registry = Session.create ();
-    metrics = Metrics.create ();
+    registry;
+    metrics;
     conns = Hashtbl.create 32;
     mu = Mutex.create ();
     inbox = Queue.create ();
@@ -141,9 +159,10 @@ let create cfg =
   let stop_r, stop_w = Unix.pipe ~cloexec:true () in
   Unix.set_nonblock stop_r;
   Unix.set_nonblock stop_w;
+  (match cfg.data_dir with Some dir -> Store.Fsio.mkdirs dir | None -> ());
   {
     cfg;
-    workers = Array.init cfg.domains make_worker;
+    workers = Array.init cfg.domains (make_worker cfg);
     accept_metrics = Metrics.create ();
     live = Atomic.make 0;
     listeners = !listeners;
@@ -175,10 +194,16 @@ let ns_summary t ns = Metrics.ns_summary t.workers.(shard_of t ns).metrics ns
 
 (* Safe from a signal handler or another thread: one byte down the
    self-pipe wakes the acceptor loop, which drains the pipe and starts
-   the graceful drain. *)
+   the graceful drain.  Only genuinely-expected errnos are swallowed —
+   a full pipe (a wake byte is already pending) or a peer already gone.
+   EBADF is *not* expected: the self-pipes live for the daemon's whole
+   run, so a bad descriptor here means a double-close or fd-reuse bug
+   and is logged instead of masked. *)
 let stop t =
-  try ignore (write_retry t.stop_w (Bytes.of_string "s") 0 1)
-  with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE | Unix.EBADF), _, _) -> ()
+  try ignore (write_retry t.stop_w (Bytes.of_string "s") 0 1) with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
+  | Unix.Unix_error (Unix.EBADF, _, _) ->
+      t.cfg.log "stop: EBADF on the stop pipe — double-close or fd-reuse bug"
 
 let install_stop_signals t =
   let handler = Sys.Signal_handle (fun _ -> stop t) in
@@ -186,10 +211,13 @@ let install_stop_signals t =
   (try Sys.set_signal Sys.sigint handler with Invalid_argument _ -> ())
 
 (* A full pipe is fine: an unread wake byte is already pending, so the
-   worker will wake regardless. *)
-let wake w =
-  try ignore (write_retry w.wake_w (Bytes.of_string "w") 0 1)
-  with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE | Unix.EBADF), _, _) -> ()
+   worker will wake regardless.  EBADF means the worker's pipe was
+   closed under us — a lifecycle bug worth a log line, not silence. *)
+let wake t (w : worker) =
+  try ignore (write_retry w.wake_w (Bytes.of_string "w") 0 1) with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
+  | Unix.Unix_error (Unix.EBADF, _, _) ->
+      logf t "wake: EBADF on worker %d's pipe — double-close or fd-reuse bug" w.w_idx
 
 let drain_pipe fd =
   let b = Bytes.create 16 in
@@ -213,17 +241,24 @@ let peer_string = function
 (* {2 Connection service, shared by the acceptor (pre-session table) and
    every worker (its own shard table)} *)
 
-let close_conn t conns metrics conn reason =
+(* [registry] is the shard-local registry of worker-owned connections —
+   closing one releases its tenant's pin (and may trigger LRU eviction).
+   Pre-session connections (acceptor-owned) pass no registry: they never
+   attached, so there is no pin to release. *)
+let close_conn ?registry t conns metrics conn reason =
   let fd = Conn.fd conn in
   if Hashtbl.mem conns fd then begin
     Hashtbl.remove conns fd;
     (try Unix.close fd with Unix.Unix_error _ -> ());
     Atomic.decr t.live;
     Metrics.on_close metrics;
+    (match (registry, Conn.tenant conn) with
+    | Some reg, Some tenant -> Session.release reg tenant
+    | _ -> ());
     logf t "conn %s closed (%s)" (Conn.peer conn) reason
   end
 
-let flush_conn t conns metrics conn =
+let flush_conn ?registry t conns metrics conn =
   let rec go () =
     if Conn.wants_write conn then begin
       let buf, off = Conn.output conn in
@@ -232,32 +267,42 @@ let flush_conn t conns metrics conn =
           Conn.wrote conn n;
           go ()
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
-      | exception Unix.Unix_error _ -> close_conn t conns metrics conn "write error"
+      | exception Unix.Unix_error (Unix.EBADF, _, _) ->
+          (* Writing to a closed descriptor is a daemon bug (double
+             close, fd reuse), not client behavior — log it loudly
+             rather than letting it pass as a generic write error. *)
+          logf t "conn %s: EBADF on write — double-close or fd-reuse bug" (Conn.peer conn);
+          close_conn ?registry t conns metrics conn "write EBADF"
+      | exception Unix.Unix_error _ -> close_conn ?registry t conns metrics conn "write error"
     end
   in
   go ();
-  if Conn.finished conn then close_conn t conns metrics conn "bye"
+  if Conn.finished conn then close_conn ?registry t conns metrics conn "bye"
 
 let read_conn t (w : worker) conn ~now =
+  let registry = w.registry in
   let rec go () =
     match read_retry (Conn.fd conn) w.read_buf 0 (Bytes.length w.read_buf) with
     | 0 ->
         (* EOF — possibly mid-frame.  Only this connection dies; its
            tenant's state stays consistent because partial frames are
            never dispatched. *)
-        close_conn t w.conns w.metrics conn "eof"
+        close_conn ~registry t w.conns w.metrics conn "eof"
     | n ->
         Conn.on_bytes (w_ctx t w) conn w.read_buf ~len:n ~now;
         if Hashtbl.mem w.conns (Conn.fd conn) && not (Conn.closing conn) then go ()
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
-    | exception Unix.Unix_error _ -> close_conn t w.conns w.metrics conn "read error"
+    | exception Unix.Unix_error (Unix.EBADF, _, _) ->
+        logf t "conn %s: EBADF on read — double-close or fd-reuse bug" (Conn.peer conn);
+        close_conn ~registry t w.conns w.metrics conn "read EBADF"
+    | exception Unix.Unix_error _ -> close_conn ~registry t w.conns w.metrics conn "read error"
   in
   (try go ()
    with e ->
      (* One connection's failure must never take the daemon down. *)
      logf t "conn %s: unexpected %s" (Conn.peer conn) (Printexc.to_string e);
-     close_conn t w.conns w.metrics conn "internal error");
-  if Hashtbl.mem w.conns (Conn.fd conn) then flush_conn t w.conns w.metrics conn
+     close_conn ~registry t w.conns w.metrics conn "internal error");
+  if Hashtbl.mem w.conns (Conn.fd conn) then flush_conn ~registry t w.conns w.metrics conn
 
 (* Adopt an authenticated connection into a worker's shard: bind its
    tenant in the shard-local registry, serve any frames pipelined behind
@@ -266,9 +311,9 @@ let adopt t (w : worker) conn ~now =
   Hashtbl.replace w.conns (Conn.fd conn) conn;
   Conn.touch conn ~now;
   Conn.attach (w_ctx t w) conn;
-  flush_conn t w.conns w.metrics conn
+  flush_conn ~registry:w.registry t w.conns w.metrics conn
 
-let sweep_idle t conns metrics ~now =
+let sweep_idle ?registry t conns metrics ~now =
   if t.cfg.idle_timeout > 0. then begin
     let idle =
       Hashtbl.fold
@@ -276,12 +321,12 @@ let sweep_idle t conns metrics ~now =
           if now -. Conn.last_active conn > t.cfg.idle_timeout then conn :: acc else acc)
         conns []
     in
-    List.iter (fun conn -> close_conn t conns metrics conn "idle timeout") idle
+    List.iter (fun conn -> close_conn ?registry t conns metrics conn "idle timeout") idle
   end
 
-let close_all t conns metrics reason =
+let close_all ?registry t conns metrics reason =
   Hashtbl.fold (fun _ c acc -> c :: acc) conns []
-  |> List.iter (fun c -> close_conn t conns metrics c reason)
+  |> List.iter (fun c -> close_conn ?registry t conns metrics c reason)
 
 (* {2 Select plumbing}
 
@@ -322,7 +367,7 @@ let route t conn ns ~now =
   if inline t then adopt t w conn ~now
   else begin
     Mutex.protect w.mu (fun () -> Queue.push conn w.inbox);
-    wake w
+    wake t w
   end
 
 let read_pre t conn ~now =
@@ -393,7 +438,7 @@ let start_drain t ~now =
       Array.iter
         (fun w ->
           Mutex.protect w.mu (fun () -> w.drain_req <- true);
-          wake w)
+          wake t w)
         t.workers;
     logf t "drain: stopped accepting; %d connection(s) live" (Atomic.get t.live)
   end
@@ -406,7 +451,7 @@ let acceptor_step t =
   let now = Unix.gettimeofday () in
   let w0 = t.workers.(0) in
   sweep_idle t t.pre t.accept_metrics ~now;
-  if inline t then sweep_idle t w0.conns w0.metrics ~now;
+  if inline t then sweep_idle ~registry:w0.registry t w0.conns w0.metrics ~now;
   let done_ =
     t.draining
     && (Atomic.get t.live = 0
@@ -415,7 +460,7 @@ let acceptor_step t =
   in
   if done_ then begin
     close_all t t.pre t.accept_metrics "drain deadline";
-    if inline t then close_all t w0.conns w0.metrics "drain deadline";
+    if inline t then close_all ~registry:w0.registry t w0.conns w0.metrics "drain deadline";
     t.running <- false
   end
   else begin
@@ -451,7 +496,7 @@ let acceptor_step t =
             | Some conn -> flush_conn t t.pre t.accept_metrics conn
             | None -> (
                 match if inline t then Hashtbl.find_opt w0.conns fd else None with
-                | Some conn -> flush_conn t w0.conns w0.metrics conn
+                | Some conn -> flush_conn ~registry:w0.registry t w0.conns w0.metrics conn
                 | None -> ()))
           wr_ready
   end
@@ -474,9 +519,9 @@ let worker_mailbox t (w : worker) ~now =
 
 let worker_step t (w : worker) =
   let now = Unix.gettimeofday () in
-  sweep_idle t w.conns w.metrics ~now;
+  sweep_idle ~registry:w.registry t w.conns w.metrics ~now;
   if w.draining && (Hashtbl.length w.conns = 0 || now > w.drain_deadline) then begin
-    close_all t w.conns w.metrics "drain deadline";
+    close_all ~registry:w.registry t w.conns w.metrics "drain deadline";
     w.w_running <- false
   end
   else begin
@@ -497,7 +542,7 @@ let worker_step t (w : worker) =
         List.iter
           (fun fd ->
             match Hashtbl.find_opt w.conns fd with
-            | Some conn -> flush_conn t w.conns w.metrics conn
+            | Some conn -> flush_conn ~registry:w.registry t w.conns w.metrics conn
             | None -> ())
           wr_ready
   end
@@ -525,7 +570,7 @@ let run t =
   close_all t t.pre t.accept_metrics "shutdown";
   Array.iter
     (fun w ->
-      close_all t w.conns w.metrics "shutdown";
+      close_all ~registry:w.registry t w.conns w.metrics "shutdown";
       (* A connection routed after its worker passed the drain deadline
          never left the mailbox; with every domain joined and the
          acceptor loop done, nobody pushes anymore — close them here so
@@ -536,6 +581,9 @@ let run t =
           Atomic.decr t.live)
         w.inbox;
       Queue.clear w.inbox;
+      (* Persist every disk-backed tenant before the process goes away:
+         a graceful restart then recovers bit-identical state. *)
+      Session.shutdown w.registry;
       (try Unix.close w.wake_r with Unix.Unix_error _ -> ());
       (try Unix.close w.wake_w with Unix.Unix_error _ -> ()))
     t.workers;

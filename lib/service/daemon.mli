@@ -44,6 +44,19 @@ type config = {
   domains : int;
       (** worker event loops; 1 (the default) serves on the acceptor
           loop itself with no domain spawned *)
+  data_dir : string option;
+      (** root directory for per-tenant durable images (snapshot +
+          write-ahead journal, {!Store.Tenant}).  [None] (the default)
+          keeps every tenant purely in memory, exactly the old
+          behavior.  The layout is keyed by namespace, not by worker,
+          so a restart with a different [domains] count still finds
+          every tenant. *)
+  max_resident : int;
+      (** with [data_dir] set, each worker LRU-evicts cold tenants
+          (snapshot to disk, drop from memory) beyond this many resident
+          in its shard; the next [Hello] rehydrates transparently with
+          bit-identical digests and ledgers.  [<= 0] (the default)
+          disables eviction. *)
   log : string -> unit;
       (** receives one line per connection event; called from the
           acceptor and from every worker domain, so it must be
@@ -52,7 +65,8 @@ type config = {
 
 val default_config : config
 (** No listeners (callers must set at least one), [max_conns = 64], idle
-    timeout disabled, 5 s drain grace, [domains = 1], silent log. *)
+    timeout disabled, 5 s drain grace, [domains = 1], in-memory tenants
+    (no data dir, no resident cap), silent log. *)
 
 type t
 

@@ -1,29 +1,73 @@
+(* Reassembly buffer kept as one growable byte array with an explicit
+   consumed offset.  The previous implementation snapshotted the buffer
+   to a string and rebuilt it on every decoded frame, which is O(n²)
+   across a pipelined burst; here a decoded frame just advances [lo],
+   and the surviving bytes are moved only when the dead prefix passes
+   [compact_threshold] (or the buffer must grow) — amortized O(1) copies
+   per byte regardless of how the frames arrive. *)
+
 type t = {
-  buf : Buffer.t; (* unconsumed bytes, frame-aligned at offset 0 *)
+  mutable buf : bytes;
+  mutable lo : int; (* first unconsumed byte *)
+  mutable hi : int; (* one past the last valid byte; frames live in [lo, hi) *)
   mutable stuck_at : int;
-      (* buffer length at the last Incomplete parse; skip re-parsing
-         until more bytes arrive *)
+      (* pending-byte count at the last Incomplete parse; skip
+         re-parsing until more bytes arrive *)
+  mutable compactions : int; (* diagnostic: times live bytes were moved *)
 }
 
-let create () = { buf = Buffer.create 256; stuck_at = -1 }
+let compact_threshold = 4096
 
-let feed t bytes ~off ~len = Buffer.add_subbytes t.buf bytes off len
+let create () = { buf = Bytes.create 256; lo = 0; hi = 0; stuck_at = -1; compactions = 0 }
 
-let pending_bytes t = Buffer.length t.buf
+let pending_bytes t = t.hi - t.lo
+let compactions t = t.compactions
+
+let compact t =
+  if t.lo > 0 then begin
+    let n = pending_bytes t in
+    Bytes.blit t.buf t.lo t.buf 0 n;
+    t.lo <- 0;
+    t.hi <- n;
+    t.compactions <- t.compactions + 1
+  end
+
+let feed t bytes ~off ~len =
+  if len > 0 then begin
+    if t.hi + len > Bytes.length t.buf then begin
+      compact t;
+      if t.hi + len > Bytes.length t.buf then begin
+        let cap = ref (Bytes.length t.buf) in
+        while t.hi + len > !cap do
+          cap := !cap * 2
+        done;
+        let buf = Bytes.create !cap in
+        Bytes.blit t.buf 0 buf 0 t.hi;
+        t.buf <- buf
+      end
+    end;
+    Bytes.blit bytes off t.buf t.hi len;
+    t.hi <- t.hi + len
+  end
 
 let next t =
-  if Buffer.length t.buf = 0 || Buffer.length t.buf = t.stuck_at then None
+  let pending = pending_bytes t in
+  if pending = 0 || pending = t.stuck_at then None
   else begin
-    let s = Buffer.contents t.buf in
-    let pos = ref 0 in
-    match Servsim.Wire.read_request_src (Servsim.Wire.string_source s pos) with
+    let pos = ref t.lo in
+    match Servsim.Wire.read_request_src (Servsim.Wire.bytes_source t.buf pos ~limit:t.hi) with
     | req ->
-        let consumed = !pos in
-        Buffer.clear t.buf;
-        Buffer.add_substring t.buf s consumed (String.length s - consumed);
+        let consumed = !pos - t.lo in
+        t.lo <- !pos;
+        if t.lo = t.hi then begin
+          (* fully drained: reset for free, no copy *)
+          t.lo <- 0;
+          t.hi <- 0
+        end
+        else if t.lo >= compact_threshold then compact t;
         t.stuck_at <- -1;
         Some (req, consumed)
     | exception Servsim.Wire.Incomplete ->
-        t.stuck_at <- String.length s;
+        t.stuck_at <- pending;
         None
   end

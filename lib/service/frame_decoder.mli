@@ -24,3 +24,9 @@ val next : t -> (Servsim.Wire.request * int) option
 
 val pending_bytes : t -> int
 (** Bytes buffered but not yet consumed by a complete frame. *)
+
+val compactions : t -> int
+(** Times the buffer's live bytes have been physically moved (on growth
+    or when the consumed prefix passes an internal threshold).  A burst
+    of [n] pipelined frames decodes with O(1) compactions, not O(n) —
+    exposed so the regression test can assert that. *)

@@ -1,5 +1,15 @@
 let reservoir_size = 4096
 
+(* Per-namespace tracking is bounded two ways against tenant churn:
+   an evicted tenant's counters are folded into scalar aggregates and
+   its entry (with the 4096-float reservoir) is dropped, and past
+   [max_tracked] live entries new namespaces share one catch-all bucket
+   keyed by [overflow_key] (the empty string, which no session can
+   claim — the daemon rejects an empty [Hello]). *)
+let max_tracked = 1024
+
+let overflow_key = ""
+
 type ns = {
   mutable frames : int;
   mutable bytes_in : int;
@@ -14,10 +24,24 @@ type t = {
   mutable accepted : int;
   mutable rejected : int;
   mutable live : int;
+  mutable evicted_count : int;
+  mutable evicted_frames : int;
+  mutable evicted_bytes_in : int;
+  mutable evicted_bytes_out : int;
 }
 
 let create () =
-  { started = Unix.gettimeofday (); tbl = Hashtbl.create 16; accepted = 0; rejected = 0; live = 0 }
+  {
+    started = Unix.gettimeofday ();
+    tbl = Hashtbl.create 16;
+    accepted = 0;
+    rejected = 0;
+    live = 0;
+    evicted_count = 0;
+    evicted_frames = 0;
+    evicted_bytes_in = 0;
+    evicted_bytes_out = 0;
+  }
 
 let uptime_s t = Unix.gettimeofday () -. t.started
 
@@ -31,13 +55,20 @@ let live t = t.live
 let accepted t = t.accepted
 let rejected t = t.rejected
 
+let fresh_ns () =
+  { frames = 0; bytes_in = 0; bytes_out = 0; lat = Array.make reservoir_size 0.; lat_n = 0 }
+
 let find_ns t name =
   match Hashtbl.find_opt t.tbl name with
   | Some ns -> ns
   | None ->
-      let ns = { frames = 0; bytes_in = 0; bytes_out = 0; lat = Array.make reservoir_size 0.; lat_n = 0 } in
-      Hashtbl.replace t.tbl name ns;
-      ns
+      let key = if Hashtbl.length t.tbl >= max_tracked then overflow_key else name in
+      (match Hashtbl.find_opt t.tbl key with
+      | Some ns -> ns
+      | None ->
+          let ns = fresh_ns () in
+          Hashtbl.replace t.tbl key ns;
+          ns)
 
 let record t ~namespace ~bytes_in ~bytes_out ~latency_s =
   let ns = find_ns t namespace in
@@ -47,7 +78,23 @@ let record t ~namespace ~bytes_in ~bytes_out ~latency_s =
   ns.lat.(ns.lat_n mod reservoir_size) <- latency_s;
   ns.lat_n <- ns.lat_n + 1
 
-let namespaces t = Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl [] |> List.sort compare
+let evict_ns t name =
+  match Hashtbl.find_opt t.tbl name with
+  | None -> ()
+  | Some ns ->
+      t.evicted_count <- t.evicted_count + 1;
+      t.evicted_frames <- t.evicted_frames + ns.frames;
+      t.evicted_bytes_in <- t.evicted_bytes_in + ns.bytes_in;
+      t.evicted_bytes_out <- t.evicted_bytes_out + ns.bytes_out;
+      Hashtbl.remove t.tbl name
+
+let tracked t = Hashtbl.length t.tbl
+let evicted t = t.evicted_count
+let evicted_frames t = t.evicted_frames
+
+let namespaces t =
+  Hashtbl.fold (fun k _ acc -> if String.equal k overflow_key then acc else k :: acc) t.tbl []
+  |> List.sort compare
 
 (* Nearest-rank percentile over a sorted array. *)
 let percentile_sorted a q =

@@ -24,9 +24,35 @@ val rejected : t -> int
 
 val record :
   t -> namespace:string -> bytes_in:int -> bytes_out:int -> latency_s:float -> unit
-(** Account one served frame to [namespace]. *)
+(** Account one served frame to [namespace].  Tracking is bounded: past
+    an internal cap of live entries ({!max_tracked}), frames of
+    namespaces not already tracked fall into one shared catch-all
+    bucket rather than growing the table. *)
+
+val max_tracked : int
+(** Cap on individually tracked namespaces (the catch-all bucket sits
+    outside the cap). *)
+
+val evict_ns : t -> string -> unit
+(** The tenant was evicted: fold its frame and byte counters into the
+    daemon-lifetime aggregates ({!evicted_frames}) and drop its entry —
+    including the latency reservoir, whose samples are discarded (the
+    percentile history of a cold tenant is not worth 32 KiB of floats).
+    If the tenant returns, a fresh entry starts from zero; its session
+    ledger (which backs [Stats_reply]) lives in the tenant state and is
+    unaffected.  No-op for an untracked namespace. *)
+
+val tracked : t -> int
+(** Live per-namespace entries (catch-all bucket included). *)
+
+val evicted : t -> int
+(** Entries folded away by {!evict_ns} over the daemon's lifetime. *)
+
+val evicted_frames : t -> int
+(** Total frames accounted to entries since folded away. *)
 
 val namespaces : t -> string list
+(** Tracked namespaces, sorted; the catch-all bucket is excluded. *)
 
 type summary = {
   frames : int;

@@ -1,4 +1,5 @@
-(** Tenant sessions: the namespace → server-state registry.
+(** Tenant sessions: the namespace → server-state registry, optionally
+    disk-backed with LRU eviction of cold tenants.
 
     A [Hello ns] binds a connection to the tenant named [ns].  Each
     tenant owns one {!Servsim.Handler.state} — its ciphertext stores,
@@ -6,16 +7,66 @@
     adversarial or buggy tenant does can perturb another tenant's
     digests or accounting.  Tenant state survives disconnects: a client
     that reconnects with the same namespace finds its stores (this is a
-    database service, not a cache). *)
+    database service, not a cache).
 
-type tenant = { namespace : string; handler : Servsim.Handler.state }
+    With a {!config.data_dir} set, every tenant is additionally backed
+    by a {!Store.Tenant} image (snapshot + write-ahead journal), served
+    requests are journaled ({!journal}), and the registry keeps at most
+    {!config.max_resident} tenants in memory: attaching one more evicts
+    the least-recently-active tenant with no live connections
+    (snapshot, close, drop) and the next [Hello] for it rehydrates from
+    disk — with trace digests and cost ledgers bit-identical to never
+    having been evicted. *)
+
+type tenant = {
+  namespace : string;
+  handler : Servsim.Handler.state;
+  persist : Store.Tenant.t option;
+      (** durable image; [None] when the registry has no data dir *)
+  mutable pins : int;
+      (** live connections serving this tenant; pinned tenants are never
+          evicted *)
+  mutable stamp : int;  (** LRU clock value at last activity *)
+}
+
+type config = {
+  data_dir : string option;  (** root of per-namespace durable images *)
+  max_resident : int;
+      (** LRU-evict beyond this many in-memory tenants; [<= 0] disables
+          eviction (only meaningful with [data_dir] set) *)
+  snapshot_every : int;  (** see {!Store.Tenant.open_} *)
+  on_evict : string -> unit;
+      (** called with the namespace after each eviction (the daemon
+          hooks {!Metrics.evict_ns} here) *)
+}
+
+val default_config : config
+(** In-memory only: no data dir, no cap, [snapshot_every = 1024],
+    no-op [on_evict]. *)
 
 type registry
 
-val create : unit -> registry
+val create : ?config:config -> unit -> registry
 
 val attach : registry -> string -> tenant
-(** Find the tenant, creating it on first [Hello]. *)
+(** Find the tenant — creating it on first [Hello], or rehydrating it
+    from its durable image if it was evicted — and pin it for the
+    lifetime of the calling connection.  Balance with {!release}.
+    @raise Store.Tenant.Corrupt if the durable image is damaged beyond
+    torn-tail recovery. *)
+
+val release : registry -> tenant -> unit
+(** Unpin (connection closed).  May trigger eviction if the registry is
+    over its cap. *)
+
+val journal : registry -> tenant -> Servsim.Wire.request -> unit
+(** Record one served counted frame in the tenant's durable journal (a
+    no-op without a data dir) and mark the tenant recently used. *)
+
+val shutdown : registry -> unit
+(** Snapshot and close every disk-backed tenant, then empty the
+    registry.  The daemon calls this once serving has stopped, making a
+    graceful restart bit-identical to an uninterrupted run. *)
 
 val find : registry -> string -> tenant option
 val count : registry -> int
@@ -26,4 +77,6 @@ val shard : shards:int -> string -> int
     tenant [ns] — a deterministic FNV-1a hash, so every connection that
     says [Hello ns] lands on the same worker (and the same shard-local
     registry) for the life of the daemon, and the assignment is
-    reproducible across runs.  Always [0] when [shards <= 1]. *)
+    reproducible across runs.  Always [0] when [shards <= 1].  The
+    on-disk layout is keyed by namespace alone, so a daemon restarted
+    with a different [shards] still finds every tenant's image. *)

@@ -69,6 +69,16 @@ let snapshot t =
 
 let reset_peak t = t.client_peak <- t.client_current
 
+let restore t s =
+  t.to_server <- s.bytes_to_server;
+  t.to_client <- s.bytes_to_client;
+  t.trips <- s.round_trips;
+  t.server <- s.server_bytes;
+  t.client_current <- s.client_current_bytes;
+  t.client_peak <- s.client_peak_bytes;
+  t.underflows <- s.client_underflows;
+  Hashtbl.reset t.client_tagged
+
 let pp_snapshot ppf s =
   Format.fprintf ppf
     "@[<v>bytes to server: %d@ bytes to client: %d@ round trips: %d@ server storage: %d B@ \

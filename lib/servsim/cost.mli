@@ -47,4 +47,10 @@ val set_server_bytes : t -> int -> unit
 val snapshot : t -> snapshot
 val reset_peak : t -> unit
 
+val restore : t -> snapshot -> unit
+(** Overwrite every counter of [t] with the values of a saved snapshot,
+    so a ledger reloaded from disk continues exactly where it left off.
+    Tagged client-structure sizes (see {!client_set}) are not part of a
+    snapshot and are cleared. *)
+
 val pp_snapshot : Format.formatter -> snapshot -> unit

@@ -171,3 +171,19 @@ let handle st = function
   | Wire.Ping -> Wire.Pong
   | Wire.Stats -> basic_stats st
   | Wire.Bye -> Wire.Ok
+
+(* Re-dispatch one journaled request with exactly the accounting the
+   daemon's serving path performs.  The codec is canonical, so
+   [Wire.request_size]/[response_size] reproduce the on-the-wire byte
+   counts, and dispatch is deterministic (errors included) — replaying a
+   journal therefore rebuilds trace digests and cost ledgers
+   bit-identically to the original run. *)
+let replay st req =
+  let c = counted req in
+  if c then account_request st ~bytes:(Wire.request_size req);
+  let resp = try handle st req with Wire.Protocol_error msg -> Wire.Error msg in
+  if c then account_response st ~bytes:(Wire.response_size resp)
+
+let export_stores st =
+  Hashtbl.fold (fun name s acc -> (name, Array.sub s.blocks 0 s.len) :: acc) st.stores []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -49,6 +49,20 @@ val latency_percentiles : state -> float * float * float
 (** Nearest-rank (p50, p95, p99) in seconds over the reservoir;
     [(0., 0., 0.)] before any sample. *)
 
+val replay : state -> Wire.request -> unit
+(** Re-dispatch one journaled request exactly as the daemon's serving
+    path would: charge {!account_request} with the frame's canonical
+    encoded size, dispatch through {!handle} (a [Wire.Protocol_error]
+    becomes the same [Error] response the server would have sent), then
+    charge {!account_response} with the response's encoded size.
+    Replaying a request journal in order rebuilds the session's stores,
+    trace digests and cost ledger bit-identically to the original run. *)
+
+val export_stores : state -> (string * string array) list
+(** The session's stores as [(name, blocks)] with each block array
+    trimmed to its logical length, sorted by name — a deterministic
+    image for snapshotting. *)
+
 val trace : state -> Trace.t
 val cost : state -> Cost.t
 

@@ -111,3 +111,31 @@ let shape_digest t = digest_value t.shape
 let events t = List.rev t.events_rev
 let set_enabled t b = t.enabled <- b
 let enabled t = t.enabled
+
+(* The rolling FNV state is the persistence object: restoring the four
+   32-bit halves and the count continues both digest streams exactly
+   where they stopped. *)
+type persisted = {
+  p_count : int;
+  p_full_lo : int;
+  p_full_hi : int;
+  p_shape_lo : int;
+  p_shape_hi : int;
+}
+
+let save t =
+  {
+    p_count = t.count;
+    p_full_lo = t.full.lo;
+    p_full_hi = t.full.hi;
+    p_shape_lo = t.shape.lo;
+    p_shape_hi = t.shape.hi;
+  }
+
+let load t p =
+  t.count <- p.p_count;
+  t.full.lo <- p.p_full_lo;
+  t.full.hi <- p.p_full_hi;
+  t.shape.lo <- p.p_shape_lo;
+  t.shape.hi <- p.p_shape_hi;
+  t.events_rev <- []

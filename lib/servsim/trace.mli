@@ -54,6 +54,28 @@ val shape_digest : t -> int64
 val events : t -> event list
 (** Recorded events in order; empty unless created with [keep_events]. *)
 
+(** {2 Persistence}
+
+    The rolling FNV-1a state itself is the serializable object: saving
+    the two 32-bit halves of each digest plus the event count and
+    restoring them into a fresh recorder continues the stream exactly
+    where it left off, so digests survive process restarts bit-identically
+    without retaining the trace. *)
+
+type persisted = {
+  p_count : int;
+  p_full_lo : int;  (** low 32 bits of the full digest's FNV state *)
+  p_full_hi : int;
+  p_shape_lo : int;
+  p_shape_hi : int;
+}
+
+val save : t -> persisted
+
+val load : t -> persisted -> unit
+(** Overwrite [t]'s digest state and count with [p].  Any retained event
+    list is cleared — persistence never stores raw events. *)
+
 val set_enabled : t -> bool -> unit
 (** Disable recording (e.g. during multi-domain parallel sections, where
     the single-threaded recorder must not be shared). *)

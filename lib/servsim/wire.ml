@@ -87,6 +87,27 @@ let string_source s pos =
         end);
   }
 
+let bytes_source b pos ~limit =
+  let limit = min limit (Bytes.length b) in
+  {
+    get_char =
+      (fun () ->
+        if !pos >= limit then raise Incomplete
+        else begin
+          let c = Bytes.get b !pos in
+          incr pos;
+          c
+        end);
+    get_exact =
+      (fun n ->
+        if !pos + n > limit then raise Incomplete
+        else begin
+          let r = Bytes.sub_string b !pos n in
+          pos := !pos + n;
+          r
+        end);
+  }
+
 let put_u32 k v =
   if v < 0 || v > 0xFFFFFFFF then
     raise (Protocol_error (Printf.sprintf "put_u32: %d out of 32-bit range" v));

@@ -97,6 +97,13 @@ val string_source : string -> int ref -> source
 (** [string_source s pos] reads from [s] starting at [!pos], advancing
     [pos] as it consumes.  @raise Incomplete when [s] is exhausted. *)
 
+val bytes_source : bytes -> int ref -> limit:int -> source
+(** [bytes_source b pos ~limit] reads from [b.[!pos .. limit-1]],
+    advancing [pos] as it consumes — a zero-copy window over a
+    reassembly buffer, so an incremental decoder can parse in place
+    instead of snapshotting the buffer to a string per frame.
+    @raise Incomplete on any read past [limit]. *)
+
 val write_hello : out_channel -> unit
 (** Send the one-byte version preamble. *)
 

@@ -1,0 +1,24 @@
+(* CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the frame
+   checksum of the segment log.  Table-driven, one table shared by every
+   caller; built on first use. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc s ~off ~len =
+  if off < 0 || len < 0 || off + len > String.length s then
+    invalid_arg "Crc32.update: range out of bounds";
+  let t = Lazy.force table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  for i = off to off + len - 1 do
+    c := t.((!c lxor Char.code s.[i]) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let digest s = update 0 s ~off:0 ~len:(String.length s)

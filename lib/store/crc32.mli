@@ -1,0 +1,16 @@
+(** CRC-32 (IEEE 802.3, polynomial [0xEDB88320]) over strings.
+
+    Guards every record of the segment log ({!Segment}) so recovery can
+    tell a fully written record from a torn or bit-flipped tail.  Not a
+    cryptographic integrity check — the store sits under the
+    honest-but-curious server of the paper's model, which corrupts data
+    only by crashing, not adversarially. *)
+
+val digest : string -> int
+(** CRC-32 of the whole string, in [0, 0xFFFFFFFF].
+    [digest "123456789" = 0xCBF43926] (the standard check value). *)
+
+val update : int -> string -> off:int -> len:int -> int
+(** Streaming form: [update crc s ~off ~len] extends [crc] (the digest
+    of everything hashed so far; start from [0]) with [s.[off..off+len-1]].
+    [digest s = update 0 s ~off:0 ~len:(String.length s)]. *)

@@ -1,0 +1,82 @@
+(* The one module allowed to touch raw file syscalls (lint rule R9,
+   durability-hygiene): every other file in lib/ must create or replace
+   durable state through these helpers, so the fsync-then-rename
+   discipline cannot be bypassed by accident.
+
+   Durability contract:
+   - [write_file_atomic] is all-or-nothing across a crash: tmp file,
+     write, fsync, rename over the target, fsync the directory.  A
+     reader never observes a half-written file.
+   - [append] is a plain buffered-by-the-kernel write with no per-record
+     fsync — a crash may tear the tail of an append-only log, which is
+     exactly the failure {!Segment.parse} is built to tolerate.  Callers
+     that need a hard durability point use {!sync}. *)
+
+let rec retry_intr f =
+  match f () with v -> v | exception Unix.Unix_error (Unix.EINTR, _, _) -> retry_intr f
+
+let rec mkdirs path =
+  if String.length path > 0 && not (Sys.file_exists path) then begin
+    let parent = Filename.dirname path in
+    if not (String.equal parent path) then mkdirs parent;
+    try Unix.mkdir path 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let write_all fd b =
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + retry_intr (fun () -> Unix.write fd b !off (n - !off))
+  done
+
+(* Some filesystems refuse fsync on a directory fd; degrading to "the
+   rename is durable at the filesystem's discretion" is the best
+   portable behavior. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 with
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let write_file_atomic ~path data =
+  let tmp = path ^ ".tmp" in
+  let fd =
+    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ] 0o600
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      write_all fd (Bytes.of_string data);
+      retry_intr (fun () -> Unix.fsync fd));
+  Unix.rename tmp path;
+  fsync_dir (Filename.dirname path)
+
+let read_file path =
+  match In_channel.open_bin path with
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> In_channel.close ic)
+        (fun () -> Some (In_channel.input_all ic))
+  | exception Sys_error _ -> None
+
+let remove_file path = try Unix.unlink path with Unix.Unix_error _ -> ()
+
+let list_dir path =
+  match Sys.readdir path with
+  | entries -> List.sort String.compare (Array.to_list entries)
+  | exception Sys_error _ -> []
+
+type append_handle = { fd : Unix.file_descr }
+
+let open_append ?truncate_at path =
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND; Unix.O_CLOEXEC ] 0o600 in
+  (match truncate_at with
+  | Some n -> retry_intr (fun () -> Unix.ftruncate fd n)
+  | None -> ());
+  { fd }
+
+let append h s = write_all h.fd (Bytes.of_string s)
+let sync h = retry_intr (fun () -> Unix.fsync h.fd)
+let close_append h = try Unix.close h.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,52 @@
+(** Crash-safe file primitives for the persistent store.
+
+    This is the only module in [lib/] permitted to open, rename or
+    append to files directly (lint rule R9, durability-hygiene): routing
+    every durable write through here keeps the fsync-then-rename
+    discipline in one audited place.
+
+    All writes retry [EINTR]; created files are [0o600] and directories
+    [0o700] (tenant data is ciphertext, but names and sizes still leak
+    workload shape). *)
+
+val mkdirs : string -> unit
+(** Create a directory and any missing ancestors ([mkdir -p]). *)
+
+val write_file_atomic : path:string -> string -> unit
+(** Replace the file at [path] with [data], atomically with respect to
+    a crash: write to [path ^ ".tmp"], [fsync], [rename] over [path],
+    then [fsync] the parent directory.  A concurrent or post-crash
+    reader sees either the old content or the new — never a torn mix.
+    @raise Unix.Unix_error when the filesystem refuses (no space,
+    permissions); the target is untouched in that case. *)
+
+val read_file : string -> string option
+(** Whole-file read; [None] if the file does not exist or is
+    unreadable. *)
+
+val remove_file : string -> unit
+(** Unlink, ignoring a missing file. *)
+
+val list_dir : string -> string list
+(** Directory entries, sorted; [[]] on a missing directory. *)
+
+(** {2 Append-only log handle}
+
+    Appends are deliberately {e not} fsynced per record: the segment
+    log's CRC framing makes a torn tail recoverable ({!Segment.parse}),
+    and syncing every block write would serialize the daemon on the
+    disk.  {!sync} provides an explicit durability point (snapshots use
+    it via {!write_file_atomic}). *)
+
+type append_handle
+
+val open_append : ?truncate_at:int -> string -> append_handle
+(** Open (creating if missing) for append.  [truncate_at n] first cuts
+    the file to [n] bytes — recovery uses it to discard a torn tail
+    before appending new records. *)
+
+val append : append_handle -> string -> unit
+(** Append the whole string (short writes are retried to completion). *)
+
+val sync : append_handle -> unit
+val close_append : append_handle -> unit

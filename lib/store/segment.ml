@@ -1,0 +1,78 @@
+(* CRC32-framed append-only record log.
+
+   One record on disk is
+
+     [u32le payload length] [u32le CRC-32 of payload] [payload bytes]
+
+   and a segment file is a plain concatenation of records.  Parsing
+   walks the file front to back and stops at the first record that is
+   incomplete, over-long or fails its CRC — everything before that point
+   is the valid prefix, everything after is a torn tail from a crash
+   mid-append (or corruption) and is discarded by truncating the file
+   back to the prefix on the next open.  Recovery therefore never
+   crashes on a bad tail; it silently loses at most the records the
+   crash interrupted, which the journaling protocol is designed to
+   tolerate. *)
+
+let header_len = 8
+
+(* A length prefix larger than any frame the wire protocol can produce
+   is corruption, not a record; without this cap a flipped bit in a
+   length field could make the parser skip the rest of the file and
+   call gigabytes of real records a "tail". *)
+let max_payload_len = 1 lsl 27
+
+let add_u32 buf v =
+  for i = 0 to 3 do
+    Buffer.add_char buf (Char.chr ((v lsr (i * 8)) land 0xff))
+  done
+
+let add_record buf payload =
+  let n = String.length payload in
+  if n > max_payload_len then invalid_arg "Segment.add_record: payload too large";
+  add_u32 buf n;
+  add_u32 buf (Crc32.digest payload);
+  Buffer.add_string buf payload
+
+let u32_at s off =
+  Char.code s.[off]
+  lor (Char.code s.[off + 1] lsl 8)
+  lor (Char.code s.[off + 2] lsl 16)
+  lor (Char.code s.[off + 3] lsl 24)
+
+type scan = { records : string list; valid : int; torn : bool }
+
+let parse s =
+  let len = String.length s in
+  let rec go off acc =
+    if off + header_len > len then stop off acc ~torn:(off < len)
+    else begin
+      let n = u32_at s off in
+      let crc = u32_at s (off + 4) in
+      if n > max_payload_len || off + header_len + n > len then stop off acc ~torn:true
+      else begin
+        let payload = String.sub s (off + header_len) n in
+        if Crc32.digest payload <> crc then stop off acc ~torn:true
+        else go (off + header_len + n) (payload :: acc)
+      end
+    end
+  and stop off acc ~torn = { records = List.rev acc; valid = off; torn } in
+  go 0 []
+
+let read path =
+  match Fsio.read_file path with
+  | None -> { records = []; valid = 0; torn = false }
+  | Some s -> parse s
+
+type writer = { h : Fsio.append_handle; buf : Buffer.t }
+
+let create_writer ?truncate_at path =
+  { h = Fsio.open_append ?truncate_at path; buf = Buffer.create 256 }
+
+let append w payload =
+  Buffer.clear w.buf;
+  add_record w.buf payload;
+  Fsio.append w.h (Buffer.contents w.buf)
+
+let sync w = Fsio.sync w.h
+let close w = Fsio.close_append w.h

@@ -1,0 +1,46 @@
+(** CRC32-framed append-only record log: the on-disk frame of both the
+    per-tenant write-ahead journal and the snapshot file.
+
+    A record is [[u32le length][u32le CRC-32][payload]]; a segment is a
+    concatenation of records.  {!parse} accepts the longest valid prefix
+    and flags (never raises on) a torn or corrupt tail, which is the
+    whole crash-recovery story: an append interrupted by a crash loses
+    only itself. *)
+
+val max_payload_len : int
+(** Hard cap a record's length prefix may claim (128 MiB — beyond any
+    legal wire frame).  A larger claim is treated as corruption. *)
+
+val add_record : Buffer.t -> string -> unit
+(** Append one framed record to a buffer (used to build snapshot files
+    in memory before the atomic write). *)
+
+type scan = {
+  records : string list;  (** payloads of the valid prefix, in order *)
+  valid : int;  (** byte length of the valid prefix *)
+  torn : bool;
+      (** bytes past [valid] existed but did not form a whole, checksummed
+          record — a crash mid-append or corruption; reopen the log with
+          [truncate_at valid] to discard them *)
+}
+
+val parse : string -> scan
+
+val read : string -> scan
+(** {!parse} of the file's contents; an absent file is an empty, clean
+    scan. *)
+
+(** {2 Writer} *)
+
+type writer
+
+val create_writer : ?truncate_at:int -> string -> writer
+(** Open an append-only segment writer ({!Fsio.open_append}).
+    [truncate_at] discards a torn tail found by a prior {!read}. *)
+
+val append : writer -> string -> unit
+(** Frame and append one record.  Not fsynced (see {!Fsio.append});
+    call {!sync} for a durability point. *)
+
+val sync : writer -> unit
+val close : writer -> unit

@@ -1,0 +1,8 @@
+(* fdlint-fixture path=lib/store/fsio.ml expect=none *)
+(* The audited helper itself: raw file syscalls are its whole job. *)
+let write_file path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+let rotate old_path new_path = Unix.rename old_path new_path

@@ -1,0 +1,7 @@
+(* fdlint-fixture path=lib/store/segment.ml expect=durability-hygiene *)
+let write_segment path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+let rotate old_path new_path = Unix.rename old_path new_path

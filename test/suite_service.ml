@@ -418,6 +418,111 @@ let test_decoder_pipelined_frames () =
   in
   Alcotest.(check bool) "all pipelined frames decoded in order" true (drain [] = reqs)
 
+(* The O(n²) regression: a burst of pipelined frames fed in one chunk
+   used to re-copy the remaining buffer once per decoded frame.  The
+   decoder now tracks a consumed offset and compacts at a threshold, so
+   draining n frames costs O(1) compactions. *)
+let test_decoder_burst_compactions_bounded () =
+  let n = 500 in
+  let req i = Servsim.Wire.Put ("burst", i mod 32, String.make 40 'x') in
+  let buf = Buffer.create (n * 64) in
+  for i = 0 to n - 1 do
+    Servsim.Wire.write_request_sink (Servsim.Wire.buffer_sink buf) (req i)
+  done;
+  let dec = Service.Frame_decoder.create () in
+  Service.Frame_decoder.feed dec (Buffer.to_bytes buf) ~off:0 ~len:(Buffer.length buf);
+  let decoded = ref 0 in
+  let ok = ref true in
+  let continue = ref true in
+  while !continue do
+    match Service.Frame_decoder.next dec with
+    | Some (r, _) ->
+        ok := !ok && r = req !decoded;
+        incr decoded
+    | None -> continue := false
+  done;
+  Alcotest.(check int) "all frames decoded" n !decoded;
+  Alcotest.(check bool) "in order" true !ok;
+  Alcotest.(check int) "no residue" 0 (Service.Frame_decoder.pending_bytes dec);
+  (* The feed itself may compact/grow a handful of times; what must not
+     happen is one compaction per frame. *)
+  Alcotest.(check bool) "O(1) compactions for the burst" true
+    (Service.Frame_decoder.compactions dec < 20)
+
+let test_decoder_trickled_large_frame () =
+  let req = Servsim.Wire.Put ("big", 0, String.make 20_000 'y') in
+  let buf = Buffer.create 32_000 in
+  Servsim.Wire.write_request_sink (Servsim.Wire.buffer_sink buf) req;
+  let encoded = Buffer.to_bytes buf in
+  let dec = Service.Frame_decoder.create () in
+  let got = ref false in
+  let chunk = 777 in
+  let off = ref 0 in
+  while not !got && !off < Bytes.length encoded do
+    let len = min chunk (Bytes.length encoded - !off) in
+    Service.Frame_decoder.feed dec encoded ~off:!off ~len;
+    off := !off + len;
+    match Service.Frame_decoder.next dec with
+    | Some (r, n) ->
+        Alcotest.(check bool) "large frame decoded" true (r = req);
+        Alcotest.(check int) "size accounted" (Bytes.length encoded) n;
+        got := true
+    | None -> ()
+  done;
+  Alcotest.(check bool) "frame completed" true !got;
+  Alcotest.(check int) "only on full arrival" (Bytes.length encoded) !off
+
+(* {2 Metrics: bounded tracking and eviction folding} *)
+
+let test_metrics_tracking_bounded () =
+  let m = Service.Metrics.create () in
+  for i = 1 to Service.Metrics.max_tracked + 1000 do
+    Service.Metrics.record m
+      ~namespace:(Printf.sprintf "ns-%d" i)
+      ~bytes_in:10 ~bytes_out:20 ~latency_s:0.001
+  done;
+  Alcotest.(check bool) "tracked entries capped" true
+    (Service.Metrics.tracked m <= Service.Metrics.max_tracked + 1);
+  (* Not one namespace was dropped on the floor: the overflow frames are
+     all in the catch-all bucket, which [namespaces] does not list. *)
+  let listed = List.length (Service.Metrics.namespaces m) in
+  let overflow = Service.Metrics.max_tracked + 1000 - listed in
+  Alcotest.(check bool) "overflow went to the catch-all bucket" true (overflow > 0);
+  let total_frames =
+    List.fold_left
+      (fun acc ns -> acc + (Service.Metrics.ns_summary m ns).Service.Metrics.frames)
+      0
+      (Service.Metrics.namespaces m)
+  in
+  Alcotest.(check int) "no frame lost to the cap"
+    (Service.Metrics.max_tracked + 1000)
+    (total_frames + (Service.Metrics.ns_summary m "").Service.Metrics.frames)
+
+let test_metrics_evict_folds_counters () =
+  let m = Service.Metrics.create () in
+  for _ = 1 to 7 do
+    Service.Metrics.record m ~namespace:"gone" ~bytes_in:100 ~bytes_out:50
+      ~latency_s:0.002
+  done;
+  Service.Metrics.record m ~namespace:"stays" ~bytes_in:1 ~bytes_out:1 ~latency_s:0.001;
+  Service.Metrics.evict_ns m "gone";
+  Alcotest.(check int) "entry dropped" 0
+    (Service.Metrics.ns_summary m "gone").Service.Metrics.frames;
+  Alcotest.(check bool) "namespace no longer listed" false
+    (List.mem "gone" (Service.Metrics.namespaces m));
+  Alcotest.(check int) "eviction counted" 1 (Service.Metrics.evicted m);
+  Alcotest.(check int) "frames folded into the aggregate" 7
+    (Service.Metrics.evicted_frames m);
+  (* Idempotent for unknown names; the survivor is untouched. *)
+  Service.Metrics.evict_ns m "never-seen";
+  Alcotest.(check int) "unknown eviction is a no-op" 1 (Service.Metrics.evicted m);
+  Alcotest.(check int) "survivor intact" 1
+    (Service.Metrics.ns_summary m "stays").Service.Metrics.frames;
+  (* A returning tenant starts a fresh entry from zero. *)
+  Service.Metrics.record m ~namespace:"gone" ~bytes_in:9 ~bytes_out:9 ~latency_s:0.001;
+  Alcotest.(check int) "returning tenant starts fresh" 1
+    (Service.Metrics.ns_summary m "gone").Service.Metrics.frames
+
 let suite =
   [
     Alcotest.test_case "concurrent tenants match single-client digests" `Quick
@@ -444,4 +549,11 @@ let suite =
     Alcotest.test_case "multi-domain graceful drain" `Quick test_multidomain_graceful_drain;
     Alcotest.test_case "decoder byte-at-a-time" `Quick test_decoder_byte_at_a_time;
     Alcotest.test_case "decoder pipelined frames" `Quick test_decoder_pipelined_frames;
+    Alcotest.test_case "decoder burst compactions bounded" `Quick
+      test_decoder_burst_compactions_bounded;
+    Alcotest.test_case "decoder trickled large frame" `Quick
+      test_decoder_trickled_large_frame;
+    Alcotest.test_case "metrics tracking bounded" `Quick test_metrics_tracking_bounded;
+    Alcotest.test_case "metrics eviction folds counters" `Quick
+      test_metrics_evict_folds_counters;
   ]

@@ -25,5 +25,6 @@ let () =
       ("bucket-sort", Suite_bucket_sort.suite);
       ("edge", Suite_edge.suite);
       ("service", Suite_service.suite);
+      ("store", Suite_store.suite);
       ("lint", Suite_lint.suite);
     ]
