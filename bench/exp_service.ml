@@ -1,28 +1,42 @@
 (* Service load harness: throughput and latency of the multi-tenant
-   daemon under concurrent clients.
+   daemon under concurrent clients, across readiness backends and client
+   pipelining depths.
 
    The daemon and every load client run as separate OS processes so the
-   measurement crosses real Unix-domain sockets and the daemon's select
+   measurement crosses real Unix-domain sockets and the daemon's event
    loop, not in-process function calls.  OCaml 5 forbids [Unix.fork]
    once domains have run, so children are [Unix.create_process] re-execs
    of this very benchmark binary with hidden argv modes
    ([service-daemon] / [service-client]) dispatched in [main] before
    normal argument parsing.
 
-   Emits BENCH_service.json: ops/s and service-latency percentiles for
-   each (worker domains x client count) point.  The speedup from the
-   domains axis only shows on a multicore host; [host_cores] is recorded
-   alongside so a flat sweep on a 1-core box reads as parity, not a
-   regression (EXPERIMENTS.md). *)
+   Emits BENCH_service.json (schema v3): ops/s, service-latency
+   percentiles and daemon-side syscalls-per-op for each (backend x
+   client count x pipeline depth) point.  Syscalls-per-op comes from a
+   probe connection reading the daemon's loop counters (read(2) +
+   write(2) attempts) before and after each round — the direct measure
+   of what response coalescing and client pipelining batch away.  The
+   speedup from worker domains only shows on a multicore host;
+   [host_cores] is recorded alongside so a flat sweep on a 1-core box
+   reads as parity, not a regression (EXPERIMENTS.md). *)
 
 let block = String.make 64 '\xAB'
 
 (* {2 Child: daemon} *)
 
-let daemon_main path domains =
+let daemon_main path domains backend =
+  let backend =
+    match Service.Evloop.of_string backend with
+    | Ok b -> b
+    | Error msg -> failwith msg
+  in
   let daemon =
     Service.Daemon.create
-      { Service.Daemon.default_config with unix_path = Some path; max_conns = 64; domains }
+      { Service.Daemon.default_config with
+        unix_path = Some path;
+        max_conns = 64;
+        domains;
+        backend }
   in
   Service.Daemon.install_stop_signals daemon;
   Service.Daemon.run daemon;
@@ -30,16 +44,18 @@ let daemon_main path domains =
 
 (* {2 Child: load client}
 
-   Connects into its own namespace, performs [ops] Put/Get exchanges
-   recording per-op wall-clock latency, asserts the server-side
-   per-session ledger agrees with its own frame counter, and writes
-   "<elapsed_s>\n<lat_us> <lat_us> ...\n" to [out]. *)
+   Connects into its own namespace at the given pipelining depth,
+   performs [ops] Put/Get exchanges keeping up to [depth] frames in
+   flight (depth 1 degrades to the classic strict request/response
+   loop), records per-op send-to-response latency, asserts the
+   server-side per-session ledger agrees with its own frame counter, and
+   writes "<elapsed_s>\n<lat_us> <lat_us> ...\n" to [out]. *)
 
-let client_main path namespace ops out =
+let client_main path namespace ops depth out =
   let open Servsim in
   (* The daemon may still be binding its socket: retry briefly. *)
   let rec connect tries =
-    match Remote.connect_unix ~namespace path with
+    match Remote.connect_unix ~namespace ~depth path with
     | conn -> conn
     | exception (Unix.Unix_error _ | Wire.Protocol_error _) when tries > 0 ->
         Unix.sleepf 0.05;
@@ -54,15 +70,25 @@ let client_main path namespace ops out =
   expect_ok (Remote.call conn (Wire.Drop_store "bench"));
   expect_ok (Remote.call conn (Wire.Create_store "bench"));
   expect_ok (Remote.call conn (Wire.Ensure ("bench", 64)));
+  let req i =
+    if i land 1 = 0 then Wire.Put ("bench", i mod 64, block) else Wire.Get ("bench", i mod 64)
+  in
   let lats = Array.make ops 0. in
+  let sent_at = Array.make ops 0. in
   let t0 = Unix.gettimeofday () in
-  for i = 0 to ops - 1 do
-    let u0 = Unix.gettimeofday () in
-    (match Remote.call conn (if i land 1 = 0 then Wire.Put ("bench", i mod 64, block)
-                             else Wire.Get ("bench", i mod 64)) with
+  let sent = ref 0 and recvd = ref 0 in
+  while !recvd < ops do
+    while !sent < ops && !sent - !recvd < depth do
+      sent_at.(!sent) <- Unix.gettimeofday ();
+      Remote.send conn (req !sent);
+      incr sent
+    done;
+    (match Remote.recv conn with
     | Wire.Ok | Wire.Value _ -> ()
+    | Wire.Error e -> failwith e
     | _ -> failwith "unexpected response");
-    lats.(i) <- Unix.gettimeofday () -. u0
+    lats.(!recvd) <- Unix.gettimeofday () -. sent_at.(!recvd);
+    incr recvd
   done;
   let elapsed = Unix.gettimeofday () -. t0 in
   let stats = Remote.stats conn in
@@ -102,14 +128,23 @@ let read_client_file file =
   close_in ic;
   (elapsed, lats)
 
-let run_round ~path ~domains ~clients ~ops =
+(* Daemon-side read(2)+write(2) attempts, via the loop counters a Stats
+   reply carries.  The probe's own two Stats exchanges cost a handful of
+   syscalls; against thousands of measured ops that noise is below the
+   reporting precision. *)
+let loop_syscalls probe =
+  let s = Servsim.Remote.stats probe in
+  s.Servsim.Wire.loop_reads + s.Servsim.Wire.loop_writes
+
+let run_round ~path ~probe ~backend ~clients ~depth ~ops =
   let outs =
     List.init clients (fun i -> Filename.temp_file (Printf.sprintf "svc%d" i) ".lat")
   in
+  let sys0 = loop_syscalls probe in
   (* One fresh namespace per (round, client): the server's cost ledger is
      per-tenant and outlives connections, and each client asserts it
      against its own per-connection frame counter — exact only on a
-     tenant's first connection.  (Each domains point gets a fresh daemon
+     tenant's first connection.  (Each backend point gets a fresh daemon
      process, so namespaces may repeat across the outer sweep.) *)
   let pids =
     List.mapi
@@ -117,27 +152,31 @@ let run_round ~path ~domains ~clients ~ops =
         spawn
           [|
             "service-client"; path;
-            Printf.sprintf "d%02d-round%02d-tenant-%02d" domains clients i;
-            string_of_int ops; out;
+            Printf.sprintf "%s-c%02d-d%02d-tenant-%02d" backend clients depth i;
+            string_of_int ops; string_of_int depth; out;
           |])
       outs
   in
   List.iteri (fun i pid -> wait_exit pid (Printf.sprintf "client %d" i)) pids;
+  let sys1 = loop_syscalls probe in
   let per_client = List.map read_client_file outs in
   List.iter Sys.remove outs;
   let wall = List.fold_left (fun m (e, _) -> max m e) 0. per_client in
   let lats = List.concat_map snd per_client in
   let p50, p95, p99 = Service.Metrics.percentiles lats in
   let total_ops = clients * ops in
-  (float_of_int total_ops /. wall, p50, p95, p99)
+  let syscalls_per_op = float_of_int (sys1 - sys0) /. float_of_int total_ops in
+  (float_of_int total_ops /. wall, p50, p95, p99, syscalls_per_op)
 
-(* One daemon process per domains setting; the client sweep runs against
-   it, then SIGTERM — the graceful drain across every worker domain is
-   part of what the harness exercises. *)
-let sweep_domain ~domains ~counts ~ops =
+(* One daemon process per backend; the clients x depth sweep runs
+   against it, then SIGTERM — the graceful drain on every backend is
+   part of what the harness exercises.  The domains axis stays at 1
+   here: the backend/pipelining comparison is a single-core story, and
+   the loop counters of one worker are then the whole daemon's. *)
+let sweep_backend ~backend ~counts ~depths ~ops =
   let path = Filename.temp_file "fdserved-bench" ".sock" in
   Sys.remove path;
-  let daemon_pid = spawn [| "service-daemon"; path; string_of_int domains |] in
+  let daemon_pid = spawn [| "service-daemon"; path; "1"; backend |] in
   let rec await tries =
     if not (Sys.file_exists path) then
       if tries = 0 then failwith "daemon did not come up"
@@ -152,42 +191,54 @@ let sweep_domain ~domains ~counts ~ops =
       Unix.kill daemon_pid Sys.sigterm;
       wait_exit daemon_pid "daemon")
     (fun () ->
-      List.map
-        (fun clients ->
-          let ops_s, p50, p95, p99 = run_round ~path ~domains ~clients ~ops in
-          Printf.printf
-            "  %d domain(s) x %2d client(s) x %d ops: %8.0f ops/s   p50 %5.0f us   \
-             p95 %5.0f us   p99 %5.0f us\n%!"
-            domains clients ops ops_s p50 p95 p99;
-          (domains, clients, ops_s, p50, p95, p99))
-        counts)
+      let probe = Servsim.Remote.connect_unix ~namespace:"probe" path in
+      Fun.protect
+        ~finally:(fun () -> Servsim.Remote.close probe)
+        (fun () ->
+          List.concat_map
+            (fun clients ->
+              List.map
+                (fun depth ->
+                  let ops_s, p50, p95, p99, spo =
+                    run_round ~path ~probe ~backend ~clients ~depth ~ops
+                  in
+                  Printf.printf
+                    "  %-6s x %2d client(s) x depth %2d x %d ops: %8.0f ops/s   \
+                     p50 %5.0f us   p99 %5.0f us   %5.2f syscalls/op\n%!"
+                    backend clients depth ops ops_s p50 p99 spo;
+                  (backend, clients, depth, ops_s, p50, p95, p99, spo))
+                depths)
+            counts))
 
 let run (opts : Bench_util.opts) =
   Bench_util.header "SERVICE: multi-tenant daemon under concurrent load";
   let ops = if opts.smoke then 200 else 2000 in
-  let counts = if opts.full then [ 1; 2; 4; 8; 16 ] else [ 1; 2; 8 ] in
-  let domain_counts = if opts.full then [ 1; 2; 4 ] else [ 1; 2 ] in
+  let counts = if opts.full then [ 1; 2; 4; 8; 16 ] else if opts.smoke then [ 1; 2 ] else [ 1; 4; 16 ] in
+  let depths = [ 1; 8 ] in
+  let backends = List.map Service.Evloop.to_string (Service.Evloop.available ()) in
   let series =
-    List.concat_map (fun domains -> sweep_domain ~domains ~counts ~ops) domain_counts
+    List.concat_map (fun backend -> sweep_backend ~backend ~counts ~depths ~ops) backends
   in
   let oc = open_out "BENCH_service.json" in
   Printf.fprintf oc
     "{\n\
-    \  \"schema\": \"sfdd-bench-service/2\",\n\
+    \  \"schema\": \"sfdd-bench-service/3\",\n\
     \  \"smoke\": %b,\n\
     \  \"transport\": \"unix-domain socket\",\n\
     \  \"host_cores\": %d,\n\
+    \  \"domains\": 1,\n\
     \  \"ops_per_client\": %d,\n\
     \  \"series\": [\n"
     opts.smoke
     (Domain.recommended_domain_count ())
     ops;
   List.iteri
-    (fun i (domains, clients, ops_s, p50, p95, p99) ->
+    (fun i (backend, clients, depth, ops_s, p50, p95, p99, spo) ->
       Printf.fprintf oc
-        "    { \"domains\": %d, \"clients\": %d, \"ops_per_s\": %.0f, \"p50_us\": %.0f, \
-         \"p95_us\": %.0f, \"p99_us\": %.0f }%s\n"
-        domains clients ops_s p50 p95 p99
+        "    { \"backend\": \"%s\", \"clients\": %d, \"pipeline_depth\": %d, \
+         \"ops_per_s\": %.0f, \"p50_us\": %.0f, \"p95_us\": %.0f, \"p99_us\": %.0f, \
+         \"syscalls_per_op\": %.3f }%s\n"
+        backend clients depth ops_s p50 p95 p99 spo
         (if i = List.length series - 1 then "" else ","))
     series;
   Printf.fprintf oc "  ]\n}\n";

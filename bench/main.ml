@@ -38,10 +38,10 @@ let usage () =
    [Unix.fork] is unavailable once OCaml 5 domains have run. *)
 let () =
   match Array.to_list Sys.argv with
-  | _ :: "service-daemon" :: path :: domains :: _ ->
-      exit (Exp_service.daemon_main path (int_of_string domains))
-  | _ :: "service-client" :: path :: ns :: ops :: out :: _ ->
-      exit (Exp_service.client_main path ns (int_of_string ops) out)
+  | _ :: "service-daemon" :: path :: domains :: backend :: _ ->
+      exit (Exp_service.daemon_main path (int_of_string domains) backend)
+  | _ :: "service-client" :: path :: ns :: ops :: depth :: out :: _ ->
+      exit (Exp_service.client_main path ns (int_of_string ops) (int_of_string depth) out)
   | _ -> ()
 
 let () =

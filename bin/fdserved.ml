@@ -7,6 +7,11 @@
 
 open Cmdliner
 
+let parse_backend s =
+  match Service.Evloop.of_string s with
+  | Ok b -> b
+  | Error msg -> invalid_arg ("--backend " ^ s ^ ": " ^ msg)
+
 let parse_tcp s =
   match String.rindex_opt s ':' with
   | None -> invalid_arg (Printf.sprintf "--tcp %S: expected HOST:PORT" s)
@@ -15,8 +20,8 @@ let parse_tcp s =
       let port = int_of_string (String.sub s (i + 1) (String.length s - i - 1)) in
       (host, port)
 
-let serve unix_path tcp max_conns idle_timeout drain_grace domains data_dir max_resident
-    verbose =
+let serve unix_path tcp max_conns idle_timeout drain_grace domains backend data_dir
+    max_resident verbose =
   let log = if verbose then fun msg -> Printf.eprintf "fdserved: %s\n%!" msg else ignore in
   let cfg =
     {
@@ -26,6 +31,7 @@ let serve unix_path tcp max_conns idle_timeout drain_grace domains data_dir max_
       idle_timeout;
       drain_grace;
       domains = max 1 domains;
+      backend = parse_backend backend;
       data_dir;
       max_resident;
       log;
@@ -39,7 +45,9 @@ let serve unix_path tcp max_conns idle_timeout drain_grace domains data_dir max_
   (match unix_path with
   | Some path -> Printf.printf "fdserved: listening on unix socket %s\n%!" path
   | None -> ());
-  Printf.printf "fdserved: %d worker domain(s)\n%!" (Service.Daemon.domains daemon);
+  Printf.printf "fdserved: %d worker domain(s), %s backend\n%!"
+    (Service.Daemon.domains daemon)
+    (Service.Evloop.to_string (Service.Daemon.backend daemon));
   (match data_dir with
   | Some dir ->
       Printf.printf "fdserved: durable tenant state under %s%s\n%!" dir
@@ -54,7 +62,7 @@ let serve unix_path tcp max_conns idle_timeout drain_grace domains data_dir max_
    then a graceful drain.  Run once single-domain and once with two
    worker domains so `dune runtest` exercises the sharded path.  Used
    from `dune runtest`. *)
-let selftest_with ~domains =
+let selftest_with ~domains ~backend =
   let path = Filename.temp_file "fdserved" ".sock" in
   Sys.remove path;
   let daemon =
@@ -62,7 +70,8 @@ let selftest_with ~domains =
       { Service.Daemon.default_config with
         unix_path = Some path;
         drain_grace = 10.;
-        domains }
+        domains;
+        backend }
   in
   let th = Thread.create Service.Daemon.run daemon in
   let fail fmt = Printf.ksprintf (fun m -> failwith ("selftest: " ^ m)) fmt in
@@ -95,7 +104,8 @@ let selftest_with ~domains =
         (Remote.call a (Wire.Get ("blocks", 3)) = Wire.Value (String.make 64 'A'));
       Remote.close a);
   check "drained" (Service.Daemon.live_conns daemon = 0);
-  Printf.printf "fdserved selftest (domains=%d): OK\n%!" domains
+  Printf.printf "fdserved selftest (domains=%d, backend=%s): OK\n%!" domains
+    (Service.Evloop.to_string backend)
 
 (* Persistence smoke test: the same op sequence served (a) by one
    uninterrupted in-memory daemon across a client reconnect and (b) by a
@@ -183,21 +193,25 @@ let selftest_persist () =
   Printf.printf "fdserved selftest (persistence): OK\n%!"
 
 let selftest domains =
-  selftest_with ~domains:1;
-  (* The sharded path: acceptor + worker domains with fd handoff. *)
-  selftest_with ~domains:(max 2 domains);
+  (* Every compiled-in readiness backend, single-domain and sharded:
+     acceptor + worker domains with fd handoff. *)
+  List.iter
+    (fun backend ->
+      selftest_with ~domains:1 ~backend;
+      selftest_with ~domains:(max 2 domains) ~backend)
+    (Service.Evloop.available ());
   selftest_persist ();
   `Ok ()
 
-let run unix_path tcp max_conns idle_timeout drain_grace domains data_dir max_resident verbose
-    do_selftest =
+let run unix_path tcp max_conns idle_timeout drain_grace domains backend data_dir
+    max_resident verbose do_selftest =
   try
     if do_selftest then selftest domains
     else if unix_path = None && tcp = None then
       `Error (true, "need at least one of --unix / --tcp (or --selftest)")
     else
-      serve unix_path tcp max_conns idle_timeout drain_grace domains data_dir max_resident
-        verbose
+      serve unix_path tcp max_conns idle_timeout drain_grace domains backend data_dir
+        max_resident verbose
   with
   | Failure msg | Invalid_argument msg -> `Error (false, msg)
   | Unix.Unix_error (e, fn, arg) ->
@@ -230,6 +244,12 @@ let cmd =
          ~doc:"Shard tenants over $(docv) worker domains (1 = single-domain \
                event loop, the default on single-core hosts).")
   in
+  let backend =
+    Arg.(value & opt string "auto" & info [ "backend" ] ~docv:"BACKEND"
+         ~doc:"Readiness backend: $(b,auto) (the most scalable compiled-in one), \
+               $(b,select) (portable, capped at 1024 descriptors), $(b,poll) or \
+               $(b,epoll).")
+  in
   let data_dir =
     Arg.(value & opt (some string) None & info [ "data-dir" ] ~docv:"PATH"
          ~doc:"Persist tenant state (snapshot + write-ahead journal per namespace) under \
@@ -251,6 +271,6 @@ let cmd =
   in
   Cmd.v info_
     Term.(ret (const run $ unix_path $ tcp $ max_conns $ idle_timeout $ drain_grace
-               $ domains $ data_dir $ max_resident $ verbose $ do_selftest))
+               $ domains $ backend $ data_dir $ max_resident $ verbose $ do_selftest))
 
 let () = exit (Cmd.eval cmd)

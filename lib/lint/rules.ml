@@ -1,4 +1,4 @@
-(* The project's rule set, R1..R9.  Every check is purely syntactic
+(* The project's rule set, R1..R10.  Every check is purely syntactic
    (Parsetree only, no typing), so rules about *values* — e.g. "is this
    comparison on key material?" — are name heuristics; DESIGN.md §11
    documents each rule's rationale and the limits of its detector. *)
@@ -279,6 +279,51 @@ let r9_check ctx =
       | _ -> ())
 
 (* ------------------------------------------------------------------ *)
+(* R10 — event-loop-hygiene                                            *)
+
+(* Unlike the expression-only rules above, this one also inspects
+   structure/signature items: an `external` is a [Pstr_primitive] (or a
+   [Psig_value] with a non-empty [pval_prim]), which the expression
+   iterator never sees. *)
+let r10_check ctx =
+  let prim loc (vd : Parsetree.value_description) =
+    if List.exists (starts_with ~prefix:"sfdd_ev_") vd.pval_prim then
+      ctx.Rule.report loc ~tag:"external"
+        (Printf.sprintf
+           "external %s rebinds the evloop C stubs; readiness syscalls are Service.Evloop's \
+            private surface"
+           vd.pval_name.txt)
+  in
+  let default = Ast_iterator.default_iterator in
+  let it =
+    {
+      default with
+      expr =
+        (fun self e ->
+          (match e.Parsetree.pexp_desc with
+          | Pexp_ident { txt; _ } when String.equal (norm (lid_str txt)) "Unix.select" ->
+              ctx.Rule.report e.pexp_loc
+                "raw Unix.select outside Service.Evloop; use the Evloop readiness API so \
+                 backend choice stays in one place"
+          | _ -> ());
+          default.expr self e);
+      structure_item =
+        (fun self si ->
+          (match si.Parsetree.pstr_desc with
+          | Pstr_primitive vd -> prim si.pstr_loc vd
+          | _ -> ());
+          default.structure_item self si);
+      signature_item =
+        (fun self si ->
+          (match si.Parsetree.psig_desc with
+          | Psig_value vd when vd.pval_prim <> [] -> prim si.psig_loc vd
+          | _ -> ());
+          default.signature_item self si);
+    }
+  in
+  match ctx.ast with Rule.Impl str -> it.structure it str | Rule.Intf sg -> it.signature it sg
+
+(* ------------------------------------------------------------------ *)
 
 let all : Rule.t list =
   [
@@ -399,6 +444,22 @@ let all : Rule.t list =
       allow = [ ("", "lib/store/fsio.ml"); ("", "lib/relation/csv.ml") ];
       check = Ast r9_check;
       smoke = Smoke_code { path = "lib/store/tenant.ml"; code = "let f p = open_out_bin p\n" };
+    };
+    {
+      id = "R10";
+      name = "event-loop-hygiene";
+      doc =
+        "Raw Unix.select and the sfdd_ev_* poll/epoll externals are the readiness layer's \
+         private surface: every other module goes through Service.Evloop, so backend \
+         semantics — level-triggering, the select FD_SETSIZE wall, EINTR handling — are \
+         decided in exactly one audited place.  lib/service/evloop.ml is the sole allowed \
+         site (via the checked-in .fdlint).";
+      scope = [];
+      allow = [];
+      check = Ast r10_check;
+      smoke =
+        Smoke_code
+          { path = "lib/core/smoke.ml"; code = "let wait fds = Unix.select fds [] [] 0.1\n" };
     };
   ]
 

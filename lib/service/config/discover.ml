@@ -1,0 +1,75 @@
+(* Build-time feature detection for the evloop C stubs: probe the
+   OCaml-configured C toolchain for poll(2) and epoll(7) and emit the
+   corresponding -D flags into c_flags.sexp (consumed by the
+   foreign_stubs rule in ../dune).  A platform lacking both still
+   builds — the select backend needs no stubs.
+
+   Deliberately stdlib-only (dune-configurator is not vendored in this
+   toolchain): compile a tiny probe program per feature and test the
+   compiler's exit status. *)
+
+let probe_poll =
+  {c|
+#include <poll.h>
+int main(void) {
+  struct pollfd p;
+  p.fd = 0; p.events = POLLIN; p.revents = 0;
+  return poll(&p, 1, 0) < -1;
+}
+|c}
+
+let probe_epoll =
+  {c|
+#include <sys/epoll.h>
+int main(void) {
+  int e = epoll_create1(EPOLL_CLOEXEC);
+  struct epoll_event ev;
+  ev.events = EPOLLIN; ev.data.fd = 0;
+  return e < -1 && epoll_ctl(e, EPOLL_CTL_ADD, 0, &ev) < -1;
+}
+|c}
+
+(* The same C compiler ocamlfind/ocamlc will use for the stubs. *)
+let c_compiler () =
+  let fallback = "cc" in
+  match Unix.open_process_in "ocamlc -config 2>/dev/null" with
+  | exception _ -> fallback
+  | ic ->
+      let cc = ref fallback in
+      (try
+         while true do
+           let line = input_line ic in
+           match String.index_opt line ':' with
+           | Some i when String.sub line 0 i = "c_compiler" ->
+               let v = String.sub line (i + 1) (String.length line - i - 1) in
+               cc := String.trim v
+           | _ -> ()
+         done
+       with End_of_file -> ());
+      ignore (Unix.close_process_in ic);
+      if !cc = "" then fallback else !cc
+
+let compiles cc src =
+  let base = Filename.temp_file "sfdd_probe" "" in
+  let c_file = base ^ ".c" in
+  let o_file = base ^ ".o" in
+  let oc = open_out c_file in
+  output_string oc src;
+  close_out oc;
+  let cmd =
+    Printf.sprintf "%s -c %s -o %s >/dev/null 2>&1" cc (Filename.quote c_file)
+      (Filename.quote o_file)
+  in
+  let ok = Sys.command cmd = 0 in
+  List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) [ base; c_file; o_file ];
+  ok
+
+let () =
+  let cc = c_compiler () in
+  let flags =
+    (if compiles cc probe_poll then [ "-DSFDD_HAVE_POLL" ] else [])
+    @ (if compiles cc probe_epoll then [ "-DSFDD_HAVE_EPOLL" ] else [])
+  in
+  let oc = open_out "c_flags.sexp" in
+  output_string oc ("(" ^ String.concat " " flags ^ ")\n");
+  close_out oc

@@ -7,13 +7,29 @@ type phase =
   | Serving of Session.tenant
   | Closing (* flush pending output, then close *)
 
+(* A connection that never completes its [Hello] may not buffer input
+   without bound: past this many pending bytes in the handshake stage
+   the connection is refused.  A [Hello] frame is at most 70 bytes
+   (1 tag + 4 length + 64-byte namespace cap), so any legitimate client
+   fits with room for a pipelined burst behind it; a client opening
+   with a jumbo non-Hello frame is cut off here instead of at the
+   64 MiB frame cap. *)
+let pre_hello_max = 4096
+
+(* Pending response bytes live in a growable flat buffer with a head
+   offset: the daemon writes [buf[lo..hi)] straight from {!output}
+   without copying (the old [Buffer.to_bytes] cost one full copy per
+   write attempt), and all frames decoded in one wakeup coalesce here
+   into a single flush. *)
+type outbuf = { mutable buf : bytes; mutable lo : int; mutable hi : int }
+
 type t = {
   fd : Unix.file_descr;
   id : int;
   peer : string;
   decoder : Frame_decoder.t;
-  out : Buffer.t;
-  mutable out_off : int; (* bytes of [out] already written to the socket *)
+  out : outbuf;
+  out_sink : Wire.sink; (* cached closure pair appending to [out] *)
   mutable phase : phase;
   mutable bound : Session.tenant option;
       (* set at [attach] and kept through [Closing], so the daemon can
@@ -27,14 +43,47 @@ type ctx = {
   live_sessions : unit -> int;
 }
 
+let out_reserve o n =
+  let len = o.hi - o.lo in
+  if o.hi + n > Bytes.length o.buf then
+    if len + n <= Bytes.length o.buf && o.lo > 0 then begin
+      (* Enough room once the flushed head is dropped: slide in place. *)
+      Bytes.blit o.buf o.lo o.buf 0 len;
+      o.lo <- 0;
+      o.hi <- len
+    end
+    else begin
+      let cap = ref (max 512 (Bytes.length o.buf)) in
+      while len + n > !cap do
+        cap := !cap * 2
+      done;
+      let buf = Bytes.create !cap in
+      Bytes.blit o.buf o.lo buf 0 len;
+      o.buf <- buf;
+      o.lo <- 0;
+      o.hi <- len
+    end
+
+let out_add_char o c =
+  out_reserve o 1;
+  Bytes.set o.buf o.hi c;
+  o.hi <- o.hi + 1
+
+let out_add_string o s =
+  let n = String.length s in
+  out_reserve o n;
+  Bytes.blit_string s 0 o.buf o.hi n;
+  o.hi <- o.hi + n
+
 let create ~id ~peer ~now fd =
+  let out = { buf = Bytes.create 512; lo = 0; hi = 0 } in
   {
     fd;
     id;
     peer;
     decoder = Frame_decoder.create ();
-    out = Buffer.create 512;
-    out_off = 0;
+    out;
+    out_sink = { Wire.put_char = out_add_char out; put_str = out_add_string out };
     phase = Handshake;
     bound = None;
     last_active = now;
@@ -45,7 +94,7 @@ let peer t = t.peer
 let last_active t = t.last_active
 let touch t ~now = t.last_active <- now
 
-let pending_output t = Buffer.length t.out - t.out_off
+let pending_output t = t.out.hi - t.out.lo
 let wants_write t = pending_output t > 0
 let closing t = match t.phase with Closing -> true | _ -> false
 
@@ -60,12 +109,13 @@ let tenant t = t.bound
 let routed_namespace t = match t.phase with Routed ns -> Some ns | _ -> None
 
 let respond t resp =
-  Wire.write_response_sink (Wire.buffer_sink t.out) resp;
-  Buffer.length t.out
+  Wire.write_response_sink t.out_sink resp;
+  t.out.hi - t.out.lo
 
 let build_stats ctx (tenant : Session.tenant) =
   let c = Cost.snapshot (Handler.cost tenant.Session.handler) in
   let summ = Metrics.ns_summary ctx.metrics tenant.Session.namespace in
+  let sys = Metrics.syscalls ctx.metrics in
   let us s = min 0xFFFFFFFF (int_of_float (s *. 1e6)) in
   Wire.Stats_reply
     {
@@ -77,6 +127,10 @@ let build_stats ctx (tenant : Session.tenant) =
       p50_us = us summ.Metrics.p50_s;
       p95_us = us summ.Metrics.p95_s;
       p99_us = us summ.Metrics.p99_s;
+      loop_reads = sys.Metrics.reads;
+      loop_writes = sys.Metrics.writes;
+      loop_wakeups = sys.Metrics.wakeups;
+      loop_rounds = sys.Metrics.rounds;
     }
 
 let handle_request ctx t tenant req ~req_bytes =
@@ -93,7 +147,7 @@ let handle_request ctx t tenant req ~req_bytes =
         Wire.Ok
     | req -> ( try Handler.handle h req with Wire.Protocol_error msg -> Wire.Error msg)
   in
-  let before = Buffer.length t.out in
+  let before = pending_output t in
   let after = respond t resp in
   let resp_bytes = after - before in
   if counted then begin
@@ -133,7 +187,11 @@ let on_hello t =
   | Handshake | Routed _ | Serving _ | Closing -> ()
   | Await_hello -> (
       match Frame_decoder.next t.decoder with
-      | None -> ()
+      | None ->
+          if Frame_decoder.pending_bytes t.decoder > pre_hello_max then begin
+            ignore (respond t (Wire.Error "handshake: first frame too large"));
+            t.phase <- Closing
+          end
       | Some (Wire.Hello "", _) ->
           ignore (respond t (Wire.Error "empty namespace"));
           t.phase <- Closing
@@ -157,7 +215,7 @@ let on_bytes_pre t bytes ~len ~now =
       off := 1;
       (* Always answer with our own version byte so a mismatched client
          can report the disagreement, then hang up on mismatch. *)
-      Buffer.add_char t.out (Char.chr Wire.protocol_version);
+      out_add_char t.out (Char.chr Wire.protocol_version);
       if client_version = Wire.protocol_version then t.phase <- Await_hello
       else t.phase <- Closing
   | _ -> ());
@@ -185,10 +243,10 @@ let on_bytes ctx t bytes ~len ~now =
 
 (* The daemon flushed [n] bytes of pending output. *)
 let wrote t n =
-  t.out_off <- t.out_off + n;
-  if t.out_off >= Buffer.length t.out then begin
-    Buffer.clear t.out;
-    t.out_off <- 0
+  t.out.lo <- t.out.lo + n;
+  if t.out.lo >= t.out.hi then begin
+    t.out.lo <- 0;
+    t.out.hi <- 0
   end
 
-let output t = (Buffer.to_bytes t.out, t.out_off)
+let output t = (t.out.buf, t.out.lo, t.out.hi - t.out.lo)

@@ -53,9 +53,18 @@ val on_bytes : ctx -> t -> bytes -> len:int -> now:float -> unit
 val wants_write : t -> bool
 val pending_output : t -> int
 
-val output : t -> bytes * int
-(** [(buf, off)]: the pending output is [buf[off ..]].  Report progress
-    with {!wrote}. *)
+val output : t -> bytes * int * int
+(** [(buf, off, len)]: the pending output is [buf[off .. off+len)],
+    a zero-copy view of the connection's coalesced response buffer —
+    every frame served since the last full flush is in it, so one
+    [write(2)] drains one wakeup's worth of responses.  Valid until the
+    next mutation of the connection; report progress with {!wrote}. *)
+
+val pre_hello_max : int
+(** Cap on bytes a connection may buffer before completing its [Hello]
+    (the handshake stage is acceptor-owned and unauthenticated, so its
+    memory must be bounded tighter than the 64 MiB frame cap).
+    Exceeding it closes the connection with an [Error]. *)
 
 val wrote : t -> int -> unit
 

@@ -5,6 +5,7 @@ type config = {
   idle_timeout : float; (* seconds; <= 0 disables *)
   drain_grace : float; (* seconds to keep serving after a stop request *)
   domains : int; (* worker event loops; 1 = serve on the acceptor loop itself *)
+  backend : Evloop.backend; (* readiness backend shared by every loop *)
   data_dir : string option; (* root of per-tenant durable images; None = in-memory *)
   max_resident : int; (* LRU tenant cap per worker registry; <= 0 disables *)
   log : string -> unit;
@@ -18,19 +19,21 @@ let default_config =
     idle_timeout = 0.;
     drain_grace = 5.;
     domains = 1;
+    backend = Evloop.Select;
     data_dir = None;
     max_resident = 0;
     log = ignore;
   }
 
-(* One worker domain: an independent select loop exclusively owning its
+(* One worker domain: an independent event loop exclusively owning its
    shard of tenants.  Everything on the per-frame hot path — [conns],
-   [registry], [metrics], [read_buf] — is touched only by the owning
-   domain, so serving needs no locks; the mutex guards only the cold
-   handoff/drain mailbox, entered when the acceptor wakes us through the
-   self-pipe. *)
+   [registry], [metrics], [read_buf], the [ev] registration state — is
+   touched only by the owning domain, so serving needs no locks; the
+   mutex guards only the cold handoff/drain mailbox, entered when the
+   acceptor wakes us through the self-pipe. *)
 type worker = {
   w_idx : int;
+  ev : Evloop.t;
   registry : Session.registry;
   metrics : Metrics.t;
   conns : (Unix.file_descr, Conn.t) Hashtbl.t;
@@ -47,6 +50,7 @@ type worker = {
 
 type t = {
   cfg : config;
+  ev : Evloop.t; (* the acceptor's loop; also worker 0's when inline *)
   workers : worker array;
   accept_metrics : Metrics.t; (* accept/reject counters; frame metrics are per-worker *)
   live : int Atomic.t; (* connections across the acceptor and every worker *)
@@ -66,9 +70,10 @@ let rec retry_intr f =
   match f () with v -> v | exception Unix.Unix_error (Unix.EINTR, _, _) -> retry_intr f
 
 (* EINTR-retrying syscall wrappers — the only sites in [lib/service]
-   allowed to touch raw Unix I/O (rule R5, eintr-discipline).  Only
-   EINTR is retried: in this non-blocking event loop EAGAIN/EWOULDBLOCK
-   mean "come back on the next select round" and stay with the caller. *)
+   outside {!Evloop} allowed to touch raw Unix I/O (rules R5
+   eintr-discipline and R10 event-loop-hygiene).  Only EINTR is
+   retried: in this non-blocking event loop EAGAIN/EWOULDBLOCK mean
+   "come back on the next readiness round" and stay with the caller. *)
 let read_retry fd buf off len = retry_intr (fun () -> Unix.read fd buf off len)
 [@@lint.allow "eintr-discipline"]
 
@@ -76,9 +81,6 @@ let write_retry fd buf off len = retry_intr (fun () -> Unix.write fd buf off len
 [@@lint.allow "eintr-discipline"]
 
 let accept_retry ?cloexec fd = retry_intr (fun () -> Unix.accept ?cloexec fd)
-[@@lint.allow "eintr-discipline"]
-
-let select_retry rds wrs exs timeout = retry_intr (fun () -> Unix.select rds wrs exs timeout)
 [@@lint.allow "eintr-discipline"]
 
 let logf t fmt = Printf.ksprintf t.cfg.log fmt
@@ -125,8 +127,11 @@ let make_worker cfg w_idx =
         }
       ()
   in
+  let ev = Evloop.create cfg.backend in
+  Evloop.add ev wake_r ~read:true ~write:false;
   {
     w_idx;
+    ev;
     registry;
     metrics;
     conns = Hashtbl.create 32;
@@ -160,8 +165,12 @@ let create cfg =
   Unix.set_nonblock stop_r;
   Unix.set_nonblock stop_w;
   (match cfg.data_dir with Some dir -> Store.Fsio.mkdirs dir | None -> ());
+  let ev = Evloop.create cfg.backend in
+  Evloop.add ev stop_r ~read:true ~write:false;
+  List.iter (fun fd -> Evloop.add ev fd ~read:true ~write:false) !listeners;
   {
     cfg;
+    ev;
     workers = Array.init cfg.domains (make_worker cfg);
     accept_metrics = Metrics.create ();
     live = Atomic.make 0;
@@ -183,6 +192,7 @@ let create cfg =
 let inline t = Array.length t.workers = 1
 
 let domains t = Array.length t.workers
+let backend t = Evloop.backend t.ev
 let metrics t = t.accept_metrics
 let worker_metrics t = Array.to_list (Array.map (fun w -> w.metrics) t.workers)
 let registries t = Array.to_list (Array.map (fun w -> w.registry) t.workers)
@@ -192,6 +202,12 @@ let shard_of t ns = Session.shard ~shards:(Array.length t.workers) ns
 
 let ns_summary t ns = Metrics.ns_summary t.workers.(shard_of t ns).metrics ns
 
+(* Preallocated one-byte signal payloads: stop/wake fire on every
+   handoff and every drain broadcast, and allocating a fresh [Bytes] per
+   signal was measurable churn on the handoff path.  Never mutated. *)
+let stop_byte = Bytes.make 1 's'
+let wake_byte = Bytes.make 1 'w'
+
 (* Safe from a signal handler or another thread: one byte down the
    self-pipe wakes the acceptor loop, which drains the pipe and starts
    the graceful drain.  Only genuinely-expected errnos are swallowed —
@@ -200,7 +216,7 @@ let ns_summary t ns = Metrics.ns_summary t.workers.(shard_of t ns).metrics ns
    run, so a bad descriptor here means a double-close or fd-reuse bug
    and is logged instead of masked. *)
 let stop t =
-  try ignore (write_retry t.stop_w (Bytes.of_string "s") 0 1) with
+  try ignore (write_retry t.stop_w stop_byte 0 1) with
   | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
   | Unix.Unix_error (Unix.EBADF, _, _) ->
       t.cfg.log "stop: EBADF on the stop pipe — double-close or fd-reuse bug"
@@ -214,7 +230,7 @@ let install_stop_signals t =
    worker will wake regardless.  EBADF means the worker's pipe was
    closed under us — a lifecycle bug worth a log line, not silence. *)
 let wake t (w : worker) =
-  try ignore (write_retry w.wake_w (Bytes.of_string "w") 0 1) with
+  try ignore (write_retry w.wake_w wake_byte 0 1) with
   | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
   | Unix.Unix_error (Unix.EBADF, _, _) ->
       logf t "wake: EBADF on worker %d's pipe — double-close or fd-reuse bug" w.w_idx
@@ -239,16 +255,28 @@ let peer_string = function
   | Unix.ADDR_INET (a, p) -> Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
 
 (* {2 Connection service, shared by the acceptor (pre-session table) and
-   every worker (its own shard table)} *)
+   every worker (its own shard table)}
+
+   Each live connection is registered with its loop's {!Evloop} and its
+   interest is re-derived after every service step: readable unless
+   closing or past the output high-water mark, writable while output is
+   pending.  [Evloop.set] is a no-op when nothing changed, so the
+   steady-state hot path issues no registration syscalls. *)
+
+let sync_interest ev conn =
+  Evloop.set ev (Conn.fd conn)
+    ~read:((not (Conn.closing conn)) && Conn.pending_output conn < out_hwm)
+    ~write:(Conn.wants_write conn)
 
 (* [registry] is the shard-local registry of worker-owned connections —
    closing one releases its tenant's pin (and may trigger LRU eviction).
    Pre-session connections (acceptor-owned) pass no registry: they never
    attached, so there is no pin to release. *)
-let close_conn ?registry t conns metrics conn reason =
+let close_conn ?registry t ev conns metrics conn reason =
   let fd = Conn.fd conn in
   if Hashtbl.mem conns fd then begin
     Hashtbl.remove conns fd;
+    Evloop.remove ev fd;
     (try Unix.close fd with Unix.Unix_error _ -> ());
     Atomic.decr t.live;
     Metrics.on_close metrics;
@@ -258,11 +286,12 @@ let close_conn ?registry t conns metrics conn reason =
     logf t "conn %s closed (%s)" (Conn.peer conn) reason
   end
 
-let flush_conn ?registry t conns metrics conn =
+let flush_conn ?registry t ev conns metrics conn =
   let rec go () =
     if Conn.wants_write conn then begin
-      let buf, off = Conn.output conn in
-      match write_retry (Conn.fd conn) buf off (Bytes.length buf - off) with
+      let buf, off, len = Conn.output conn in
+      Metrics.sys_write metrics;
+      match write_retry (Conn.fd conn) buf off len with
       | n ->
           Conn.wrote conn n;
           go ()
@@ -272,48 +301,54 @@ let flush_conn ?registry t conns metrics conn =
              close, fd reuse), not client behavior — log it loudly
              rather than letting it pass as a generic write error. *)
           logf t "conn %s: EBADF on write — double-close or fd-reuse bug" (Conn.peer conn);
-          close_conn ?registry t conns metrics conn "write EBADF"
-      | exception Unix.Unix_error _ -> close_conn ?registry t conns metrics conn "write error"
+          close_conn ?registry t ev conns metrics conn "write EBADF"
+      | exception Unix.Unix_error _ -> close_conn ?registry t ev conns metrics conn "write error"
     end
   in
   go ();
-  if Conn.finished conn then close_conn ?registry t conns metrics conn "bye"
+  if Conn.finished conn then close_conn ?registry t ev conns metrics conn "bye"
+  else if Hashtbl.mem conns (Conn.fd conn) then sync_interest ev conn
 
-let read_conn t (w : worker) conn ~now =
+let read_conn t (w : worker) ev conn ~now =
   let registry = w.registry in
   let rec go () =
+    Metrics.sys_read w.metrics;
     match read_retry (Conn.fd conn) w.read_buf 0 (Bytes.length w.read_buf) with
     | 0 ->
         (* EOF — possibly mid-frame.  Only this connection dies; its
            tenant's state stays consistent because partial frames are
            never dispatched. *)
-        close_conn ~registry t w.conns w.metrics conn "eof"
+        close_conn ~registry t ev w.conns w.metrics conn "eof"
     | n ->
         Conn.on_bytes (w_ctx t w) conn w.read_buf ~len:n ~now;
+        (* Drain to EAGAIN: responses accumulate in the connection's
+           output buffer and flush as one write below. *)
         if Hashtbl.mem w.conns (Conn.fd conn) && not (Conn.closing conn) then go ()
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
     | exception Unix.Unix_error (Unix.EBADF, _, _) ->
         logf t "conn %s: EBADF on read — double-close or fd-reuse bug" (Conn.peer conn);
-        close_conn ~registry t w.conns w.metrics conn "read EBADF"
-    | exception Unix.Unix_error _ -> close_conn ~registry t w.conns w.metrics conn "read error"
+        close_conn ~registry t ev w.conns w.metrics conn "read EBADF"
+    | exception Unix.Unix_error _ ->
+        close_conn ~registry t ev w.conns w.metrics conn "read error"
   in
   (try go ()
    with e ->
      (* One connection's failure must never take the daemon down. *)
      logf t "conn %s: unexpected %s" (Conn.peer conn) (Printexc.to_string e);
-     close_conn ~registry t w.conns w.metrics conn "internal error");
-  if Hashtbl.mem w.conns (Conn.fd conn) then flush_conn ~registry t w.conns w.metrics conn
+     close_conn ~registry t ev w.conns w.metrics conn "internal error");
+  if Hashtbl.mem w.conns (Conn.fd conn) then flush_conn ~registry t ev w.conns w.metrics conn
 
 (* Adopt an authenticated connection into a worker's shard: bind its
    tenant in the shard-local registry, serve any frames pipelined behind
-   the Hello, and flush the buffered handshake + Ok. *)
-let adopt t (w : worker) conn ~now =
+   the Hello, and flush the buffered handshake + Ok.  [flush_conn]
+   registers the fd with the worker's loop via [sync_interest]. *)
+let adopt t (w : worker) ev conn ~now =
   Hashtbl.replace w.conns (Conn.fd conn) conn;
   Conn.touch conn ~now;
   Conn.attach (w_ctx t w) conn;
-  flush_conn ~registry:w.registry t w.conns w.metrics conn
+  flush_conn ~registry:w.registry t ev w.conns w.metrics conn
 
-let sweep_idle ?registry t conns metrics ~now =
+let sweep_idle ?registry t ev conns metrics ~now =
   if t.cfg.idle_timeout > 0. then begin
     let idle =
       Hashtbl.fold
@@ -321,20 +356,21 @@ let sweep_idle ?registry t conns metrics ~now =
           if now -. Conn.last_active conn > t.cfg.idle_timeout then conn :: acc else acc)
         conns []
     in
-    List.iter (fun conn -> close_conn ?registry t conns metrics conn "idle timeout") idle
+    List.iter (fun conn -> close_conn ?registry t ev conns metrics conn "idle timeout") idle
   end
 
-let close_all ?registry t conns metrics reason =
+let close_all ?registry t ev conns metrics reason =
   Hashtbl.fold (fun _ c acc -> c :: acc) conns []
-  |> List.iter (fun c -> close_conn ?registry t conns metrics c reason)
+  |> List.iter (fun c -> close_conn ?registry t ev conns metrics c reason)
 
-(* {2 Select plumbing}
+(* {2 Readiness plumbing}
 
    The timeout is derived from the nearest deadline actually pending —
    the drain grace and/or the earliest idle-connection expiry — rather
-   than a fixed polling interval: an idle daemon blocks in select
-   indefinitely (self-pipes deliver stop and handoff wakeups), and a
-   loaded one wakes exactly when the next timeout is due. *)
+   than a fixed polling interval: an idle daemon blocks in its
+   readiness wait indefinitely (self-pipes deliver stop and handoff
+   wakeups), and a loaded one wakes exactly when the next timeout is
+   due. *)
 let nearest_deadline t ~draining ~drain_deadline tbls =
   let d = if draining then drain_deadline else infinity in
   if t.cfg.idle_timeout <= 0. then d
@@ -348,23 +384,13 @@ let nearest_deadline t ~draining ~drain_deadline tbls =
 
 let timeout_of_deadline d ~now = if d = infinity then -1. else Float.max 0. (d -. now)
 
-let conn_sets conns =
-  Hashtbl.fold
-    (fun fd conn (rds, wrs) ->
-      let rds =
-        if (not (Conn.closing conn)) && Conn.pending_output conn < out_hwm then fd :: rds
-        else rds
-      in
-      let wrs = if Conn.wants_write conn then fd :: wrs else wrs in
-      (rds, wrs))
-    conns ([], [])
-
 (* {2 The acceptor} *)
 
 let route t conn ns ~now =
   Hashtbl.remove t.pre (Conn.fd conn);
+  Evloop.remove t.ev (Conn.fd conn);
   let w = t.workers.(shard_of t ns) in
-  if inline t then adopt t w conn ~now
+  if inline t then adopt t w t.ev conn ~now
   else begin
     Mutex.protect w.mu (fun () -> Queue.push conn w.inbox);
     wake t w
@@ -372,8 +398,9 @@ let route t conn ns ~now =
 
 let read_pre t conn ~now =
   let rec go () =
+    Metrics.sys_read t.accept_metrics;
     match read_retry (Conn.fd conn) t.read_buf 0 (Bytes.length t.read_buf) with
-    | 0 -> close_conn t t.pre t.accept_metrics conn "eof"
+    | 0 -> close_conn t t.ev t.pre t.accept_metrics conn "eof"
     | n ->
         Conn.on_bytes_pre conn t.read_buf ~len:n ~now;
         if
@@ -382,18 +409,18 @@ let read_pre t conn ~now =
           && Conn.routed_namespace conn = None
         then go ()
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
-    | exception Unix.Unix_error _ -> close_conn t t.pre t.accept_metrics conn "read error"
+    | exception Unix.Unix_error _ -> close_conn t t.ev t.pre t.accept_metrics conn "read error"
   in
   (try go ()
    with e ->
      logf t "conn %s: unexpected %s" (Conn.peer conn) (Printexc.to_string e);
-     close_conn t t.pre t.accept_metrics conn "internal error");
+     close_conn t t.ev t.pre t.accept_metrics conn "internal error");
   if Hashtbl.mem t.pre (Conn.fd conn) then
     match Conn.routed_namespace conn with
     | Some ns when not (Conn.closing conn) ->
         logf t "conn %s -> namespace %S (worker %d)" (Conn.peer conn) ns (shard_of t ns);
         route t conn ns ~now
-    | _ -> flush_conn t t.pre t.accept_metrics conn
+    | _ -> flush_conn t t.ev t.pre t.accept_metrics conn
 
 let accept_all t lfd ~now =
   let rec go () =
@@ -408,10 +435,20 @@ let accept_all t lfd ~now =
           Metrics.on_reject t.accept_metrics;
           logf t "conn %s rejected (cap %d)" (peer_string addr) t.cfg.max_conns
         end
+        else if not (Evloop.compatible t.ev fd) then begin
+          (* The backend cannot watch this descriptor (select's
+             FD_SETSIZE wall).  Refusing cleanly here beats corrupting
+             the fd sets; poll/epoll never hit this branch. *)
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Metrics.on_reject t.accept_metrics;
+          logf t "conn %s rejected (fd beyond %s backend limit)" (peer_string addr)
+            (Evloop.to_string (Evloop.backend t.ev))
+        end
         else begin
           t.next_id <- t.next_id + 1;
           let conn = Conn.create ~id:t.next_id ~peer:(peer_string addr) ~now fd in
           Hashtbl.replace t.pre fd conn;
+          Evloop.add t.ev fd ~read:true ~write:false;
           Atomic.incr t.live;
           Metrics.on_accept t.accept_metrics;
           logf t "conn %s accepted (#%d, %d live)" (peer_string addr) t.next_id
@@ -427,7 +464,11 @@ let start_drain t ~now =
   if not t.draining then begin
     t.draining <- true;
     t.drain_deadline <- now +. t.cfg.drain_grace;
-    List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) t.listeners;
+    List.iter
+      (fun fd ->
+        Evloop.remove t.ev fd;
+        try Unix.close fd with Unix.Unix_error _ -> ())
+      t.listeners;
     t.listeners <- [];
     if inline t then begin
       let w = t.workers.(0) in
@@ -444,14 +485,18 @@ let start_drain t ~now =
   end
 
 (* One round of the acceptor loop.  When [inline t], this is also worker
-   0's loop: its connections join the same select and are served on this
-   domain, making a 1-domain daemon behaviorally the familiar
-   single-loop one. *)
+   0's loop: its connections are registered with the same {!Evloop} and
+   served on this domain, making a 1-domain daemon behaviorally the
+   familiar single-loop one.  Loop-level syscall counters (rounds,
+   wakeups, frames-per-wake) are accounted to worker 0's metrics when
+   inline — that is the loop actually serving frames — and to the
+   acceptor's otherwise. *)
 let acceptor_step t =
   let now = Unix.gettimeofday () in
   let w0 = t.workers.(0) in
-  sweep_idle t t.pre t.accept_metrics ~now;
-  if inline t then sweep_idle ~registry:w0.registry t w0.conns w0.metrics ~now;
+  let loop_metrics = if inline t then w0.metrics else t.accept_metrics in
+  sweep_idle t t.ev t.pre t.accept_metrics ~now;
+  if inline t then sweep_idle ~registry:w0.registry t t.ev w0.conns w0.metrics ~now;
   let done_ =
     t.draining
     && (Atomic.get t.live = 0
@@ -459,46 +504,48 @@ let acceptor_step t =
        || ((not (inline t)) && Hashtbl.length t.pre = 0))
   in
   if done_ then begin
-    close_all t t.pre t.accept_metrics "drain deadline";
-    if inline t then close_all ~registry:w0.registry t w0.conns w0.metrics "drain deadline";
+    close_all t t.ev t.pre t.accept_metrics "drain deadline";
+    if inline t then
+      close_all ~registry:w0.registry t t.ev w0.conns w0.metrics "drain deadline";
     t.running <- false
   end
   else begin
-    let pre_rds, pre_wrs = conn_sets t.pre in
-    let w0_rds, w0_wrs = if inline t then conn_sets w0.conns else ([], []) in
-    let rds = (t.stop_r :: t.listeners) @ pre_rds @ w0_rds in
-    let wrs = pre_wrs @ w0_wrs in
     let tbls = if inline t then [ t.pre; w0.conns ] else [ t.pre ] in
     let deadline =
       nearest_deadline t ~draining:t.draining ~drain_deadline:t.drain_deadline tbls
     in
-    match select_retry rds wrs [] (timeout_of_deadline deadline ~now) with
-    | rd_ready, wr_ready, _ ->
-        if List.mem t.stop_r rd_ready then begin
-          drain_pipe t.stop_r;
-          start_drain t ~now:(Unix.gettimeofday ())
-        end;
-        let now = Unix.gettimeofday () in
-        List.iter
-          (fun fd ->
-            if List.mem fd t.listeners then accept_all t fd ~now
-            else
-              match Hashtbl.find_opt t.pre fd with
-              | Some conn -> read_pre t conn ~now
-              | None -> (
-                  match if inline t then Hashtbl.find_opt w0.conns fd else None with
-                  | Some conn -> read_conn t w0 conn ~now
-                  | None -> ()))
-          rd_ready;
-        List.iter
-          (fun fd ->
+    Metrics.sys_round loop_metrics;
+    let n = Evloop.wait t.ev ~timeout:(timeout_of_deadline deadline ~now) in
+    if n > 0 then begin
+      Metrics.sys_wakeup loop_metrics;
+      let frames0 = Metrics.total_frames loop_metrics in
+      let now = Unix.gettimeofday () in
+      for i = 0 to n - 1 do
+        let fd = Evloop.ready_fd t.ev i in
+        if Evloop.ready_read t.ev i then begin
+          if fd = t.stop_r then begin
+            drain_pipe t.stop_r;
+            start_drain t ~now
+          end
+          else if List.mem fd t.listeners then accept_all t fd ~now
+          else
             match Hashtbl.find_opt t.pre fd with
-            | Some conn -> flush_conn t t.pre t.accept_metrics conn
+            | Some conn -> read_pre t conn ~now
             | None -> (
                 match if inline t then Hashtbl.find_opt w0.conns fd else None with
-                | Some conn -> flush_conn ~registry:w0.registry t w0.conns w0.metrics conn
-                | None -> ()))
-          wr_ready
+                | Some conn -> read_conn t w0 t.ev conn ~now
+                | None -> ())
+        end;
+        if Evloop.ready_write t.ev i then
+          match Hashtbl.find_opt t.pre fd with
+          | Some conn -> flush_conn t t.ev t.pre t.accept_metrics conn
+          | None -> (
+              match if inline t then Hashtbl.find_opt w0.conns fd else None with
+              | Some conn -> flush_conn ~registry:w0.registry t t.ev w0.conns w0.metrics conn
+              | None -> ())
+      done;
+      Metrics.record_wake_frames loop_metrics (Metrics.total_frames loop_metrics - frames0)
+    end
   end
 
 (* {2 Worker loops (only spawned when domains > 1)} *)
@@ -511,7 +558,7 @@ let worker_mailbox t (w : worker) ~now =
         Queue.clear w.inbox;
         (xs, w.drain_req))
   in
-  List.iter (fun conn -> adopt t w conn ~now) adopted;
+  List.iter (fun conn -> adopt t w w.ev conn ~now) adopted;
   if drain_req && not w.draining then begin
     w.draining <- true;
     w.drain_deadline <- now +. t.cfg.drain_grace
@@ -519,32 +566,37 @@ let worker_mailbox t (w : worker) ~now =
 
 let worker_step t (w : worker) =
   let now = Unix.gettimeofday () in
-  sweep_idle ~registry:w.registry t w.conns w.metrics ~now;
+  sweep_idle ~registry:w.registry t w.ev w.conns w.metrics ~now;
   if w.draining && (Hashtbl.length w.conns = 0 || now > w.drain_deadline) then begin
-    close_all ~registry:w.registry t w.conns w.metrics "drain deadline";
+    close_all ~registry:w.registry t w.ev w.conns w.metrics "drain deadline";
     w.w_running <- false
   end
   else begin
-    let rds, wrs = conn_sets w.conns in
     let deadline =
       nearest_deadline t ~draining:w.draining ~drain_deadline:w.drain_deadline [ w.conns ]
     in
-    match select_retry (w.wake_r :: rds) wrs [] (timeout_of_deadline deadline ~now) with
-    | rd_ready, wr_ready, _ ->
-        let now = Unix.gettimeofday () in
-        if List.mem w.wake_r rd_ready then worker_mailbox t w ~now;
-        List.iter
-          (fun fd ->
+    Metrics.sys_round w.metrics;
+    let n = Evloop.wait w.ev ~timeout:(timeout_of_deadline deadline ~now) in
+    if n > 0 then begin
+      Metrics.sys_wakeup w.metrics;
+      let frames0 = Metrics.total_frames w.metrics in
+      let now = Unix.gettimeofday () in
+      for i = 0 to n - 1 do
+        let fd = Evloop.ready_fd w.ev i in
+        if Evloop.ready_read w.ev i then begin
+          if fd = w.wake_r then worker_mailbox t w ~now
+          else
             match Hashtbl.find_opt w.conns fd with
-            | Some conn -> read_conn t w conn ~now
-            | None -> ())
-          rd_ready;
-        List.iter
-          (fun fd ->
-            match Hashtbl.find_opt w.conns fd with
-            | Some conn -> flush_conn ~registry:w.registry t w.conns w.metrics conn
-            | None -> ())
-          wr_ready
+            | Some conn -> read_conn t w w.ev conn ~now
+            | None -> ()
+        end;
+        if Evloop.ready_write w.ev i then
+          match Hashtbl.find_opt w.conns fd with
+          | Some conn -> flush_conn ~registry:w.registry t w.ev w.conns w.metrics conn
+          | None -> ()
+      done;
+      Metrics.record_wake_frames w.metrics (Metrics.total_frames w.metrics - frames0)
+    end
   end
 
 let worker_loop t (w : worker) =
@@ -553,8 +605,9 @@ let worker_loop t (w : worker) =
   done
 
 let run t =
-  logf t "serving (max %d connections, %d worker domain(s))" t.cfg.max_conns
-    (Array.length t.workers);
+  logf t "serving (max %d connections, %d worker domain(s), %s backend)" t.cfg.max_conns
+    (Array.length t.workers)
+    (Evloop.to_string (Evloop.backend t.ev));
   let spawned =
     if inline t then [||]
     else Array.map (fun w -> Domain.spawn (fun () -> worker_loop t w)) t.workers
@@ -567,10 +620,10 @@ let run t =
      whatever remains and remove the Unix socket path. *)
   List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) t.listeners;
   t.listeners <- [];
-  close_all t t.pre t.accept_metrics "shutdown";
+  close_all t t.ev t.pre t.accept_metrics "shutdown";
   Array.iter
     (fun w ->
-      close_all ~registry:w.registry t w.conns w.metrics "shutdown";
+      close_all ~registry:w.registry t w.ev w.conns w.metrics "shutdown";
       (* A connection routed after its worker passed the drain deadline
          never left the mailbox; with every domain joined and the
          acceptor loop done, nobody pushes anymore — close them here so
@@ -585,10 +638,12 @@ let run t =
          a graceful restart then recovers bit-identical state. *)
       Session.shutdown w.registry;
       (try Unix.close w.wake_r with Unix.Unix_error _ -> ());
-      (try Unix.close w.wake_w with Unix.Unix_error _ -> ()))
+      (try Unix.close w.wake_w with Unix.Unix_error _ -> ());
+      Evloop.close w.ev)
     t.workers;
   (try Unix.close t.stop_r with Unix.Unix_error _ -> ());
   (try Unix.close t.stop_w with Unix.Unix_error _ -> ());
+  Evloop.close t.ev;
   (match t.cfg.unix_path with
   | Some path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
   | None -> ());

@@ -5,8 +5,10 @@
     (version handshake + the mandatory first [Hello]); each
     authenticated connection is then routed to one of [domains] {e
     worker} event loops by a deterministic hash of its namespace
-    ({!Session.shard}).  Every worker runs its own [Unix.select] loop —
-    woken through a private self-pipe for connection handoff and drain —
+    ({!Session.shard}).  Every worker runs its own {!Evloop} readiness
+    loop (select, poll or epoll — one backend for the whole daemon,
+    chosen by [config.backend]) — woken through a private self-pipe for
+    connection handoff and drain —
     and exclusively owns its shard of tenants: the per-frame hot path
     (decode → dispatch → trace/cost accounting → respond) touches only
     shard-local state and takes no locks, and a tenant's digests and
@@ -22,9 +24,11 @@
     backpressure guard, a connection cap enforced at accept time, an
     optional idle timeout, graceful drain on {!stop} (close listeners,
     keep serving live connections up to the grace period, then
-    [Domain.join] every worker).  Select timeouts are derived from the
-    nearest pending deadline (idle expiry or drain grace): an idle
-    daemon blocks indefinitely instead of polling.
+    [Domain.join] every worker).  Readiness timeouts are derived from
+    the nearest pending deadline (idle expiry or drain grace): an idle
+    daemon blocks indefinitely instead of polling.  With the select
+    backend, connections whose descriptor would not fit in an [fd_set]
+    are refused at accept time; poll/epoll have no such wall.
 
     All descriptors are close-on-exec; every read/write/accept retries
     on [EINTR].  One misbehaving connection — malformed frames, a
@@ -44,6 +48,12 @@ type config = {
   domains : int;
       (** worker event loops; 1 (the default) serves on the acceptor
           loop itself with no domain spawned *)
+  backend : Evloop.backend;
+      (** readiness backend for the acceptor and every worker loop.
+          The default config uses [Select] (always compiled in);
+          [fdserved --backend auto] resolves {!Evloop.best} instead.
+          {!create} raises [Invalid_argument] if the backend is not
+          compiled into this build. *)
   data_dir : string option;
       (** root directory for per-tenant durable images (snapshot +
           write-ahead journal, {!Store.Tenant}).  [None] (the default)
@@ -90,6 +100,9 @@ val install_stop_signals : t -> unit
 
 val domains : t -> int
 (** Number of worker event loops (the configured [domains]). *)
+
+val backend : t -> Evloop.backend
+(** The readiness backend every loop of this daemon runs on. *)
 
 val metrics : t -> Metrics.t
 (** Acceptor-side counters: accepts, rejects, uptime. *)

@@ -18,6 +18,21 @@ type ns = {
   mutable lat_n : int; (* total latencies ever recorded *)
 }
 
+(* Frames-per-wake buckets: 0, 1, 2, 3, 4–7, 8–15, 16–31, 32+.  The
+   shape of this histogram is the whole story of syscall batching: a
+   select loop serving one frame per wakeup lives in bucket 1; a
+   pipelined client against epoll pushes mass to the right. *)
+let wake_buckets = [| "0"; "1"; "2"; "3"; "4-7"; "8-15"; "16-31"; "32+" |]
+
+let wake_bucket n =
+  if n <= 3 then max 0 n
+  else if n <= 7 then 4
+  else if n <= 15 then 5
+  else if n <= 31 then 6
+  else 7
+
+type syscalls = { reads : int; writes : int; wakeups : int; rounds : int }
+
 type t = {
   started : float;
   tbl : (string, ns) Hashtbl.t;
@@ -28,6 +43,15 @@ type t = {
   mutable evicted_frames : int;
   mutable evicted_bytes_in : int;
   mutable evicted_bytes_out : int;
+  (* Event-loop syscall counters for the loop that owns this [t] —
+     daemon-lifetime scalars, deliberately outside the per-namespace
+     table so tenant eviction never touches them. *)
+  mutable sys_reads : int;
+  mutable sys_writes : int;
+  mutable sys_wakeups : int;
+  mutable sys_rounds : int;
+  mutable total_frames : int;
+  wake_hist : int array;
 }
 
 let create () =
@@ -41,6 +65,12 @@ let create () =
     evicted_frames = 0;
     evicted_bytes_in = 0;
     evicted_bytes_out = 0;
+    sys_reads = 0;
+    sys_writes = 0;
+    sys_wakeups = 0;
+    sys_rounds = 0;
+    total_frames = 0;
+    wake_hist = Array.make (Array.length wake_buckets) 0;
   }
 
 let uptime_s t = Unix.gettimeofday () -. t.started
@@ -54,6 +84,21 @@ let on_reject t = t.rejected <- t.rejected + 1
 let live t = t.live
 let accepted t = t.accepted
 let rejected t = t.rejected
+
+let sys_read t = t.sys_reads <- t.sys_reads + 1
+let sys_write t = t.sys_writes <- t.sys_writes + 1
+let sys_wakeup t = t.sys_wakeups <- t.sys_wakeups + 1
+let sys_round t = t.sys_rounds <- t.sys_rounds + 1
+
+let syscalls t =
+  { reads = t.sys_reads; writes = t.sys_writes; wakeups = t.sys_wakeups; rounds = t.sys_rounds }
+
+let record_wake_frames t n = t.wake_hist.(wake_bucket n) <- t.wake_hist.(wake_bucket n) + 1
+
+let wake_histogram t =
+  Array.to_list (Array.mapi (fun i label -> (label, t.wake_hist.(i))) wake_buckets)
+
+let total_frames t = t.total_frames
 
 let fresh_ns () =
   { frames = 0; bytes_in = 0; bytes_out = 0; lat = Array.make reservoir_size 0.; lat_n = 0 }
@@ -72,6 +117,7 @@ let find_ns t name =
 
 let record t ~namespace ~bytes_in ~bytes_out ~latency_s =
   let ns = find_ns t namespace in
+  t.total_frames <- t.total_frames + 1;
   ns.frames <- ns.frames + 1;
   ns.bytes_in <- ns.bytes_in + bytes_in;
   ns.bytes_out <- ns.bytes_out + bytes_out;

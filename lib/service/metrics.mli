@@ -22,6 +22,43 @@ val live : t -> int
 val accepted : t -> int
 val rejected : t -> int
 
+(** {2 Event-loop syscall accounting}
+
+    Counters for the event loop that owns this [t] (one per worker, one
+    for the acceptor).  They are daemon-lifetime scalars held outside
+    the per-namespace table, so {!evict_ns} never touches them;
+    dividing their deltas by frames served gives the syscalls-per-op
+    figure the bench reports. *)
+
+type syscalls = { reads : int; writes : int; wakeups : int; rounds : int }
+
+val sys_read : t -> unit
+(** One [read(2)] issued on a connection (including the read that
+    returns [EAGAIN] and ends a drain). *)
+
+val sys_write : t -> unit
+(** One [write(2)] issued flushing a connection's output. *)
+
+val sys_wakeup : t -> unit
+(** One {!Evloop.wait} return with at least one ready event. *)
+
+val sys_round : t -> unit
+(** One event-loop iteration (every {!Evloop.wait} call). *)
+
+val syscalls : t -> syscalls
+
+val record_wake_frames : t -> int -> unit
+(** Account one wakeup that served [n] complete frames across all of
+    the loop's connections. *)
+
+val wake_histogram : t -> (string * int) list
+(** Frames-per-wake histogram as [(bucket_label, wakeups)] pairs in
+    bucket order ("0", "1", "2", "3", "4-7", "8-15", "16-31", "32+"). *)
+
+val total_frames : t -> int
+(** Frames ever recorded by {!record}, including frames whose
+    namespace entry has since been evicted. *)
+
 val record :
   t -> namespace:string -> bytes_in:int -> bytes_out:int -> latency_s:float -> unit
 (** Account one served frame to [namespace].  Tracking is bounded: past

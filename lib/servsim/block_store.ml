@@ -152,7 +152,12 @@ let write_many t items =
               old)
             items
       | Remote_conn r ->
-          Remote.multi_put r.conn ~store:t.name items;
+          (* Fire-and-forget on a pipelined connection (bounded by its
+             depth; identical to the synchronous put at depth 1).  The
+             next read/call on the connection collects the ordered
+             acknowledgements, so errors are never silently dropped and
+             the frame ledger is the same either way. *)
+          Remote.multi_put_async r.conn ~store:t.name items;
           List.map
             (fun (i, c) ->
               let old = r.lengths.(i) in

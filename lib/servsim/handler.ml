@@ -93,6 +93,11 @@ let basic_stats st =
       p50_us = us p50;
       p95_us = us p95;
       p99_us = us p99;
+      (* No event loop in this serving mode; the daemon fills these. *)
+      loop_reads = 0;
+      loop_writes = 0;
+      loop_wakeups = 0;
+      loop_rounds = 0;
     }
 
 let handle st = function

@@ -2,22 +2,35 @@ type t = {
   ic : in_channel;
   oc : out_channel;
   pid : int option;
+  depth : int; (* max in-flight frames; 1 = strict request/response *)
   mutable frames : int;
   mutable closed : bool;
+  (* Pipelining state.  Responses arrive strictly in request order (the
+     daemon serves one connection's frames sequentially), so matching is
+     a queue of what each in-flight frame expects.  [puts] tracks
+     fire-and-forget [Multi_put]s; [manual] counts frames sent with the
+     raw {!send}/{!recv} pair, whose responses the caller collects
+     itself. *)
+  puts : string Queue.t; (* op label per outstanding async put, for errors *)
+  mutable manual : int;
+  mutable unflushed : bool;
 }
 
 let default_namespace = "default"
 
+let default_depth = 1
+
 let rec retry_intr f =
   match f () with v -> v | exception Unix.Unix_error (Unix.EINTR, _, _) -> retry_intr f
 
-let connect_fd ?pid ?(namespace = default_namespace) fd =
+let connect_fd ?pid ?(namespace = default_namespace) ?(depth = default_depth) fd =
+  if depth < 1 then invalid_arg "Remote.connect: depth must be >= 1";
   (* A dead peer must surface as an exception on the next call, not as a
      process-killing SIGPIPE. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let t =
-    { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd; pid; frames = 0;
-      closed = false }
+    { ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd; pid; depth;
+      frames = 0; closed = false; puts = Queue.create (); manual = 0; unflushed = false }
   in
   (* Version handshake: both sides announce; a stale client against a new
      server (or vice versa) fails here with a clear error instead of a
@@ -43,15 +56,15 @@ let connect_fd ?pid ?(namespace = default_namespace) fd =
       raise (Wire.Protocol_error "server closed the connection during session setup"));
   t
 
-let connect_unix ?namespace path =
+let connect_unix ?namespace ?depth path =
   let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try retry_intr (fun () -> Unix.connect fd (Unix.ADDR_UNIX path))
    with e ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
      raise e);
-  connect_fd ?namespace fd
+  connect_fd ?namespace ?depth fd
 
-let connect_tcp ?namespace ~host ~port () =
+let connect_tcp ?namespace ?depth ~host ~port () =
   let addr =
     match Unix.inet_addr_of_string host with
     | a -> a
@@ -70,17 +83,101 @@ let connect_tcp ?namespace ~host ~port () =
    with e ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
      raise e);
-  connect_fd ?namespace fd
+  connect_fd ?namespace ?depth fd
 
 let frames t = t.frames
+let depth t = t.depth
+let inflight t = Queue.length t.puts + t.manual
+
+(* Buffered send: frames queue in the channel buffer and hit the wire
+   in one write when something needs a response — that batching, plus
+   the server draining the whole burst in one wakeup, is where
+   pipelining's syscall savings come from. *)
+let send_nf t req =
+  Wire.write_request_sink (Wire.channel_sink t.oc) req;
+  t.frames <- t.frames + 1;
+  t.unflushed <- true
+
+let flush_out t =
+  if t.unflushed then begin
+    flush t.oc;
+    t.unflushed <- false
+  end
+
+(* Collect the response of the oldest outstanding async put. *)
+let drain_one t =
+  match Queue.take_opt t.puts with
+  | None -> ()
+  | Some what -> (
+      flush_out t;
+      match Wire.read_response t.ic with
+      | Wire.Ok -> ()
+      | Wire.Error msg -> raise (Wire.Protocol_error (what ^ ": " ^ msg))
+      | _ -> raise (Wire.Protocol_error ("unexpected response to async " ^ what))
+      | exception End_of_file ->
+          raise (Wire.Protocol_error ("server closed with async " ^ what ^ " in flight")))
+
+let drain t =
+  while not (Queue.is_empty t.puts) do
+    drain_one t
+  done
+
+let require_no_manual t op =
+  if t.manual > 0 then
+    raise
+      (Wire.Protocol_error
+         (op ^ ": " ^ string_of_int t.manual ^ " raw send(s) outstanding; recv them first"))
 
 let call t req =
   if t.closed then raise (Wire.Protocol_error "connection closed");
-  Wire.write_request t.oc req;
-  t.frames <- t.frames + 1;
+  require_no_manual t "call";
+  (* Order matters: every queued response precedes ours on the wire. *)
+  drain t;
+  send_nf t req;
+  flush_out t;
   match Wire.read_response t.ic with
   | Wire.Error msg -> raise (Wire.Protocol_error msg)
   | resp -> resp
+
+let send t req =
+  if t.closed then raise (Wire.Protocol_error "connection closed");
+  drain t;
+  if t.manual >= t.depth then
+    raise (Wire.Protocol_error "send: pipeline full; recv a response first");
+  send_nf t req;
+  t.manual <- t.manual + 1
+
+let recv t =
+  if t.manual = 0 then raise (Wire.Protocol_error "recv: no request in flight";);
+  flush_out t;
+  match Wire.read_response t.ic with
+  | resp ->
+      t.manual <- t.manual - 1;
+      resp
+  | exception End_of_file ->
+      raise (Wire.Protocol_error "server closed with a raw send in flight")
+
+let pipelined t reqs =
+  if t.closed then raise (Wire.Protocol_error "connection closed");
+  require_no_manual t "pipelined";
+  drain t;
+  let reqs = Array.of_list reqs in
+  let n = Array.length reqs in
+  let resps = Array.make n Wire.Ok in
+  let sent = ref 0 and recvd = ref 0 in
+  while !recvd < n do
+    while !sent < n && !sent - !recvd < t.depth do
+      send_nf t reqs.(!sent);
+      incr sent
+    done;
+    flush_out t;
+    (match Wire.read_response t.ic with
+    | resp -> resps.(!recvd) <- resp
+    | exception End_of_file ->
+        raise (Wire.Protocol_error "server closed mid-pipeline"));
+    incr recvd
+  done;
+  Array.to_list resps
 
 let multi_get t ~store idxs =
   if idxs = [] then []
@@ -98,6 +195,23 @@ let multi_put t ~store items =
     match call t (Wire.Multi_put (store, items)) with
     | Wire.Ok -> ()
     | _ -> raise (Wire.Protocol_error "unexpected response to Multi_put")
+
+let multi_put_async t ~store items =
+  if items <> [] then begin
+    if t.closed then raise (Wire.Protocol_error "connection closed");
+    if t.depth <= 1 then multi_put t ~store items
+    else begin
+      require_no_manual t "multi_put_async";
+      (* Bounded window: collect the oldest acknowledgement once the
+         pipeline is full, so a slow server applies backpressure instead
+         of the client buffering without limit. *)
+      while Queue.length t.puts >= t.depth do
+        drain_one t
+      done;
+      send_nf t (Wire.Multi_put (store, items));
+      Queue.push "Multi_put" t.puts
+    end
+  end
 
 let ping t =
   match call t Wire.Ping with

@@ -2,27 +2,75 @@
 
 type t
 
-val connect_fd : ?pid:int -> ?namespace:string -> Unix.file_descr -> t
+val connect_fd : ?pid:int -> ?namespace:string -> ?depth:int -> Unix.file_descr -> t
 (** Wrap a connected descriptor (e.g. from {!Remote_server.fork_server});
     [pid] is reaped on {!close}.  Performs the one-byte version handshake
     and then binds the connection to [namespace] (default ["default"])
     with a [Hello] frame — an isolated store namespace with its own
     server-side trace and cost ledgers when the peer is the multi-tenant
     daemon.  Neither setup exchange is counted in {!frames}.
+
+    [depth] (default 1) bounds how many request frames may be in flight
+    at once.  Depth 1 is the classic strict request/response client.  A
+    larger depth enables {!multi_put_async}, {!pipelined} and the raw
+    {!send}/{!recv} pair to keep the wire full: requests are buffered
+    and flushed in batches, and responses are matched to requests in
+    order (the server serves one connection strictly sequentially, so
+    ordered matching is exact, not heuristic).  Every op above is
+    counted in {!frames} exactly as its synchronous equivalent, and
+    synchronous calls transparently collect outstanding asynchronous
+    acknowledgements first — ledgers and digests are therefore
+    bit-identical to a depth-1 run of the same op sequence.
     @raise Wire.Protocol_error if the server speaks a different protocol
     version, rejects the session, or closes during setup. *)
 
-val connect_unix : ?namespace:string -> string -> t
+val connect_unix : ?namespace:string -> ?depth:int -> string -> t
 (** [connect_unix path] connects to a daemon listening on a Unix-domain
     socket at [path], then behaves as {!connect_fd}. *)
 
-val connect_tcp : ?namespace:string -> host:string -> port:int -> unit -> t
+val connect_tcp : ?namespace:string -> ?depth:int -> host:string -> port:int -> unit -> t
 (** [connect_tcp ~host ~port ()] connects over TCP (numeric address or
     hostname; [TCP_NODELAY] is set), then behaves as {!connect_fd}. *)
 
 val call : t -> Wire.request -> Wire.response
-(** Synchronous request/response.
+(** Synchronous request/response; first collects every outstanding
+    {!multi_put_async} acknowledgement (ordered matching).
     @raise Wire.Protocol_error on an [Error] response. *)
+
+val depth : t -> int
+(** The connection's pipelining depth (>= 1). *)
+
+val inflight : t -> int
+(** Outstanding frames awaiting responses (async puts + raw sends). *)
+
+val multi_put_async : t -> store:string -> (int * string) list -> unit
+(** Like {!multi_put}, but with [depth > 1] it only waits when [depth]
+    acknowledgements are already outstanding (collecting the oldest) —
+    writes stream without a round-trip stall per frame.  Errors surface
+    on the op that collects the acknowledgement ({!drain} or the next
+    synchronous call).  Identical to {!multi_put} at depth 1. *)
+
+val drain : t -> unit
+(** Collect every outstanding {!multi_put_async} acknowledgement.
+    @raise Wire.Protocol_error if any collected response is an error. *)
+
+val pipelined : t -> Wire.request list -> Wire.response list
+(** Issue a batch with up to [depth] frames in flight, returning raw
+    responses in request order ([Error] responses are returned, not
+    raised — the batch always completes).  With depth 1 this degrades
+    to sequential calls. *)
+
+val send : t -> Wire.request -> unit
+(** Raw pipelining primitive for load harnesses: queue one request
+    (buffered until the next {!recv} flushes) after collecting any
+    outstanding async puts.  The caller must {!recv} exactly one
+    response per send, in order, and may have at most [depth]
+    outstanding.  Counted in {!frames}. *)
+
+val recv : t -> Wire.response
+(** The response to the oldest un-{!recv}ed {!send} (raw: [Error] is
+    returned, not raised).
+    @raise Wire.Protocol_error when nothing is in flight. *)
 
 val multi_get : t -> store:string -> int list -> string list
 (** One [Multi_get] frame; values in index order.  No-op (no frame) on the

@@ -22,6 +22,10 @@ type stats = {
   p50_us : int;
   p95_us : int;
   p99_us : int;
+  loop_reads : int;
+  loop_writes : int;
+  loop_wakeups : int;
+  loop_rounds : int;
 }
 
 type response =
@@ -37,7 +41,7 @@ type response =
 exception Protocol_error of string
 exception Incomplete
 
-let protocol_version = 3
+let protocol_version = 4
 
 (* Hard caps on what a length prefix may claim.  A corrupt or truncated
    stream must fail with [Protocol_error], not drive the reader into a
@@ -290,7 +294,14 @@ let write_response_sink k resp =
       put_u64 k (Int64.of_int s.bytes_out);
       put_u32 k s.p50_us;
       put_u32 k s.p95_us;
-      put_u32 k s.p99_us
+      put_u32 k s.p99_us;
+      (* Fixed-width on purpose: journal replay re-accounts response
+         sizes with [response_size], so a [Stats_reply]'s wire size must
+         not depend on the counter values. *)
+      put_u64 k (Int64.of_int s.loop_reads);
+      put_u64 k (Int64.of_int s.loop_writes);
+      put_u64 k (Int64.of_int s.loop_wakeups);
+      put_u64 k (Int64.of_int s.loop_rounds)
   | Error msg ->
       k.put_char '\104';
       put_string k msg
@@ -316,7 +327,13 @@ let read_response_src src =
       let p50_us = get_u32 src in
       let p95_us = get_u32 src in
       let p99_us = get_u32 src in
-      Stats_reply { uptime_us; sessions; frames; bytes_in; bytes_out; p50_us; p95_us; p99_us }
+      let loop_reads = Int64.to_int (get_u64 src) in
+      let loop_writes = Int64.to_int (get_u64 src) in
+      let loop_wakeups = Int64.to_int (get_u64 src) in
+      let loop_rounds = Int64.to_int (get_u64 src) in
+      Stats_reply
+        { uptime_us; sessions; frames; bytes_in; bytes_out; p50_us; p95_us; p99_us;
+          loop_reads; loop_writes; loop_wakeups; loop_rounds }
   | '\104' -> Error (get_string src)
   | c -> raise (Protocol_error (Printf.sprintf "bad response tag %d" (Char.code c)))
 

@@ -50,6 +50,14 @@ type stats = {
   p50_us : int;  (** service-latency percentiles for this session's *)
   p95_us : int;  (** namespace, microseconds; 0 when the serving mode *)
   p99_us : int;  (** does not sample latencies (legacy fork server) *)
+  loop_reads : int;
+      (** [read(2)] calls issued by the event loop serving this
+          session's worker, daemon-lifetime; with {!loop_writes},
+          divides into frames served to give syscalls-per-op.  0 when
+          the serving mode has no event loop (legacy fork server) *)
+  loop_writes : int;  (** [write(2)] calls issued by the same loop *)
+  loop_wakeups : int;  (** readiness wakeups with at least one event *)
+  loop_rounds : int;  (** event-loop iterations (wait calls) *)
 }
 
 type response =
@@ -63,7 +71,7 @@ type response =
   | Error of string
 
 val protocol_version : int
-(** Current protocol version (3).  Exchanged once per connection:
+(** Current protocol version (4).  Exchanged once per connection:
     the client sends its version byte, the server always answers with its
     own, and each side rejects a mismatch — a v2 peer fails the handshake
     cleanly instead of misparsing the stream mid-session. *)

@@ -1,0 +1,5 @@
+(* fdlint-fixture path=lib/core/evwait.ml expect=none *)
+external nproc : unit -> int = "sfdd_nproc"
+
+let wait ev ~timeout = Evloop.wait ev ~timeout
+let pick name = Evloop.of_string name

@@ -1,0 +1,4 @@
+(* fdlint-fixture path=lib/core/evwait.ml expect=event-loop-hygiene *)
+external epoll_create : unit -> int = "sfdd_ev_epoll_create"
+
+let wait fds = Unix.select fds [] [] 0.25

@@ -6,7 +6,8 @@
    isolation (mid-frame disconnects, malformed frames, a v2 client),
    the connection cap, the idle timeout, and graceful drain. *)
 
-let with_daemon ?(max_conns = 64) ?(idle_timeout = 0.) ?(domains = 1) f =
+let with_daemon ?(max_conns = 64) ?(idle_timeout = 0.) ?(domains = 1)
+    ?(backend = Service.Evloop.Select) f =
   let path = Filename.temp_file "svc-test" ".sock" in
   Sys.remove path;
   let daemon =
@@ -15,7 +16,8 @@ let with_daemon ?(max_conns = 64) ?(idle_timeout = 0.) ?(domains = 1) f =
         unix_path = Some path;
         max_conns;
         idle_timeout;
-        domains }
+        domains;
+        backend }
   in
   let th = Thread.create Service.Daemon.run daemon in
   Fun.protect
@@ -24,8 +26,8 @@ let with_daemon ?(max_conns = 64) ?(idle_timeout = 0.) ?(domains = 1) f =
       Thread.join th)
     (fun () -> f path daemon)
 
-let with_client ?namespace path f =
-  let conn = Servsim.Remote.connect_unix ?namespace path in
+let with_client ?namespace ?depth path f =
+  let conn = Servsim.Remote.connect_unix ?namespace ?depth path in
   Fun.protect
     ~finally:(fun () ->
       ((try Servsim.Remote.close conn with _ -> ()) [@lint.allow "exception-hygiene"]))
@@ -43,9 +45,11 @@ let discover_fds conn table =
 
 (* {2 Tenant isolation under concurrency} *)
 
-let test_concurrent_tenants_match_single_client () =
+let test_concurrent_tenants_match_single_client backend () =
   let table = Datasets.Examples.fig1 () in
-  (* Reference: one daemon, one client, one tenant. *)
+  (* Reference: one daemon, one client, one tenant — always on the
+     portable select backend, so the parameterized runs also prove the
+     poll/epoll paths bit-identical to select. *)
   let ref_fds = ref "" and ref_digests = ref (0L, 0L, 0) in
   with_daemon (fun path _ ->
       with_client ~namespace:"solo" path (fun conn ->
@@ -55,7 +59,7 @@ let test_concurrent_tenants_match_single_client () =
      each tenant's server-side trace must be bit-identical to the
      single-client run — neither client can even see that the other
      exists in its own adversary view. *)
-  with_daemon (fun path _ ->
+  with_daemon ~backend (fun path _ ->
       let run ns out_fds out_digests () =
         with_client ~namespace:ns path (fun conn ->
             out_fds := discover_fds conn table;
@@ -119,8 +123,8 @@ let test_frames_match_session_ledger () =
 
 (* {2 Fault isolation} *)
 
-let test_mid_frame_disconnect_leaves_others_served () =
-  with_daemon (fun path _ ->
+let test_mid_frame_disconnect_leaves_others_served backend () =
+  with_daemon ~backend (fun path _ ->
       with_client ~namespace:"survivor" path (fun conn ->
           ignore (Servsim.Remote.call conn (Servsim.Wire.Create_store "s"));
           ignore (Servsim.Remote.call conn (Servsim.Wire.Ensure ("s", 2)));
@@ -190,7 +194,7 @@ let test_v2_handshake_rejected () =
       flush oc;
       (* The daemon announces its own version so the stale client can
          diagnose the mismatch, then hangs up. *)
-      Alcotest.(check int) "daemon announces v3" Servsim.Wire.protocol_version
+      Alcotest.(check int) "daemon announces its version" Servsim.Wire.protocol_version
         (Char.code (input_char ic));
       Alcotest.(check bool) "then hangs up" true
         (match input_char ic with _ -> false | exception End_of_file -> true);
@@ -209,8 +213,8 @@ let test_connection_cap () =
                     false
                 | exception _ -> true))))
 
-let test_idle_timeout () =
-  with_daemon ~idle_timeout:0.3 (fun path _ ->
+let test_idle_timeout backend () =
+  with_daemon ~backend ~idle_timeout:0.3 (fun path _ ->
       with_client ~namespace:"sleepy" path (fun conn ->
           Servsim.Remote.ping conn;
           Unix.sleepf 1.2;
@@ -219,11 +223,12 @@ let test_idle_timeout () =
             | () -> false
             | exception _ -> true)))
 
-let test_graceful_drain () =
+let test_graceful_drain backend () =
   let path = Filename.temp_file "svc-test" ".sock" in
   Sys.remove path;
   let daemon =
-    Service.Daemon.create { Service.Daemon.default_config with unix_path = Some path }
+    Service.Daemon.create
+      { Service.Daemon.default_config with unix_path = Some path; backend }
   in
   let th = Thread.create Service.Daemon.run daemon in
   let conn = Servsim.Remote.connect_unix ~namespace:"draining" path in
@@ -261,6 +266,258 @@ let test_tcp_listener () =
       | Servsim.Wire.Value v -> Alcotest.(check string) "tcp roundtrip" "over tcp" v
       | _ -> Alcotest.fail "get");
       Servsim.Remote.close conn)
+
+(* {2 Readiness backends: handshake robustness, fd-limit behaviour} *)
+
+(* A client that trickles its handshake — version byte alone, then the
+   [Hello] frame split mid-bytes — must be reassembled identically by
+   every backend: readiness semantics (level vs edge, ready-set
+   encoding) are Evloop-internal and must not leak into framing. *)
+let test_trickled_handshake backend () =
+  with_daemon ~backend (fun path _ ->
+      let fd, ic, oc = raw_connect path in
+      output_char oc (Char.chr Servsim.Wire.protocol_version);
+      flush oc;
+      Alcotest.(check int) "echoed version" Servsim.Wire.protocol_version
+        (Char.code (input_char ic));
+      let buf = Buffer.create 64 in
+      Servsim.Wire.write_request_sink (Servsim.Wire.buffer_sink buf)
+        (Servsim.Wire.Hello "slow");
+      let frame = Buffer.contents buf in
+      let cut = String.length frame / 2 in
+      output_string oc (String.sub frame 0 cut);
+      flush oc;
+      Unix.sleepf 0.05;
+      output_string oc (String.sub frame cut (String.length frame - cut));
+      flush oc;
+      (match Servsim.Wire.read_response ic with
+      | Servsim.Wire.Ok -> ()
+      | _ -> Alcotest.fail "hello after trickle");
+      Servsim.Wire.write_request oc Servsim.Wire.Ping;
+      (match Servsim.Wire.read_response ic with
+      | Servsim.Wire.Pong -> ()
+      | _ -> Alcotest.fail "ping after trickle");
+      Unix.close fd)
+
+(* The handshake stage is unauthenticated and acceptor-owned, so its
+   buffering is bounded: a client opening with a jumbo first frame is
+   cut off at [Conn.pre_hello_max], long before the 64 MiB frame cap. *)
+let test_handshake_flood_bounded backend () =
+  with_daemon ~backend (fun path _ ->
+      let fd, ic, oc = raw_connect path in
+      output_char oc (Char.chr Servsim.Wire.protocol_version);
+      flush oc;
+      ignore (input_char ic);
+      (* A well-formed Put frame much larger than the pre-hello budget,
+         sent all but its last byte so it never completes. *)
+      let buf = Buffer.create 16_384 in
+      Servsim.Wire.write_request_sink (Servsim.Wire.buffer_sink buf)
+        (Servsim.Wire.Put ("s", 0, String.make (4 * Service.Conn.pre_hello_max) 'x'));
+      let frame = Buffer.contents buf in
+      output_string oc (String.sub frame 0 (String.length frame - 1));
+      flush oc;
+      (match Servsim.Wire.read_response ic with
+      | Servsim.Wire.Error _ -> ()
+      | _ -> Alcotest.fail "expected Error for an oversized pre-hello frame");
+      Alcotest.(check bool) "connection closed" true
+        (match input_char ic with _ -> false | exception End_of_file -> true);
+      Unix.close fd)
+
+(* The point of poll/epoll: accept and serve more connections than
+   select's FD_SETSIZE wall.  Each connection holds two descriptors in
+   this (shared-table, in-process) test, so 1100 of them push fd numbers
+   well past 1024; every one completes its handshake and session setup,
+   and a sample across the whole fd range is then served with all the
+   others still open. *)
+let fanout_conns = 1100
+
+let test_fanout_past_fd_setsize backend () =
+  with_daemon ~backend ~max_conns:(fanout_conns + 64) (fun path _ ->
+      let conns =
+        Array.init fanout_conns (fun i ->
+            let fd, ic, oc = raw_connect path in
+            output_char oc (Char.chr Servsim.Wire.protocol_version);
+            flush oc;
+            Alcotest.(check int)
+              (Printf.sprintf "conn %d handshake" i)
+              Servsim.Wire.protocol_version
+              (Char.code (input_char ic));
+            Servsim.Wire.write_request oc
+              (Servsim.Wire.Hello (Printf.sprintf "fan-%d" (i mod 7)));
+            (match Servsim.Wire.read_response ic with
+            | Servsim.Wire.Ok -> ()
+            | _ -> Alcotest.failf "conn %d hello" i);
+            (fd, ic, oc))
+      in
+      Array.iteri
+        (fun i (_, ic, oc) ->
+          if i mod 97 = 0 || i = fanout_conns - 1 then begin
+            Servsim.Wire.write_request oc Servsim.Wire.Ping;
+            match Servsim.Wire.read_response ic with
+            | Servsim.Wire.Pong -> ()
+            | _ -> Alcotest.failf "conn %d not served" i
+          end)
+        conns;
+      Array.iter (fun (fd, _, _) -> Unix.close fd) conns)
+
+(* select cannot represent descriptors >= FD_SETSIZE: the daemon must
+   refuse such a connection at accept time instead of corrupting its
+   ready sets.  Opening connections until the shared fd table passes
+   1024 forces the case; the refusal is the overflowing connection's
+   problem only — earlier connections keep being served. *)
+let test_select_refuses_past_fd_setsize () =
+  with_daemon ~backend:Service.Evloop.Select ~max_conns:4096 (fun path _ ->
+      with_client ~namespace:"early" path (fun early ->
+          Servsim.Remote.ping early;
+          let opened = ref [] in
+          let refused = ref false in
+          Fun.protect
+            ~finally:(fun () -> List.iter (fun (fd, _, _) -> Unix.close fd) !opened)
+            (fun () ->
+              let i = ref 0 in
+              while (not !refused) && !i < 1200 do
+                incr i;
+                let (_, ic, oc) as c = raw_connect path in
+                opened := c :: !opened;
+                (* The refusal close can surface as a clean EOF or as a
+                   reset, depending on who wins the race. *)
+                let served =
+                  try
+                    output_char oc (Char.chr Servsim.Wire.protocol_version);
+                    flush oc;
+                    match input_char ic with
+                    | _ -> true
+                    | exception End_of_file -> false
+                  with Sys_error _ -> false
+                in
+                if not served then refused := true
+              done;
+              Alcotest.(check bool) "a connection beyond FD_SETSIZE was refused" true
+                !refused;
+              Servsim.Remote.ping early)))
+
+(* {2 Client pipelining} *)
+
+let test_pipelined_ordered backend () =
+  with_daemon ~backend (fun path _ ->
+      with_client ~namespace:"pipe" ~depth:8 path (fun conn ->
+          ignore (Servsim.Remote.call conn (Servsim.Wire.Create_store "s"));
+          ignore (Servsim.Remote.call conn (Servsim.Wire.Ensure ("s", 32)));
+          let reqs =
+            List.concat_map
+              (fun i ->
+                [ Servsim.Wire.Put ("s", i, Printf.sprintf "v%d" i);
+                  Servsim.Wire.Get ("s", i) ])
+              (List.init 32 Fun.id)
+          in
+          let resps = Servsim.Remote.pipelined conn reqs in
+          Alcotest.(check int) "one response per request" (List.length reqs)
+            (List.length resps);
+          List.iteri
+            (fun i r ->
+              match (i mod 2, r) with
+              | 0, Servsim.Wire.Ok -> ()
+              | 1, Servsim.Wire.Value v ->
+                  Alcotest.(check string) "responses in request order"
+                    (Printf.sprintf "v%d" (i / 2))
+                    v
+              | _ -> Alcotest.failf "response %d out of order" i)
+            resps;
+          (* Pipelined frames hit the same ledger as synchronous ones. *)
+          let stats = Servsim.Remote.stats conn in
+          Alcotest.(check int) "server ledger equals client frames"
+            (Servsim.Remote.frames conn) stats.Servsim.Wire.frames))
+
+(* The obliviousness bar for the async write path: the same op sequence
+   issued through [multi_put_async] at depth 8 must leave the server
+   with the very same trace digests, frame ledger and byte counts as
+   synchronous depth-1 [multi_put]s — pipelining changes scheduling,
+   never the adversary view. *)
+let test_async_puts_match_sync () =
+  with_daemon (fun path _ ->
+      let items = List.init 64 (fun i -> (i, Printf.sprintf "blk-%04d" i)) in
+      let run ns depth put =
+        with_client ~namespace:ns ~depth path (fun conn ->
+            ignore (Servsim.Remote.call conn (Servsim.Wire.Create_store "s"));
+            ignore (Servsim.Remote.call conn (Servsim.Wire.Ensure ("s", 64)));
+            List.iter (fun it -> put conn [ it ]) items;
+            Servsim.Remote.drain conn;
+            let d = Servsim.Remote.server_digests conn in
+            let stats = Servsim.Remote.stats conn in
+            Alcotest.(check int) (ns ^ ": ledger equals frames")
+              (Servsim.Remote.frames conn) stats.Servsim.Wire.frames;
+            (d, stats.Servsim.Wire.frames, stats.Servsim.Wire.bytes_in,
+             stats.Servsim.Wire.bytes_out))
+      in
+      let (d1, f1, in1, out1) =
+        run "sync" 1 (fun c its -> Servsim.Remote.multi_put c ~store:"s" its)
+      in
+      let (d8, f8, in8, out8) =
+        run "async" 8 (fun c its -> Servsim.Remote.multi_put_async c ~store:"s" its)
+      in
+      let fu1, sh1, c1 = d1 and fu8, sh8, c8 = d8 in
+      Alcotest.(check int64) "full digest bit-identical" fu1 fu8;
+      Alcotest.(check int64) "shape digest bit-identical" sh1 sh8;
+      Alcotest.(check int) "trace count identical" c1 c8;
+      Alcotest.(check int) "frames identical" f1 f8;
+      Alcotest.(check int) "bytes in identical" in1 in8;
+      Alcotest.(check int) "bytes out identical" out1 out8)
+
+let test_send_recv_window () =
+  with_daemon (fun path _ ->
+      with_client ~namespace:"raw" ~depth:4 path (fun conn ->
+          for _ = 1 to 4 do
+            Servsim.Remote.send conn Servsim.Wire.Ping
+          done;
+          Alcotest.(check int) "window full" 4 (Servsim.Remote.inflight conn);
+          Alcotest.(check bool) "fifth send refused" true
+            (match Servsim.Remote.send conn Servsim.Wire.Ping with
+            | () -> false
+            | exception Servsim.Wire.Protocol_error _ -> true);
+          for _ = 1 to 4 do
+            match Servsim.Remote.recv conn with
+            | Servsim.Wire.Pong -> ()
+            | _ -> Alcotest.fail "expected Pong"
+          done;
+          Alcotest.(check int) "window drained" 0 (Servsim.Remote.inflight conn);
+          Alcotest.(check bool) "recv with nothing in flight refused" true
+            (match Servsim.Remote.recv conn with
+            | _ -> false
+            | exception Servsim.Wire.Protocol_error _ -> true);
+          (* The connection is fully usable synchronously afterwards. *)
+          Servsim.Remote.ping conn))
+
+(* {2 Event-loop syscall accounting} *)
+
+let test_loop_counters_in_stats () =
+  with_daemon (fun path _ ->
+      with_client ~namespace:"counted" path (fun conn ->
+          for _ = 1 to 5 do
+            Servsim.Remote.ping conn
+          done;
+          let s = Servsim.Remote.stats conn in
+          Alcotest.(check bool) "loop rounds counted" true (s.Servsim.Wire.loop_rounds > 0);
+          Alcotest.(check bool) "read syscalls counted" true (s.Servsim.Wire.loop_reads > 0);
+          Alcotest.(check bool) "write syscalls counted" true
+            (s.Servsim.Wire.loop_writes > 0);
+          Alcotest.(check bool) "wakeups counted, at most one per round" true
+            (s.Servsim.Wire.loop_wakeups > 0
+            && s.Servsim.Wire.loop_wakeups <= s.Servsim.Wire.loop_rounds)))
+
+let test_wake_histogram_buckets () =
+  let m = Service.Metrics.create () in
+  List.iter
+    (fun n -> Service.Metrics.record_wake_frames m n)
+    [ 0; 1; 1; 2; 5; 9; 31; 32; 1000 ];
+  let hist = Service.Metrics.wake_histogram m in
+  let count b = match List.assoc_opt b hist with Some n -> n | None -> 0 in
+  Alcotest.(check int) "bucket 0" 1 (count "0");
+  Alcotest.(check int) "bucket 1" 2 (count "1");
+  Alcotest.(check int) "bucket 2" 1 (count "2");
+  Alcotest.(check int) "bucket 4-7" 1 (count "4-7");
+  Alcotest.(check int) "bucket 8-15" 1 (count "8-15");
+  Alcotest.(check int) "bucket 16-31" 1 (count "16-31");
+  Alcotest.(check int) "bucket 32+" 2 (count "32+")
 
 (* {2 Namespace-sharded worker domains} *)
 
@@ -523,23 +780,55 @@ let test_metrics_evict_folds_counters () =
   Alcotest.(check int) "returning tenant starts fresh" 1
     (Service.Metrics.ns_summary m "gone").Service.Metrics.frames
 
+(* The backend-parity block: the same suite of daemon behaviours runs
+   on every backend compiled into this build, so select, poll and epoll
+   must be observably interchangeable (digests included). *)
+let backend_cases =
+  Service.Evloop.available ()
+  |> List.concat_map (fun b ->
+         let n name = Printf.sprintf "%s: %s" (Service.Evloop.to_string b) name in
+         [
+           Alcotest.test_case
+             (n "concurrent tenants match single-client digests")
+             `Quick
+             (test_concurrent_tenants_match_single_client b);
+           Alcotest.test_case (n "mid-frame disconnect isolated") `Quick
+             (test_mid_frame_disconnect_leaves_others_served b);
+           Alcotest.test_case (n "idle timeout") `Slow (test_idle_timeout b);
+           Alcotest.test_case (n "graceful drain") `Quick (test_graceful_drain b);
+           Alcotest.test_case (n "trickled handshake reassembled") `Quick
+             (test_trickled_handshake b);
+           Alcotest.test_case (n "pre-hello buffering bounded") `Quick
+             (test_handshake_flood_bounded b);
+           Alcotest.test_case (n "pipelined client, ordered responses") `Quick
+             (test_pipelined_ordered b);
+         ]
+         @
+         if b = Service.Evloop.Select then []
+         else
+           [
+             Alcotest.test_case (n "serves past select's FD_SETSIZE") `Slow
+               (test_fanout_past_fd_setsize b);
+           ])
+
 let suite =
-  [
-    Alcotest.test_case "concurrent tenants match single-client digests" `Quick
-      test_concurrent_tenants_match_single_client;
+  backend_cases
+  @ [
     Alcotest.test_case "tenant state survives reconnect" `Quick
       test_tenant_state_survives_reconnect;
     Alcotest.test_case "frames match per-session ledger" `Quick
       test_frames_match_session_ledger;
-    Alcotest.test_case "mid-frame disconnect isolated" `Quick
-      test_mid_frame_disconnect_leaves_others_served;
     Alcotest.test_case "malformed frame isolated" `Quick
       test_malformed_frame_closes_only_offender;
     Alcotest.test_case "hello required first" `Quick test_hello_required_first;
     Alcotest.test_case "v2 handshake rejected" `Quick test_v2_handshake_rejected;
     Alcotest.test_case "connection cap" `Quick test_connection_cap;
-    Alcotest.test_case "idle timeout" `Slow test_idle_timeout;
-    Alcotest.test_case "graceful drain" `Quick test_graceful_drain;
+    Alcotest.test_case "select refuses past FD_SETSIZE" `Slow
+      test_select_refuses_past_fd_setsize;
+    Alcotest.test_case "async puts match sync digests" `Quick test_async_puts_match_sync;
+    Alcotest.test_case "raw send/recv window" `Quick test_send_recv_window;
+    Alcotest.test_case "loop syscall counters in stats" `Quick test_loop_counters_in_stats;
+    Alcotest.test_case "wake-frames histogram buckets" `Quick test_wake_histogram_buckets;
     Alcotest.test_case "tcp listener" `Quick test_tcp_listener;
     Alcotest.test_case "namespace shard deterministic" `Quick test_shard_deterministic;
     Alcotest.test_case "multi-domain digests match single-domain" `Quick

@@ -1,4 +1,4 @@
-(* Wire protocol v3: property tests for the codec (including the batch
+(* Wire protocol v4: property tests for the codec (including the batch
    and session frames), malformed-prefix hardening, the version
    handshake, and remote-vs-local equivalence of a PathORAM workload —
    same trace shape, same server digests, and a round-trip ledger that
@@ -67,7 +67,8 @@ let request_gen =
 let stats_gen =
   QCheck.Gen.(
     map
-      (fun ((uptime, sessions, frames), (bytes_in, bytes_out), (p50, p95, p99)) ->
+      (fun (((uptime, sessions, frames), (bytes_in, bytes_out), (p50, p95, p99)),
+            (reads, writes, (wakeups, rounds))) ->
         Servsim.Wire.Stats_reply
           {
             uptime_us = Int64.of_int uptime;
@@ -78,11 +79,18 @@ let stats_gen =
             p50_us = p50;
             p95_us = p95;
             p99_us = p99;
+            loop_reads = reads;
+            loop_writes = writes;
+            loop_wakeups = wakeups;
+            loop_rounds = rounds;
           })
-      (triple
-         (triple (int_bound 1000000000) (int_bound 1000) (int_bound 1000000))
-         (pair (int_bound 1000000) (int_bound 1000000))
-         (triple (int_bound 100000) (int_bound 100000) (int_bound 100000))))
+      (pair
+         (triple
+            (triple (int_bound 1000000000) (int_bound 1000) (int_bound 1000000))
+            (pair (int_bound 1000000) (int_bound 1000000))
+            (triple (int_bound 100000) (int_bound 100000) (int_bound 100000)))
+         (triple (int_bound 10000000) (int_bound 10000000)
+            (pair (int_bound 10000000) (int_bound 10000000)))))
 
 let response_gen =
   QCheck.Gen.(
@@ -102,11 +110,11 @@ let response_gen =
       ])
 
 let qcheck_request_roundtrip =
-  QCheck.Test.make ~name:"wire v3 request roundtrip" ~count:300 (QCheck.make request_gen)
+  QCheck.Test.make ~name:"wire v4 request roundtrip" ~count:300 (QCheck.make request_gen)
     roundtrip_request
 
 let qcheck_response_roundtrip =
-  QCheck.Test.make ~name:"wire v3 response roundtrip" ~count:300 (QCheck.make response_gen)
+  QCheck.Test.make ~name:"wire v4 response roundtrip" ~count:300 (QCheck.make response_gen)
     roundtrip_response
 
 (* {2 Malformed / hostile prefixes} *)
