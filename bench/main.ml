@@ -21,11 +21,12 @@ let experiments =
     ("micro", "Bechamel micro-benchmarks", Exp_micro.run);
     ("service", "multi-tenant daemon load harness", Exp_service.run);
     ("store", "disk-backed tenant store churn harness", Exp_store.run);
+    ("dynamic", "streaming dynamic-FD session load harness", Exp_dynamic.run);
   ]
 
 let default_set =
   [ "table1"; "table2"; "table3"; "fig4"; "fig5"; "fig6a"; "fig6b"; "fig7"; "ablation"; "micro";
-    "service"; "store" ]
+    "service"; "store"; "dynamic" ]
 
 let usage () =
   prerr_endline "usage: main.exe [--full] [--smoke] [experiment ...]";
@@ -36,6 +37,11 @@ let usage () =
 (* Hidden re-exec entry points: the service harness runs its daemon and
    load clients as child processes of this same binary, because
    [Unix.fork] is unavailable once OCaml 5 domains have run. *)
+(* Link the dynamic-FD engine into the request handler, as fdserved
+   does: the service and dynamic harnesses run daemons in this
+   process (or re-exec'd children of it). *)
+let () = Dynserve.install ()
+
 let () =
   match Array.to_list Sys.argv with
   | _ :: "service-daemon" :: path :: domains :: backend :: _ ->

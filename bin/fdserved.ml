@@ -192,6 +192,92 @@ let selftest_persist () =
       check "digests and ledger survive restart" (recovered = reference));
   Printf.printf "fdserved selftest (persistence): OK\n%!"
 
+(* Dynamic-session smoke test: a streaming Ex-ORAM session (Begin,
+   pipelined inserts, a delete) interrupted by a daemon restart
+   mid-update-stream, against an uninterrupted in-memory daemon.  The
+   concluding Revalidate's FD statuses, engine trace digests and
+   per-verb counters must be bit-identical — the restart rehydrates the
+   session by replaying its journaled update history. *)
+let selftest_dynamic () =
+  let open Servsim in
+  let fail fmt = Printf.ksprintf (fun m -> failwith ("selftest-dynamic: " ^ m)) fmt in
+  let check name cond = if not cond then fail "%s" name in
+  let fresh_path suffix =
+    let p = Filename.temp_file "fdserved" suffix in
+    Sys.remove p;
+    p
+  in
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+        Unix.rmdir path
+      end
+      else Sys.remove path
+  in
+  let row ints =
+    Dynserve.encode_row (Array.of_list (List.map (fun i -> Relation.Value.Int i) ints))
+  in
+  let batch_a conn =
+    let r0 =
+      Remote.begin_dynamic conn ~capacity:64 ~seed:11L ~cols:3
+        (List.map row [ [ 1; 10; 100 ]; [ 1; 10; 200 ]; [ 2; 20; 100 ]; [ 3; 20; 200 ] ])
+    in
+    check "initial FDs all valid" (List.for_all (fun s -> s.Wire.fd_valid) r0.Wire.fds);
+    check "pipelined inserts assign sequential ids"
+      (Remote.insert_rows conn [ row [ 2; 3; 1 ]; row [ 3; 1; 1 ] ] = [ 4; 5 ]);
+    Remote.delete_row conn ~id:2
+  in
+  let batch_b conn =
+    check "insert after restart" (Remote.insert_rows conn [ row [ 9; 9; 9 ] ] = [ 6 ]);
+    let r = Remote.revalidate conn in
+    let st = Remote.stats conn in
+    (r, st.Wire.inserts, st.Wire.deletes, st.Wire.revalidates)
+  in
+  let with_daemon ~data_dir f =
+    let path = fresh_path ".sock" in
+    let daemon =
+      Service.Daemon.create
+        { Service.Daemon.default_config with
+          unix_path = Some path;
+          drain_grace = 10.;
+          data_dir }
+    in
+    let th = Thread.create Service.Daemon.run daemon in
+    Fun.protect
+      ~finally:(fun () ->
+        Service.Daemon.stop daemon;
+        Thread.join th)
+      (fun () -> f path)
+  in
+  let reference =
+    with_daemon ~data_dir:None (fun path ->
+        let c1 = Remote.connect_unix ~namespace:"dyn" ~depth:8 path in
+        batch_a c1;
+        Remote.close c1;
+        let c2 = Remote.connect_unix ~namespace:"dyn" path in
+        let r = batch_b c2 in
+        Remote.close c2;
+        r)
+  in
+  let data_dir = fresh_path ".data" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf data_dir)
+    (fun () ->
+      with_daemon ~data_dir:(Some data_dir) (fun path ->
+          let c1 = Remote.connect_unix ~namespace:"dyn" ~depth:8 path in
+          batch_a c1;
+          Remote.close c1);
+      let recovered =
+        with_daemon ~data_dir:(Some data_dir) (fun path ->
+            let c2 = Remote.connect_unix ~namespace:"dyn" path in
+            let r = batch_b c2 in
+            Remote.close c2;
+            r)
+      in
+      check "dynamic session survives restart bit-identically" (recovered = reference));
+  Printf.printf "fdserved selftest (dynamic sessions): OK\n%!"
+
 let selftest domains =
   (* Every compiled-in readiness backend, single-domain and sharded:
      acceptor + worker domains with fd handoff. *)
@@ -201,6 +287,7 @@ let selftest domains =
       selftest_with ~domains:(max 2 domains) ~backend)
     (Service.Evloop.available ());
   selftest_persist ();
+  selftest_dynamic ();
   `Ok ()
 
 let run unix_path tcp max_conns idle_timeout drain_grace domains backend data_dir
@@ -273,4 +360,9 @@ let cmd =
     Term.(ret (const run $ unix_path $ tcp $ max_conns $ idle_timeout $ drain_grace
                $ domains $ backend $ data_dir $ max_resident $ verbose $ do_selftest))
 
-let () = exit (Cmd.eval cmd)
+let () =
+  (* Link the dynamic-FD engine into the request handler: without this
+     the daemon serves v5 dynamic verbs with a clean "unavailable"
+     error instead of a session. *)
+  Dynserve.install ();
+  exit (Cmd.eval cmd)

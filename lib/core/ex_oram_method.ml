@@ -6,6 +6,15 @@ type handle = {
   ikl : Oram.Path_oram.t; (* r[ID]  -> (key_X, label_X) *)
   mutable card : int;
   mutable live : int;
+  (* Label allocator: labels of fully-deleted keys return to [free_labels]
+     and are reused before [next_label] grows, so every label stays below
+     the peak number of concurrently-live distinct keys — and therefore
+     below [base], which {!Compression.key_of_labels} requires.  Using
+     [card] as the next label (as the static formulation can) is wrong
+     under churn: a delete that retires a key decrements [card], and the
+     next fresh key would collide with a live key's label. *)
+  mutable next_label : int;
+  mutable free_labels : int list;
   key_len : int;
   base : int; (* public multiplier for combined keys: the ORAM capacity *)
   session : Session.t;
@@ -41,7 +50,28 @@ let create session x ~capacity =
       { capacity; key_len = 8; payload_len = key_len + 8 }
       session.Session.server session.Session.cipher (Session.rand_int session)
   in
-  { attrs = x; klf; ikl; card = 0; live = 0; key_len; base = capacity; session }
+  {
+    attrs = x;
+    klf;
+    ikl;
+    card = 0;
+    live = 0;
+    next_label = 0;
+    free_labels = [];
+    key_len;
+    base = capacity;
+    session;
+  }
+
+let alloc_label h =
+  match h.free_labels with
+  | l :: tl ->
+      h.free_labels <- tl;
+      l
+  | [] ->
+      let l = h.next_label in
+      h.next_label <- l + 1;
+      l
 
 (* Algorithm 4 inner step: one O^KLF read, one O^IKL write, one O^KLF
    write — unconditional, as in the paper's branch-free formulation. *)
@@ -49,7 +79,7 @@ let process_key h ~row key =
   let prev = Oram.Path_oram.read h.klf ~key in
   let fresh = prev = None in
   let label, fre =
-    match prev with Some p -> klf_decode p | None -> (h.card, 0)
+    match prev with Some p -> klf_decode p | None -> (alloc_label h, 0)
   in
   let fre = fre + 1 in
   Oram.Path_oram.write h.ikl ~key:(Codec.encode_int row) (ikl_payload ~key ~label);
@@ -113,9 +143,9 @@ let delete h ~row =
       Oram.Path_oram.dummy_access h.ikl
   | Some p ->
       let key, _label = ikl_decode ~key_len:h.key_len p in
-      let fre =
+      let label, fre =
         match Oram.Path_oram.read h.klf ~key with
-        | Some q -> snd (klf_decode q)
+        | Some q -> klf_decode q
         | None -> invalid_arg "Ex_oram_method.delete: KLF entry missing (corrupt state)"
       in
       ignore
@@ -126,7 +156,10 @@ let delete h ~row =
                  let label, fre = klf_decode q in
                  if fre > 1 then Some (klf_payload ~label ~fre:(fre - 1)) else None));
       ignore (Oram.Path_oram.access h.ikl ~key:id_key (fun _ -> None));
-      if fre = 1 then h.card <- h.card - 1;
+      if fre = 1 then begin
+        h.card <- h.card - 1;
+        h.free_labels <- label :: h.free_labels
+      end;
       h.live <- h.live - 1
 
 let release h =

@@ -114,6 +114,7 @@ let respond t resp =
 
 let build_stats ctx (tenant : Session.tenant) =
   let c = Cost.snapshot (Handler.cost tenant.Session.handler) in
+  let inserts, deletes, revalidates = Handler.dyn_counters tenant.Session.handler in
   let summ = Metrics.ns_summary ctx.metrics tenant.Session.namespace in
   let sys = Metrics.syscalls ctx.metrics in
   let us s = min 0xFFFFFFFF (int_of_float (s *. 1e6)) in
@@ -131,6 +132,10 @@ let build_stats ctx (tenant : Session.tenant) =
       loop_writes = sys.Metrics.writes;
       loop_wakeups = sys.Metrics.wakeups;
       loop_rounds = sys.Metrics.rounds;
+      inserts;
+      deletes;
+      revalidates;
+      dyn_sessions = Session.dyn_resident ctx.registry;
     }
 
 let handle_request ctx t tenant req ~req_bytes =

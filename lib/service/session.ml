@@ -28,11 +28,15 @@ let touch reg tenant =
   tenant.stamp <- reg.clock
 
 let persist_out tenant =
-  match tenant.persist with
+  (match tenant.persist with
   | None -> ()
   | Some p ->
       Store.Tenant.snapshot p tenant.handler;
-      Store.Tenant.close p
+      Store.Tenant.close p);
+  (* Free the dynamic engine's retained ORAM structures eagerly: the
+     handler state is about to be dropped, and rehydration rebuilds the
+     session from the update history just snapshotted. *)
+  Servsim.Handler.release_dyn tenant.handler
 
 (* Evict the least-recently-active unpinned tenant.  Only reached when a
    data dir is configured, so every candidate has a persistent image to
@@ -102,6 +106,9 @@ let shutdown reg =
 
 let find reg namespace = Hashtbl.find_opt reg.tbl namespace
 let count reg = Hashtbl.length reg.tbl
+
+let dyn_resident reg =
+  Hashtbl.fold (fun _ t n -> if Servsim.Handler.has_dyn t.handler then n + 1 else n) reg.tbl 0
 let namespaces reg = Hashtbl.fold (fun k _ acc -> k :: acc) reg.tbl [] |> List.sort compare
 
 (* FNV-1a over the namespace, masked to stay non-negative on 64-bit

@@ -72,6 +72,12 @@ val find : registry -> string -> tenant option
 val count : registry -> int
 val namespaces : registry -> string list
 
+val dyn_resident : registry -> int
+(** Resident tenants currently holding a live dynamic FD session — the
+    [dyn_sessions] gauge of a [Stats_reply].  Shard-local, like every
+    registry: a multi-domain daemon reports the count of the answering
+    worker's shard. *)
+
 val shard : shards:int -> string -> int
 (** [shard ~shards ns] is the worker index in [0 .. shards-1] that owns
     tenant [ns] — a deterministic FNV-1a hash, so every connection that

@@ -2,6 +2,15 @@ type store = { mutable blocks : string array; mutable len : int }
 
 let reservoir_size = 1024
 
+(* A live dynamic FD session, behind closures so this module (which the
+   discovery engine itself depends on for its block stores) needs no
+   dependency on the engine.  The concrete implementation lives in
+   [Dynserve], which installs itself through {!set_dyn_provider}. *)
+type dyn = {
+  dyn_dispatch : Wire.request -> Wire.response;
+  dyn_release : unit -> unit;
+}
+
 type state = {
   stores : (string, store) Hashtbl.t;
   trace : Trace.t;
@@ -10,6 +19,11 @@ type state = {
   mutable bytes : int;
   lat : float array; (* ring of the most recent service latencies, seconds *)
   mutable lat_n : int; (* total latencies ever recorded *)
+  mutable dyn : dyn option;
+  mutable dyn_history : Wire.request list; (* newest first; see [export_dyn] *)
+  mutable inserts : int;
+  mutable deletes : int;
+  mutable revalidates : int;
 }
 
 let create_state () =
@@ -21,7 +35,39 @@ let create_state () =
     bytes = 0;
     lat = Array.make reservoir_size 0.;
     lat_n = 0;
+    dyn = None;
+    dyn_history = [];
+    inserts = 0;
+    deletes = 0;
+    revalidates = 0;
   }
+
+(* {2 Dynamic-session provider}
+
+   Process-global: there is one engine implementation, and whether it is
+   linked in is a property of the executable, not of a session.  The
+   provider receives the [Begin_dynamic] request and returns the live
+   session plus the response to that request, or a client-fault
+   message. *)
+
+let dyn_provider : (Wire.request -> (dyn * Wire.response, string) result) option ref = ref None
+let set_dyn_provider f = dyn_provider := Some f
+let dynamic_available () = Option.is_some !dyn_provider
+
+let dynamic_verb = function
+  | Wire.Begin_dynamic _ | Wire.Insert_row _ | Wire.Delete_row _ | Wire.Revalidate -> true
+  | _ -> false
+
+let has_dyn st = Option.is_some st.dyn
+let dyn_counters st = (st.inserts, st.deletes, st.revalidates)
+let export_dyn st = List.rev st.dyn_history
+
+let release_dyn st =
+  match st.dyn with
+  | None -> ()
+  | Some d ->
+      st.dyn <- None;
+      d.dyn_release ()
 
 let trace st = st.trace
 let cost st = st.cost
@@ -98,6 +144,10 @@ let basic_stats st =
       loop_writes = 0;
       loop_wakeups = 0;
       loop_rounds = 0;
+      inserts = st.inserts;
+      deletes = st.deletes;
+      revalidates = st.revalidates;
+      dyn_sessions = (if Option.is_some st.dyn then 1 else 0);
     }
 
 let handle st = function
@@ -164,6 +214,35 @@ let handle st = function
           items;
         Wire.Ok
       end
+  | Wire.Begin_dynamic _ as req -> (
+      match st.dyn with
+      | Some _ -> Wire.Error "dynamic session already active"
+      | None -> (
+          match !dyn_provider with
+          | None -> Wire.Error "dynamic sessions unavailable: no engine linked in"
+          | Some create -> (
+              match create req with
+              | Result.Ok (d, resp) ->
+                  (* Recorded only on success: the history must replay to
+                     exactly this state, and a failed begin leaves none. *)
+                  st.dyn <- Some d;
+                  st.dyn_history <- req :: st.dyn_history;
+                  resp
+              | Result.Error msg -> Wire.Error msg)))
+  | (Wire.Insert_row _ | Wire.Delete_row _ | Wire.Revalidate) as req -> (
+      match st.dyn with
+      | None -> Wire.Error "no dynamic session: send Begin_dynamic first"
+      | Some d ->
+          (* Recorded and counted even when the engine rejects the op
+             (arity mismatch, capacity): rejection is deterministic and
+             touches no engine state, so replaying it is harmless — and
+             necessary, because the serving path journaled the frame. *)
+          st.dyn_history <- req :: st.dyn_history;
+          (match req with
+          | Wire.Insert_row _ -> st.inserts <- st.inserts + 1
+          | Wire.Delete_row _ -> st.deletes <- st.deletes + 1
+          | _ -> st.revalidates <- st.revalidates + 1);
+          d.dyn_dispatch req)
   | Wire.Digest ->
       Wire.Digests
         {

@@ -12,6 +12,57 @@ type state
 
 val create_state : unit -> state
 
+(** {2 Dynamic FD sessions}
+
+    The dynamic verbs ([Begin_dynamic]/[Insert_row]/[Delete_row]/
+    [Revalidate]) are served by a pluggable engine: this module sits
+    {e below} the discovery engine in the library graph (the engine's
+    block stores are servsim stores), so the engine registers itself
+    here as a provider of closures.  Executables that serve dynamic
+    sessions call [Dynserve.install ()] once at startup; without a
+    provider the verbs answer a clean [Error]. *)
+
+type dyn = {
+  dyn_dispatch : Wire.request -> Wire.response;
+      (** serve one [Insert_row]/[Delete_row]/[Revalidate]; must be
+          deterministic (including its errors), because journal replay
+          re-dispatches the same requests to rebuild the session *)
+  dyn_release : unit -> unit;  (** free the engine's retained structures *)
+}
+
+val set_dyn_provider : (Wire.request -> (dyn * Wire.response, string) result) -> unit
+(** Register the engine.  Called with each [Begin_dynamic] request; on
+    success returns the live session plus the response to that request
+    (the initial [Fds_reply]); on failure a client-fault message that
+    becomes an [Error] response.  Last registration wins. *)
+
+val dynamic_available : unit -> bool
+(** Is a dynamic-session provider registered in this process? *)
+
+val dynamic_verb : Wire.request -> bool
+(** Is this one of the v5 dynamic-session verbs? *)
+
+val has_dyn : state -> bool
+(** Does this session currently hold a live dynamic session? *)
+
+val dyn_counters : state -> int * int * int
+(** [(inserts, deletes, revalidates)] served to this session, erroring
+    dispatches included. *)
+
+val export_dyn : state -> Wire.request list
+(** The session's dynamic update history in service order — the
+    successful [Begin_dynamic] followed by every [Insert_row]/
+    [Delete_row]/[Revalidate] dispatched to the live session.
+    Re-dispatching these through {!handle} on a fresh state rebuilds the
+    engine's structures, trace and counters bit-identically (the engine
+    is deterministic given the [Begin_dynamic] seed); {!Store.Tenant}
+    embeds exactly this list in its snapshots. *)
+
+val release_dyn : state -> unit
+(** Free the live dynamic session's structures, if any.  The update
+    history is retained: eviction persists it via {!export_dyn} and the
+    next rehydration replays it. *)
+
 val handle : state -> Wire.request -> Wire.response
 (** Dispatch one request against this session's stores.  Store ops,
     [Digest] and [Total_bytes] are served from the session state;

@@ -213,6 +213,36 @@ let multi_put_async t ~store items =
     end
   end
 
+let begin_dynamic t ?(capacity = 0) ?(max_lhs = 0) ~seed ~cols rows =
+  match call t (Wire.Begin_dynamic { seed; capacity; max_lhs; cols; rows }) with
+  | Wire.Fds_reply r -> r
+  | _ -> raise (Wire.Protocol_error "unexpected response to Begin_dynamic")
+
+let insert_row t cells =
+  match call t (Wire.Insert_row cells) with
+  | Wire.Row_id id -> id
+  | _ -> raise (Wire.Protocol_error "unexpected response to Insert_row")
+
+let insert_rows t rows =
+  if rows = [] then []
+  else
+    List.map
+      (function
+        | Wire.Row_id id -> id
+        | Wire.Error msg -> raise (Wire.Protocol_error ("Insert_row: " ^ msg))
+        | _ -> raise (Wire.Protocol_error "unexpected response to Insert_row"))
+      (pipelined t (List.map (fun cells -> Wire.Insert_row cells) rows))
+
+let delete_row t ~id =
+  match call t (Wire.Delete_row id) with
+  | Wire.Ok -> ()
+  | _ -> raise (Wire.Protocol_error "unexpected response to Delete_row")
+
+let revalidate t =
+  match call t Wire.Revalidate with
+  | Wire.Fds_reply r -> r
+  | _ -> raise (Wire.Protocol_error "unexpected response to Revalidate")
+
 let ping t =
   match call t Wire.Ping with
   | Wire.Pong -> ()

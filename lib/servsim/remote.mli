@@ -79,6 +79,35 @@ val multi_get : t -> store:string -> int list -> string list
 val multi_put : t -> store:string -> (int * string) list -> unit
 (** One [Multi_put] frame.  No-op (no frame) on the empty list. *)
 
+(** {2 Dynamic FD sessions (protocol v5)}
+
+    Drivers for the streaming update verbs.  Cells travel as
+    [Relation.Codec]-encoded strings (see [Dynserve.encode_row]); the
+    server must have a dynamic engine installed. *)
+
+val begin_dynamic :
+  t -> ?capacity:int -> ?max_lhs:int -> seed:int64 -> cols:int -> string list list -> Wire.dyn_fds
+(** Start this namespace's dynamic session over the given table and
+    return the initial FDs plus the engine's trace digests.
+    [capacity]/[max_lhs] default to 0 ("engine default").
+    @raise Wire.Protocol_error on an [Error] response (engine missing,
+    session already active, malformed cells) or a row/arity cap. *)
+
+val insert_row : t -> string list -> int
+(** One [Insert_row] exchange; returns the record's assigned ID. *)
+
+val insert_rows : t -> string list list -> int list
+(** Pipelined [Insert_row] burst (up to [depth] frames in flight, see
+    {!pipelined}); IDs in request order.  @raise Wire.Protocol_error on
+    the first [Error] response. *)
+
+val delete_row : t -> id:int -> unit
+(** One [Delete_row] exchange.  Succeeds whether or not [id] is live. *)
+
+val revalidate : t -> Wire.dyn_fds
+(** One [Revalidate] exchange: every initially discovered FD with its
+    current validity, plus the engine's trace digests. *)
+
 val ping : t -> unit
 (** One [Ping]/[Pong] exchange (counted in {!frames}). *)
 

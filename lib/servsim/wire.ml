@@ -11,6 +11,10 @@ type request =
   | Total_bytes
   | Ping
   | Stats
+  | Begin_dynamic of { seed : int64; capacity : int; max_lhs : int; cols : int; rows : string list list }
+  | Insert_row of string list
+  | Delete_row of int
+  | Revalidate
   | Bye
 
 type stats = {
@@ -26,6 +30,19 @@ type stats = {
   loop_writes : int;
   loop_wakeups : int;
   loop_rounds : int;
+  inserts : int;
+  deletes : int;
+  revalidates : int;
+  dyn_sessions : int;
+}
+
+type fd_status = { fd_lhs : int64; fd_rhs : int; fd_valid : bool }
+
+type dyn_fds = {
+  fds : fd_status list;
+  dyn_full : int64;
+  dyn_shape : int64;
+  dyn_events : int;
 }
 
 type response =
@@ -36,12 +53,14 @@ type response =
   | Bytes_total of int
   | Pong
   | Stats_reply of stats
+  | Row_id of int
+  | Fds_reply of dyn_fds
   | Error of string
 
 exception Protocol_error of string
 exception Incomplete
 
-let protocol_version = 4
+let protocol_version = 5
 
 (* Hard caps on what a length prefix may claim.  A corrupt or truncated
    stream must fail with [Protocol_error], not drive the reader into a
@@ -49,6 +68,7 @@ let protocol_version = 4
 let max_string_len = 1 lsl 26 (* 64 MiB per string *)
 let max_list_len = 1 lsl 24 (* 16M entries per batch *)
 let max_namespace_len = 64
+let max_row_cells = 64
 
 (* {2 Sinks and sources}
 
@@ -184,6 +204,29 @@ let get_namespace src =
             max_namespace_len));
   ns
 
+(* A row travels as a count-prefixed list of encoded cells; the count is
+   capped far below [max_list_len] because a row's arity is bounded by
+   the relation model (62 attributes), not by batch sizes. *)
+let put_row k cells =
+  let n = List.length cells in
+  if n > max_row_cells then
+    raise (Protocol_error (Printf.sprintf "put_row: %d cells exceeds row cap %d" n max_row_cells));
+  put_u32 k n;
+  List.iter (put_string k) cells
+
+let get_row src =
+  let n = get_u32 src in
+  if n > max_row_cells then
+    raise
+      (Protocol_error (Printf.sprintf "get_row: claimed %d cells exceeds row cap %d" n max_row_cells));
+  List.init n (fun _ -> get_string src)
+
+let check_row_arity ~what ~cols row =
+  if List.length row <> cols then
+    raise
+      (Protocol_error
+         (Printf.sprintf "%s: row has %d cells, table arity is %d" what (List.length row) cols))
+
 let write_hello oc =
   output_char oc (Char.chr protocol_version);
   flush oc
@@ -230,6 +273,26 @@ let write_request_sink k req =
       put_namespace k ns
   | Ping -> k.put_char '\012'
   | Stats -> k.put_char '\013'
+  | Begin_dynamic { seed; capacity; max_lhs; cols; rows } ->
+      if cols < 1 || cols > max_row_cells then
+        raise
+          (Protocol_error
+             (Printf.sprintf "Begin_dynamic: arity %d outside 1..%d" cols max_row_cells));
+      List.iter (check_row_arity ~what:"Begin_dynamic" ~cols) rows;
+      k.put_char '\014';
+      put_u64 k seed;
+      put_u32 k capacity;
+      put_u32 k max_lhs;
+      put_u32 k cols;
+      put_count k (List.length rows);
+      List.iter (put_row k) rows
+  | Insert_row cells ->
+      k.put_char '\015';
+      put_row k cells
+  | Delete_row id ->
+      k.put_char '\016';
+      put_u32 k id
+  | Revalidate -> k.put_char '\017'
   | Digest -> k.put_char '\006'
   | Total_bytes -> k.put_char '\007'
   | Bye -> k.put_char '\008'
@@ -261,6 +324,25 @@ let read_request_src src =
   | '\011' -> Hello (get_namespace src)
   | '\012' -> Ping
   | '\013' -> Stats
+  | '\014' ->
+      let seed = get_u64 src in
+      let capacity = get_u32 src in
+      let max_lhs = get_u32 src in
+      let cols = get_u32 src in
+      if cols < 1 || cols > max_row_cells then
+        raise
+          (Protocol_error
+             (Printf.sprintf "Begin_dynamic: arity %d outside 1..%d" cols max_row_cells));
+      let rows =
+        get_list src (fun src ->
+            let row = get_row src in
+            check_row_arity ~what:"Begin_dynamic" ~cols row;
+            row)
+      in
+      Begin_dynamic { seed; capacity; max_lhs; cols; rows }
+  | '\015' -> Insert_row (get_row src)
+  | '\016' -> Delete_row (get_u32 src)
+  | '\017' -> Revalidate
   | '\006' -> Digest
   | '\007' -> Total_bytes
   | '\008' -> Bye
@@ -301,7 +383,26 @@ let write_response_sink k resp =
       put_u64 k (Int64.of_int s.loop_reads);
       put_u64 k (Int64.of_int s.loop_writes);
       put_u64 k (Int64.of_int s.loop_wakeups);
-      put_u64 k (Int64.of_int s.loop_rounds)
+      put_u64 k (Int64.of_int s.loop_rounds);
+      put_u64 k (Int64.of_int s.inserts);
+      put_u64 k (Int64.of_int s.deletes);
+      put_u64 k (Int64.of_int s.revalidates);
+      put_u32 k s.dyn_sessions
+  | Row_id id ->
+      k.put_char '\108';
+      put_u32 k id
+  | Fds_reply { fds; dyn_full; dyn_shape; dyn_events } ->
+      k.put_char '\109';
+      put_count k (List.length fds);
+      List.iter
+        (fun { fd_lhs; fd_rhs; fd_valid } ->
+          put_u64 k fd_lhs;
+          put_u32 k fd_rhs;
+          k.put_char (if fd_valid then '\001' else '\000'))
+        fds;
+      put_u64 k dyn_full;
+      put_u64 k dyn_shape;
+      put_u32 k dyn_events
   | Error msg ->
       k.put_char '\104';
       put_string k msg
@@ -331,9 +432,32 @@ let read_response_src src =
       let loop_writes = Int64.to_int (get_u64 src) in
       let loop_wakeups = Int64.to_int (get_u64 src) in
       let loop_rounds = Int64.to_int (get_u64 src) in
+      let inserts = Int64.to_int (get_u64 src) in
+      let deletes = Int64.to_int (get_u64 src) in
+      let revalidates = Int64.to_int (get_u64 src) in
+      let dyn_sessions = get_u32 src in
       Stats_reply
         { uptime_us; sessions; frames; bytes_in; bytes_out; p50_us; p95_us; p99_us;
-          loop_reads; loop_writes; loop_wakeups; loop_rounds }
+          loop_reads; loop_writes; loop_wakeups; loop_rounds;
+          inserts; deletes; revalidates; dyn_sessions }
+  | '\108' -> Row_id (get_u32 src)
+  | '\109' ->
+      let fds =
+        get_list src (fun src ->
+            let fd_lhs = get_u64 src in
+            let fd_rhs = get_u32 src in
+            let fd_valid =
+              match src.get_char () with
+              | '\000' -> false
+              | '\001' -> true
+              | c -> raise (Protocol_error (Printf.sprintf "bad fd validity byte %d" (Char.code c)))
+            in
+            { fd_lhs; fd_rhs; fd_valid })
+      in
+      let dyn_full = get_u64 src in
+      let dyn_shape = get_u64 src in
+      let dyn_events = get_u32 src in
+      Fds_reply { fds; dyn_full; dyn_shape; dyn_events }
   | '\104' -> Error (get_string src)
   | c -> raise (Protocol_error (Printf.sprintf "bad response tag %d" (Char.code c)))
 

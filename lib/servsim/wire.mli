@@ -12,7 +12,18 @@
     namespace), liveness ([Ping]/[Pong]) and service introspection
     ([Stats]/[Stats_reply]), and re-expresses the codec over pluggable
     {!sink}/{!source} records so the same code drives blocking channels
-    and the daemon's incremental, non-blocking frame reassembly. *)
+    and the daemon's incremental, non-blocking frame reassembly.  v4
+    added event-loop counters to [Stats_reply].  v5 adds the dynamic
+    FD-maintenance verbs of the paper's §V
+    ([Begin_dynamic]/[Insert_row]/[Delete_row]/[Revalidate] answered by
+    [Row_id]/[Fds_reply]) plus per-verb update counters in
+    [Stats_reply].
+
+    The dynamic verbs are the one place the protocol carries plaintext
+    row material: they model the trusted client (or enclave proxy)
+    streaming updates to the discovery engine it co-locates with, and
+    the adversary's view is {e not} this channel but the engine's own
+    block-access trace, whose digests every [Fds_reply] reports. *)
 
 type request =
   | Hello of string
@@ -35,6 +46,29 @@ type request =
   | Total_bytes
   | Ping  (** liveness probe; answered with [Pong] *)
   | Stats  (** per-session service statistics; answered with [Stats_reply] *)
+  | Begin_dynamic of { seed : int64; capacity : int; max_lhs : int; cols : int; rows : string list list }
+      (** Start this namespace's dynamic FD session (§V): run Ex-ORAM
+          discovery over the [rows] (each a list of exactly [cols]
+          {!Relation.Codec}-encoded cells) and keep every lattice
+          structure alive for incremental maintenance.  [seed] drives
+          the engine's client randomness so runs are reproducible;
+          [capacity] and [max_lhs] are engine parameters (0 = engine
+          default).  Answered with [Fds_reply] listing the discovered
+          FDs (all initially valid); at most one dynamic session per
+          namespace.  Both codec directions reject [cols] outside
+          [1..max_row_cells] and any row whose cell count differs from
+          [cols]. *)
+  | Insert_row of string list
+      (** Insert one record (encoded cells, arity checked server-side
+          against the session's table); answered with [Row_id]. *)
+  | Delete_row of int
+      (** Delete a record by ID.  Answered with [Ok] whether or not the
+          ID is live — deletion of an absent record performs the same
+          oblivious accesses as a real one (§V), so the reply carries no
+          membership signal. *)
+  | Revalidate
+      (** Re-check every initially discovered FD against the current
+          data; answered with [Fds_reply]. *)
   | Bye
 
 type stats = {
@@ -58,6 +92,25 @@ type stats = {
   loop_writes : int;  (** [write(2)] calls issued by the same loop *)
   loop_wakeups : int;  (** readiness wakeups with at least one event *)
   loop_rounds : int;  (** event-loop iterations (wait calls) *)
+  inserts : int;  (** [Insert_row] frames served to this namespace *)
+  deletes : int;  (** [Delete_row] frames served to this namespace *)
+  revalidates : int;  (** [Revalidate] frames served to this namespace *)
+  dyn_sessions : int;
+      (** dynamic sessions currently resident (for the daemon: in this
+          session's worker shard; 1 or 0 for single-session servers) *)
+}
+
+type fd_status = {
+  fd_lhs : int64;  (** LHS attribute set as its bitmask ({!Relation.Attrset.to_int}) *)
+  fd_rhs : int;  (** RHS column index *)
+  fd_valid : bool;  (** does the FD still hold on the current data? *)
+}
+
+type dyn_fds = {
+  fds : fd_status list;  (** canonical (sorted) order, as discovery emits them *)
+  dyn_full : int64;  (** full trace digest of the dynamic engine's server view *)
+  dyn_shape : int64;  (** shape digest of the same view *)
+  dyn_events : int;  (** accesses recorded in that trace *)
 }
 
 type response =
@@ -68,10 +121,12 @@ type response =
   | Bytes_total of int
   | Pong
   | Stats_reply of stats
+  | Row_id of int  (** answers [Insert_row]: the record's assigned ID *)
+  | Fds_reply of dyn_fds  (** answers [Begin_dynamic] and [Revalidate] *)
   | Error of string
 
 val protocol_version : int
-(** Current protocol version (4).  Exchanged once per connection:
+(** Current protocol version (5).  Exchanged once per connection:
     the client sends its version byte, the server always answers with its
     own, and each side rejects a mismatch — a v2 peer fails the handshake
     cleanly instead of misparsing the stream mid-session. *)
@@ -84,6 +139,13 @@ val max_list_len : int
 
 val max_namespace_len : int
 (** Upper bound on a [Hello] namespace length (bytes). *)
+
+val max_row_cells : int
+(** Upper bound on the cell count of one dynamic row — both the claimed
+    count of an [Insert_row] and the declared arity of a
+    [Begin_dynamic].  Comfortably above {!Relation.Attrset.max_attrs}
+    (62 columns), far below {!max_list_len}: a row prefix claiming more
+    is rejected as oversized before any cell is read. *)
 
 (** {2 Sinks and sources}
 

@@ -163,6 +163,29 @@ let apply_reconstruction state req =
   | _ -> corruptf "snapshot reconstruction: unexpected response"
   | exception Wire.Protocol_error e -> corruptf "snapshot reconstruction failed: %s" e
 
+(* A durable image that records dynamic-session verbs can only be
+   rebuilt by a process with the engine linked in; loading it without
+   one would silently produce a tenant whose state has forked from its
+   journal. *)
+let check_dyn_available ~what req =
+  if Handler.dynamic_verb req && not (Handler.dynamic_available ()) then
+    corruptf "%s: dynamic session recorded but no dynamic engine is installed in this process"
+      what
+
+(* Rebuild a dynamic session by re-dispatching its recorded update
+   history.  Unlike store reconstruction this goes through the normal
+   dispatcher (the engine rebuilds its own ORAM state and trace from
+   scratch — deterministically, so no engine state needs serialising),
+   and update responses are ignored: erroring updates (arity mismatch,
+   capacity) are recorded too and re-error identically.  Only a rejected
+   [Begin_dynamic] is fatal — it means the whole session is missing. *)
+let apply_dyn state req =
+  match Handler.handle state req with
+  | Wire.Error e when (match req with Wire.Begin_dynamic _ -> true | _ -> false) ->
+      corruptf "snapshot dynamic replay rejected: %s" e
+  | _ -> ()
+  | exception Wire.Protocol_error e -> corruptf "snapshot dynamic replay failed: %s" e
+
 let load_snapshot ~dir state =
   match Fsio.read_file (snapshot_path ~dir) with
   | None -> 0
@@ -178,7 +201,11 @@ let load_snapshot ~dir state =
           let trace = Handler.trace state in
           Trace.set_enabled trace false;
           List.iter
-            (fun payload -> apply_reconstruction state (decode_req ~what:"snapshot" payload))
+            (fun payload ->
+              let req = decode_req ~what:"snapshot" payload in
+              check_dyn_available ~what:"snapshot" req;
+              if Handler.dynamic_verb req then apply_dyn state req
+              else apply_reconstruction state req)
             reqs;
           Trace.set_enabled trace true;
           Trace.load trace m.m_trace;
@@ -188,7 +215,10 @@ let load_snapshot ~dir state =
 let replay_wal ~dir ~gen state =
   let scan = Segment.read (wal_path ~dir ~gen) in
   List.iter
-    (fun payload -> Handler.replay state (decode_req ~what:"journal" payload))
+    (fun payload ->
+      let req = decode_req ~what:"journal" payload in
+      check_dyn_available ~what:"journal" req;
+      Handler.replay state req)
     scan.Segment.records;
   scan
 
@@ -235,6 +265,13 @@ let snapshot t state =
         (fun i c -> if c <> "" then Segment.add_record buf (encode_req (Wire.Put (name, i, c))))
         blocks)
     (Handler.export_stores state);
+  (* The dynamic session, if any, is persisted as its full update
+     history (the successful [Begin_dynamic] plus every update since):
+     re-dispatching it is the only representation that rehydrates the
+     engine's ORAM state and trace digests bit-identically.  It follows
+     the store records so the stores the session's WAL-replayed updates
+     never touch are already in place. *)
+  List.iter (fun req -> Segment.add_record buf (encode_req req)) (Handler.export_dyn state);
   Fsio.write_file_atomic ~path:(snapshot_path ~dir:t.dir) (Buffer.contents buf);
   (* The snapshot now durably covers everything: retire the old journal
      and start the one the snapshot's generation names. *)

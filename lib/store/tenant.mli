@@ -14,7 +14,18 @@
     valid prefix and truncates the rest ({!Segment}).  A crash anywhere
     in the snapshot rotation is also safe: the snapshot's meta record
     names the journal generation that extends it, and stale journals
-    are deleted on open. *)
+    are deleted on open.
+
+    A tenant's dynamic FD session (protocol v5) is persisted as its
+    update history: the snapshot embeds, after the store records, the
+    successful [Begin_dynamic] and every update dispatched to the live
+    session ({!Servsim.Handler.export_dyn}), and the journal carries the
+    updates since — both replayed through the normal dispatcher on
+    open, which deterministically rebuilds the engine's ORAM state and
+    trace digests (no engine state is ever serialised).  Opening an
+    image that records dynamic verbs in a process without the engine
+    installed ({!Servsim.Handler.dynamic_available}) raises {!Corrupt}
+    rather than silently forking the tenant's state from its journal. *)
 
 type t
 

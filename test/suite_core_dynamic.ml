@@ -131,6 +131,130 @@ let test_random_update_sequence_vs_shadow () =
     (Dynamic.revalidate d);
   Dynamic.release d
 
+let test_label_reuse_after_churn () =
+  (* Regression: when the last record of a key is deleted the key's
+     label is retired; a later fresh key must not be given a label a
+     live key still holds.  (Allocating labels from [card] — the static
+     formulation — collides here: C=200 dies freeing nothing reusable,
+     C=3 arrives and got C=1's label, conflating AC pairs (2,1)/(2,3).) *)
+  let t = small_table () in
+  let d = Dynamic.start ~capacity:64 t in
+  let card x = Option.get (Dynamic.cardinality d (Attrset.of_list x)) in
+  Dynamic.delete d ~id:3;
+  ignore (Dynamic.insert d [| v 2; v 3; v 1 |]);
+  ignore (Dynamic.insert d [| v 3; v 1; v 1 |]);
+  Dynamic.delete d ~id:2;
+  Dynamic.delete d ~id:1;
+  ignore (Dynamic.insert d [| v 2; v 1; v 3 |]);
+  (* Live rows: (1,10,100) (2,3,1) (3,1,1) (2,1,3) — every pair
+     projection is 4 distinct values. *)
+  Alcotest.(check int) "|π_AB|" 4 (card [ 0; 1 ]);
+  Alcotest.(check int) "|π_AC|" 4 (card [ 0; 2 ]);
+  Alcotest.(check int) "|π_BC|" 4 (card [ 1; 2 ]);
+  Dynamic.release d
+
+(* {2 §V obliviousness: deleting a dead record looks like deleting a
+   live one}
+
+   Algorithm 5 performs the same number and kind of ORAM accesses
+   whether the ID is present, already deleted, or never existed — the
+   absent branch substitutes dummy accesses one-for-one.  ORAM paths are
+   (seeded-)random, so the assertion is on the {e shape} digest (op
+   kinds, stores, lengths — the repo's standard for ORAM-based methods),
+   which must not depend on liveness; the event count pins the
+   one-for-one substitution. *)
+let shape_after f =
+  let d = Dynamic.start ~seed:123 ~capacity:32 (small_table ()) in
+  f d;
+  let tr = Session.trace (Dynamic.session d) in
+  let r = (Servsim.Trace.shape_digest tr, Servsim.Trace.count tr) in
+  Dynamic.release d;
+  r
+
+let test_delete_dead_vs_live_trace () =
+  (* Never-inserted ID vs a live one... *)
+  let live_s, live_n = shape_after (fun d -> Dynamic.delete d ~id:0) in
+  let dead_s, dead_n = shape_after (fun d -> Dynamic.delete d ~id:77) in
+  Alcotest.(check int) "absent id: same access count" live_n dead_n;
+  Alcotest.(check int64) "absent id: same trace shape" live_s dead_s;
+  (* ...and an already-deleted ID vs a live one, after an identical
+     prefix (both sessions delete id 0 first). *)
+  let live_s, live_n =
+    shape_after (fun d ->
+        Dynamic.delete d ~id:0;
+        Dynamic.delete d ~id:1)
+  in
+  let dead_s, dead_n =
+    shape_after (fun d ->
+        Dynamic.delete d ~id:0;
+        Dynamic.delete d ~id:0)
+  in
+  Alcotest.(check int) "re-deleted id: same access count" live_n dead_n;
+  Alcotest.(check int64) "re-deleted id: same trace shape" live_s dead_s
+
+(* {2 QCheck: random update sequences ≡ fresh Ex-ORAM discovery}
+
+   Any insert/delete sequence, applied through the maintained lattice,
+   must agree with a from-scratch Ex-ORAM discovery over the resulting
+   table: an initial FD revalidates as valid exactly when the fresh
+   run's (minimal) FD set implies it.  The same sequence run twice with
+   the same seed must also be bit-identical — trace digests included —
+   which is the determinism the service layer's journal replay and the
+   per-tenant digest parity checks stand on. *)
+let ops_gen =
+  QCheck.Gen.(
+    pair (int_bound 10000)
+      (list_size (2 -- 10) (pair bool (triple (int_bound 2) (int_bound 2) (int_bound 2)))))
+
+let apply_ops ~seed ops =
+  let t = small_table () in
+  let d = Dynamic.start ~seed ~capacity:64 t in
+  let shadow = ref t and ids = ref (List.init 4 Fun.id) in
+  List.iter
+    (fun (ins, (a, b, c)) ->
+      if ins || !ids = [] then begin
+        let row = [| v (a + 1); v (b + 1); v (c + 1) |] in
+        let id = Dynamic.insert d row in
+        shadow := Table.append_row !shadow row;
+        ids := !ids @ [ id ]
+      end
+      else begin
+        let pos = (a * 7 + (b * 3) + c) mod List.length !ids in
+        Dynamic.delete d ~id:(List.nth !ids pos);
+        shadow := Table.remove_row !shadow pos;
+        ids := List.filteri (fun i _ -> i <> pos) !ids
+      end)
+    ops;
+  let reval = Dynamic.revalidate d in
+  let tr = Session.trace (Dynamic.session d) in
+  let digests =
+    (Servsim.Trace.full_digest tr, Servsim.Trace.shape_digest tr, Servsim.Trace.count tr)
+  in
+  Dynamic.release d;
+  (!shadow, reval, digests)
+
+let qcheck_dynamic_vs_fresh_discovery =
+  QCheck.Test.make ~name:"random updates = fresh Ex-ORAM discovery, deterministic digests"
+    ~count:6 (QCheck.make ops_gen)
+    (fun (seed, ops) ->
+      let shadow, reval, digests = apply_ops ~seed ops in
+      let shadow2, reval2, digests2 = apply_ops ~seed ops in
+      if not (Table.equal shadow shadow2 && reval = reval2 && digests = digests2) then
+        QCheck.Test.fail_report "two identical runs diverged";
+      if Table.rows shadow = 0 then true
+      else begin
+        let fresh = Dynamic.start ~seed:(seed + 1) ~capacity:64 shadow in
+        let fresh_fds = Dynamic.fds fresh in
+        Dynamic.release fresh;
+        let m = Table.cols shadow in
+        List.for_all
+          (fun (fd, valid) ->
+            valid
+            = Fdbase.Fd.implies ~m fresh_fds ~lhs:fd.Fdbase.Fd.lhs
+                ~rhs:(Attrset.singleton fd.Fdbase.Fd.rhs))
+          reval
+      end)
+
 let test_reinsert_same_id_space () =
   (* Values equal to deleted ones must be re-countable. *)
   let schema = Schema.make [| "A" |] in
@@ -197,6 +321,10 @@ let suite =
     Alcotest.test_case "delete updates cardinality" `Quick test_delete_updates_cardinality;
     Alcotest.test_case "delete of absent id is a no-op" `Quick test_delete_absent_id_noop;
     Alcotest.test_case "random updates vs shadow table" `Slow test_random_update_sequence_vs_shadow;
+    Alcotest.test_case "label reuse after churn" `Quick test_label_reuse_after_churn;
+    Alcotest.test_case "delete of dead id is trace-indistinguishable" `Quick
+      test_delete_dead_vs_live_trace;
+    QCheck_alcotest.to_alcotest qcheck_dynamic_vs_fresh_discovery;
     Alcotest.test_case "reinsertion of deleted values" `Quick test_reinsert_same_id_space;
     Alcotest.test_case "capacity enforced" `Quick test_capacity_enforced;
     Alcotest.test_case "grow a small table" `Quick test_grow_small_table;

@@ -635,6 +635,100 @@ let test_multidomain_graceful_drain () =
   Alcotest.(check bool) "socket path removed" false (Sys.file_exists path);
   Alcotest.(check int) "no live connections anywhere" 0 (Service.Daemon.live_conns daemon)
 
+(* {2 Dynamic FD sessions over the wire (protocol v5)} *)
+
+let dyn_rows = [ [ 1; 10; 100 ]; [ 1; 10; 200 ]; [ 2; 20; 100 ]; [ 3; 20; 200 ] ]
+
+let enc_row ints =
+  Dynserve.encode_row (Array.of_list (List.map (fun i -> Relation.Value.Int i) ints))
+
+(* The one-shot library run the wire session must match bit-for-bit:
+   same seed, same initial table, same update sequence. *)
+let dyn_reference ~seed =
+  let v x = Relation.Value.Int x in
+  let schema = Relation.Schema.make (Array.init 3 (Printf.sprintf "c%d")) in
+  let table =
+    Relation.Table.make schema
+      (Array.of_list (List.map (fun r -> Array.of_list (List.map v r)) dyn_rows))
+  in
+  let d = Core.Dynamic.start ~seed ~capacity:64 table in
+  ignore (Core.Dynamic.insert d [| v 2; v 3; v 1 |]);
+  ignore (Core.Dynamic.insert d [| v 3; v 1; v 1 |]);
+  Core.Dynamic.delete d ~id:2;
+  let reval = Core.Dynamic.revalidate d in
+  let tr = Core.Session.trace (Core.Dynamic.session d) in
+  let out =
+    ( List.map
+        (fun (fd, ok) ->
+          (Int64.of_int (Relation.Attrset.to_int fd.Fdbase.Fd.lhs), fd.Fdbase.Fd.rhs, ok))
+        reval,
+      (Servsim.Trace.full_digest tr, Servsim.Trace.shape_digest tr, Servsim.Trace.count tr)
+    )
+  in
+  Core.Dynamic.release d;
+  out
+
+let test_dynamic_session_matches_library () =
+  let seed = 4242 in
+  let ref_fds, (ref_full, ref_shape, ref_events) = dyn_reference ~seed in
+  with_daemon (fun path _ ->
+      with_client ~namespace:"dyn" ~depth:8 path (fun conn ->
+          ignore
+            (Servsim.Remote.begin_dynamic conn ~capacity:64 ~seed:(Int64.of_int seed)
+               ~cols:3 (List.map enc_row dyn_rows));
+          (* Pipelined update stream: ids are assigned sequentially after
+             the initial table. *)
+          let ids =
+            Servsim.Remote.insert_rows conn [ enc_row [ 2; 3; 1 ]; enc_row [ 3; 1; 1 ] ]
+          in
+          Alcotest.(check (list int)) "sequential row ids" [ 4; 5 ] ids;
+          Servsim.Remote.delete_row conn ~id:2;
+          let r = Servsim.Remote.revalidate conn in
+          Alcotest.(check int) "engine trace events match library" ref_events
+            r.Servsim.Wire.dyn_events;
+          Alcotest.(check int64) "full digest bit-identical" ref_full r.Servsim.Wire.dyn_full;
+          Alcotest.(check int64) "shape digest bit-identical" ref_shape
+            r.Servsim.Wire.dyn_shape;
+          let got =
+            List.map
+              (fun s ->
+                (s.Servsim.Wire.fd_lhs, s.Servsim.Wire.fd_rhs, s.Servsim.Wire.fd_valid))
+              r.Servsim.Wire.fds
+          in
+          Alcotest.(check bool) "fd statuses match library" true (got = ref_fds);
+          (* v5 per-verb counters and the resident-session gauge. *)
+          let st = Servsim.Remote.stats conn in
+          Alcotest.(check int) "inserts counted" 2 st.Servsim.Wire.inserts;
+          Alcotest.(check int) "deletes counted" 1 st.Servsim.Wire.deletes;
+          Alcotest.(check int) "revalidates counted" 1 st.Servsim.Wire.revalidates;
+          Alcotest.(check int) "one dynamic session resident" 1 st.Servsim.Wire.dyn_sessions;
+          (* A second Begin on an active session is refused... *)
+          (match
+             Servsim.Remote.call conn
+               (Servsim.Wire.Begin_dynamic
+                  { seed = 0L; capacity = 0; max_lhs = 0; cols = 3;
+                    rows = List.map enc_row dyn_rows })
+           with
+          | exception Servsim.Wire.Protocol_error _ -> ()
+          | _ -> Alcotest.fail "re-Begin must be refused");
+          (* ...and an arity-mismatched update is rejected by the engine
+             yet still counted — rejections are part of the deterministic
+             history the durable journal replays. *)
+          (match Servsim.Remote.call conn (Servsim.Wire.Insert_row (enc_row [ 1; 2 ])) with
+          | exception Servsim.Wire.Protocol_error _ -> ()
+          | _ -> Alcotest.fail "arity mismatch must be rejected");
+          let st = Servsim.Remote.stats conn in
+          Alcotest.(check int) "rejected insert still counted" 3 st.Servsim.Wire.inserts);
+      (* Updates without a session are refused, and the gauge still shows
+         only the one live session of the other tenant. *)
+      with_client ~namespace:"bystander" path (fun conn ->
+          (match Servsim.Remote.call conn (Servsim.Wire.Insert_row (enc_row [ 1; 2; 3 ])) with
+          | exception Servsim.Wire.Protocol_error _ -> ()
+          | _ -> Alcotest.fail "update without Begin must fail");
+          let st = Servsim.Remote.stats conn in
+          Alcotest.(check int) "gauge counts live sessions only" 1
+            st.Servsim.Wire.dyn_sessions))
+
 (* {2 Frame decoder unit tests (byte-at-a-time reassembly)} *)
 
 let test_decoder_byte_at_a_time () =
@@ -836,6 +930,8 @@ let suite =
     Alcotest.test_case "same namespace lands on same worker" `Quick
       test_same_namespace_lands_on_same_worker;
     Alcotest.test_case "multi-domain graceful drain" `Quick test_multidomain_graceful_drain;
+    Alcotest.test_case "dynamic session matches one-shot library run" `Quick
+      test_dynamic_session_matches_library;
     Alcotest.test_case "decoder byte-at-a-time" `Quick test_decoder_byte_at_a_time;
     Alcotest.test_case "decoder pipelined frames" `Quick test_decoder_pipelined_frames;
     Alcotest.test_case "decoder burst compactions bounded" `Quick

@@ -1,8 +1,8 @@
-(* Wire protocol v4: property tests for the codec (including the batch
-   and session frames), malformed-prefix hardening, the version
-   handshake, and remote-vs-local equivalence of a PathORAM workload —
-   same trace shape, same server digests, and a round-trip ledger that
-   matches the actual number of wire frames. *)
+(* Wire protocol v5: property tests for the codec (including the batch,
+   session and dynamic-update frames), malformed-prefix hardening, the
+   version handshake, and remote-vs-local equivalence of a PathORAM
+   workload — same trace shape, same server digests, and a round-trip
+   ledger that matches the actual number of wire frames. *)
 
 open Relation
 
@@ -60,15 +60,32 @@ let request_gen =
         map (fun ns -> Servsim.Wire.Hello ns) (string_size (0 -- 40));
         return Servsim.Wire.Ping;
         return Servsim.Wire.Stats;
+        (* Dynamic verbs (v5): [Begin_dynamic] rows must all carry
+           exactly [cols] cells, so generate the arity first. *)
+        (int_range 1 6 >>= fun cols ->
+         map3
+           (fun seed caps rows ->
+             let capacity, max_lhs = caps in
+             Servsim.Wire.Begin_dynamic
+               { seed = Int64.of_int seed; capacity; max_lhs; cols; rows })
+           (int_bound 1000000)
+           (pair (int_bound 4096) (int_bound 8))
+           (list_size (0 -- 10) (list_repeat cols (string_size (0 -- 12)))));
+        map
+          (fun cells -> Servsim.Wire.Insert_row cells)
+          (list_size (0 -- Servsim.Wire.max_row_cells) (string_size (0 -- 12)));
+        map (fun id -> Servsim.Wire.Delete_row id) (int_bound 1000000);
+        return Servsim.Wire.Revalidate;
         return Servsim.Wire.Digest;
         return Servsim.Wire.Total_bytes;
       ])
 
 let stats_gen =
   QCheck.Gen.(
-    map
+    map2
       (fun (((uptime, sessions, frames), (bytes_in, bytes_out), (p50, p95, p99)),
-            (reads, writes, (wakeups, rounds))) ->
+            (reads, writes, (wakeups, rounds)))
+           ((inserts, deletes), (revalidates, dyn_sessions)) ->
         Servsim.Wire.Stats_reply
           {
             uptime_us = Int64.of_int uptime;
@@ -83,6 +100,10 @@ let stats_gen =
             loop_writes = writes;
             loop_wakeups = wakeups;
             loop_rounds = rounds;
+            inserts;
+            deletes;
+            revalidates;
+            dyn_sessions;
           })
       (pair
          (triple
@@ -90,7 +111,28 @@ let stats_gen =
             (pair (int_bound 1000000) (int_bound 1000000))
             (triple (int_bound 100000) (int_bound 100000) (int_bound 100000)))
          (triple (int_bound 10000000) (int_bound 10000000)
-            (pair (int_bound 10000000) (int_bound 10000000)))))
+            (pair (int_bound 10000000) (int_bound 10000000))))
+      (pair
+         (pair (int_bound 1000000) (int_bound 1000000))
+         (pair (int_bound 1000000) (int_bound 1000))))
+
+let fds_reply_gen =
+  QCheck.Gen.(
+    map3
+      (fun fds (full, shape) events ->
+        Servsim.Wire.Fds_reply
+          {
+            fds =
+              List.map
+                (fun ((lhs, rhs), valid) ->
+                  { Servsim.Wire.fd_lhs = Int64.of_int lhs; fd_rhs = rhs; fd_valid = valid })
+                fds;
+            dyn_full = Int64.of_int full;
+            dyn_shape = Int64.of_int shape;
+            dyn_events = events;
+          })
+      (list_size (0 -- 12) (pair (pair (int_bound 0xFFFF) (int_bound 61)) bool))
+      (pair int int) (int_bound 1000000))
 
 let response_gen =
   QCheck.Gen.(
@@ -106,15 +148,17 @@ let response_gen =
         map (fun n -> Servsim.Wire.Bytes_total n) (int_bound 1000000);
         return Servsim.Wire.Pong;
         stats_gen;
+        map (fun id -> Servsim.Wire.Row_id id) (int_bound 1000000);
+        fds_reply_gen;
         map (fun m -> Servsim.Wire.Error m) (string_size (0 -- 50));
       ])
 
 let qcheck_request_roundtrip =
-  QCheck.Test.make ~name:"wire v4 request roundtrip" ~count:300 (QCheck.make request_gen)
+  QCheck.Test.make ~name:"wire v5 request roundtrip" ~count:300 (QCheck.make request_gen)
     roundtrip_request
 
 let qcheck_response_roundtrip =
-  QCheck.Test.make ~name:"wire v4 response roundtrip" ~count:300 (QCheck.make response_gen)
+  QCheck.Test.make ~name:"wire v5 response roundtrip" ~count:300 (QCheck.make response_gen)
     roundtrip_response
 
 (* {2 Malformed / hostile prefixes} *)
@@ -183,6 +227,58 @@ let test_oversized_namespace () =
       output_string oc long;
       flush oc;
       Alcotest.(check bool) "oversized namespace rejected on read" true
+        (raises_protocol_error (fun () -> Servsim.Wire.read_request ic)))
+
+let test_oversized_row () =
+  (* Writer side: a row claiming more cells than the cap never leaves
+     the client... *)
+  let big = List.init (Servsim.Wire.max_row_cells + 1) (fun _ -> "c") in
+  with_pipe (fun _ic oc ->
+      Alcotest.(check bool) "oversized Insert_row rejected on write" true
+        (raises_protocol_error (fun () ->
+             Servsim.Wire.write_request oc (Servsim.Wire.Insert_row big))));
+  (* ...and a hostile peer claiming one on the wire is rejected before
+     any cell is read. *)
+  with_pipe (fun ic oc ->
+      output_char oc '\015';
+      put_u32_raw oc (Servsim.Wire.max_row_cells + 1);
+      flush oc;
+      Alcotest.(check bool) "oversized row count rejected on read" true
+        (raises_protocol_error (fun () -> Servsim.Wire.read_request ic)))
+
+let test_begin_dynamic_arity_mismatch () =
+  let begin_dyn rows =
+    Servsim.Wire.Begin_dynamic { seed = 7L; capacity = 0; max_lhs = 0; cols = 2; rows }
+  in
+  (* Writer side: a row that disagrees with the declared arity. *)
+  with_pipe (fun _ic oc ->
+      Alcotest.(check bool) "arity mismatch rejected on write" true
+        (raises_protocol_error (fun () ->
+             Servsim.Wire.write_request oc (begin_dyn [ [ "a"; "b" ]; [ "only" ] ]))));
+  (* Declared arity outside 1..max_row_cells. *)
+  with_pipe (fun _ic oc ->
+      Alcotest.(check bool) "zero arity rejected on write" true
+        (raises_protocol_error (fun () ->
+             Servsim.Wire.write_request oc
+               (Servsim.Wire.Begin_dynamic
+                  { seed = 7L; capacity = 0; max_lhs = 0; cols = 0; rows = [] }))));
+  (* Reader side: hand-craft a frame whose second row is one cell short. *)
+  with_pipe (fun ic oc ->
+      output_char oc '\014';
+      for _ = 1 to 8 do output_char oc '\000' done; (* seed *)
+      put_u32_raw oc 0; (* capacity *)
+      put_u32_raw oc 0; (* max_lhs *)
+      put_u32_raw oc 2; (* cols *)
+      put_u32_raw oc 2; (* row count *)
+      (* row 0: 2 cells *)
+      put_u32_raw oc 2;
+      put_u32_raw oc 1; output_char oc 'a';
+      put_u32_raw oc 1; output_char oc 'b';
+      (* row 1: claims 1 cell *)
+      put_u32_raw oc 1;
+      put_u32_raw oc 1; output_char oc 'c';
+      flush oc;
+      Alcotest.(check bool) "arity mismatch rejected on read" true
         (raises_protocol_error (fun () -> Servsim.Wire.read_request ic)))
 
 (* {2 Version handshake} *)
@@ -397,6 +493,8 @@ let suite =
     Alcotest.test_case "put_u32 range check" `Quick test_put_u32_range;
     Alcotest.test_case "bad tag" `Quick test_bad_tag;
     Alcotest.test_case "oversized namespace" `Quick test_oversized_namespace;
+    Alcotest.test_case "oversized dynamic row" `Quick test_oversized_row;
+    Alcotest.test_case "Begin_dynamic arity mismatch" `Quick test_begin_dynamic_arity_mismatch;
     Alcotest.test_case "hello roundtrip" `Quick test_hello_roundtrip;
     Alcotest.test_case "client rejects version mismatch" `Quick
       test_client_rejects_version_mismatch;
