@@ -1,10 +1,14 @@
 (* fdlint — static analysis over the project's own sources.
 
    Parses every .ml/.mli under the root with compiler-libs and enforces
-   the project rules R1..R7 (see `fdlint --list-rules` and DESIGN.md
-   §11).  Exit codes: 0 clean, 1 findings, 2 usage/config error. *)
+   the project rules (see `fdlint --list-rules` and DESIGN.md §11/§16;
+   the range below is derived from the registry).  Exit codes: 0 clean,
+   1 findings, 2 usage/config error. *)
 
-let usage = "usage: fdlint [--root DIR] [--config FILE] [--list-rules] [--smoke] [options]"
+let usage =
+  Printf.sprintf
+    "usage: fdlint [--root DIR] [--config FILE] [--list-rules] [--smoke] [options]\n\
+     rules: %s" Lint.Rules.span
 
 let () =
   let root = ref "." in
@@ -12,16 +16,22 @@ let () =
   let list_rules = ref false in
   let smoke = ref false in
   let quiet = ref false in
+  let format = ref "text" in
   let disabled = ref [] in
   let only = ref [] in
   let spec =
     [
       ("--root", Arg.Set_string root, "DIR  tree to lint (default: .)");
       ("--config", Arg.Set_string config_path, "FILE  config file (default: ROOT/.fdlint)");
-      ("--list-rules", Arg.Set list_rules, "  describe every rule and exit");
+      ( "--list-rules",
+        Arg.Set list_rules,
+        Printf.sprintf "  describe every rule (%s) and exit" Lint.Rules.span );
       ("--smoke", Arg.Set smoke, "  self-test: check each rule fires on its builtin positive");
       ("--disable", Arg.String (fun r -> disabled := r :: !disabled), "RULE  turn a rule off");
       ("--only", Arg.String (fun r -> only := r :: !only), "RULE  run only the named rule(s)");
+      ( "--format",
+        Arg.Symbol ([ "text"; "json" ], fun f -> format := f),
+        "  findings as human text (default) or one JSON object per line" );
       ("--quiet", Arg.Set quiet, "  print nothing; communicate through the exit code");
     ]
   in
@@ -76,8 +86,11 @@ let () =
   | Ok config ->
       let findings, nfiles = Lint.Driver.lint_tree ~config ~rules:selected ~root:!root () in
       if not !quiet then begin
-        List.iter (fun f -> print_endline (Lint.Finding.to_string f)) findings;
-        Printf.printf "fdlint: %d finding(s) in %d file(s) scanned\n" (List.length findings)
-          nfiles
+        match !format with
+        | "json" -> List.iter (fun f -> print_endline (Lint.Finding.to_json f)) findings
+        | _ ->
+            List.iter (fun f -> print_endline (Lint.Finding.to_string f)) findings;
+            Printf.printf "fdlint: %d finding(s) in %d file(s) scanned\n" (List.length findings)
+              nfiles
       end;
       exit (if findings <> [] then 1 else 0)

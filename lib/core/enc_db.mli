@@ -15,7 +15,7 @@ val outsource : Session.t -> Table.t -> t
     @raise Invalid_argument if the table's dimensions disagree with the
     session's public (n, m). *)
 
-val read_cell : t -> row:int -> col:int -> Value.t
+val read_cell : t -> row:int -> col:int -> Value.t [@@secret]
 (** Client-side: fetch the ciphertext of one cell from S and decrypt. *)
 
 val n : t -> int

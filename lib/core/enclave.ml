@@ -52,7 +52,20 @@ let partition_cardinality ?seed table x =
         for row = 0 to n - 1 do
           let l1 = Sort_method.label_of_row h1 ~row and l2 = Sort_method.label_of_row h2 ~row in
           b.Sort_backend.write row
-            { Sort_backend.key = Sort_backend.L (Compression.combined_key_int ~n l1 l2); id = row }
+            {
+              Sort_backend.key =
+                Sort_backend.L
+                  (Compression.combined_key_int ~n
+                     (l1
+                     [@lint.declassify
+                       "trusted-client label combine; the write-back schedule is fixed \
+                        and the result reveals only FD(DB)"])
+                     (l2
+                     [@lint.declassify
+                       "trusted-client label combine; the write-back schedule is fixed \
+                        and the result reveals only FD(DB)"]));
+              id = row;
+            }
         done;
         let t0 = Unix.gettimeofday () in
         let h = Sort_method.compute b x in

@@ -5,7 +5,10 @@ type skey =
   | L of int
   | Pad
 
-type elt = { key : skey; id : int }
+(* The sort key is decrypted cell content (or a label derived from it):
+   a secret-flow source for R11, marked explicitly rather than inherited
+   from the tree-wide [key] label. *)
+type elt = { key : skey; [@secret] id : int }
 
 let compare_skey a b =
   match (a, b) with
@@ -18,7 +21,19 @@ let compare_skey a b =
   | V _, L _ -> 1
 
 let compare_by_key a b =
-  match compare_skey a.key b.key with 0 -> Int.compare a.id b.id | c -> c
+  match
+    compare_skey
+      (a.key
+      [@lint.declassify
+        "oblivious-sort comparator: the network schedule is data-independent, so the \
+         comparison decides only which re-encrypted cell lands where"])
+      (b.key
+      [@lint.declassify
+        "oblivious-sort comparator: the network schedule is data-independent, so the \
+         comparison decides only which re-encrypted cell lands where"])
+  with
+  | 0 -> Int.compare a.id b.id
+  | c -> c
 
 let compare_by_id a b = Int.compare a.id b.id
 
@@ -29,7 +44,12 @@ let elt_width = 1 + Codec.value_width + 8
 
 let encode_elt e =
   let b = Bytes.make elt_width '\000' in
-  (match e.key with
+  (match
+     (e.key
+     [@lint.declassify
+       "client-local serialization into the fixed-width cell; only the re-encrypted \
+        cell leaves the client"])
+   with
   | Pad -> Bytes.set b 0 '\000'
   | V v ->
       Bytes.set b 0 '\001';
@@ -73,7 +93,10 @@ let encrypted (session : Session.t) ~n =
     Servsim.Block_store.write store i (Crypto.Cell_cipher.encrypt cipher (encode_elt e))
   in
   let read_with cipher i =
-    decode_elt (Crypto.Cell_cipher.decrypt cipher (Servsim.Block_store.read store i))
+    decode_elt
+      (Crypto.Cell_cipher.decrypt cipher (Servsim.Block_store.read store i)
+      [@lint.declassify
+        "client-side decode of a fixed-width cell; its shape is the constant elt_width"])
   in
   let write_batch items =
     let cts =

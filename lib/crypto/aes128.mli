@@ -21,8 +21,9 @@ type key
 val block_size : int
 (** Size of an AES block in bytes (16). *)
 
-val expand : string -> key
-(** [expand raw] expands a 16-byte raw key into a key schedule.
+val expand : (string[@secret]) -> key [@@secret]
+(** [expand raw] expands a 16-byte raw key into a key schedule.  Both
+    the raw key and the schedule are secret-flow sources for R11.
     @raise Invalid_argument if [raw] is not exactly 16 bytes. *)
 
 val encrypt_block : key -> src:Bytes.t -> src_off:int -> dst:Bytes.t -> dst_off:int -> unit
@@ -39,7 +40,7 @@ val decrypt_block : key -> src:Bytes.t -> src_off:int -> dst:Bytes.t -> dst_off:
 module Reference : sig
   type key
 
-  val expand : string -> key
+  val expand : (string[@secret]) -> key [@@secret]
   (** @raise Invalid_argument if the raw key is not exactly 16 bytes. *)
 
   val encrypt_block :

@@ -1,5 +1,5 @@
 type t = {
-  key : Aes128.key;
+  key : Aes128.key; [@secret]
   iv_rng : Bytes.t -> unit;
   iv : Bytes.t; (* 16-byte IV scratch, filled by [iv_rng] per encryption *)
   mutable scratch : Bytes.t; (* grow-on-demand plaintext scratch for [decrypt_many] *)
@@ -32,8 +32,10 @@ let encrypt_to t plaintext dst dst_off =
   Bytes.blit t.iv 0 dst dst_off 16;
   Bytes.blit_string plaintext 0 dst (dst_off + 16) n;
   Bytes.fill dst (dst_off + 16 + n) (padded - n) (Char.unsafe_chr (padded - n));
-  Cbc.encrypt_blocks t.key dst ~iv_off:dst_off ~off:(dst_off + 16)
-    ~nblocks:(padded / 16);
+  Cbc.encrypt_blocks
+    (t.key [@lint.declassify "client-local AES; table timing is not in the server trace L(DB)"])
+    (dst [@lint.declassify "plaintext enters client-local AES here by design; only the ciphertext leaves the client"])
+    ~iv_off:dst_off ~off:(dst_off + 16) ~nblocks:(padded / 16);
   16 + padded
 
 let encrypt t plaintext =
@@ -53,8 +55,9 @@ let decrypt_to t ciphertext dst dst_off =
   if dst_off < 0 || dst_off + body > Bytes.length dst then
     invalid_arg "Cell_cipher.decrypt_to: output range out of bounds";
   let src = Bytes.unsafe_of_string ciphertext in
-  Cbc.decrypt_blocks t.key ~src ~src_off:16 ~iv:src ~iv_off:0 ~dst ~dst_off
-    ~nblocks:(body / 16);
+  Cbc.decrypt_blocks
+    (t.key [@lint.declassify "client-local AES; table timing is not in the server trace L(DB)"])
+    ~src ~src_off:16 ~iv:src ~iv_off:0 ~dst ~dst_off ~nblocks:(body / 16);
   Cbc.unpad_len dst ~off:dst_off ~len:body
 
 let decrypt t ciphertext =

@@ -15,19 +15,21 @@
 
 type t
 
-val create : ?iv_rng:(Bytes.t -> unit) -> string -> t
+val create : ?iv_rng:(Bytes.t -> unit) -> (string[@secret]) -> t
 (** [create raw_key] builds a cipher from a 16-byte key.  [iv_rng] supplies
     IV randomness (defaults to a splitmix64 generator seeded from the key);
     pass an AES-CTR source for cryptographic-strength IVs. *)
 
-val encrypt : t -> string -> string
+val encrypt : t -> string -> string [@@lint.declassify "ciphertext under CBC$ with fresh IVs is public by IND-CPA; it reveals only its length, i.e. Size(DB)"]
 (** [encrypt t plaintext] is [iv || cbc_encrypt plaintext] under a fresh IV.
     Repeated calls on equal plaintexts yield distinct ciphertexts. *)
 
-val decrypt : t -> string -> string
-(** Inverse of {!encrypt}.  @raise Invalid_argument on malformed input. *)
+val decrypt : t -> string -> string [@@secret]
+(** Inverse of {!encrypt}.  The result is plaintext cell content — a
+    secret-flow source for R11.  @raise Invalid_argument on malformed
+    input. *)
 
-val encrypt_to : t -> string -> Bytes.t -> int -> int
+val encrypt_to : t -> string -> Bytes.t -> int -> int [@@lint.declassify "ciphertext under CBC$ with fresh IVs is public by IND-CPA; it reveals only its length, i.e. Size(DB)"]
 (** [encrypt_to t plaintext dst dst_off] writes the whole cell (IV ‖
     CBC body ‖ padding, encrypted in place) into [dst] at [dst_off] and
     returns its length, [ciphertext_len ~plaintext_len].  Consumes the same
@@ -40,13 +42,14 @@ val decrypt_to : t -> string -> Bytes.t -> int -> int
     stripped; [dst] must have room for the padded body, i.e. ciphertext
     length - 16).  @raise Invalid_argument on malformed input. *)
 
-val encrypt_many : t -> string list -> string list
+val encrypt_many : t -> string list -> string list [@@lint.declassify "ciphertext under CBC$ with fresh IVs is public by IND-CPA; it reveals only its length, i.e. Size(DB)"]
 (** [encrypt_many t pts] encrypts each plaintext in order; equivalent to
     [List.map (encrypt t)] (same IV stream, same ciphertexts). *)
 
-val decrypt_many : t -> string list -> string list
+val decrypt_many : t -> string list -> string list [@@secret]
 (** [decrypt_many t cts] decrypts each cell in order through a shared
-    scratch buffer: one allocation per cell instead of four. *)
+    scratch buffer: one allocation per cell instead of four.  Like
+    {!decrypt}, the results are secret plaintext. *)
 
 val ciphertext_len : plaintext_len:int -> int
 (** Length of the ciphertext produced for a plaintext of the given length

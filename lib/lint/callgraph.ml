@@ -1,0 +1,392 @@
+(* Tree-wide call graph and interprocedural fixpoint for R11.  The
+   taint lattice and per-function evaluator live in Taint; this module
+   owns name resolution, annotation collection and iteration order. *)
+
+(* ------------------------------------------------------------------ *)
+(* Small helpers                                                       *)
+
+let rec lid_str = function
+  | Longident.Lident s -> s
+  | Longident.Ldot (l, s) -> lid_str l ^ "." ^ s
+  | Longident.Lapply (a, b) -> lid_str a ^ "(" ^ lid_str b ^ ")"
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal prefix (String.sub s 0 (String.length prefix))
+
+let norm s = if starts_with ~prefix:"Stdlib." s then String.sub s 7 (String.length s - 7) else s
+
+let lbl_name = function
+  | Asttypes.Nolabel -> ""
+  | Asttypes.Labelled s | Asttypes.Optional s -> s
+
+(* Module part of a qualified name: "Servsim.Wire.put_u32" -> "Servsim.Wire". *)
+let module_part q =
+  match String.rindex_opt q '.' with Some i -> String.sub q 0 i | None -> ""
+
+(* The fully qualified module a file defines, and its wrapped-library
+   root: "lib/crypto/ct.ml" -> ("Crypto.Ct", Some "Crypto");
+   "bin/fdlint.ml" -> ("Fdlint", None). *)
+let module_path path =
+  let m = String.capitalize_ascii (Filename.remove_extension (Filename.basename path)) in
+  match String.split_on_char '/' path with
+  | "lib" :: libdir :: _ :: _ ->
+      let root = String.capitalize_ascii libdir in
+      if String.equal m root then (root, Some root) else ((root ^ "." ^ m), Some root)
+  | _ -> (m, None)
+
+(* ------------------------------------------------------------------ *)
+(* Trust boundaries                                                    *)
+
+(* Calls into these modules launder taint: constant-time primitives
+   whose results are safe to branch on. *)
+let sanitizer_prefixes = [ "Crypto.Ct." ]
+
+(* Calls into these modules are observable output — the server-visible
+   trace, the wire, disk, and logs.  Every argument is an Output sink. *)
+let output_prefixes =
+  [ "Servsim.Wire."; "Servsim.Trace."; "Servsim.Remote."; "Store.Fsio."; "Core.Log." ]
+
+let blank_labels n = List.init n (fun _ -> "")
+
+let sanitizer_callee c nargs =
+  { Taint.cname = c; csummary = Taint.bottom_summary ~arity:nargs ~labels:(blank_labels nargs) }
+
+let output_callee c nargs =
+  {
+    Taint.cname = c;
+    csummary =
+      {
+        Taint.arity = nargs;
+        labels = blank_labels nargs;
+        result = Taint.public;
+        sinks = List.init nargs (fun i -> (i, Taint.Output));
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Collection                                                          *)
+
+(* Per-use-site resolution context, captured when a function is
+   registered: enclosing module paths (innermost first), wrapped-library
+   root, file-level opens and module aliases seen so far. *)
+type rctx = {
+  selves : string list;
+  lib_root : string option;
+  opens : string list;
+  aliases : (string * string) list;
+}
+
+type entry = {
+  qname : string;
+  epath : string;
+  ectx : rctx;
+  info : Taint.fn_info;
+  forced_secret : bool;
+  declassified : bool;
+  mutable summary : Taint.summary;
+}
+
+(* Interface-side annotations, keyed by qualified value name. *)
+type annot = {
+  mutable a_secret : bool;
+  mutable a_declassify : bool;
+  mutable a_params : int list;
+}
+
+type acc = {
+  annots : (string, annot) Hashtbl.t;
+  labels : (string, unit) Hashtbl.t;  (* [@secret] record labels *)
+  fns : (string, entry) Hashtbl.t;
+  mutable order : entry list;  (* reversed *)
+  mutable pre : (string * Location.t * string * string) list;  (* collection-time findings *)
+  mutable anon : int;
+}
+
+let get_annot acc q =
+  match Hashtbl.find_opt acc.annots q with
+  | Some a -> a
+  | None ->
+      let a = { a_secret = false; a_declassify = false; a_params = [] } in
+      Hashtbl.replace acc.annots q a;
+      a
+
+let missing_reason_msg =
+  "[@lint.declassify] requires a justification string naming the leakage-model clause that \
+   permits the flow"
+
+(* Returns whether the attribute set declassifies, recording a finding
+   when the justification is missing. *)
+let declassifies acc path attrs =
+  match Taint.declassify_reason attrs with
+  | Some (_, Some _) -> true
+  | Some (loc, None) ->
+      acc.pre <- (path, loc, "declassify-missing-reason", missing_reason_msg) :: acc.pre;
+      true
+  | None -> false
+
+let collect_labels acc (td : Parsetree.type_declaration) =
+  match td.ptype_kind with
+  | Ptype_record lds ->
+      List.iter
+        (fun (ld : Parsetree.label_declaration) ->
+          if
+            Taint.has_attr "secret" ld.pld_attributes
+            || Taint.has_attr "secret" ld.pld_type.ptyp_attributes
+          then Hashtbl.replace acc.labels ld.pld_name.txt ())
+        lds
+  | _ -> ()
+
+(* Positions of arrow parameters carrying [@secret] in a val type. *)
+let arrow_secret_params ty =
+  let rec go i found (t : Parsetree.core_type) =
+    match t.ptyp_desc with
+    | Ptyp_arrow (_, a, b) ->
+        let found = if Taint.has_attr "secret" a.ptyp_attributes then i :: found else found in
+        go (i + 1) found b
+    | Ptyp_poly (_, t') -> go i found t'
+    | _ -> found
+  in
+  List.rev (go 0 [] ty)
+
+let rec collect_sig acc ~path self (sg : Parsetree.signature) =
+  List.iter
+    (fun (it : Parsetree.signature_item) ->
+      match it.psig_desc with
+      | Psig_value vd ->
+          let a = get_annot acc (self ^ "." ^ vd.pval_name.txt) in
+          if Taint.has_attr "secret" vd.pval_attributes then a.a_secret <- true;
+          if declassifies acc path vd.pval_attributes then a.a_declassify <- true;
+          let ps = arrow_secret_params vd.pval_type in
+          if ps <> [] then a.a_params <- List.sort_uniq compare (a.a_params @ ps)
+      | Psig_type (_, decls) -> List.iter (collect_labels acc) decls
+      | Psig_module md -> (
+          match md.pmd_name.txt with
+          | Some name ->
+              let rec into (mt : Parsetree.module_type) =
+                match mt.pmty_desc with
+                | Pmty_signature sg' -> collect_sig acc ~path (self ^ "." ^ name) sg'
+                | Pmty_functor (_, mt') -> into mt'
+                | _ -> ()
+              in
+              into md.pmd_type
+          | None -> ())
+      | _ -> ())
+    sg
+
+let rec unroll_params pacc (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_fun (lbl, _, pat, body) -> unroll_params ((lbl_name lbl, pat) :: pacc) body
+  | Pexp_constraint (e', _) | Pexp_newtype (_, e') -> unroll_params pacc e'
+  | _ -> (List.rev pacc, e)
+
+let rec pat_name (p : Parsetree.pattern) =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> Some txt
+  | Ppat_constraint (p', _) -> pat_name p'
+  | _ -> None
+
+let finalize_entry forced_secret declassified s =
+  let s = if forced_secret then Taint.summary_force_secret s else s in
+  if declassified then Taint.summary_declassify s else s
+
+let register acc ~path ~ctx self (vb : Parsetree.value_binding) =
+  let params, body = unroll_params [] vb.pvb_expr in
+  let qname =
+    match pat_name vb.pvb_pat with
+    | Some n -> self ^ "." ^ n
+    | None ->
+        acc.anon <- acc.anon + 1;
+        Printf.sprintf "%s.<top#%d>" self acc.anon
+  in
+  let an = Hashtbl.find_opt acc.annots qname in
+  let forced_secret =
+    Taint.has_attr "secret" vb.pvb_attributes
+    || match an with Some a -> a.a_secret | None -> false
+  in
+  let declassified =
+    declassifies acc path vb.pvb_attributes
+    || match an with Some a -> a.a_declassify | None -> false
+  in
+  let secret_params = match an with Some a -> a.a_params | None -> [] in
+  let info = { Taint.params; body; secret_params } in
+  let entry =
+    {
+      qname;
+      epath = path;
+      ectx = ctx;
+      info;
+      forced_secret;
+      declassified;
+      summary =
+        finalize_entry forced_secret declassified
+          (Taint.bottom_summary ~arity:(List.length params) ~labels:(List.map fst params));
+    }
+  in
+  Hashtbl.replace acc.fns qname entry;
+  acc.order <- entry :: acc.order
+
+let rec unwrap_mod (me : Parsetree.module_expr) =
+  match me.pmod_desc with
+  | Pmod_constraint (me', _) | Pmod_functor (_, me') -> unwrap_mod me'
+  | _ -> me
+
+(* Walk a structure, threading opens/aliases so later bindings resolve
+   with everything in (lexical) scope at their definition point. *)
+let rec collect_str acc ~path ~lib_root selves opens aliases (str : Parsetree.structure) =
+  ignore
+    (List.fold_left
+       (fun (opens, aliases) (it : Parsetree.structure_item) ->
+         match it.pstr_desc with
+         | Pstr_open { popen_expr = { pmod_desc = Pmod_ident { txt; _ }; _ }; _ } ->
+             (lid_str txt :: opens, aliases)
+         | Pstr_value (_, vbs) ->
+             let ctx = { selves; lib_root; opens; aliases } in
+             List.iter (register acc ~path ~ctx (List.hd selves)) vbs;
+             (opens, aliases)
+         | Pstr_type (_, decls) ->
+             List.iter (collect_labels acc) decls;
+             (opens, aliases)
+         | Pstr_module mb -> (
+             match mb.pmb_name.txt with
+             | Some name -> (
+                 match (unwrap_mod mb.pmb_expr).pmod_desc with
+                 | Pmod_ident { txt; _ } -> (opens, (name, lid_str txt) :: aliases)
+                 | Pmod_structure s ->
+                     collect_str acc ~path ~lib_root
+                       ((List.hd selves ^ "." ^ name) :: selves)
+                       opens aliases s;
+                     (opens, aliases)
+                 | _ -> (opens, aliases))
+             | None -> (opens, aliases))
+         | Pstr_include { pincl_mod = incl; _ } -> (
+             match (unwrap_mod incl).pmod_desc with
+             | Pmod_structure s ->
+                 collect_str acc ~path ~lib_root selves opens aliases s;
+                 (opens, aliases)
+             | _ -> (opens, aliases))
+         | _ -> (opens, aliases))
+       (opens, aliases) str)
+
+(* ------------------------------------------------------------------ *)
+(* Resolution                                                          *)
+
+let candidates ctx raw =
+  let expanded =
+    match String.index_opt raw '.' with
+    | Some i -> (
+        let head = String.sub raw 0 i in
+        match List.assoc_opt head ctx.aliases with
+        | Some full -> full ^ String.sub raw i (String.length raw - i)
+        | None -> raw)
+    | None -> raw
+  in
+  let self_qualified = List.map (fun s -> s ^ "." ^ expanded) ctx.selves in
+  let opened = List.map (fun o -> o ^ "." ^ expanded) ctx.opens in
+  let cands =
+    if String.contains expanded '.' then
+      self_qualified
+      @ (match ctx.lib_root with Some r -> [ r ^ "." ^ expanded ] | None -> [])
+      @ [ expanded ] @ opened
+    else self_qualified @ opened
+  in
+  (expanded, cands)
+
+let resolver acc known_mods ctx lid nargs =
+  match lid with
+  | Longident.Lapply _ -> None
+  | _ ->
+      let raw = norm (lid_str lid) in
+      let expanded, cands = candidates ctx raw in
+      let hit c =
+        (* Trust-boundary prefixes win over the function table (the
+           boundary modules' own sources exist in the tree), but only
+           when the candidate's module actually exists — otherwise
+           "Servsim.Wire.Bytes.length" built from an unqualified use
+           inside wire.ml would shadow the stdlib. *)
+        if Hashtbl.mem known_mods (module_part c) then
+          if List.exists (fun p -> starts_with ~prefix:p c) sanitizer_prefixes then
+            Some (sanitizer_callee c nargs)
+          else if List.exists (fun p -> starts_with ~prefix:p c) output_prefixes then
+            Some (output_callee c nargs)
+          else
+            match Hashtbl.find_opt acc.fns c with
+            | Some e -> Some { Taint.cname = c; csummary = e.summary }
+            | None -> None
+        else None
+      in
+      let rec first = function
+        | [] -> Taint.builtin expanded nargs
+        | c :: rest -> ( match hit c with Some _ as r -> r | None -> first rest)
+      in
+      first cands
+
+(* ------------------------------------------------------------------ *)
+
+let check (sources : Rule.source list) ~(report : Rule.tree_report) =
+  let acc =
+    {
+      annots = Hashtbl.create 64;
+      labels = Hashtbl.create 16;
+      fns = Hashtbl.create 512;
+      order = [];
+      pre = [];
+      anon = 0;
+    }
+  in
+  (* Pass 1: interfaces — annotations and secret labels. *)
+  List.iter
+    (fun (s : Rule.source) ->
+      match s.src_ast with
+      | Rule.Intf sg ->
+          let self, _ = module_path s.src_path in
+          collect_sig acc ~path:s.src_path self sg
+      | Rule.Impl _ -> ())
+    sources;
+  (* Pass 2: implementations — functions, labels, impl-side annotations. *)
+  List.iter
+    (fun (s : Rule.source) ->
+      match s.src_ast with
+      | Rule.Impl str ->
+          let self, lib_root = module_path s.src_path in
+          collect_str acc ~path:s.src_path ~lib_root [ self ] [] [] str
+      | Rule.Intf _ -> ())
+    sources;
+  let entries = List.rev acc.order in
+  let known_mods = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.replace known_mods (module_part e.qname) ()) entries;
+  Hashtbl.iter (fun q _ -> Hashtbl.replace known_mods (module_part q) ()) acc.annots;
+  let hooks_for e ~emit =
+    {
+      Taint.resolve = resolver acc known_mods e.ectx;
+      secret_label = Hashtbl.mem acc.labels;
+      emit;
+    }
+  in
+  let no_emit _ ~tag:_ _ = () in
+  (* Interprocedural fixpoint over all summaries. *)
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < 40 do
+    incr rounds;
+    changed := false;
+    List.iter
+      (fun e ->
+        let s =
+          finalize_entry e.forced_secret e.declassified
+            (Taint.eval_function (hooks_for e ~emit:no_emit) ~reporting:false e.info)
+        in
+        if not (Taint.summary_equal s e.summary) then begin
+          e.summary <- s;
+          changed := true
+        end)
+      entries
+  done;
+  (* Collection-time findings (malformed declassify payloads). *)
+  List.iter (fun (p, loc, tag, msg) -> report ~path:p ~loc ~tag msg) (List.rev acc.pre);
+  (* Final reporting pass with stable summaries. *)
+  List.iter
+    (fun e ->
+      let emit loc ~tag msg = report ~path:e.epath ~loc ~tag msg in
+      ignore (Taint.eval_function (hooks_for e ~emit) ~reporting:true e.info))
+    entries

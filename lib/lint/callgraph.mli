@@ -1,0 +1,21 @@
+(** Tree-wide call graph for rule R11 ([secret-flow]).
+
+    Builds a function table over every parsed file — top-level and
+    nested-module bindings, keyed by qualified name
+    (["Crypto.Cell_cipher.decrypt"]) — collects [[\@secret]] /
+    [[\@lint.declassify]] annotations from interfaces and
+    implementations, and runs {!Taint.eval_function} over all bodies to
+    an interprocedural fixpoint before a final reporting pass.
+
+    Name resolution is purely syntactic: a use site generates candidate
+    qualified names from the enclosing modules, the library root
+    (wrapped libraries make [Wire.put] mean [Servsim.Wire.put] inside
+    [lib/servsim/]), file-level [open]s and [module X = Y] aliases.
+    Candidates hit, in order: the declared trust boundaries
+    ([Crypto.Ct] sanitizes, [Wire]/[Trace]/[Fsio]/[Log]/[Remote] are
+    output sinks), the tree function table, then {!Taint.builtin}. *)
+
+val check : Rule.source list -> report:Rule.tree_report -> unit
+(** Run the whole analysis and emit findings.  Scope filtering (which
+    paths' findings survive) is the driver's job, but every file always
+    contributes summaries. *)

@@ -79,20 +79,79 @@ let lint_string ?(config = Config.default) ?(rules = Rules.all) ~path content =
 (* ------------------------------------------------------------------ *)
 (* Tree lint                                                           *)
 
-let tree_findings config rules files =
+(* Run the Tree rules over an already-parsed tree.  Located findings go
+   through the owning file's [@lint.allow] regions (collected lazily per
+   path), so tree rules suppress exactly like per-file ones. *)
+let tree_findings config rules ~files ~sources ~regions_for =
   let acc = ref [] in
   List.iter
     (fun (r : Rule.t) ->
       match r.check with
       | Rule.Ast _ -> ()
       | Rule.Tree f ->
-          let report ~path ?(tag = "") msg =
+          let report ~path ?loc ?(tag = "") msg =
             if in_scope config r ~tag ~path && not (allowed config r ~tag ~path) then
-              acc := Finding.v ~path ~line:1 ~col:0 ~rule:r.Rule.name ~tag msg :: !acc
+              match loc with
+              | None -> acc := Finding.v ~path ~line:1 ~col:0 ~rule:r.Rule.name ~tag msg :: !acc
+              | Some (l : Location.t) ->
+                  if
+                    not
+                      (Suppress.suppressed (regions_for path) r ~tag ~off:l.loc_start.pos_cnum)
+                  then acc := Finding.of_loc ~path ~rule:r.Rule.name ~tag l msg :: !acc
           in
-          f ~files ~report)
+          f ~files ~sources ~report)
     rules;
   !acc
+
+(* Shared tail of lint_tree / lint_vtree: [docs] pairs each path with
+   its content ([Error] = unreadable).  Every file is parsed exactly
+   once and the AST shared between per-file rules, tree rules and
+   suppression-region lookup. *)
+let lint_docs config rules docs =
+  let parsed =
+    List.map
+      (fun (path, content) ->
+        match content with
+        | Error e -> (path, Error (Finding.v ~path ~line:1 ~col:0 ~rule:parse_error_rule e))
+        | Ok content -> (
+            match parse_ast ~path content with
+            | ast -> (path, Ok ast)
+            | exception exn -> (path, Error (parse_failure ~path exn))))
+      docs
+  in
+  let per_file =
+    List.concat_map
+      (fun (path, r) ->
+        match r with
+        | Ok ast -> ast_findings config rules ~path ast
+        | Error f -> [ f ])
+      parsed
+  in
+  let sources =
+    lazy
+      (List.filter_map
+         (fun (path, r) ->
+           match r with
+           | Ok ast -> Some { Rule.src_path = path; src_ast = ast }
+           | Error _ -> None)
+         parsed)
+  in
+  let regions_cache = Hashtbl.create 16 in
+  let regions_for path =
+    match Hashtbl.find_opt regions_cache path with
+    | Some r -> r
+    | None ->
+        let r =
+          match List.assoc_opt path parsed with
+          | Some (Ok ast) -> Suppress.collect ast
+          | Some (Error _) | None -> []
+        in
+        Hashtbl.replace regions_cache path r;
+        r
+  in
+  let files = List.map fst docs in
+  let tree = tree_findings config rules ~files ~sources ~regions_for in
+  (List.sort_uniq Finding.compare (per_file @ tree), List.length files)
 
 let list_files ~root ~excludes =
   let acc = ref [] in
@@ -123,18 +182,31 @@ let lint_file ?(config = Config.default) ?(rules = Rules.all) ~root path =
 let lint_tree ?(config = Config.default) ?(rules = Rules.all) ~root () =
   let rules = enabled config rules in
   let files = list_files ~root ~excludes:config.Config.excludes in
-  let per_file = List.concat_map (fun p -> lint_file ~config ~rules ~root p) files in
-  let tree = tree_findings config rules files in
-  (List.sort_uniq Finding.compare (per_file @ tree), List.length files)
+  let docs =
+    List.map
+      (fun path ->
+        match
+          In_channel.with_open_bin (Filename.concat root path) In_channel.input_all
+        with
+        | content -> (path, Ok content)
+        | exception Sys_error e -> (path, Error e))
+      files
+  in
+  lint_docs config rules docs
+
+let lint_vtree ?(config = Config.default) ?(rules = Rules.all) docs =
+  let rules = enabled config rules in
+  lint_docs config rules (List.map (fun (p, c) -> (p, Ok c)) docs)
 
 (* ------------------------------------------------------------------ *)
 (* Smoke                                                               *)
 
 let smoke (r : Rule.t) =
+  let fires = List.exists (fun f -> String.equal f.Finding.rule r.Rule.name) in
   match r.smoke with
-  | Rule.Smoke_code { path; code } ->
-      lint_string ~rules:[ r ] ~path code
-      |> List.exists (fun f -> String.equal f.Finding.rule r.Rule.name)
+  | Rule.Smoke_code { path; code } -> fires (lint_string ~rules:[ r ] ~path code)
   | Rule.Smoke_files files ->
-      tree_findings Config.default [ r ] files
-      |> List.exists (fun f -> String.equal f.Finding.rule r.Rule.name)
+      fires
+        (tree_findings Config.default [ r ] ~files ~sources:(lazy [])
+           ~regions_for:(fun _ -> []))
+  | Rule.Smoke_tree docs -> fires (fst (lint_vtree ~rules:[ r ] docs))

@@ -21,11 +21,19 @@ val lint_file :
     [.git], ...) and the config's [exclude] prefixes. *)
 val list_files : root:string -> excludes:string list -> string list
 
-(** Lint a whole tree (AST rules per file + tree rules over the file
-    list).  Returns the sorted findings and the number of files
-    scanned. *)
+(** Lint a whole tree (AST rules per file + tree rules over the parsed
+    sources).  Every file is parsed once and the AST shared between the
+    per-file rules, tree rules and suppression regions.  Returns the
+    sorted findings and the number of files scanned. *)
 val lint_tree :
   ?config:Config.t -> ?rules:Rule.t list -> root:string -> unit -> Finding.t list * int
 
-(** Run a rule's built-in positive snippet; [true] iff the rule fires. *)
+(** Same pipeline over a virtual tree of [(path, contents)] pairs — no
+    filesystem involved.  Backs [Smoke_tree] self-tests and suite
+    coverage of tree rules. *)
+val lint_vtree :
+  ?config:Config.t -> ?rules:Rule.t list -> (string * string) list -> Finding.t list * int
+
+(** Run a rule's built-in positive self-test; [true] iff the rule
+    fires. *)
 val smoke : Rule.t -> bool

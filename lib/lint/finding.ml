@@ -27,3 +27,24 @@ let compare a b =
         if c <> 0 then c else String.compare a.msg b.msg
 
 let to_string f = Printf.sprintf "%s:%d:%d [%s] %s" f.path f.line f.col f.rule f.msg
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json f =
+  Printf.sprintf
+    {|{"path":"%s","line":%d,"col":%d,"rule":"%s","tag":"%s","msg":"%s"}|}
+    (json_escape f.path) f.line f.col (json_escape f.rule) (json_escape f.tag)
+    (json_escape f.msg)

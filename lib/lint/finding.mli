@@ -18,3 +18,8 @@ val of_loc : path:string -> rule:string -> ?tag:string -> Location.t -> string -
 val compare : t -> t -> int
 
 val to_string : t -> string
+
+(** One-line JSON object with exactly the keys
+    [path, line, col, rule, tag, msg] (in that order), strings escaped
+    per RFC 8259 — the [fdlint --format json] machine surface. *)
+val to_json : t -> string

@@ -1,16 +1,23 @@
 type ast = Impl of Parsetree.structure | Intf of Parsetree.signature
 
+type source = { src_path : string; src_ast : ast }
+
 type ctx = {
   path : string;
   ast : ast;
   report : Location.t -> ?tag:string -> string -> unit;
 }
 
-type tree_report = path:string -> ?tag:string -> string -> unit
+type tree_report = path:string -> ?loc:Location.t -> ?tag:string -> string -> unit
 
-type check = Ast of (ctx -> unit) | Tree of (files:string list -> report:tree_report -> unit)
+type check =
+  | Ast of (ctx -> unit)
+  | Tree of (files:string list -> sources:source list Lazy.t -> report:tree_report -> unit)
 
-type smoke = Smoke_code of { path : string; code : string } | Smoke_files of string list
+type smoke =
+  | Smoke_code of { path : string; code : string }
+  | Smoke_files of string list
+  | Smoke_tree of (string * string) list
 
 type t = {
   id : string;

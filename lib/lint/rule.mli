@@ -1,8 +1,12 @@
 (** A lint rule: an id ("R1"), a stable name ("no-ambient-randomness"),
     scoping defaults, and either a per-file AST check or a whole-tree
-    check (for rules about the file set itself, like mli-completeness). *)
+    check (for rules about the file set itself, like mli-completeness,
+    or about cross-file flows, like secret-flow). *)
 
 type ast = Impl of Parsetree.structure | Intf of Parsetree.signature
+
+(** A successfully parsed tree file, as handed to [Tree] checks. *)
+type source = { src_path : string; src_ast : ast }
 
 type ctx = {
   path : string;  (** tree-relative path of the file being linted *)
@@ -10,20 +14,29 @@ type ctx = {
   report : Location.t -> ?tag:string -> string -> unit;
 }
 
-type tree_report = path:string -> ?tag:string -> string -> unit
+type tree_report = path:string -> ?loc:Location.t -> ?tag:string -> string -> unit
+(** Tree-check findings carry a path and optionally a precise location;
+    located findings go through the file's [[\@lint.allow]] suppression
+    regions like per-file findings do. *)
 
 type check =
   | Ast of (ctx -> unit)  (** run once per parsed file *)
-  | Tree of (files:string list -> report:tree_report -> unit)
-      (** run once over the relative paths of every linted file *)
+  | Tree of (files:string list -> sources:source list Lazy.t -> report:tree_report -> unit)
+      (** run once over the whole tree: [files] lists every linted
+          path (parsed or not), [sources] the parsed ASTs (forced only
+          if the rule needs them) *)
 
 (** Built-in self-test input for [fdlint --smoke]: a snippet (with the
-    virtual path that puts it in the rule's scope) or a file list on
-    which the rule must produce at least one finding. *)
-type smoke = Smoke_code of { path : string; code : string } | Smoke_files of string list
+    virtual path that puts it in the rule's scope), a file list, or a
+    virtual (path, contents) tree on which the rule must produce at
+    least one finding. *)
+type smoke =
+  | Smoke_code of { path : string; code : string }
+  | Smoke_files of string list
+  | Smoke_tree of (string * string) list
 
 type t = {
-  id : string;  (** "R1".."R7" *)
+  id : string;  (** "R1".."R11" *)
   name : string;  (** the rule-id used in reports and [\@lint.allow] *)
   doc : string;
   scope : (string * string) list;

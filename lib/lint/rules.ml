@@ -1,7 +1,9 @@
-(* The project's rule set, R1..R10.  Every check is purely syntactic
-   (Parsetree only, no typing), so rules about *values* — e.g. "is this
-   comparison on key material?" — are name heuristics; DESIGN.md §11
-   documents each rule's rationale and the limits of its detector. *)
+(* The project's rule set (the registry's range is exported as [span]).
+   R1..R10 are purely syntactic (Parsetree only, no typing), so rules
+   about *values* — e.g. "is this comparison on key material?" — are
+   name heuristics; R11 is the interprocedural secret-flow analysis
+   (Taint / Callgraph).  DESIGN.md §11 documents each rule's rationale
+   and the limits of its detector, §16 the R11 lattice. *)
 
 let rec lid_str = function
   | Longident.Lident s -> s
@@ -111,7 +113,7 @@ let r2_check ctx =
 (* ------------------------------------------------------------------ *)
 (* R3 — mli-completeness (tree rule)                                   *)
 
-let r3_check ~files ~(report : Rule.tree_report) =
+let r3_check ~files ~sources:_ ~(report : Rule.tree_report) =
   let have = Hashtbl.create 64 in
   List.iter (fun p -> Hashtbl.replace have p ()) files;
   List.iter
@@ -324,6 +326,11 @@ let r10_check ctx =
   match ctx.ast with Rule.Impl str -> it.structure it str | Rule.Intf sg -> it.signature it sg
 
 (* ------------------------------------------------------------------ *)
+(* R11 — secret-flow (tree rule)                                       *)
+
+let r11_check ~files:_ ~sources ~report = Callgraph.check (Lazy.force sources) ~report
+
+(* ------------------------------------------------------------------ *)
 
 let all : Rule.t list =
   [
@@ -461,6 +468,42 @@ let all : Rule.t list =
         Smoke_code
           { path = "lib/core/smoke.ml"; code = "let wait fds = Unix.select fds [] [] 0.1\n" };
     };
+    {
+      id = "R11";
+      name = "secret-flow";
+      doc =
+        "Interprocedural taint analysis of the obliviousness contract: values marked \
+         [@secret] (decrypted cells, AES key schedules, stash plaintext) must not reach a \
+         branch, a memory index, an allocation size, a loop bound, or wire/disk/log output \
+         unless laundered through Crypto.Ct or explicitly audited with [@lint.declassify \
+         \"why\"].  The leakage profile L(DB) = {Size(DB), FD(DB)} already discloses sizes, \
+         so lengths are public; everything else a secret influences would widen the \
+         profile.";
+      scope =
+        [
+          ("", "lib/crypto/");
+          ("", "lib/oram/");
+          ("", "lib/osort/");
+          ("", "lib/core/");
+          ("", "lib/servsim/");
+        ];
+      allow = [];
+      check = Tree r11_check;
+      smoke =
+        Smoke_tree
+          [
+            ("lib/oram/dec.mli", "val open_cell : string -> string [@@secret]\n");
+            ("lib/oram/dec.ml", "let open_cell c = c\n");
+            ("lib/oram/use.ml", "let f c = if Dec.open_cell c = \"x\" then 1 else 0\n");
+          ];
+    };
   ]
+
+let span =
+  match all with
+  | [] -> ""
+  | first :: _ ->
+      let last = List.fold_left (fun _ r -> r) first all in
+      first.Rule.id ^ ".." ^ last.Rule.id
 
 let find spec = List.find_opt (Rule.spec_matches spec) all

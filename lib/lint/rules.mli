@@ -1,8 +1,13 @@
-(** The project rule set (R1..R9).  See DESIGN.md §11 for each rule's
-    rationale against the leakage model [L(DB) = {Size(DB), FD(DB)}]. *)
+(** The project rule set.  See DESIGN.md §11 for each rule's rationale
+    against the leakage model [L(DB) = {Size(DB), FD(DB)}], and §16 for
+    the R11 secret-flow analysis. *)
 
-(** In registry order R1..R9. *)
+(** In registry order (first id .. last id = {!span}). *)
 val all : Rule.t list
+
+(** The registry's id range, derived from {!all} (e.g. ["R1..R11"]) so
+    printed docs cannot rot when a rule is added. *)
+val span : string
 
 (** Look a rule up by id ("R3") or name ("mli-completeness"). *)
 val find : string -> Rule.t option

@@ -1,0 +1,722 @@
+(* Secret-flow lattice and abstract evaluator (rule R11; DESIGN.md §16).
+
+   The evaluator is purely syntactic (Parsetree, no typing): names are
+   resolved by the hooks, heap state is approximated per-function, and
+   higher-order flows use a "closure parameters inherit the other
+   arguments' taint" heuristic.  Its known blind spots are documented in
+   DESIGN.md §16 alongside the lattice. *)
+
+module Iset = Set.Make (Int)
+
+type t = { sec : bool; deps : Iset.t }
+
+let public = { sec = false; deps = Iset.empty }
+let secret = { sec = true; deps = Iset.empty }
+let param i = { sec = false; deps = Iset.singleton i }
+let join a b = { sec = a.sec || b.sec; deps = Iset.union a.deps b.deps }
+let joins l = List.fold_left join public l
+let is_secret t = t.sec
+let equal a b = Bool.equal a.sec b.sec && Iset.equal a.deps b.deps
+
+type sink = Branch | Index | Alloc | Loop_bound | Output
+
+let sink_tag = function
+  | Branch -> "branch"
+  | Index -> "index"
+  | Alloc -> "alloc"
+  | Loop_bound -> "loop-bound"
+  | Output -> "output"
+
+let sink_doc = function
+  | Branch -> "conditional control flow"
+  | Index -> "a memory index"
+  | Alloc -> "an allocation size"
+  | Loop_bound -> "a loop bound"
+  | Output -> "observable output (wire/disk/log)"
+
+type summary = {
+  arity : int;
+  labels : string list;
+  result : t;
+  sinks : (int * sink) list;
+}
+
+let summary_equal a b =
+  a.arity = b.arity && equal a.result b.result && a.sinks = b.sinks
+
+let bottom_summary ~arity ~labels = { arity; labels; result = public; sinks = [] }
+
+(* Annotation forcing, applied by the call graph when it stores a
+   summary: [@secret] on a val/binding makes the result secret whatever
+   the body computes; [@lint.declassify] makes the function an audited
+   boundary — callers see a public result and no parameter sinks (the
+   body itself is still checked for direct findings). *)
+let summary_force_secret s = { s with result = { s.result with sec = true } }
+let summary_declassify s = { s with result = public; sinks = [] }
+
+type callee = { cname : string; csummary : summary }
+
+(* ------------------------------------------------------------------ *)
+(* Attribute helpers                                                   *)
+
+let has_attr name attrs =
+  List.exists
+    (fun (a : Parsetree.attribute) ->
+      String.equal a.attr_name.txt name || String.equal a.attr_name.txt ("lint." ^ name))
+    attrs
+
+let string_payload (attr : Parsetree.attribute) =
+  match attr.attr_payload with
+  | PStr
+      [
+        {
+          pstr_desc = Pstr_eval ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+      Some s
+  | _ -> None
+
+let declassify_reason attrs =
+  List.find_map
+    (fun (a : Parsetree.attribute) ->
+      if String.equal a.attr_name.txt "lint.declassify" then
+        match string_payload a with
+        | Some s when String.trim s <> "" -> Some (a.attr_loc, Some s)
+        | _ -> Some (a.attr_loc, None)
+      else None)
+    attrs
+
+(* ------------------------------------------------------------------ *)
+(* Builtin summaries for stdlib containers                             *)
+
+let mk ?(res = public) ?(sinks = []) arity = { arity; labels = List.init arity (fun _ -> ""); result = res; sinks }
+
+(* Result taint written in terms of params: [from [0]] = "result carries
+   argument 0's taint". *)
+let from is = { sec = false; deps = Iset.of_list is }
+
+(* Functions whose result is public by the leakage model: lengths and
+   cardinalities are part of Size(DB). *)
+let public_result =
+  [
+    "String.length";
+    "Bytes.length";
+    "Array.length";
+    "List.length";
+    "Hashtbl.length";
+    "Buffer.length";
+    "Queue.length";
+    "Stack.length";
+  ]
+
+let builtin_table : (string, int -> summary) Hashtbl.t = Hashtbl.create 64
+
+let () =
+  let add name f = Hashtbl.replace builtin_table name f in
+  let fixed s = fun _ -> s in
+  List.iter (fun n -> add n (fixed (mk 1 ~res:public))) public_result;
+  (* Indexed reads: (container, index) -> element *)
+  List.iter
+    (fun n -> add n (fixed (mk 2 ~res:(from [ 0 ]) ~sinks:[ (1, Index) ])))
+    [
+      "Array.get";
+      "Array.unsafe_get";
+      "Bytes.get";
+      "Bytes.unsafe_get";
+      "String.get";
+      "String.unsafe_get";
+      "Bytes.get_uint8";
+      "Bytes.get_int8";
+      "Bytes.get_uint16_le";
+      "Bytes.get_uint16_be";
+      "Bytes.get_int16_le";
+      "Bytes.get_int16_be";
+      "Bytes.get_int32_le";
+      "Bytes.get_int32_be";
+      "Bytes.get_int64_le";
+      "Bytes.get_int64_be";
+    ];
+  (* Indexed writes: (container, index, value) *)
+  List.iter
+    (fun n -> add n (fixed (mk 3 ~sinks:[ (1, Index) ])))
+    [
+      "Array.set";
+      "Array.unsafe_set";
+      "Bytes.set";
+      "Bytes.unsafe_set";
+      "Bytes.set_uint8";
+      "Bytes.set_int8";
+      "Bytes.set_uint16_le";
+      "Bytes.set_uint16_be";
+      "Bytes.set_int16_le";
+      "Bytes.set_int16_be";
+      "Bytes.set_int32_le";
+      "Bytes.set_int32_be";
+      "Bytes.set_int64_le";
+      "Bytes.set_int64_be";
+    ];
+  (* Slices: (container, offset, length) *)
+  List.iter
+    (fun n -> add n (fixed (mk 3 ~res:(from [ 0 ]) ~sinks:[ (1, Index); (2, Alloc) ])))
+    [ "String.sub"; "Bytes.sub"; "Array.sub"; "Bytes.sub_string" ];
+  (* Blits: (src, src_off, dst, dst_off, len) *)
+  List.iter
+    (fun n ->
+      add n (fixed (mk 5 ~sinks:[ (1, Index); (3, Index); (4, Loop_bound) ])))
+    [ "Bytes.blit"; "Bytes.blit_string"; "String.blit"; "Array.blit" ];
+  add "Bytes.fill" (fixed (mk 4 ~sinks:[ (1, Index); (2, Loop_bound) ]));
+  add "Array.fill" (fixed (mk 4 ~sinks:[ (1, Index); (2, Loop_bound) ]));
+  (* Allocations sized by argument 0 *)
+  List.iter
+    (fun n -> add n (fixed (mk 1 ~sinks:[ (0, Alloc) ])))
+    [ "Bytes.create"; "Buffer.create"; "Hashtbl.create" ];
+  List.iter
+    (fun n -> add n (fixed (mk 2 ~res:(from [ 1 ]) ~sinks:[ (0, Alloc) ])))
+    [ "Bytes.make"; "String.make"; "Array.make"; "Array.create_float"; "Array.init"; "List.init"; "String.init"; "Bytes.init" ];
+  (* Representation changes keep taint *)
+  List.iter
+    (fun n -> add n (fixed (mk 1 ~res:(from [ 0 ]))))
+    [
+      "Bytes.to_string";
+      "Bytes.of_string";
+      "Bytes.unsafe_to_string";
+      "Bytes.unsafe_of_string";
+      "Bytes.copy";
+      "String.copy";
+      "Array.copy";
+      "Buffer.contents";
+      "Buffer.to_bytes";
+      "Char.code";
+      "Char.chr";
+      "Char.lowercase_ascii";
+      "Char.uppercase_ascii";
+    ];
+  (* Formatting propagates every argument's taint into the result. *)
+  let all_args n = from (List.init n (fun i -> i)) in
+  List.iter
+    (fun n -> add n (fun nargs -> mk nargs ~res:(all_args nargs)))
+    [ "Printf.sprintf"; "Format.asprintf"; "Format.sprintf"; "string_of_int"; "string_of_float" ];
+  (* Terminal/channel/socket writes are observable output. *)
+  let output_all nargs = mk nargs ~sinks:(List.init nargs (fun i -> (i, Output))) in
+  List.iter (fun n -> add n output_all)
+    [
+      "print_string";
+      "print_bytes";
+      "print_endline";
+      "print_char";
+      "print_int";
+      "prerr_string";
+      "prerr_bytes";
+      "prerr_endline";
+      "Printf.printf";
+      "Printf.eprintf";
+      "Printf.fprintf";
+      "Format.printf";
+      "Format.eprintf";
+      "Format.fprintf";
+      "output_string";
+      "output_bytes";
+      "output_char";
+      "Out_channel.output_string";
+      "Out_channel.output_bytes";
+      "Unix.write";
+      "Unix.single_write";
+      "Unix.write_substring";
+      "Unix.send";
+      "Unix.sendto";
+    ]
+
+let builtin name nargs =
+  match Hashtbl.find_opt builtin_table name with
+  | Some f -> Some { cname = name; csummary = f nargs }
+  | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* Evaluator                                                           *)
+
+type hooks = {
+  resolve : Longident.t -> int -> callee option;
+  secret_label : string -> bool;
+  emit : Location.t -> tag:string -> string -> unit;
+}
+
+type fn_info = {
+  params : (string * Parsetree.pattern) list;
+  body : Parsetree.expression;
+  secret_params : int list;
+}
+
+module Smap = Map.Make (String)
+
+(* Mutable per-evaluation state: flow-insensitive taints of let-bound
+   mutable containers, accumulated parameter sinks, and whether the
+   store map changed (drives the inner fixpoint). *)
+type state = {
+  hooks : hooks;
+  stores : (string, t) Hashtbl.t;
+  mutable psinks : (int * sink) list;
+  mutable changed : bool;
+  mutable report : bool;
+}
+
+let store st name taint =
+  let old = Option.value (Hashtbl.find_opt st.stores name) ~default:public in
+  let merged = join old taint in
+  if not (equal old merged) then begin
+    Hashtbl.replace st.stores name merged;
+    st.changed <- true
+  end
+
+let stored st name = Option.value (Hashtbl.find_opt st.stores name) ~default:public
+
+(* A secret-derived value reaches a sink: report (final pass) and record
+   the parameter dependencies for the function's summary. *)
+let sink_here st (loc : Location.t) sk taint ~ctx =
+  if st.report && is_secret taint then begin
+    let msg =
+      match ctx with
+      | None ->
+          let what =
+            match sk with
+            | Branch -> "conditional control flow"
+            | Index -> "memory index"
+            | Alloc -> "allocation size"
+            | Loop_bound -> "loop bound"
+            | Output -> "observable output (wire/disk/log)"
+          in
+          Printf.sprintf
+            "secret-dependent %s; make the flow oblivious (Crypto.Ct, fixed shape) or add \
+             [@lint.declassify \"why\"]"
+            what
+      | Some callee ->
+          Printf.sprintf
+            "secret value flows into %s inside %s; make the flow oblivious or add \
+             [@lint.declassify \"why\"]"
+            (sink_doc sk) callee
+    in
+    st.hooks.emit loc ~tag:(sink_tag sk) msg
+  end;
+  Iset.iter (fun i -> if not (List.mem (i, sk) st.psinks) then st.psinks <- (i, sk) :: st.psinks) taint.deps
+
+let check_declassify st attrs =
+  match declassify_reason attrs with
+  | Some (_, Some _) -> true
+  | Some (loc, None) ->
+      if st.report then
+        st.hooks.emit loc ~tag:"declassify-missing-reason"
+          "[@lint.declassify] requires a justification string naming the leakage-model clause \
+           that permits the flow";
+      true
+  | None -> false
+
+(* All variable names bound by a pattern (with [@secret] overriding the
+   bound taint). *)
+let rec bind_pattern env (p : Parsetree.pattern) taint =
+  let taint = if has_attr "secret" p.ppat_attributes then secret else taint in
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> Smap.add txt taint env
+  | Ppat_alias (p', { txt; _ }) -> bind_pattern (Smap.add txt taint env) p' taint
+  | Ppat_constraint (p', _) | Ppat_lazy p' | Ppat_exception p' | Ppat_open (_, p') ->
+      bind_pattern env p' taint
+  | Ppat_tuple ps | Ppat_array ps -> List.fold_left (fun e p' -> bind_pattern e p' taint) env ps
+  | Ppat_construct (_, Some (_, p')) | Ppat_variant (_, Some p') -> bind_pattern env p' taint
+  | Ppat_record (fields, _) ->
+      List.fold_left (fun e (_, p') -> bind_pattern e p' taint) env fields
+  | Ppat_or (a, b) -> bind_pattern (bind_pattern env a taint) b taint
+  | _ -> env
+
+(* Does this pattern discriminate (could fail to match)?  Multi-case
+   matches always branch; a single irrefutable destructuring does not. *)
+let rec refutable (p : Parsetree.pattern) =
+  match p.ppat_desc with
+  | Ppat_any | Ppat_var _ -> false
+  | Ppat_alias (p', _) | Ppat_constraint (p', _) | Ppat_lazy p' | Ppat_open (_, p') ->
+      refutable p'
+  | Ppat_tuple ps -> List.exists refutable ps
+  | Ppat_record (fields, _) -> List.exists (fun (_, p') -> refutable p') fields
+  | _ -> true
+
+let rec strip_fun (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_constraint (e', _) | Pexp_newtype (_, e') | Pexp_coerce (e', _, _) -> strip_fun e'
+  | _ -> e
+
+(* Match call-site arguments to callee parameter positions by label,
+   unlabeled arguments filling unlabeled slots in order. *)
+let match_args labels (args : (Asttypes.arg_label * 'a) list) : (int option * 'a) list =
+  let n = List.length labels in
+  let used = Array.make (max n 1) false in
+  let labels = Array.of_list labels in
+  let find_label l =
+    let rec go i =
+      if i >= n then None
+      else if (not used.(i)) && String.equal labels.(i) l then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let next_unlabeled () =
+    let rec go i =
+      if i >= n then None else if (not used.(i)) && labels.(i) = "" then Some i else go (i + 1)
+    in
+    go 0
+  in
+  List.map
+    (fun (lbl, a) ->
+      let slot =
+        match lbl with
+        | Asttypes.Nolabel -> next_unlabeled ()
+        | Asttypes.Labelled l | Asttypes.Optional l -> find_label l
+      in
+      (match slot with Some i -> used.(i) <- true | None -> ());
+      (slot, a))
+    args
+
+(* Higher-order iteration helpers whose first closure parameter is a
+   public position/index, not an element. *)
+let hof_index_first =
+  [ "List.iteri"; "List.mapi"; "List.filteri"; "Array.iteri"; "Array.mapi"; "String.iteri"; "Bytes.iteri" ]
+
+(* Stores into let-bound mutable containers: (function, container arg,
+   value args).  Field-based containers are handled by [@secret] labels
+   instead (see DESIGN.md §16). *)
+let store_fns =
+  [
+    ("Hashtbl.replace", 0, [ 2 ]);
+    ("Hashtbl.add", 0, [ 2 ]);
+    ("Array.set", 0, [ 2 ]);
+    ("Array.unsafe_set", 0, [ 2 ]);
+    ("Bytes.set", 0, [ 2 ]);
+    ("Bytes.unsafe_set", 0, [ 2 ]);
+    ("Bytes.blit", 2, [ 0 ]);
+    ("Bytes.blit_string", 2, [ 0 ]);
+    ("String.blit", 2, [ 0 ]);
+    ("Array.blit", 2, [ 0 ]);
+    ("Bytes.fill", 0, [ 3 ]);
+    ("Buffer.add_string", 0, [ 1 ]);
+    ("Buffer.add_bytes", 0, [ 1 ]);
+    ("Buffer.add_char", 0, [ 1 ]);
+    ("Buffer.add_subbytes", 0, [ 1 ]);
+    ("Buffer.add_substring", 0, [ 1 ]);
+    ("Queue.add", 1, [ 0 ]);
+    ("Queue.push", 1, [ 0 ]);
+    ("Stack.push", 1, [ 0 ]);
+  ]
+
+let rec lid_str = function
+  | Longident.Lident s -> s
+  | Longident.Ldot (l, s) -> lid_str l ^ "." ^ s
+  | Longident.Lapply (a, b) -> lid_str a ^ "(" ^ lid_str b ^ ")"
+
+let last_comp = function
+  | Longident.Lident s -> s
+  | Longident.Ldot (_, s) -> s
+  | Longident.Lapply _ -> ""
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal prefix (String.sub s 0 (String.length prefix))
+
+let norm s = if starts_with ~prefix:"Stdlib." s then String.sub s 7 (String.length s - 7) else s
+
+(* The base ident of a container expression, for store tracking: only
+   direct let-bound names ([buf], not [t.field]). *)
+let base_local (e : Parsetree.expression) =
+  match (strip_fun e).pexp_desc with
+  | Pexp_ident { txt = Longident.Lident n; _ } -> Some n
+  | _ -> None
+
+let rec eval st env (e : Parsetree.expression) : t =
+  let raw = eval_desc st env e in
+  if has_attr "secret" e.pexp_attributes then secret
+  else if check_declassify st e.pexp_attributes then public
+  else raw
+
+and eval_desc st env (e : Parsetree.expression) : t =
+  match e.pexp_desc with
+  | Pexp_constant _ | Pexp_unreachable -> public
+  | Pexp_ident { txt = Longident.Lident n; _ } when Smap.mem n env ->
+      join (Smap.find n env) (stored st n)
+  | Pexp_ident { txt; _ } -> (
+      match st.hooks.resolve txt 0 with
+      | Some { csummary = { arity = 0; result; _ }; _ } -> { sec = result.sec; deps = Iset.empty }
+      | Some _ | None -> public)
+  | Pexp_let (_, vbs, body) ->
+      let env' =
+        List.fold_left
+          (fun acc (vb : Parsetree.value_binding) ->
+            let taint = eval st env vb.pvb_expr in
+            let taint =
+              if has_attr "secret" vb.pvb_attributes then secret
+              else if check_declassify st vb.pvb_attributes then public
+              else taint
+            in
+            bind_pattern acc vb.pvb_pat taint)
+          env vbs
+      in
+      eval st env' body
+  | Pexp_fun _ | Pexp_function _ -> eval_lambda st env ~param_taints:[ public ] e
+  | Pexp_apply (fn, args) -> eval_apply st env e fn args
+  | Pexp_match (scrut, cases) ->
+      let t = eval st env scrut in
+      let discriminates =
+        List.length cases > 1
+        || List.exists (fun (c : Parsetree.case) -> refutable c.pc_lhs || c.pc_guard <> None) cases
+      in
+      if discriminates then sink_here st scrut.pexp_loc Branch t ~ctx:None;
+      eval_cases st env cases t
+  | Pexp_try (body, cases) ->
+      let t = eval st env body in
+      join t (eval_cases st env cases public)
+  | Pexp_ifthenelse (c, th, el) ->
+      let ct = eval st env c in
+      sink_here st c.pexp_loc Branch ct ~ctx:None;
+      let tt = eval st env th in
+      let et = match el with Some e' -> eval st env e' | None -> public in
+      join tt et
+  | Pexp_while (c, body) ->
+      let ct = eval st env c in
+      sink_here st c.pexp_loc Branch ct ~ctx:None;
+      ignore (eval st env body);
+      public
+  | Pexp_for (pat, lo, hi, _, body) ->
+      let lt = eval st env lo and ht = eval st env hi in
+      sink_here st lo.pexp_loc Loop_bound lt ~ctx:None;
+      sink_here st hi.pexp_loc Loop_bound ht ~ctx:None;
+      ignore (eval st (bind_pattern env pat public) body);
+      public
+  | Pexp_tuple es | Pexp_array es -> joins (List.map (eval st env) es)
+  | Pexp_construct (_, arg) | Pexp_variant (_, arg) -> (
+      match arg with Some a -> eval st env a | None -> public)
+  | Pexp_record (fields, base) ->
+      (* [@secret]-labelled fields do not taint the record value: their
+         taint is re-acquired at every field read instead, keeping a
+         cipher handle from poisoning everything that carries it. *)
+      let ft =
+        List.map
+          (fun ((lid : _ Location.loc), fe) ->
+            let t = eval st env fe in
+            if st.hooks.secret_label (last_comp lid.txt) then public else t)
+          fields
+      in
+      let bt = match base with Some b -> eval st env b | None -> public in
+      joins (bt :: ft)
+  | Pexp_field (r, lid) ->
+      let rt = eval st env r in
+      if st.hooks.secret_label (last_comp lid.txt) then join secret rt else rt
+  | Pexp_setfield (r, _, v) ->
+      let vt = eval st env v in
+      (match base_local r with Some n -> store st n vt | None -> ());
+      ignore (eval st env r);
+      public
+  | Pexp_sequence (a, b) ->
+      ignore (eval st env a);
+      eval st env b
+  | Pexp_assert c ->
+      let ct = eval st env c in
+      sink_here st c.pexp_loc Branch ct ~ctx:None;
+      public
+  | Pexp_constraint (e', _) | Pexp_coerce (e', _, _) | Pexp_newtype (_, e') | Pexp_lazy e'
+  | Pexp_open (_, e') | Pexp_letexception (_, e') ->
+      eval st env e'
+  | Pexp_letmodule (_, _, e') -> eval st env e'
+  | Pexp_send (e', _) -> eval st env e'
+  | Pexp_extension _ | Pexp_object _ | Pexp_pack _ | Pexp_new _ | Pexp_override _
+  | Pexp_setinstvar _ | Pexp_letop _ | Pexp_poly _ ->
+      public
+
+and eval_cases st env cases scrut_taint =
+  joins
+    (List.map
+       (fun (c : Parsetree.case) ->
+         let env' = bind_pattern env c.pc_lhs scrut_taint in
+         (match c.pc_guard with
+         | Some g ->
+             let gt = eval st env' g in
+             sink_here st g.pexp_loc Branch gt ~ctx:None
+         | None -> ());
+         eval st env' c.pc_rhs)
+       cases)
+
+(* Evaluate a lambda value.  [param_taints] supplies the taints of its
+   parameters in order (last one repeated); the default is public, the
+   higher-order heuristic passes the surrounding call's argument join. *)
+and eval_lambda st env ~param_taints (e : Parsetree.expression) : t =
+  let rec go env taints (e : Parsetree.expression) =
+    let hd, tl =
+      match taints with [] -> (public, []) | [ t ] -> (t, [ t ]) | t :: r -> (t, r)
+    in
+    match e.pexp_desc with
+    | Pexp_fun (_, dflt, pat, body) ->
+        (match dflt with Some d -> ignore (eval st env d) | None -> ());
+        go (bind_pattern env pat hd) tl body
+    | Pexp_function cases -> eval_cases st env cases hd
+    | Pexp_constraint (e', _) | Pexp_newtype (_, e') -> go env taints e'
+    | _ -> eval st env e
+  in
+  go env param_taints e
+
+and eval_apply st env (e : Parsetree.expression) fn args =
+  let fname =
+    match (strip_fun fn).pexp_desc with
+    | Pexp_ident { txt; _ } -> Some (norm (lid_str txt), txt)
+    | _ -> None
+  in
+  match fname with
+  | Some ("|>", _) -> (
+      match args with
+      | [ (_, x); (_, f) ] -> eval_apply st env e f [ (Asttypes.Nolabel, x) ]
+      | _ -> joins (List.map (fun (_, a) -> eval st env a) args))
+  | Some ("@@", _) -> (
+      match args with
+      | [ (_, f); (_, x) ] -> eval_apply st env e f [ (Asttypes.Nolabel, x) ]
+      | _ -> joins (List.map (fun (_, a) -> eval st env a) args))
+  | Some (":=", _) -> (
+      match args with
+      | [ (_, lhs); (_, rhs) ] ->
+          let rt = eval st env rhs in
+          (match base_local lhs with Some n -> store st n rt | None -> ());
+          ignore (eval st env lhs);
+          public
+      | _ -> public)
+  | Some ("!", _) -> (
+      match args with
+      | [ (_, r) ] ->
+          let t = eval st env r in
+          (match base_local r with Some n -> join t (stored st n) | None -> t)
+      | _ -> public)
+  | Some ("ignore", _) ->
+      List.iter (fun (_, a) -> ignore (eval st env a)) args;
+      public
+  | Some (raw, lid) -> (
+      (* Track stores through known container mutators, whatever else
+         the call resolves to. *)
+      (match List.find_opt (fun (n, _, _) -> String.equal n raw) store_fns with
+      | Some (_, ci, vis) -> (
+          let arr = Array.of_list (List.map snd args) in
+          match if ci < Array.length arr then base_local arr.(ci) else None with
+          | Some n ->
+              List.iter
+                (fun vi -> if vi < Array.length arr then store st n (eval st env arr.(vi)))
+                vis
+          | None -> ())
+      | None -> ());
+      match st.hooks.resolve lid (List.length args) with
+      | Some callee -> apply_callee st env callee args
+      | None -> eval_unknown st env ~raw:(Some raw) args)
+  | None ->
+      let ft = eval st env fn in
+      join ft (eval_unknown st env ~raw:None args)
+
+(* Known callee: instantiate the summary with argument taints, flag
+   arguments that reach a sink inside the callee. *)
+and apply_callee st env callee args =
+  let s = callee.csummary in
+  (* Lambda arguments are still evaluated for their interior flows,
+     with public parameters. *)
+  let matched = match_args s.labels args in
+  let arg_taints = List.map (fun (slot, a) -> (slot, a, eval st env a)) matched in
+  List.iter
+    (fun (slot, (a : Parsetree.expression), at) ->
+      match slot with
+      | Some i ->
+          List.iter
+            (fun (j, sk) -> if j = i then sink_here st a.pexp_loc sk at ~ctx:(Some callee.cname))
+            s.sinks
+      | None -> ())
+    arg_taints;
+  let base = if s.result.sec then secret else public in
+  List.fold_left
+    (fun acc (slot, _, at) ->
+      match slot with
+      | Some i when Iset.mem i s.result.deps -> join acc at
+      | Some _ -> acc
+      | None -> join acc at)
+    base arg_taints
+
+(* Unknown callee: result joins every argument; syntactic lambdas are
+   evaluated with their parameters bound to the other arguments' join
+   (index-first helpers keep their counter public). *)
+and eval_unknown st env ~raw args =
+  let is_lambda a =
+    match (strip_fun a).pexp_desc with Pexp_fun _ | Pexp_function _ -> true | _ -> false
+  in
+  let plain =
+    List.filter_map (fun (_, a) -> if is_lambda a then None else Some (eval st env a)) args
+  in
+  let lamt = joins plain in
+  let index_first = match raw with Some r -> List.mem r hof_index_first | None -> false in
+  let lam_taints =
+    List.filter_map
+      (fun (_, a) ->
+        if is_lambda a then
+          Some
+            (eval_lambda st env
+               ~param_taints:(if index_first then [ public; lamt ] else [ lamt ])
+               a)
+        else None)
+      args
+  in
+  joins (lamt :: lam_taints)
+
+(* ------------------------------------------------------------------ *)
+
+let eval_function hooks ~reporting (fn : fn_info) =
+  let st =
+    { hooks; stores = Hashtbl.create 8; psinks = []; changed = false; report = false }
+  in
+  let nparams = List.length fn.params in
+  (* A trailing [= function cases] body is one more (anonymous)
+     parameter, matched immediately. *)
+  let trailing_cases =
+    match (strip_fun fn.body).pexp_desc with Pexp_function cases -> Some cases | _ -> None
+  in
+  let param_taint i = if List.mem i fn.secret_params then secret else param i in
+  let bind_params () =
+    List.fold_left
+      (fun (i, env) (_, pat) -> (i + 1, bind_pattern env pat (param_taint i)))
+      (0, Smap.empty) fn.params
+    |> snd
+  in
+  let eval_body () =
+    let env = bind_params () in
+    match trailing_cases with
+    | Some cases ->
+        let discriminates =
+          List.length cases > 1
+          || List.exists
+               (fun (c : Parsetree.case) -> refutable c.pc_lhs || c.pc_guard <> None)
+               cases
+        in
+        (match cases with
+        | c :: _ when discriminates ->
+            sink_here st c.pc_lhs.ppat_loc Branch (param_taint nparams) ~ctx:None
+        | _ -> ());
+        eval_cases st env cases (param_taint nparams)
+    | None -> eval st env fn.body
+  in
+  (* Inner fixpoint over local mutable stores; report only once stable. *)
+  let rec run n =
+    st.changed <- false;
+    st.psinks <- [];
+    let res = eval_body () in
+    if st.changed && n < 4 then run (n + 1) else res
+  in
+  let result = run 0 in
+  let result =
+    if reporting then begin
+      st.report <- true;
+      st.psinks <- [];
+      let r = eval_body () in
+      st.report <- false;
+      r
+    end
+    else result
+  in
+  let arity, labels =
+    match trailing_cases with
+    | Some _ -> (nparams + 1, List.map fst fn.params @ [ "" ])
+    | None -> (nparams, List.map fst fn.params)
+  in
+  { arity; labels; result; sinks = List.sort_uniq compare st.psinks }

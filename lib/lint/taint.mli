@@ -1,0 +1,106 @@
+(** The secret-flow lattice and abstract evaluator behind rule R11
+    ([secret-flow], {!Callgraph}).
+
+    A taint value abstracts what a runtime value may derive from: the
+    [secret] bit says "derives from a [\@secret] source", and [deps]
+    names the enclosing function's parameters that flow into it.  The
+    two components make one summary-based interprocedural analysis: a
+    function body is evaluated once with each parameter bound to its
+    own symbolic {!param} taint, producing a {!summary} that callers
+    instantiate with their argument taints (see DESIGN.md §16).
+
+    Lengths are public by design: the leakage profile
+    [L(DB) = {Size(DB), FD(DB)}] already discloses every size, so
+    [String.length]-shaped builtins return {!public} and the analysis
+    does not flag branches on them. *)
+
+type t
+(** An abstract taint: secret bit + set of parameter dependencies. *)
+
+val public : t
+val secret : t
+
+val param : int -> t
+(** The symbolic taint of the [i]-th parameter of the function under
+    analysis. *)
+
+val join : t -> t -> t
+val joins : t list -> t
+val is_secret : t -> bool
+val equal : t -> t -> bool
+
+(** Sink classes of the obliviousness contract: places where a
+    secret-derived value would make the execution trace (or an
+    observable output) depend on plaintext, key material, or stash
+    content. *)
+type sink = Branch | Index | Alloc | Loop_bound | Output
+
+val sink_tag : sink -> string
+(** Stable finding tag: ["branch"], ["index"], ["alloc"],
+    ["loop-bound"], ["output"]. *)
+
+val sink_doc : sink -> string
+(** Human phrase for messages, e.g. ["conditional control flow"]. *)
+
+type summary = {
+  arity : int;
+  labels : string list;  (** per-parameter label name, [""] if unlabeled *)
+  result : t;  (** result taint in terms of {!param} symbols *)
+  sinks : (int * sink) list;  (** parameters that reach a sink in the body *)
+}
+
+val summary_equal : summary -> summary -> bool
+val bottom_summary : arity:int -> labels:string list -> summary
+
+val summary_force_secret : summary -> summary
+(** [\@secret] on the declaration: the result is secret whatever the
+    body computes. *)
+
+val summary_declassify : summary -> summary
+(** [\@lint.declassify]: the function is an audited boundary — callers
+    see a public result and no parameter sinks. *)
+
+(** What a call site knows about its callee. *)
+type callee = { cname : string; csummary : summary }
+
+val builtin : string -> int -> callee option
+(** [builtin name nargs] — summary for a stdlib function, keyed on the
+    normalised dotted path (["Bytes.get"]).  Encodes the sink positions
+    of container indexing/allocation, the public-length rule, and plain
+    argument-to-result propagation.  [None] for unknown functions. *)
+
+type hooks = {
+  resolve : Longident.t -> int -> callee option;
+      (** [resolve lid nargs] — project-level resolution: tree-wide
+          function table, sanitizer and output prefixes, then
+          {!builtin}. *)
+  secret_label : string -> bool;
+      (** Is this record label declared [\@secret] anywhere in the
+          tree?  Reads of such fields are secret; record literals drop
+          their taint (re-acquired at every read). *)
+  emit : Location.t -> tag:string -> string -> unit;
+      (** Report a finding (only called when evaluating with
+          [~reporting:true]). *)
+}
+
+type fn_info = {
+  params : (string * Parsetree.pattern) list;  (** (label, pattern) *)
+  body : Parsetree.expression;
+  secret_params : int list;  (** positions forced secret by [\@secret] *)
+}
+
+val eval_function : hooks -> reporting:bool -> fn_info -> summary
+(** Abstractly evaluate one function body.  Mutable local stores
+    (refs, [Bytes.set], [Hashtbl.replace] on let-bound containers) are
+    tracked flow-insensitively by re-evaluating to an inner fixpoint;
+    findings are emitted only on the final pass and only when
+    [reporting]. *)
+
+val has_attr : string -> Parsetree.attributes -> bool
+(** [has_attr name attrs] — does an attribute named [name] (or
+    ["lint." ^ name]) appear? *)
+
+val declassify_reason : Parsetree.attributes -> (Location.t * string option) option
+(** The [[\@lint.declassify]] attribute, if present, with its
+    justification string ([None] when the payload is missing or not a
+    string literal — itself a finding, tag [declassify-missing-reason]). *)

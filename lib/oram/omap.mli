@@ -50,11 +50,11 @@ val node_len : config -> int
 
 val create : config -> backing -> t
 
-val find : t -> string -> string option
-val insert : t -> string -> string -> unit
+val find : t -> string -> string option [@@lint.declassify "ORAM boundary: the server-visible trace is independent of key and payload (audited in the implementation); results are the trusted client's own plaintext"]
+val insert : t -> string -> string -> unit [@@lint.declassify "ORAM boundary: the server-visible trace is independent of key and payload (audited in the implementation); results are the trusted client's own plaintext"]
 (** Insert or replace. *)
 
-val delete : t -> string -> unit
+val delete : t -> string -> unit [@@lint.declassify "ORAM boundary: the server-visible trace is independent of key and payload (audited in the implementation); results are the trusted client's own plaintext"]
 val size : t -> int
 val client_state_bytes : t -> int
 
@@ -64,7 +64,7 @@ val accesses_per_op : t -> int
 val check_invariants : t -> bool
 (** Walks the whole tree (test use): BST order, AVL balance, size. *)
 
-val to_sorted_list : t -> (string * string) list
+val to_sorted_list : t -> (string * string) list [@@lint.declassify "ORAM boundary: the server-visible trace is independent of key and payload (audited in the implementation); results are the trusted client's own plaintext"]
 (** In-order contents (test use; not oblivious). *)
 
 val destroy : t -> unit

@@ -20,7 +20,7 @@ type t = {
   cipher : Crypto.Cell_cipher.t;
   rand_int : int -> int;
   pos : (string, int) Hashtbl.t; (* key -> leaf *)
-  stash : (string, string) Hashtbl.t; (* key -> payload *)
+  stash : (string, string) Hashtbl.t; [@secret] (* key -> payload; decrypted block plaintext *)
   mutable max_stash : int;
   mutable overflows : int;
   mutable accesses : int;
@@ -106,7 +106,13 @@ let fetch_path t leaf =
   let cs = Servsim.Block_store.read_many t.store (path_slots t leaf) in
   List.iter
     (fun pt ->
-      match decode_block t.cfg pt with
+      match
+        decode_block t.cfg
+          (pt
+          [@lint.declassify
+            "client-local stash refill: every block of the fetched path is decoded; \
+             the trace is the fixed path-slot schedule"])
+      with
       | None -> ()
       | Some (key, payload) -> Hashtbl.replace t.stash key payload)
     (Crypto.Cell_cipher.decrypt_many t.cipher cs)
@@ -128,7 +134,12 @@ let evict_path t leaf =
        Hashtbl.iter
          (fun key payload ->
            if !count >= z then raise Exit;
-           match Hashtbl.find_opt t.pos key with
+           match
+             (Hashtbl.find_opt t.pos key
+             [@lint.declassify
+               "greedy eviction fills the fetched path's fixed Z slots per bucket; the written \
+                slot set is the whole path regardless of which stash blocks are chosen"])
+           with
            | Some l when node_at t ~leaf:l ~lev = bucket ->
                chosen := (key, payload) :: !chosen;
                incr count
@@ -172,7 +183,12 @@ let access t ~key update =
     | None -> t.rand_int t.leaves
   in
   fetch_path t leaf;
-  let old = Hashtbl.find_opt t.stash key in
+  let old =
+    (Hashtbl.find_opt t.stash key
+    [@lint.declassify
+      "client-local stash hit check; the surrounding fetch/evict trace is one full\
+        path either way"])
+  in
   (match update old with
   | Some v ->
       if String.length v <> t.cfg.payload_len then

@@ -28,11 +28,11 @@ val setup :
     uniform integer in [[0, bound)] — pass {!Crypto.Rng.int} or
     {!Crypto.Ctr_prg.int} partially applied. *)
 
-val access : t -> key:string -> (string option -> string option) -> string option
+val access : t -> key:string -> (string option -> string option) -> string option [@@lint.declassify "ORAM boundary: the server-visible trace is independent of key and payload (audited in the implementation); results are the trusted client's own plaintext"]
 val dummy_access : t -> unit
-val read : t -> key:string -> string option
-val write : t -> key:string -> string -> unit
-val remove : t -> key:string -> unit
+val read : t -> key:string -> string option [@@lint.declassify "ORAM boundary: the server-visible trace is independent of key and payload (audited in the implementation); results are the trusted client's own plaintext"]
+val write : t -> key:string -> string -> unit [@@lint.declassify "ORAM boundary: the server-visible trace is independent of key and payload (audited in the implementation); results are the trusted client's own plaintext"]
+val remove : t -> key:string -> unit [@@lint.declassify "ORAM boundary: the server-visible trace is independent of key and payload (audited in the implementation); results are the trusted client's own plaintext"]
 
 val live_blocks : t -> int
 val client_state_bytes : t -> int

@@ -30,10 +30,10 @@ type config = {
 val setup :
   name:string -> config -> Servsim.Server.t -> Crypto.Cell_cipher.t -> (int -> int) -> t
 
-val access : t -> key:int -> (string option -> string option) -> string option
-val read : t -> key:int -> string option
-val write : t -> key:int -> string -> unit
-val remove : t -> key:int -> unit
+val access : t -> key:int -> (string option -> string option) -> string option [@@lint.declassify "ORAM boundary: the server-visible trace is independent of key and payload (audited in the implementation); results are the trusted client's own plaintext"]
+val read : t -> key:int -> string option [@@lint.declassify "ORAM boundary: the server-visible trace is independent of key and payload (audited in the implementation); results are the trusted client's own plaintext"]
+val write : t -> key:int -> string -> unit [@@lint.declassify "ORAM boundary: the server-visible trace is independent of key and payload (audited in the implementation); results are the trusted client's own plaintext"]
+val remove : t -> key:int -> unit [@@lint.declassify "ORAM boundary: the server-visible trace is independent of key and payload (audited in the implementation); results are the trusted client's own plaintext"]
 
 val recursion_depth : t -> int
 (** Number of ORAM trees (data tree + map trees). *)

@@ -1,0 +1,1 @@
+let equal (a : string) b = String.equal a b

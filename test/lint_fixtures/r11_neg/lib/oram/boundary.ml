@@ -1,0 +1,1 @@
+let fetch c = Dec.open_cell c

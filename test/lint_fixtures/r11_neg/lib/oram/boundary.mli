@@ -1,0 +1,1 @@
+val fetch : string -> string [@@lint.declassify "fixture: audited boundary"]

@@ -1,0 +1,1 @@
+let f c = Crypto.Ct.equal (Dec.open_cell c) "x"

@@ -1,0 +1,1 @@
+let open_cell c = c

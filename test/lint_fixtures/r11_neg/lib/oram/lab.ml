@@ -1,0 +1,3 @@
+type t = { w : string [@secret] }
+
+let set t v = { t with w = v }

@@ -1,0 +1,4 @@
+(* Lengths are public under Size(DB): none of these flows may fire. *)
+let f a c = a.(String.length (Dec.open_cell c))
+let g c = Bytes.create (String.length (Dec.open_cell c))
+let h c = Servsim.Wire.put (String.length (Dec.open_cell c))

@@ -1,0 +1,4 @@
+let f c =
+  if (Dec.open_cell c = "x") [@lint.declassify "fixture: flow audited in the test corpus"]
+  then 1
+  else 0

@@ -1,0 +1,1 @@
+let h c = if Boundary.fetch c = "" then 1 else 0

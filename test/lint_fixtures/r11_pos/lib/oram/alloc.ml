@@ -1,0 +1,1 @@
+let f c = Bytes.create (Char.code (Dec.open_cell c).[0])

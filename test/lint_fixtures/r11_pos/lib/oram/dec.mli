@@ -1,0 +1,1 @@
+val open_cell : string -> string [@@secret]

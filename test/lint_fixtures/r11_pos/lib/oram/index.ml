@@ -1,0 +1,1 @@
+let f a c = a.(Char.code (Dec.open_cell c).[0])

@@ -1,0 +1,3 @@
+type t = { w : string [@secret] }
+
+let f t = if t.w = "" then 1 else 0

@@ -1,0 +1,4 @@
+let f c =
+  for i = 0 to Char.code (Dec.open_cell c).[0] do
+    ignore i
+  done

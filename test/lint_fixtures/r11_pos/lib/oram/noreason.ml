@@ -1,0 +1,1 @@
+let f c = if (Dec.open_cell c = "x") [@lint.declassify] then 1 else 0

@@ -1,0 +1,1 @@
+let f c = Servsim.Wire.put (Dec.open_cell c)

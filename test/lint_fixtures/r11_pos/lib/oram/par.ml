@@ -1,0 +1,1 @@
+let g s = if s = "" then 0 else 1

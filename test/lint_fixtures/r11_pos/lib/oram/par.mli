@@ -1,0 +1,1 @@
+val g : (string[@secret]) -> int
