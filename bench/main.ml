@@ -22,11 +22,12 @@ let experiments =
     ("service", "multi-tenant daemon load harness", Exp_service.run);
     ("store", "disk-backed tenant store churn harness", Exp_store.run);
     ("dynamic", "streaming dynamic-FD session load harness", Exp_dynamic.run);
+    ("oram", "ORAM treetop-cache sweep", Exp_oram.run);
   ]
 
 let default_set =
   [ "table1"; "table2"; "table3"; "fig4"; "fig5"; "fig6a"; "fig6b"; "fig7"; "ablation"; "micro";
-    "service"; "store"; "dynamic" ]
+    "service"; "store"; "dynamic"; "oram" ]
 
 let usage () =
   prerr_endline "usage: main.exe [--full] [--smoke] [experiment ...]";

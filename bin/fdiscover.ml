@@ -25,8 +25,8 @@ let method_of_string = function
   | "ex-oram" -> Core.Protocol.Ex_oram
   | other -> invalid_arg (Printf.sprintf "unknown method %S" other)
 
-let run dataset csv rows seed method_name max_lhs enclave baseline det_baseline epsilon
-    remote verbose debug =
+let run dataset csv rows seed method_name max_lhs cache_levels enclave baseline det_baseline
+    epsilon remote verbose debug =
   if debug then begin
     Logs.set_reporter (Logs.format_reporter ());
     Logs.Src.set_level Core.Log.src (Some Logs.Debug)
@@ -59,8 +59,9 @@ let run dataset csv rows seed method_name max_lhs enclave baseline det_baseline 
       match epsilon with
       | Some epsilon ->
           let r =
-            Core.Protocol.discover_approx ~seed ?max_lhs ~epsilon
-              (method_of_string method_name) table
+            Core.Protocol.discover_approx ~seed ?max_lhs
+              ~oram_cache_levels:cache_levels ~epsilon (method_of_string method_name)
+              table
           in
           Format.printf "Secure %g-approximate FD discovery (%s): %d FDs.@." epsilon
             method_name
@@ -77,9 +78,11 @@ let run dataset csv rows seed method_name max_lhs enclave baseline det_baseline 
                 ~finally:(fun () -> Servsim.Remote.close conn)
                 (fun () ->
                   Core.Protocol.discover ~seed ?max_lhs ~remote:conn
-                    (method_of_string method_name) table)
+                    ~oram_cache_levels:cache_levels (method_of_string method_name) table)
             end
-            else Core.Protocol.discover ~seed ?max_lhs (method_of_string method_name) table
+            else
+              Core.Protocol.discover ~seed ?max_lhs ~oram_cache_levels:cache_levels
+                (method_of_string method_name) table
           in
           let report = discover_once () in
           Format.printf "Secure FD discovery (%s%s%s): %d minimal FDs.@."
@@ -124,6 +127,14 @@ let max_lhs =
   Arg.(value & opt (some int) None
        & info [ "max-lhs" ] ~docv:"K" ~doc:"Cap left-hand-side size (lattice depth).")
 
+let cache_levels =
+  Arg.(value & opt int 0
+       & info [ "oram-cache-levels" ] ~docv:"K"
+           ~doc:"Keep the top $(docv) levels of every ORAM tree decrypted client-side \
+                 (treetop caching): fewer and smaller wire frames for more client \
+                 memory.  0 (default) disables caching; the discovered FDs are \
+                 identical either way.")
+
 let enclave =
   Arg.(value & flag & info [ "enclave" ] ~doc:"Run the Sort method in the SGX simulation.")
 
@@ -153,8 +164,8 @@ let cmd =
   let doc = "secure functional dependency discovery in outsourced databases" in
   Cmd.v
     (Cmd.info "fdiscover" ~doc)
-    Term.(ret (const run $ dataset $ csv $ rows $ seed $ method_name $ max_lhs $ enclave
-               $ baseline $ det_baseline $ epsilon $ remote $ verbose $ debug))
+    Term.(ret (const run $ dataset $ csv $ rows $ seed $ method_name $ max_lhs $ cache_levels
+               $ enclave $ baseline $ det_baseline $ epsilon $ remote $ verbose $ debug))
 
 let () =
   Servsim.Remote_server.maybe_serve_child ();

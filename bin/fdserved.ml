@@ -291,8 +291,11 @@ let selftest domains =
   `Ok ()
 
 let run unix_path tcp max_conns idle_timeout drain_grace domains backend data_dir
-    max_resident verbose do_selftest =
+    max_resident oram_cache_levels verbose do_selftest =
   try
+    (* Re-register the provider with the configured cache depth (the
+       startup install covers only the pre-parse default). *)
+    Dynserve.install ~oram_cache_levels ();
     if do_selftest then selftest domains
     else if unix_path = None && tcp = None then
       `Error (true, "need at least one of --unix / --tcp (or --selftest)")
@@ -348,6 +351,14 @@ let cmd =
          ~doc:"With --data-dir: keep at most $(docv) tenants in memory per worker, \
                LRU-evicting cold ones to disk (0 disables eviction).")
   in
+  let oram_cache_levels =
+    Arg.(value & opt int 0 & info [ "oram-cache-levels" ] ~docv:"K"
+         ~doc:"Treetop-cache depth for the ORAMs of dynamic FD sessions: the top \
+               $(docv) levels of every tree stay decrypted in the engine, trading \
+               memory for fewer, smaller store frames.  Not journaled: keep it \
+               stable across restarts of a daemon whose clients compare trace \
+               digests.")
+  in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log connection events.") in
   let do_selftest =
     Arg.(value & flag & info [ "selftest" ]
@@ -358,7 +369,8 @@ let cmd =
   in
   Cmd.v info_
     Term.(ret (const run $ unix_path $ tcp $ max_conns $ idle_timeout $ drain_grace
-               $ domains $ backend $ data_dir $ max_resident $ verbose $ do_selftest))
+               $ domains $ backend $ data_dir $ max_resident $ oram_cache_levels
+               $ verbose $ do_selftest))
 
 let () =
   (* Link the dynamic-FD engine into the request handler: without this

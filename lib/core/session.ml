@@ -5,10 +5,13 @@ type t = {
   rng : Crypto.Rng.t;
   n : int;
   m : int;
+  oram_cache_levels : int;
   mutable counter : int;
 }
 
-let create ?(seed = 0x5EC5E55) ?keep_events ?remote ~n ~m () =
+let create ?(seed = 0x5EC5E55) ?keep_events ?remote ?(oram_cache_levels = 0) ~n ~m () =
+  if oram_cache_levels < 0 then
+    invalid_arg "Session.create: oram_cache_levels must be >= 0";
   let key_rng = Crypto.Rng.create seed in
   let raw_key = Bytes.to_string (Crypto.Rng.bytes key_rng 16) in
   let iv_rng = Crypto.Rng.split key_rng in
@@ -22,6 +25,7 @@ let create ?(seed = 0x5EC5E55) ?keep_events ?remote ~n ~m () =
     rng = Crypto.Rng.split key_rng;
     n;
     m;
+    oram_cache_levels;
     counter = 0;
   }
 

@@ -43,6 +43,26 @@ let encrypt t plaintext =
   let _ = encrypt_to t plaintext out 0 in
   Bytes.unsafe_to_string out
 
+(* Same cell layout and IV stream as {!encrypt_to}, but the plaintext is
+   a [Bytes] region instead of a string — the ORAM path codec encodes
+   blocks into a reused path buffer and encrypts straight out of it, so
+   the ciphertext cell is the only allocation per block. *)
+let encrypt_from t src ~off ~len dst dst_off =
+  if off < 0 || len < 0 || off + len > Bytes.length src then
+    invalid_arg "Cell_cipher.encrypt_from: source range out of bounds";
+  let padded = (len / 16 * 16) + 16 in
+  if dst_off < 0 || dst_off + 16 + padded > Bytes.length dst then
+    invalid_arg "Cell_cipher.encrypt_from: output range out of bounds";
+  t.iv_rng t.iv;
+  Bytes.blit t.iv 0 dst dst_off 16;
+  Bytes.blit src off dst (dst_off + 16) len;
+  Bytes.fill dst (dst_off + 16 + len) (padded - len) (Char.unsafe_chr (padded - len));
+  Cbc.encrypt_blocks
+    (t.key [@lint.declassify "client-local AES; table timing is not in the server trace L(DB)"])
+    (dst [@lint.declassify "plaintext enters client-local AES here by design; only the ciphertext leaves the client"])
+    ~iv_off:dst_off ~off:(dst_off + 16) ~nblocks:(padded / 16);
+  16 + padded
+
 let check_ct ciphertext =
   let len = String.length ciphertext in
   if len < 32 then invalid_arg "Cell_cipher.decrypt: too short";

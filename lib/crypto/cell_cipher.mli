@@ -36,6 +36,15 @@ val encrypt_to : t -> string -> Bytes.t -> int -> int [@@lint.declassify "cipher
     IV randomness as {!encrypt} and produces identical bytes.
     @raise Invalid_argument if the output range is out of bounds. *)
 
+val encrypt_from : t -> Bytes.t -> off:int -> len:int -> Bytes.t -> int -> int [@@lint.declassify "ciphertext under CBC$ with fresh IVs is public by IND-CPA; it reveals only its length, i.e. Size(DB)"]
+(** [encrypt_from t src ~off ~len dst dst_off] is {!encrypt_to} with the
+    plaintext taken from the [Bytes] region [src.(off .. off+len-1)]
+    instead of a string: same cell layout, same IV stream, identical
+    ciphertext bytes for identical plaintext bytes.  Lets callers that
+    assemble plaintexts in a reused buffer (the ORAM path codec) encrypt
+    without per-block plaintext allocations.
+    @raise Invalid_argument if either range is out of bounds. *)
+
 val decrypt_to : t -> string -> Bytes.t -> int -> int
 (** [decrypt_to t ciphertext dst dst_off] decrypts the cell body into [dst]
     at [dst_off] and returns the plaintext length (padding validated and

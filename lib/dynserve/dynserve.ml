@@ -58,7 +58,7 @@ let dispatch dyn req =
   | Wire.Revalidate -> fds_reply dyn (Core.Dynamic.revalidate dyn)
   | _ -> Wire.Error "not a dynamic update verb"
 
-let begin_dynamic req =
+let begin_dynamic ?oram_cache_levels req =
   match req with
   | Wire.Begin_dynamic { seed; capacity; max_lhs; cols; rows } -> (
       if rows = [] then Result.Error "Begin_dynamic: empty table"
@@ -90,7 +90,10 @@ let begin_dynamic req =
             | Result.Ok table -> (
                 let capacity = if capacity = 0 then None else Some capacity in
                 let max_lhs = if max_lhs = 0 then None else Some max_lhs in
-                match Core.Dynamic.start ~seed:(Int64.to_int seed) ?capacity ?max_lhs table with
+                match
+                  Core.Dynamic.start ~seed:(Int64.to_int seed) ?capacity ?max_lhs
+                    ?oram_cache_levels table
+                with
                 | dyn ->
                     let d =
                       {
@@ -103,4 +106,5 @@ let begin_dynamic req =
                 | exception Invalid_argument msg -> Result.Error msg)))
   | _ -> Result.Error "not a Begin_dynamic request"
 
-let install () = Handler.set_dyn_provider begin_dynamic
+let install ?oram_cache_levels () =
+  Handler.set_dyn_provider (begin_dynamic ?oram_cache_levels)

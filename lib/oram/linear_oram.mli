@@ -15,14 +15,20 @@ type config = {
 }
 
 val setup :
-  name:string -> config -> Servsim.Server.t -> Crypto.Cell_cipher.t -> (int -> int) -> t
-(** The random source is accepted for interface parity and unused. *)
+  name:string ->
+  ?cache_levels:int ->
+  config -> Servsim.Server.t -> Crypto.Cell_cipher.t -> (int -> int) -> t
+(** The random source is accepted for interface parity and unused, as is
+    [cache_levels] (a linear scan has no tree top to cache). *)
 
 val access : t -> key:string -> (string option -> string option) -> string option [@@lint.declassify "ORAM boundary: the server-visible trace is independent of key and payload (audited in the implementation); results are the trusted client's own plaintext"]
 val dummy_access : t -> unit
 val read : t -> key:string -> string option [@@lint.declassify "ORAM boundary: the server-visible trace is independent of key and payload (audited in the implementation); results are the trusted client's own plaintext"]
 val write : t -> key:string -> string -> unit [@@lint.declassify "ORAM boundary: the server-visible trace is independent of key and payload (audited in the implementation); results are the trusted client's own plaintext"]
 val remove : t -> key:string -> unit [@@lint.declassify "ORAM boundary: the server-visible trace is independent of key and payload (audited in the implementation); results are the trusted client's own plaintext"]
+
+val flush : t -> unit
+(** No-op: the linear ORAM holds no client-side cache. *)
 
 val live_blocks : t -> int
 val client_state_bytes : t -> int

@@ -12,23 +12,28 @@ type backing = {
   remove : int -> unit;
   dummy : unit -> unit;
   client_bytes : unit -> int;
+  flush : unit -> unit;
   destroy : unit -> unit;
 }
 
-let path_oram_backing ~name ~capacity ~node_len server cipher rand =
-  let o = Path_oram.setup ~name { capacity; key_len = 8; payload_len = node_len } server cipher rand in
+let path_oram_backing ~name ~capacity ~node_len ?(cache_levels = 0) server cipher rand =
+  let o =
+    Path_oram.setup ~name ~cache_levels
+      { capacity; key_len = 8; payload_len = node_len } server cipher rand
+  in
   {
     read = (fun id -> Path_oram.read o ~key:(Relation.Codec.encode_int id));
     write = (fun id v -> Path_oram.write o ~key:(Relation.Codec.encode_int id) v);
     remove = (fun id -> Path_oram.remove o ~key:(Relation.Codec.encode_int id));
     dummy = (fun () -> Path_oram.dummy_access o);
     client_bytes = (fun () -> Path_oram.client_state_bytes o);
+    flush = (fun () -> Path_oram.flush o);
     destroy = (fun () -> Path_oram.destroy o);
   }
 
-let recursive_backing ~name ~capacity ~node_len server cipher rand =
+let recursive_backing ~name ~capacity ~node_len ?(cache_levels = 0) server cipher rand =
   let o =
-    Recursive_path_oram.setup ~name
+    Recursive_path_oram.setup ~name ~cache_levels
       { capacity; payload_len = node_len; fanout = 16; top_cutoff = 16 }
       server cipher rand
   in
@@ -42,6 +47,7 @@ let recursive_backing ~name ~capacity ~node_len server cipher rand =
            other access. *)
         ignore (Recursive_path_oram.read o ~key:0));
     client_bytes = (fun () -> Recursive_path_oram.client_state_bytes o);
+    flush = (fun () -> Recursive_path_oram.flush o);
     destroy = (fun () -> Recursive_path_oram.destroy o);
   }
 
@@ -408,5 +414,7 @@ let to_sorted_list t =
       | None -> acc
   in
   go t.root []
+
+let flush t = t.backing.flush ()
 
 let destroy t = t.backing.destroy ()

@@ -22,11 +22,16 @@ module type S = sig
   }
 
   val setup :
-    name:string -> config -> Servsim.Server.t -> Crypto.Cell_cipher.t -> (int -> int) -> t
+    name:string ->
+    ?cache_levels:int ->
+    config -> Servsim.Server.t -> Crypto.Cell_cipher.t -> (int -> int) -> t
   (** [setup ~name cfg server cipher rand_int] initialises the
       server-side encrypted memory in a block store called [name] and the
       client-side secret state.  [rand_int bound] must return a uniform
-      integer in [[0, bound)]. *)
+      integer in [[0, bound)].  [cache_levels] (default 0) asks for
+      treetop caching: the top k tree levels are held decrypted
+      client-side and accesses touch only the path suffix below them.
+      Constructions without a tree top (the linear scan) ignore it. *)
 
   val access : t -> key:string -> (string option -> string option) -> string option
   (** One oblivious access: the previous value bound to [key] (or [None])
@@ -41,6 +46,11 @@ module type S = sig
   val read : t -> key:string -> string option
   val write : t -> key:string -> string -> unit
   val remove : t -> key:string -> unit
+
+  val flush : t -> unit
+  (** Write any client-side cached tree levels back to the server through
+      the normal encrypted write path (checkpoint before persist/close).
+      No-op when nothing is cached. *)
 
   val live_blocks : t -> int
   val client_state_bytes : t -> int

@@ -1,6 +1,17 @@
 (* Non-recursive PathORAM.  Bucket b (heap order, root = 0) occupies slots
    [b*z .. b*z+z-1] of the block store; every slot always holds a
-   ciphertext of the same fixed-width plaintext [flag | key | payload]. *)
+   ciphertext of the same fixed-width plaintext [flag | key | payload].
+
+   Treetop caching (Stefanov et al. §6.1): with [cache_levels] = k > 0
+   the top k levels of the tree — buckets 0 .. 2^k-2, a fixed prefix of
+   the store — are held decrypted client-side and act as an extension of
+   the stash.  An access then reads and rewrites only the path *suffix*,
+   levels k..L, on the uniformly random leaf; the cached prefix is
+   refilled client-side with no I/O.  The residual trace (suffix slots of
+   a uniform leaf) is still independent of the key and operation, and the
+   cached bytes are charged to the client ledger like the stash.  With
+   k = 0 the code path, the trace, the IV stream and the ciphertexts are
+   bit-identical to the pre-cache implementation. *)
 
 let z = 4
 
@@ -21,6 +32,13 @@ type t = {
   rand_int : int -> int;
   pos : (string, int) Hashtbl.t; (* key -> leaf *)
   stash : (string, string) Hashtbl.t; [@secret] (* key -> payload; decrypted block plaintext *)
+  cache_levels : int; (* effective k: top k levels held client-side; 0 = off *)
+  topcache : (string * string) option array; [@secret]
+      (* (2^k - 1) * z slots, indexed like the store prefix: decrypted
+         (key, payload) residents of the cached buckets *)
+  pbuf : Bytes.t; [@secret]
+      (* reused plaintext path buffer, (L+1)*z blocks wide: fetch decrypts
+         into it, evict encodes into it — no per-block plaintext copies *)
   mutable max_stash : int;
   mutable overflows : int;
   mutable accesses : int;
@@ -32,24 +50,9 @@ let ceil_log2 n =
 
 let block_pt_len cfg = 1 + cfg.key_len + cfg.payload_len
 
-let encode_dummy cfg = String.make (block_pt_len cfg) '\000'
-
-let encode_block cfg ~key ~payload =
-  assert (String.length key = cfg.key_len);
-  assert (String.length payload = cfg.payload_len);
-  let b = Bytes.create (block_pt_len cfg) in
-  Bytes.set b 0 '\001';
-  Bytes.blit_string key 0 b 1 cfg.key_len;
-  Bytes.blit_string payload 0 b (1 + cfg.key_len) cfg.payload_len;
-  Bytes.to_string b
-
-let decode_block cfg pt =
-  if String.length pt <> block_pt_len cfg then invalid_arg "Path_oram: corrupt block";
-  if pt.[0] = '\000' then None
-  else
-    let key = String.sub pt 1 cfg.key_len in
-    let payload = String.sub pt (1 + cfg.key_len) cfg.payload_len in
-    Some (key, payload)
+(* Path-buffer slot width: [decrypt_to] needs room for the padded CBC
+   body, which is also plenty for encoding the plaintext on the way out. *)
+let slot_stride cfg = (block_pt_len cfg / 16 * 16) + 16
 
 (* Bucket index at level [lev] (root = level 0) on the path to [leaf]. *)
 let node_at t ~leaf ~lev = (1 lsl lev) - 1 + (leaf lsr (t.levels - lev))
@@ -59,72 +62,122 @@ let stash_limit t = 7 * max 1 (ceil_log2 t.cfg.capacity)
 let client_state_bytes t =
   let pos_bytes = Hashtbl.length t.pos * (t.cfg.key_len + 8) in
   let stash_bytes = Hashtbl.length t.stash * (t.cfg.key_len + t.cfg.payload_len) in
-  pos_bytes + stash_bytes
+  (* The treetop cache is charged at capacity: every cached slot may hold
+     a decrypted block, and the array itself is resident either way. *)
+  let cache_bytes = Array.length t.topcache * (t.cfg.key_len + t.cfg.payload_len) in
+  pos_bytes + stash_bytes + cache_bytes
 
 let sync_client_cost t =
   Servsim.Cost.client_set (Servsim.Server.cost t.server) ~tag:t.name (client_state_bytes t)
 
-let setup ~name cfg server cipher rand_int =
+let setup ~name ?(cache_levels = 0) cfg server cipher rand_int =
   if cfg.capacity < 1 then invalid_arg "Path_oram.setup: capacity must be >= 1";
+  if cache_levels < 0 then invalid_arg "Path_oram.setup: cache_levels must be >= 0";
   let levels = max 1 (ceil_log2 cfg.capacity) in
   let leaves = 1 lsl levels in
   let buckets = (2 * leaves) - 1 in
   let store = Servsim.Server.create_store server name in
   Servsim.Block_store.ensure store (buckets * z);
-  let dummy = encode_dummy cfg in
+  let dummy = String.make (block_pt_len cfg) '\000' in
   let cts = Crypto.Cell_cipher.encrypt_many cipher (List.init (buckets * z) (fun _ -> dummy)) in
   Servsim.Block_store.write_many store (List.mapi (fun slot ct -> (slot, ct)) cts);
-  {
-    cfg;
-    levels;
-    leaves;
-    store;
-    server;
-    name;
-    cipher;
-    rand_int;
-    pos = Hashtbl.create (2 * cfg.capacity);
-    stash = Hashtbl.create 64;
-    max_stash = 0;
-    overflows = 0;
-    accesses = 0;
-  }
+  (* Clamp so the leaf level always stays on the server: every access
+     keeps a non-empty, uniformly distributed server-visible suffix. *)
+  let cache_levels = min cache_levels levels in
+  let t =
+    {
+      cfg;
+      levels;
+      leaves;
+      store;
+      server;
+      name;
+      cipher;
+      rand_int;
+      pos = Hashtbl.create (2 * cfg.capacity);
+      stash = Hashtbl.create 64;
+      cache_levels;
+      topcache = Array.make (((1 lsl cache_levels) - 1) * z) None;
+      pbuf = Bytes.create ((levels + 1) * z * slot_stride cfg);
+      max_stash = 0;
+      overflows = 0;
+      accesses = 0;
+    }
+  in
+  if cache_levels > 0 then sync_client_cost t;
+  t
 
-(* Slots of the path to [leaf], root to leaf — the order the per-slot loop
-   used to visit them, so the trace shape is unchanged. *)
+(* Slots of the path suffix (levels [cache_levels]..L) to [leaf], root to
+   leaf — with the cache off this is the whole path in the order the
+   per-slot loop used to visit it, so the trace shape is unchanged. *)
 let path_slots t leaf =
   List.concat_map
-    (fun lev ->
+    (fun i ->
+      let lev = t.cache_levels + i in
       let bucket = node_at t ~leaf ~lev in
       List.init z (fun s -> (bucket * z) + s))
-    (List.init (t.levels + 1) Fun.id)
+    (List.init (t.levels + 1 - t.cache_levels) Fun.id)
 
-(* Read every block of the path to [leaf] into the stash: one batched
-   round trip (a single Multi_get frame in remote mode) and one bulk
-   cipher call for the whole path. *)
+(* Read the path to [leaf] into the stash.  Cached levels move their
+   residents into the stash with no I/O; the suffix is one batched round
+   trip (a single Multi_get frame in remote mode) decrypted into the
+   reused path buffer — per-block work allocates only for live blocks
+   entering the stash, never for dummies. *)
 let fetch_path t leaf =
-  let cs = Servsim.Block_store.read_many t.store (path_slots t leaf) in
-  List.iter
-    (fun pt ->
-      match
-        decode_block t.cfg
-          (pt
-          [@lint.declassify
-            "client-local stash refill: every block of the fetched path is decoded; \
-             the trace is the fixed path-slot schedule"])
-      with
+  for lev = 0 to t.cache_levels - 1 do
+    let bucket = node_at t ~leaf ~lev in
+    for s = 0 to z - 1 do
+      let j = (bucket * z) + s in
+      (match
+         (t.topcache.(j)
+         [@lint.declassify
+           "client-local treetop cache refill: every resident of the cached path \
+            buckets moves to the stash; no server I/O is involved"])
+       with
       | None -> ()
-      | Some (key, payload) -> Hashtbl.replace t.stash key payload)
-    (Crypto.Cell_cipher.decrypt_many t.cipher cs)
+      | Some (key, payload) -> Hashtbl.replace t.stash key payload);
+      t.topcache.(j) <- None
+    done
+  done;
+  let pt_len = block_pt_len t.cfg in
+  let stride = slot_stride t.cfg in
+  List.iteri
+    (fun j ct ->
+      let off = j * stride in
+      if
+        Crypto.Cell_cipher.decrypt_to t.cipher ct
+          (t.pbuf
+          [@lint.declassify
+            "client-local CBC unpadding branches on decrypted plaintext inside the \
+             trusted client; the server-visible trace is the fixed path-slot schedule"])
+          off
+        <> pt_len
+      then invalid_arg "Path_oram: corrupt block";
+      if
+        ((Bytes.get t.pbuf off = '\001')
+        [@lint.declassify
+          "client-local stash refill: every block of the fetched path is decoded; \
+           the trace is the fixed path-slot schedule"])
+      then begin
+        let key = Bytes.sub_string t.pbuf (off + 1) t.cfg.key_len in
+        let payload = Bytes.sub_string t.pbuf (off + 1 + t.cfg.key_len) t.cfg.payload_len in
+        Hashtbl.replace t.stash key payload
+      end)
+    (Servsim.Block_store.read_many t.store (path_slots t leaf))
 
-(* Greedy eviction along the path to [leaf]: deepest buckets first.  All
-   slot writes are collected and flushed as one batched round trip (a
-   single Multi_put frame in remote mode), in the same slot order the
-   per-slot loop used, so the trace shape is unchanged. *)
+(* Greedy eviction along the path to [leaf]: deepest buckets first.
+   Suffix blocks are encoded into the path buffer and encrypted out of it
+   (one ciphertext allocation per block, nothing else), then flushed as
+   one batched round trip in the same leaf-to-root slot order — and the
+   same IV stream — the per-slot loop used.  Cached levels are refilled
+   client-side with no I/O. *)
 let evict_path t leaf =
-  let dummy = encode_dummy t.cfg in
-  let slots = ref [] in
-  let pts = ref [] in
+  let pt_len = block_pt_len t.cfg in
+  let stride = slot_stride t.cfg in
+  let k = t.cache_levels in
+  let nsuffix = (t.levels + 1 - k) * z in
+  let slots = Array.make nsuffix 0 in
+  let idx = ref 0 in
   for lev = t.levels downto 0 do
     let bucket = node_at t ~leaf ~lev in
     (* Stash blocks whose assigned leaf passes through [bucket]. *)
@@ -147,20 +200,42 @@ let evict_path t leaf =
          t.stash
      with Exit -> ());
     List.iter (fun (key, _) -> Hashtbl.remove t.stash key) !chosen;
-    let blocks = Array.make z dummy in
-    List.iteri
-      (fun i (key, payload) -> blocks.(i) <- encode_block t.cfg ~key ~payload)
-      !chosen;
-    for s = 0 to z - 1 do
-      slots := ((bucket * z) + s) :: !slots;
-      pts := blocks.(s) :: !pts
-    done
+    let blocks = Array.make z None in
+    List.iteri (fun i kp -> blocks.(i) <- Some kp) !chosen;
+    if lev >= k then
+      for s = 0 to z - 1 do
+        let off = !idx * stride in
+        Bytes.fill t.pbuf off pt_len '\000';
+        (match
+           (blocks.(s)
+           [@lint.declassify
+             "eviction writes all Z slots of every path bucket: dummy vs resident \
+              only changes the encrypted plaintext, never the slot schedule"])
+         with
+        | None -> ()
+        | Some (key, payload) ->
+            Bytes.set t.pbuf off '\001';
+            Bytes.blit_string key 0 t.pbuf (off + 1) t.cfg.key_len;
+            Bytes.blit_string payload 0 t.pbuf (off + 1 + t.cfg.key_len) t.cfg.payload_len);
+        slots.(!idx) <- (bucket * z) + s;
+        incr idx
+      done
+    else
+      for s = 0 to z - 1 do
+        t.topcache.((bucket * z) + s) <- blocks.(s)
+      done
   done;
-  (* [List.rev] restores push order — the order the per-slot loop used to
-     encrypt and write — so the IV stream and the trace are both
-     unchanged; the whole path is one cipher call and one round trip. *)
-  let cts = Crypto.Cell_cipher.encrypt_many t.cipher (List.rev !pts) in
-  Servsim.Block_store.write_many t.store (List.combine (List.rev !slots) cts)
+  (* Encrypt in append (leaf-to-root) order — the order the per-slot loop
+     used, so the IV stream and the trace are both unchanged with the
+     cache off; the whole suffix is one round trip. *)
+  let ct_len = Crypto.Cell_cipher.ciphertext_len ~plaintext_len:pt_len in
+  Servsim.Block_store.write_many t.store
+    (List.init nsuffix (fun j ->
+         let ct = Bytes.create ct_len in
+         let _ = Crypto.Cell_cipher.encrypt_from t.cipher t.pbuf ~off:(j * stride) ~len:pt_len ct 0 in
+         (* [ct] is freshly allocated and never written again: freezing it
+            avoids one copy per block. *)
+         (slots.(j), (Bytes.unsafe_to_string ct [@lint.allow "R2:bytes-unsafe"]))))
 
 let finish_access t =
   let occupancy = Hashtbl.length t.stash in
@@ -210,12 +285,43 @@ let dummy_access t =
   evict_path t leaf;
   finish_access t
 
+(* Write the cached buckets back through the normal encrypted write path
+   (one batched round trip), so the server-side tree is a complete
+   checkpoint of the ORAM state (modulo the stash, which persists
+   client-side like the position map).  The cache stays authoritative —
+   subsequent accesses keep serving the treetop client-side.  A no-op
+   with the cache off: the trace and digests are untouched. *)
+let flush t =
+  let n = Array.length t.topcache in
+  if n > 0 then begin
+    let pt_len = block_pt_len t.cfg in
+    let ct_len = Crypto.Cell_cipher.ciphertext_len ~plaintext_len:pt_len in
+    Servsim.Block_store.write_many t.store
+      (List.init n (fun j ->
+           Bytes.fill t.pbuf 0 pt_len '\000';
+           (match
+              (t.topcache.(j)
+              [@lint.declassify
+                "flush writes every cached slot, resident or dummy: the written slot \
+                 set is the fixed cache prefix regardless of contents"])
+            with
+           | None -> ()
+           | Some (key, payload) ->
+               Bytes.set t.pbuf 0 '\001';
+               Bytes.blit_string key 0 t.pbuf 1 t.cfg.key_len;
+               Bytes.blit_string payload 0 t.pbuf (1 + t.cfg.key_len) t.cfg.payload_len);
+           let ct = Bytes.create ct_len in
+           let _ = Crypto.Cell_cipher.encrypt_from t.cipher t.pbuf ~off:0 ~len:pt_len ct 0 in
+           (j, (Bytes.unsafe_to_string ct [@lint.allow "R2:bytes-unsafe"]))))
+  end
+
 let read t ~key = access t ~key (fun old -> old)
 let write t ~key v = ignore (access t ~key (fun _ -> Some v))
 let remove t ~key = ignore (access t ~key (fun _ -> None))
 
 let live_blocks t = Hashtbl.length t.pos
 let levels t = t.levels
+let cache_levels t = t.cache_levels
 let max_stash_seen t = t.max_stash
 let stash_overflows t = t.overflows
 let access_count t = t.accesses

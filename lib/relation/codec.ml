@@ -10,6 +10,15 @@ let get_int64 s off =
   done;
   !v
 
+(* [get_int64] over a [Bytes.t] without an intermediate string — the ORAM
+   block codec decodes fields straight out of its reused path buffer. *)
+let get_int64_bytes b off =
+  let v = ref 0L in
+  for k = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code (Bytes.get b (off + k))))
+  done;
+  !v
+
 let encode_int v =
   let b = Bytes.create 8 in
   put_int64 b 0 (Int64.of_int v);

@@ -11,6 +11,10 @@
 val put_int64 : Bytes.t -> int -> int64 -> unit
 val get_int64 : string -> int -> int64
 
+val get_int64_bytes : Bytes.t -> int -> int64
+(** {!get_int64} reading from a [Bytes.t] region directly (no
+    intermediate string copy). *)
+
 val encode_int : int -> string
 (** 8-byte little-endian two's-complement encoding. *)
 

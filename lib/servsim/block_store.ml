@@ -139,6 +139,60 @@ let read_many t idxs =
     cs
   end
 
+(* Cross-store batched write: every group's items land in one wire frame
+   ([Scatter_put] in remote mode) and one round trip, traced one event
+   per block in group order — the recursive ORAM's deferred path-suffix
+   evictions.  All stores must live on the same server (they share its
+   trace and cost ledger); the batch is validated whole before anything
+   is mutated, mirroring the server-side handler. *)
+let write_scatter groups =
+  let groups = List.filter (fun (_, items) -> items <> []) groups in
+  match groups with
+  | [] -> ()
+  | (t0, _) :: _ ->
+      List.iter
+        (fun (t, items) -> List.iter (fun (i, _) -> check_bounds t i "write_scatter") items)
+        groups;
+      let apply_group (t, items) =
+        let old_lens =
+          match t.storage with
+          | Local_mem s ->
+              List.map
+                (fun (i, c) ->
+                  let old = String.length s.blocks.(i) in
+                  s.blocks.(i) <- c;
+                  old)
+                items
+          | Remote_conn r ->
+              List.map
+                (fun (i, c) ->
+                  let old = r.lengths.(i) in
+                  r.lengths.(i) <- String.length c;
+                  old)
+                items
+        in
+        List.iter2 (fun (_, c) old -> resize t (String.length c - old)) items old_lens
+      in
+      (match t0.storage with
+      | Local_mem _ -> ()
+      | Remote_conn r ->
+          (* One frame for the whole cross-store batch; the mirrored
+             lengths are updated by [apply_group] below. *)
+          Remote.scatter_put_async r.conn
+            (List.map (fun (t, items) -> (t.name, items)) groups));
+      List.iter apply_group groups;
+      if Trace.enabled t0.trace then begin
+        List.iter
+          (fun (t, items) ->
+            List.iter
+              (fun (i, c) ->
+                Trace.record_name t.trace t.tname Trace.Write ~addr:i ~len:(String.length c);
+                Cost.sent_to_server t.cost (String.length c))
+              items)
+          groups;
+        Cost.round_trip t0.cost
+      end
+
 let write_many t items =
   List.iter (fun (i, _) -> check_bounds t i "write_many") items;
   if items <> [] then begin

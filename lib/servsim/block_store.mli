@@ -51,6 +51,14 @@ val write_many : t -> (int * string) list -> unit
     One traced event per block, one round trip ([Multi_put]) for the whole
     batch.  The empty list performs no I/O at all. *)
 
+val write_scatter : (t * (int * string) list) list -> unit
+(** [write_scatter groups] writes every group's (slot, block) pairs, in
+    group order then item order — one traced event per block but a
+    {e single} round trip for the whole cross-store batch (one
+    [Scatter_put] frame in remote mode).  All stores must belong to the
+    same server.  Empty groups are skipped; an entirely empty batch
+    performs no I/O at all. *)
+
 (** {2 Construction} — normally via {!Server.create_store}. *)
 
 val create :

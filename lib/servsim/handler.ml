@@ -214,6 +214,28 @@ let handle st = function
           items;
         Wire.Ok
       end
+  | Wire.Scatter_put groups ->
+      (* Resolve every store and validate every index before mutating
+         anything: the cross-store batch lands whole or not at all. *)
+      let resolved = List.map (fun (name, items) -> (name, find st name, items)) groups in
+      if
+        List.exists
+          (fun (_, s, items) -> List.exists (fun (i, _) -> i < 0 || i >= s.len) items)
+          resolved
+      then Wire.Error "index out of bounds"
+      else begin
+        List.iter
+          (fun (name, s, items) ->
+            List.iter
+              (fun (i, c) ->
+                st.bytes <- st.bytes - String.length s.blocks.(i) + String.length c;
+                s.blocks.(i) <- c;
+                Trace.record st.trace
+                  { Trace.store = name; op = Trace.Write; addr = i; len = String.length c })
+              items)
+          resolved;
+        Wire.Ok
+      end
   | Wire.Begin_dynamic _ as req -> (
       match st.dyn with
       | Some _ -> Wire.Error "dynamic session already active"

@@ -213,6 +213,27 @@ let multi_put_async t ~store items =
     end
   end
 
+let scatter_put t groups =
+  if List.for_all (fun (_, items) -> items = []) groups then ()
+  else
+    match call t (Wire.Scatter_put groups) with
+    | Wire.Ok -> ()
+    | _ -> raise (Wire.Protocol_error "unexpected response to Scatter_put")
+
+let scatter_put_async t groups =
+  if not (List.for_all (fun (_, items) -> items = []) groups) then begin
+    if t.closed then raise (Wire.Protocol_error "connection closed");
+    if t.depth <= 1 then scatter_put t groups
+    else begin
+      require_no_manual t "scatter_put_async";
+      while Queue.length t.puts >= t.depth do
+        drain_one t
+      done;
+      send_nf t (Wire.Scatter_put groups);
+      Queue.push "Scatter_put" t.puts
+    end
+  end
+
 let begin_dynamic t ?(capacity = 0) ?(max_lhs = 0) ~seed ~cols rows =
   match call t (Wire.Begin_dynamic { seed; capacity; max_lhs; cols; rows }) with
   | Wire.Fds_reply r -> r

@@ -79,6 +79,15 @@ val multi_get : t -> store:string -> int list -> string list
 val multi_put : t -> store:string -> (int * string) list -> unit
 (** One [Multi_put] frame.  No-op (no frame) on the empty list. *)
 
+val scatter_put : t -> (string * (int * string) list) list -> unit
+(** One [Scatter_put] frame writing batches across several stores.
+    No-op (no frame) when every group is empty. *)
+
+val scatter_put_async : t -> (string * (int * string) list) list -> unit
+(** Fire-and-forget {!scatter_put} on a pipelined connection, with the
+    same bounded-window backpressure as {!multi_put_async}.  Identical
+    to {!scatter_put} at depth 1. *)
+
 (** {2 Dynamic FD sessions (protocol v5)}
 
     Drivers for the streaming update verbs.  Cells travel as

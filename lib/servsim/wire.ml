@@ -7,6 +7,9 @@ type request =
   | Put of string * int * string
   | Multi_get of string * int list
   | Multi_put of string * (int * string) list
+  | Scatter_put of (string * (int * string) list) list
+      (* cross-store batched write: all groups land in one frame (the
+         recursive ORAM's deferred path-suffix evictions) *)
   | Digest
   | Total_bytes
   | Ping
@@ -60,7 +63,7 @@ type response =
 exception Protocol_error of string
 exception Incomplete
 
-let protocol_version = 5
+let protocol_version = 6
 
 (* Hard caps on what a length prefix may claim.  A corrupt or truncated
    stream must fail with [Protocol_error], not drive the reader into a
@@ -268,6 +271,19 @@ let write_request_sink k req =
           put_u32 k i;
           put_string k v)
         items
+  | Scatter_put groups ->
+      k.put_char '\018';
+      put_count k (List.length groups);
+      List.iter
+        (fun (s, items) ->
+          put_string k s;
+          put_count k (List.length items);
+          List.iter
+            (fun (i, v) ->
+              put_u32 k i;
+              put_string k v)
+            items)
+        groups
   | Hello ns ->
       k.put_char '\011';
       put_namespace k ns
@@ -321,6 +337,14 @@ let read_request_src src =
           get_list src (fun src ->
               let i = get_u32 src in
               (i, get_string src)) )
+  | '\018' ->
+      Scatter_put
+        (get_list src (fun src ->
+             let s = get_string src in
+             ( s,
+               get_list src (fun src ->
+                   let i = get_u32 src in
+                   (i, get_string src)) )))
   | '\011' -> Hello (get_namespace src)
   | '\012' -> Ping
   | '\013' -> Stats

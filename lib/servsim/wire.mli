@@ -17,7 +17,9 @@
     FD-maintenance verbs of the paper's §V
     ([Begin_dynamic]/[Insert_row]/[Delete_row]/[Revalidate] answered by
     [Row_id]/[Fds_reply]) plus per-verb update counters in
-    [Stats_reply].
+    [Stats_reply].  v6 adds [Scatter_put], the cross-store batched
+    write the recursive ORAM's deferred path-suffix evictions ride in —
+    one frame per logical access instead of one per tree.
 
     The dynamic verbs are the one place the protocol carries plaintext
     row material: they model the trusted client (or enclave proxy)
@@ -42,6 +44,11 @@ type request =
       (** Write a batch of (slot, ciphertext) pairs in one frame; applied
           (and traced server-side) in list order, all-or-nothing with
           respect to bounds checking. *)
+  | Scatter_put of (string * (int * string) list) list
+      (** Write batches spanning several stores in one frame; groups are
+          applied (and traced) in list order, items in order within each
+          group.  All-or-nothing: every store must exist and every index
+          must be in bounds before anything is mutated. *)
   | Digest  (** ask the server for its own trace digests *)
   | Total_bytes
   | Ping  (** liveness probe; answered with [Pong] *)

@@ -1,4 +1,4 @@
-(* Wire protocol v5: property tests for the codec (including the batch,
+(* Wire protocol v6: property tests for the codec (including the batch,
    session and dynamic-update frames), malformed-prefix hardening, the
    version handshake, and remote-vs-local equivalence of a PathORAM
    workload — same trace shape, same server digests, and a round-trip
@@ -57,6 +57,12 @@ let request_gen =
           (fun s items -> Servsim.Wire.Multi_put (s, items))
           (string_size (0 -- 20))
           (list_size (0 -- 40) (pair (int_bound 100000) (string_size (0 -- 50))));
+        map
+          (fun groups -> Servsim.Wire.Scatter_put groups)
+          (list_size (0 -- 6)
+             (pair
+                (string_size (0 -- 20))
+                (list_size (0 -- 10) (pair (int_bound 100000) (string_size (0 -- 50))))));
         map (fun ns -> Servsim.Wire.Hello ns) (string_size (0 -- 40));
         return Servsim.Wire.Ping;
         return Servsim.Wire.Stats;
@@ -154,7 +160,7 @@ let response_gen =
       ])
 
 let qcheck_request_roundtrip =
-  QCheck.Test.make ~name:"wire v5 request roundtrip" ~count:300 (QCheck.make request_gen)
+  QCheck.Test.make ~name:"wire v6 request roundtrip" ~count:300 (QCheck.make request_gen)
     roundtrip_request
 
 let qcheck_response_roundtrip =
